@@ -1,0 +1,227 @@
+//! Control-flow graphs over method bodies.
+//!
+//! The paper's Step 2 "uses Soot to generate the CFG of each candidate
+//! method" (§7.2); this module is that piece of the substrate.
+
+use bombdroid_dex::{Instr, Method};
+use std::collections::BTreeSet;
+
+/// A basic block: the half-open instruction range `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First instruction index.
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+    /// Predecessor block ids.
+    pub preds: Vec<usize>,
+}
+
+impl BasicBlock {
+    /// Instruction indices in this block.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// A method's control-flow graph. Block 0 is the entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    /// Basic blocks in start-order.
+    pub blocks: Vec<BasicBlock>,
+    block_of_pc: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `method`.
+    pub fn build(method: &Method) -> Self {
+        let body = &method.body;
+        let n = body.len();
+        let mut leaders = BTreeSet::new();
+        if n > 0 {
+            leaders.insert(0usize);
+        }
+        for (pc, instr) in body.iter().enumerate() {
+            for t in instr.branch_targets() {
+                if t < n {
+                    leaders.insert(t);
+                }
+            }
+            if instr.is_terminator() && pc + 1 < n {
+                leaders.insert(pc + 1);
+            }
+        }
+        let starts: Vec<usize> = leaders.into_iter().collect();
+        let mut blocks: Vec<BasicBlock> = starts
+            .iter()
+            .enumerate()
+            .map(|(i, &start)| BasicBlock {
+                start,
+                end: starts.get(i + 1).copied().unwrap_or(n),
+                succs: Vec::new(),
+                preds: Vec::new(),
+            })
+            .collect();
+        let mut block_of_pc = vec![0usize; n];
+        for (bi, b) in blocks.iter().enumerate() {
+            for pc in b.range() {
+                block_of_pc[pc] = bi;
+            }
+        }
+        // Edges.
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (bi, b) in blocks.iter().enumerate() {
+            if b.start == b.end {
+                continue;
+            }
+            let last_pc = b.end - 1;
+            let last = &body[last_pc];
+            for t in last.branch_targets() {
+                if t < n {
+                    edges.push((bi, block_of_pc[t]));
+                }
+            }
+            if last.falls_through() && b.end < n {
+                edges.push((bi, block_of_pc[b.end]));
+            }
+        }
+        for (from, to) in edges {
+            if !blocks[from].succs.contains(&to) {
+                blocks[from].succs.push(to);
+            }
+            if !blocks[to].preds.contains(&from) {
+                blocks[to].preds.push(from);
+            }
+        }
+        Cfg {
+            blocks,
+            block_of_pc,
+        }
+    }
+
+    /// The block containing instruction `pc`.
+    pub fn block_of(&self, pc: usize) -> usize {
+        self.block_of_pc[pc]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the CFG has no blocks (empty method body).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Blocks in reverse post-order from the entry (unreachable blocks
+    /// appended at the end in index order).
+    pub fn reverse_post_order(&self) -> Vec<usize> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut order = Vec::with_capacity(self.blocks.len());
+        // Iterative post-order DFS.
+        if !self.blocks.is_empty() {
+            let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+            visited[0] = true;
+            while let Some((node, child_idx)) = stack.pop() {
+                if child_idx < self.blocks[node].succs.len() {
+                    stack.push((node, child_idx + 1));
+                    let succ = self.blocks[node].succs[child_idx];
+                    if !visited[succ] {
+                        visited[succ] = true;
+                        stack.push((succ, 0));
+                    }
+                } else {
+                    order.push(node);
+                }
+            }
+        }
+        order.reverse();
+        for i in 0..self.blocks.len() {
+            if !visited[i] {
+                order.push(i);
+            }
+        }
+        order
+    }
+}
+
+/// Convenience: whether a method's body contains any instruction matching
+/// `pred` (used by text-search-style scanners).
+pub fn any_instr(method: &Method, pred: impl Fn(&Instr) -> bool) -> bool {
+    method.body.iter().any(pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bombdroid_dex::{CondOp, MethodBuilder, Reg, RegOrConst, Value};
+
+    fn diamond() -> Method {
+        // if (v0 == 1) { log a } else { log b } ; return
+        let mut b = MethodBuilder::new("T", "m", 1);
+        let els = b.fresh_label();
+        let end = b.fresh_label();
+        b.if_not(CondOp::Eq, Reg(0), RegOrConst::Const(Value::Int(1)), els);
+        b.host_log("a");
+        b.goto(end);
+        b.place_label(els);
+        b.host_log("b");
+        b.place_label(end);
+        b.ret_void();
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let m = diamond();
+        let cfg = Cfg::build(&m);
+        assert_eq!(cfg.len(), 4);
+        assert_eq!(cfg.blocks[0].succs.len(), 2);
+        // Both middle blocks converge on the exit block.
+        let exit = cfg.block_of(m.body.len() - 1);
+        assert!(cfg.blocks[exit].preds.len() == 2);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_all() {
+        let m = diamond();
+        let cfg = Cfg::build(&m);
+        let rpo = cfg.reverse_post_order();
+        assert_eq!(rpo[0], 0);
+        let mut sorted = rpo.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..cfg.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn loop_edges() {
+        // v1 = 0; loop: v1 += 1; if (v1 != 10) goto loop; return
+        let mut b = MethodBuilder::new("T", "l", 0);
+        let v1 = b.fresh_reg();
+        b.const_(v1, 0i64);
+        let top = b.fresh_label();
+        b.place_label(top);
+        b.bin_const(bombdroid_dex::BinOp::Add, v1, v1, 1);
+        b.if_(CondOp::Ne, v1, RegOrConst::Const(Value::Int(10)), top);
+        b.ret_void();
+        let m = b.finish();
+        let cfg = Cfg::build(&m);
+        // The loop body block must have itself as a successor-of-successor
+        // path (a back edge to its own start).
+        let body_block = cfg.block_of(1);
+        assert!(cfg.blocks[body_block].succs.contains(&body_block));
+    }
+
+    #[test]
+    fn straight_line_single_block() {
+        let mut b = MethodBuilder::new("T", "s", 0);
+        b.host_log("x");
+        b.ret_void();
+        let cfg = Cfg::build(&b.finish());
+        assert_eq!(cfg.len(), 1);
+        assert!(cfg.blocks[0].succs.is_empty());
+    }
+}

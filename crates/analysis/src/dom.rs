@@ -1,0 +1,157 @@
+//! Dominator analysis (Cooper–Harvey–Kennedy "A Simple, Fast Dominance
+//! Algorithm"), feeding natural-loop detection.
+
+use crate::cfg::Cfg;
+
+/// Immediate-dominator table; entry dominates itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dominators {
+    /// `idom[b]` is the immediate dominator of block `b`; `idom[entry] =
+    /// entry`; unreachable blocks map to `usize::MAX`.
+    pub idom: Vec<usize>,
+}
+
+/// Marker for unreachable blocks in [`Dominators::idom`].
+pub const UNREACHABLE: usize = usize::MAX;
+
+impl Dominators {
+    /// Computes dominators for `cfg`.
+    pub fn compute(cfg: &Cfg) -> Self {
+        let n = cfg.len();
+        if n == 0 {
+            return Dominators { idom: Vec::new() };
+        }
+        let rpo = cfg.reverse_post_order();
+        let mut rpo_index = vec![UNREACHABLE; n];
+        let mut reachable = vec![false; n];
+        {
+            // Only blocks reachable from entry participate.
+            let mut seen = vec![false; n];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            while let Some(b) = stack.pop() {
+                reachable[b] = true;
+                for &s in &cfg.blocks[b].succs {
+                    if !seen[s] {
+                        seen[s] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+        }
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b] = i;
+        }
+        let mut idom = vec![UNREACHABLE; n];
+        idom[0] = 0;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                if !reachable[b] {
+                    continue;
+                }
+                let mut new_idom = UNREACHABLE;
+                for &p in &cfg.blocks[b].preds {
+                    if !reachable[p] || idom[p] == UNREACHABLE {
+                        continue;
+                    }
+                    new_idom = if new_idom == UNREACHABLE {
+                        p
+                    } else {
+                        Self::intersect(&idom, &rpo_index, p, new_idom)
+                    };
+                }
+                if new_idom != UNREACHABLE && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { idom }
+    }
+
+    fn intersect(idom: &[usize], rpo_index: &[usize], mut a: usize, mut b: usize) -> usize {
+        while a != b {
+            while rpo_index[a] > rpo_index[b] {
+                a = idom[a];
+            }
+            while rpo_index[b] > rpo_index[a] {
+                b = idom[b];
+            }
+        }
+        a
+    }
+
+    /// Whether block `a` dominates block `b` (reflexive).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if self.idom.get(b).copied().unwrap_or(UNREACHABLE) == UNREACHABLE {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = self.idom[cur];
+            if next == cur {
+                return a == cur;
+            }
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bombdroid_dex::{CondOp, MethodBuilder, Reg, RegOrConst, Value};
+
+    #[test]
+    fn diamond_dominance() {
+        let mut b = MethodBuilder::new("T", "m", 1);
+        let els = b.fresh_label();
+        let end = b.fresh_label();
+        b.if_not(CondOp::Eq, Reg(0), RegOrConst::Const(Value::Int(1)), els);
+        b.host_log("a");
+        b.goto(end);
+        b.place_label(els);
+        b.host_log("b");
+        b.place_label(end);
+        b.ret_void();
+        let m = b.finish();
+        let cfg = Cfg::build(&m);
+        let dom = Dominators::compute(&cfg);
+        let exit = cfg.block_of(m.body.len() - 1);
+        // Entry dominates everything.
+        for bi in 0..cfg.len() {
+            assert!(dom.dominates(0, bi), "entry must dominate block {bi}");
+        }
+        // Neither arm dominates the exit.
+        for bi in 1..cfg.len() {
+            if bi != exit {
+                assert!(!dom.dominates(bi, exit), "arm {bi} must not dominate exit");
+            }
+        }
+        // idom of exit is the entry.
+        assert_eq!(dom.idom[exit], 0);
+    }
+
+    #[test]
+    fn self_loop_dominated_by_entry() {
+        let mut b = MethodBuilder::new("T", "l", 0);
+        let v = b.fresh_reg();
+        b.const_(v, 0i64);
+        let top = b.fresh_label();
+        b.place_label(top);
+        b.bin_const(bombdroid_dex::BinOp::Add, v, v, 1);
+        b.if_(CondOp::Ne, v, RegOrConst::Const(Value::Int(3)), top);
+        b.ret_void();
+        let m = b.finish();
+        let cfg = Cfg::build(&m);
+        let dom = Dominators::compute(&cfg);
+        let loop_block = cfg.block_of(1);
+        assert!(dom.dominates(0, loop_block));
+        assert!(dom.dominates(loop_block, loop_block));
+    }
+}

@@ -1,0 +1,138 @@
+//! Natural-loop detection.
+//!
+//! BombDroid "avoid[s] inserting bombs into loops in a procedure" as a
+//! heuristic optimization (§7.2): a bomb inside a hot loop would hash on
+//! every iteration. This module finds every instruction that lives inside
+//! a natural loop.
+
+use crate::cfg::Cfg;
+use crate::dom::{Dominators, UNREACHABLE};
+use std::collections::BTreeSet;
+
+/// Loop membership for a method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopInfo {
+    /// Blocks that belong to at least one natural loop.
+    pub loop_blocks: BTreeSet<usize>,
+    /// Back edges `(tail, header)` found.
+    pub back_edges: Vec<(usize, usize)>,
+}
+
+impl LoopInfo {
+    /// Computes loop membership from a CFG and its dominators.
+    pub fn compute(cfg: &Cfg, dom: &Dominators) -> Self {
+        let mut back_edges = Vec::new();
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            if dom.idom.get(b).copied().unwrap_or(UNREACHABLE) == UNREACHABLE {
+                continue;
+            }
+            for &s in &block.succs {
+                if dom.dominates(s, b) {
+                    back_edges.push((b, s));
+                }
+            }
+        }
+        let mut loop_blocks = BTreeSet::new();
+        for &(tail, header) in &back_edges {
+            // Natural loop = header + all blocks that reach tail without
+            // passing through header.
+            loop_blocks.insert(header);
+            let mut stack = vec![tail];
+            while let Some(b) = stack.pop() {
+                if loop_blocks.insert(b) {
+                    for &p in &cfg.blocks[b].preds {
+                        if p != header {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+        }
+        LoopInfo {
+            loop_blocks,
+            back_edges,
+        }
+    }
+
+    /// Whether instruction `pc` is inside a loop.
+    pub fn pc_in_loop(&self, cfg: &Cfg, pc: usize) -> bool {
+        self.loop_blocks.contains(&cfg.block_of(pc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bombdroid_dex::{BinOp, CondOp, Method, MethodBuilder, Reg, RegOrConst, Value};
+
+    fn loop_then_straight() -> Method {
+        // v1 = 0; loop: v1++ ; if v1 != 10 goto loop; log; return
+        let mut b = MethodBuilder::new("T", "m", 0);
+        let v = b.fresh_reg();
+        b.const_(v, 0i64);
+        let top = b.fresh_label();
+        b.place_label(top);
+        b.bin_const(BinOp::Add, v, v, 1);
+        b.if_(CondOp::Ne, v, RegOrConst::Const(Value::Int(10)), top);
+        b.host_log("after loop");
+        b.ret_void();
+        b.finish()
+    }
+
+    #[test]
+    fn finds_loop_and_spares_straight_code() {
+        let m = loop_then_straight();
+        let cfg = Cfg::build(&m);
+        let dom = Dominators::compute(&cfg);
+        let li = LoopInfo::compute(&cfg, &dom);
+        assert_eq!(li.back_edges.len(), 1);
+        // pc 1 (v1++) is in the loop; the log after it is not.
+        assert!(li.pc_in_loop(&cfg, 1));
+        let log_pc = 3; // const of the log message
+        assert!(!li.pc_in_loop(&cfg, log_pc));
+        // pc 0 (init) precedes the header and is outside.
+        assert!(!li.pc_in_loop(&cfg, 0));
+    }
+
+    #[test]
+    fn loop_free_method_has_no_loops() {
+        let mut b = MethodBuilder::new("T", "s", 1);
+        let skip = b.fresh_label();
+        b.if_not(CondOp::Eq, Reg(0), RegOrConst::Const(Value::Int(1)), skip);
+        b.host_log("one");
+        b.place_label(skip);
+        b.ret_void();
+        let m = b.finish();
+        let cfg = Cfg::build(&m);
+        let li = LoopInfo::compute(&cfg, &Dominators::compute(&cfg));
+        assert!(li.loop_blocks.is_empty());
+        assert!(li.back_edges.is_empty());
+    }
+
+    #[test]
+    fn nested_loops_all_marked() {
+        // outer: i=0; do { j=0; do { j++ } while j!=3; i++ } while i!=3
+        let mut b = MethodBuilder::new("T", "n", 0);
+        let i = b.fresh_reg();
+        let j = b.fresh_reg();
+        b.const_(i, 0i64);
+        let outer = b.fresh_label();
+        b.place_label(outer);
+        b.const_(j, 0i64);
+        let inner = b.fresh_label();
+        b.place_label(inner);
+        b.bin_const(BinOp::Add, j, j, 1);
+        b.if_(CondOp::Ne, j, RegOrConst::Const(Value::Int(3)), inner);
+        b.bin_const(BinOp::Add, i, i, 1);
+        b.if_(CondOp::Ne, i, RegOrConst::Const(Value::Int(3)), outer);
+        b.ret_void();
+        let m = b.finish();
+        let cfg = Cfg::build(&m);
+        let li = LoopInfo::compute(&cfg, &Dominators::compute(&cfg));
+        assert_eq!(li.back_edges.len(), 2);
+        // Everything except init and the return sits in a loop.
+        for pc in 1..m.body.len() - 1 {
+            assert!(li.pc_in_loop(&cfg, pc), "pc {pc} should be in a loop");
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Qualified-condition (QC) scanning.
+//!
+//! A QC is an equality check against a statically determinable constant —
+//! `==` on ints/bools, or string `equals`/`startsWith`/`endsWith`
+//! (paper §3.3). BombDroid's Step 2 locates all QCs by scanning for the
+//! `IFEQ`/`IFNE`/`IF_ICMPEQ`/`IF_ICMPNE`/`TABLESWITCH` analogues (§7.2);
+//! this module is that scanner, plus the strength grading of §8.3.1
+//! (bool → weak, int → medium, string → strong).
+
+use crate::cfg::Cfg;
+use crate::dom::Dominators;
+use crate::loops::LoopInfo;
+use bombdroid_dex::{CondOp, DexFile, Instr, Method, MethodRef, Reg, RegOrConst, StrOp, Value};
+
+/// Obfuscation strength of a QC, determined by the constant's domain size
+/// (§8.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Strength {
+    /// Boolean constant: |dom| = 2 — brute-forceable instantly.
+    Weak,
+    /// Integer constant: up to 2³² practical domain.
+    Medium,
+    /// String constant: unbounded domain.
+    Strong,
+}
+
+/// The comparison shape of a QC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QcCompare {
+    /// `if (x == <int>)`.
+    IntEq,
+    /// `if (b == <bool>)`.
+    BoolEq,
+    /// `s.equals(<lit>)`.
+    StrEquals,
+    /// `s.startsWith(<lit>)`.
+    StrStartsWith,
+    /// `s.endsWith(<lit>)`.
+    StrEndsWith,
+    /// One arm of a `TABLESWITCH`.
+    SwitchArm,
+}
+
+/// One qualified condition found in a method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QcSite {
+    /// Enclosing method.
+    pub method: MethodRef,
+    /// Index of the branch instruction (`If` or `Switch`).
+    pub branch_pc: usize,
+    /// Register holding `X` at the branch (for string ops, the receiver).
+    pub cond_reg: Reg,
+    /// The constant `c`.
+    pub constant: Value,
+    /// First instruction of the code executed when equality holds.
+    pub body_entry: usize,
+    /// Comparison shape.
+    pub compare: QcCompare,
+    /// Index of the feeding `StrOp`, for string QCs.
+    pub str_op_pc: Option<usize>,
+    /// Index of the `Const` loading the string literal, for string QCs.
+    pub lit_const_pc: Option<usize>,
+    /// Whether the branch sits inside a natural loop (§7.2 skips those).
+    pub in_loop: bool,
+}
+
+impl QcSite {
+    /// Obfuscation strength grade (Fig. 4's weak/medium/strong).
+    pub fn strength(&self) -> Strength {
+        match self.constant {
+            Value::Bool(_) => Strength::Weak,
+            Value::Int(_) => Strength::Medium,
+            Value::Str(_) => Strength::Strong,
+            // Null/Bytes constants are not QC material, but grade defensively.
+            _ => Strength::Weak,
+        }
+    }
+}
+
+/// Scans one method for qualified conditions.
+pub fn scan_method(method: &Method) -> Vec<QcSite> {
+    let cfg = Cfg::build(method);
+    let loops = if cfg.is_empty() {
+        None
+    } else {
+        let dom = Dominators::compute(&cfg);
+        Some(LoopInfo::compute(&cfg, &dom))
+    };
+    let in_loop = |pc: usize| {
+        loops
+            .as_ref()
+            .map(|l| l.pc_in_loop(&cfg, pc))
+            .unwrap_or(false)
+    };
+    let mref = method.method_ref();
+    let body = &method.body;
+    let mut sites = Vec::new();
+
+    for (pc, instr) in body.iter().enumerate() {
+        match instr {
+            Instr::If {
+                cond: cond @ (CondOp::Eq | CondOp::Ne),
+                lhs,
+                rhs: RegOrConst::Const(c),
+                target,
+            } => {
+                let compare = match c {
+                    Value::Int(_) => QcCompare::IntEq,
+                    Value::Bool(_) => {
+                        // A bool-compare may be the tail of a string QC; if
+                        // the compared register was just produced by an
+                        // equality StrOp, report the string QC instead.
+                        if let Some(site) =
+                            string_qc(body, pc, *lhs, *cond, *target, &mref, &in_loop)
+                        {
+                            sites.push(site);
+                            continue;
+                        }
+                        QcCompare::BoolEq
+                    }
+                    Value::Str(_) => QcCompare::StrEquals,
+                    // Bytes constants are already-obfuscated conditions, not QCs.
+                    Value::Bytes(_) | Value::Null => continue,
+                };
+                let body_entry = match cond {
+                    CondOp::Eq => *target,
+                    CondOp::Ne => pc + 1,
+                    _ => unreachable!(),
+                };
+                sites.push(QcSite {
+                    method: mref.clone(),
+                    branch_pc: pc,
+                    cond_reg: *lhs,
+                    constant: c.clone(),
+                    body_entry,
+                    compare,
+                    str_op_pc: None,
+                    lit_const_pc: None,
+                    in_loop: in_loop(pc),
+                });
+            }
+            Instr::Switch { src, arms, .. } => {
+                for (case, target) in arms {
+                    sites.push(QcSite {
+                        method: mref.clone(),
+                        branch_pc: pc,
+                        cond_reg: *src,
+                        constant: Value::Int(*case),
+                        body_entry: *target,
+                        compare: QcCompare::SwitchArm,
+                        str_op_pc: None,
+                        lit_const_pc: None,
+                        in_loop: in_loop(pc),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    sites
+}
+
+/// Recognizes the `StrOp(Equals/StartsWith/EndsWith)` + `If` idiom ending
+/// at the `If` at `if_pc` comparing `flag_reg` against a bool constant.
+fn string_qc(
+    body: &[Instr],
+    if_pc: usize,
+    flag_reg: Reg,
+    cond: CondOp,
+    target: usize,
+    mref: &MethodRef,
+    in_loop: &dyn Fn(usize) -> bool,
+) -> Option<QcSite> {
+    // Look back a small window for the StrOp defining flag_reg, with no
+    // intervening redefinition.
+    let lo = if_pc.saturating_sub(4);
+    let mut found: Option<(usize, StrOp, Reg, Reg)> = None;
+    for p in (lo..if_pc).rev() {
+        match &body[p] {
+            Instr::StrOp {
+                op,
+                dst,
+                lhs,
+                rhs: Some(r),
+            } if *dst == flag_reg && op.is_equality_check() => {
+                found = Some((p, *op, *lhs, *r));
+                break;
+            }
+            other if other.def() == Some(flag_reg) => return None,
+            _ => {}
+        }
+    }
+    let (str_pc, op, receiver, lit_reg) = found?;
+    // The literal operand must be a constant string defined just before,
+    // with no intervening redefinition.
+    let mut lit: Option<(usize, Value)> = None;
+    for p in (str_pc.saturating_sub(4)..str_pc).rev() {
+        match &body[p] {
+            Instr::Const {
+                dst,
+                value: v @ Value::Str(_),
+            } if *dst == lit_reg => {
+                lit = Some((p, v.clone()));
+                break;
+            }
+            other if other.def() == Some(lit_reg) => return None,
+            _ => {}
+        }
+    }
+    let (lit_pc, constant) = lit?;
+    // Which bool constant is compared decides the true-body position.
+    let expect_true = match &body[if_pc] {
+        Instr::If {
+            rhs: RegOrConst::Const(Value::Bool(b)),
+            ..
+        } => *b,
+        _ => return None,
+    };
+    let body_entry = match (cond, expect_true) {
+        (CondOp::Eq, true) | (CondOp::Ne, false) => target,
+        (CondOp::Eq, false) | (CondOp::Ne, true) => if_pc + 1,
+        _ => return None,
+    };
+    Some(QcSite {
+        method: mref.clone(),
+        branch_pc: if_pc,
+        cond_reg: receiver,
+        constant,
+        body_entry,
+        compare: match op {
+            StrOp::Equals => QcCompare::StrEquals,
+            StrOp::StartsWith => QcCompare::StrStartsWith,
+            StrOp::EndsWith => QcCompare::StrEndsWith,
+            _ => return None,
+        },
+        str_op_pc: Some(str_pc),
+        lit_const_pc: Some(lit_pc),
+        in_loop: in_loop(if_pc),
+    })
+}
+
+/// Scans every method of a DEX file.
+pub fn scan_dex(dex: &DexFile) -> Vec<QcSite> {
+    dex.methods().flat_map(scan_method).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bombdroid_dex::MethodBuilder;
+
+    #[test]
+    fn finds_int_eq_with_polarity() {
+        // if (v0 == 7) { body } — compiled as if-ne branch-over.
+        let mut b = MethodBuilder::new("T", "m", 1);
+        let skip = b.fresh_label();
+        b.if_not(CondOp::Eq, Reg(0), RegOrConst::Const(Value::Int(7)), skip);
+        b.host_log("body");
+        b.place_label(skip);
+        b.ret_void();
+        let m = b.finish();
+        let sites = scan_method(&m);
+        assert_eq!(sites.len(), 1);
+        let s = &sites[0];
+        assert_eq!(s.compare, QcCompare::IntEq);
+        assert_eq!(s.constant, Value::Int(7));
+        assert_eq!(s.body_entry, 1, "Ne branch: body is the fallthrough");
+        assert_eq!(s.strength(), Strength::Medium);
+        assert!(!s.in_loop);
+    }
+
+    #[test]
+    fn finds_switch_arms() {
+        let mut b = MethodBuilder::new("T", "s", 1);
+        let a = b.fresh_label();
+        let d = b.fresh_label();
+        b.switch(Reg(0), vec![(5, a), (9, a)], d);
+        b.place_label(a);
+        b.host_log("arm");
+        b.place_label(d);
+        b.ret_void();
+        let sites = scan_method(&b.finish());
+        let arms: Vec<_> = sites
+            .iter()
+            .filter(|s| s.compare == QcCompare::SwitchArm)
+            .collect();
+        assert_eq!(arms.len(), 2);
+        assert_eq!(arms[0].constant, Value::Int(5));
+        assert_eq!(arms[1].constant, Value::Int(9));
+    }
+
+    #[test]
+    fn finds_string_equals_idiom() {
+        // flag = cmd.equals("export"); if (flag == true) { body }
+        let mut b = MethodBuilder::new("T", "t", 1);
+        let lit = b.fresh_reg();
+        let flag = b.fresh_reg();
+        b.const_(lit, Value::str("export"));
+        b.str_op(StrOp::Equals, flag, Reg(0), Some(lit));
+        let skip = b.fresh_label();
+        b.if_not(CondOp::Eq, flag, RegOrConst::Const(Value::Bool(true)), skip);
+        b.host_log("exporting");
+        b.place_label(skip);
+        b.ret_void();
+        let sites = scan_method(&b.finish());
+        assert_eq!(sites.len(), 1);
+        let s = &sites[0];
+        assert_eq!(s.compare, QcCompare::StrEquals);
+        assert_eq!(s.constant, Value::str("export"));
+        assert_eq!(s.cond_reg, Reg(0));
+        assert_eq!(s.strength(), Strength::Strong);
+        assert_eq!(s.str_op_pc, Some(1));
+    }
+
+    #[test]
+    fn bool_qc_graded_weak() {
+        let mut b = MethodBuilder::new("T", "w", 1);
+        let skip = b.fresh_label();
+        b.if_not(
+            CondOp::Eq,
+            Reg(0),
+            RegOrConst::Const(Value::Bool(true)),
+            skip,
+        );
+        b.host_log("yes");
+        b.place_label(skip);
+        b.ret_void();
+        let sites = scan_method(&b.finish());
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].strength(), Strength::Weak);
+        assert_eq!(sites[0].compare, QcCompare::BoolEq);
+    }
+
+    #[test]
+    fn obfuscated_bytes_condition_not_reported() {
+        let mut b = MethodBuilder::new("T", "o", 1);
+        let h = b.fresh_reg();
+        b.hash(h, Reg(0), vec![1]);
+        let skip = b.fresh_label();
+        b.if_not(
+            CondOp::Eq,
+            h,
+            RegOrConst::Const(Value::bytes([0u8; 20])),
+            skip,
+        );
+        b.host_log("hidden");
+        b.place_label(skip);
+        b.ret_void();
+        assert!(scan_method(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn loop_conditions_flagged() {
+        let mut b = MethodBuilder::new("T", "l", 0);
+        let v = b.fresh_reg();
+        b.const_(v, 0i64);
+        let top = b.fresh_label();
+        b.place_label(top);
+        b.bin_const(bombdroid_dex::BinOp::Add, v, v, 1);
+        b.if_(CondOp::Ne, v, RegOrConst::Const(Value::Int(10)), top);
+        b.ret_void();
+        let sites = scan_method(&b.finish());
+        assert_eq!(sites.len(), 1);
+        assert!(sites[0].in_loop);
+    }
+}

@@ -1,0 +1,226 @@
+//! Backward program slicing.
+//!
+//! The HARVESTER-style attack (paper §2.1, "Circumventing trigger
+//! conditions") performs "backward program slicing starting from that line
+//! of code, and then execute[s] the extracted slices to uncover the payload
+//! behavior". The slicer here computes an intraprocedural data slice: all
+//! instructions whose values can flow into the seed instruction, plus the
+//! field/static writes feeding its loads.
+
+use crate::cfg::Cfg;
+use bombdroid_dex::{Instr, Method, Reg};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// The result of slicing: instruction indices, in program order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slice {
+    /// Instructions in the slice (including the seed).
+    pub pcs: BTreeSet<usize>,
+    /// Seed the slice was taken from.
+    pub seed: usize,
+}
+
+impl Slice {
+    /// Extracts the sliced instructions as an executable fragment, with
+    /// branches dropped (slice execution is straight-line, as HARVESTER
+    /// executes extracted slices directly).
+    pub fn extract(&self, method: &Method) -> Vec<Instr> {
+        self.pcs
+            .iter()
+            .map(|&pc| method.body[pc].clone())
+            .filter(|i| !i.is_terminator())
+            .collect()
+    }
+}
+
+/// Computes the backward data slice of `method` from `seed_pc`.
+///
+/// # Panics
+///
+/// Panics if `seed_pc` is out of range.
+pub fn backward_slice(method: &Method, seed_pc: usize) -> Slice {
+    assert!(seed_pc < method.body.len(), "seed pc out of range");
+    let cfg = Cfg::build(method);
+    let body = &method.body;
+
+    // Field/static loads in the slice pull in *all* stores to the same name
+    // (coarse but sound for slice execution).
+    let mut field_stores: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (pc, i) in body.iter().enumerate() {
+        match i {
+            Instr::PutField { field, .. } | Instr::PutStatic { field, .. } => {
+                field_stores.entry(&field.name).or_default().push(pc);
+            }
+            _ => {}
+        }
+    }
+
+    let mut in_slice: BTreeSet<usize> = BTreeSet::new();
+    in_slice.insert(seed_pc);
+    // Worklist of (block, position-within-block, live regs) walking
+    // backwards.
+    let mut work: VecDeque<(usize, usize, BTreeSet<Reg>)> = VecDeque::new();
+    let mut seen: HashSet<(usize, usize, Vec<Reg>)> = HashSet::new();
+
+    let seed_needs: BTreeSet<Reg> = body[seed_pc].uses().into_iter().collect();
+    let seed_block = cfg.block_of(seed_pc);
+    work.push_back((seed_block, seed_pc, seed_needs));
+
+    let enqueue_field_stores = |name: &str,
+                                    in_slice: &mut BTreeSet<usize>,
+                                    work: &mut VecDeque<(usize, usize, BTreeSet<Reg>)>,
+                                    cfg: &Cfg| {
+        if let Some(stores) = field_stores.get(name) {
+            for &spc in stores {
+                if in_slice.insert(spc) {
+                    let needs: BTreeSet<Reg> = body[spc].uses().into_iter().collect();
+                    work.push_back((cfg.block_of(spc), spc, needs));
+                }
+            }
+        }
+    };
+
+    // Seed's own field loads.
+    match &body[seed_pc] {
+        Instr::GetField { field, .. } | Instr::GetStatic { field, .. } => {
+            enqueue_field_stores(&field.name, &mut in_slice, &mut work, &cfg);
+        }
+        _ => {}
+    }
+
+    while let Some((block, from_pc, mut needs)) = work.pop_front() {
+        let key: Vec<Reg> = needs.iter().copied().collect();
+        if !seen.insert((block, from_pc, key)) {
+            continue;
+        }
+        let start = cfg.blocks[block].start;
+        let mut pc = from_pc;
+        while pc > start {
+            pc -= 1;
+            let instr = &body[pc];
+            if let Some(d) = instr.def() {
+                if needs.remove(&d) {
+                    in_slice.insert(pc);
+                    for u in instr.uses() {
+                        needs.insert(u);
+                    }
+                    match instr {
+                        Instr::GetField { field, .. } | Instr::GetStatic { field, .. } => {
+                            enqueue_field_stores(&field.name, &mut in_slice, &mut work, &cfg);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        if needs.is_empty() {
+            continue;
+        }
+        for &pred in &cfg.blocks[block].preds {
+            let pred_end = cfg.blocks[pred].end;
+            work.push_back((pred, pred_end, needs.clone()));
+        }
+    }
+
+    Slice {
+        pcs: in_slice,
+        seed: seed_pc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bombdroid_dex::{BinOp, CondOp, FieldRef, MethodBuilder, RegOrConst, Value};
+
+    #[test]
+    fn slice_tracks_data_flow() {
+        // v1 = 3; v2 = v1 * 2; v3 = "unrelated"; log(v3); seed: v4 = v2 + 1
+        let mut b = MethodBuilder::new("T", "m", 0);
+        let v1 = b.fresh_reg();
+        let v2 = b.fresh_reg();
+        let v4 = b.fresh_reg();
+        b.const_(v1, 3i64); // 0
+        b.bin_const(BinOp::Mul, v2, v1, 2); // 1
+        b.host_log("unrelated"); // 2, 3
+        b.bin_const(BinOp::Add, v4, v2, 1); // 4 (seed)
+        b.ret_void();
+        let m = b.finish();
+        let slice = backward_slice(&m, 4);
+        assert!(slice.pcs.contains(&0));
+        assert!(slice.pcs.contains(&1));
+        assert!(slice.pcs.contains(&4));
+        assert!(!slice.pcs.contains(&2), "unrelated const excluded");
+        assert!(!slice.pcs.contains(&3), "unrelated log excluded");
+    }
+
+    #[test]
+    fn slice_pulls_field_stores() {
+        // T.F = v1; ... v2 = T.F; seed uses v2
+        let f = FieldRef::new("T", "F");
+        let mut b = MethodBuilder::new("T", "m", 0);
+        let v1 = b.fresh_reg();
+        let v2 = b.fresh_reg();
+        let v3 = b.fresh_reg();
+        b.const_(v1, 9i64); // 0
+        b.put_static(f.clone(), v1); // 1
+        b.host_log("noise"); // 2,3
+        b.get_static(v2, f); // 4
+        b.bin_const(BinOp::Add, v3, v2, 1); // 5 seed
+        b.ret_void();
+        let m = b.finish();
+        let slice = backward_slice(&m, 5);
+        for pc in [0, 1, 4, 5] {
+            assert!(slice.pcs.contains(&pc), "missing pc {pc}");
+        }
+        assert!(!slice.pcs.contains(&2));
+    }
+
+    #[test]
+    fn slice_crosses_blocks() {
+        // v1 = param; if (v1 == 0) v2 = 1 else v2 = 2; seed uses v2
+        let mut b = MethodBuilder::new("T", "m", 1);
+        let v2 = b.fresh_reg();
+        let v3 = b.fresh_reg();
+        let els = b.fresh_label();
+        let end = b.fresh_label();
+        b.if_not(
+            CondOp::Eq,
+            bombdroid_dex::Reg(0),
+            RegOrConst::Const(Value::Int(0)),
+            els,
+        ); // 0
+        b.const_(v2, 1i64); // 1
+        b.goto(end); // 2
+        b.place_label(els);
+        b.const_(v2, 2i64); // 3
+        b.place_label(end);
+        b.bin_const(BinOp::Add, v3, v2, 1); // 4 seed
+        b.ret_void();
+        let m = b.finish();
+        let slice = backward_slice(&m, 4);
+        assert!(slice.pcs.contains(&1), "then-arm def");
+        assert!(slice.pcs.contains(&3), "else-arm def");
+    }
+
+    #[test]
+    fn extract_drops_branches() {
+        let mut b = MethodBuilder::new("T", "m", 1);
+        let v2 = b.fresh_reg();
+        let els = b.fresh_label();
+        b.if_not(
+            CondOp::Eq,
+            bombdroid_dex::Reg(0),
+            RegOrConst::Const(Value::Int(0)),
+            els,
+        );
+        b.const_(v2, 1i64);
+        b.place_label(els);
+        b.bin_const(BinOp::Add, v2, v2, 1);
+        b.ret_void();
+        let m = b.finish();
+        let slice = backward_slice(&m, 2);
+        let frag = slice.extract(&m);
+        assert!(frag.iter().all(|i| !i.is_terminator()));
+    }
+}

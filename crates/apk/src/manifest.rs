@@ -1,0 +1,90 @@
+//! `MANIFEST.MF`: per-entry digests, managed by the Android system after
+//! install (paper §4.1: "As MANIFEST.MF is managed by the Android system,
+//! app processes cannot manipulate it").
+
+use bombdroid_crypto::{sha256, Digest256};
+use std::collections::BTreeMap;
+
+/// The manifest: ordered map from entry name to SHA-256 digest.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    entries: BTreeMap<String, Digest256>,
+}
+
+impl Manifest {
+    /// Creates an empty manifest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes a manifest over a set of named entries.
+    pub fn compute<'a>(entries: impl IntoIterator<Item = (&'a str, &'a [u8])>) -> Self {
+        let mut m = Manifest::new();
+        for (name, data) in entries {
+            m.entries.insert(name.to_string(), sha256::digest(data));
+        }
+        m
+    }
+
+    /// The digest recorded for `entry`, if present.
+    pub fn digest(&self, entry: &str) -> Option<&Digest256> {
+        self.entries.get(entry)
+    }
+
+    /// Iterates `(entry, digest)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Digest256)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the manifest has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Canonical byte serialization (what gets signed into `CERT.RSA`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (name, digest) in &self.entries {
+            out.extend_from_slice(name.as_bytes());
+            out.push(b'\n');
+            out.extend_from_slice(digest);
+            out.push(b'\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_and_lookup() {
+        let m = Manifest::compute([
+            ("classes.dex", b"dexbytes".as_slice()),
+            ("res/strings.xml", b"<xml/>".as_slice()),
+        ]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.digest("classes.dex"), Some(&sha256::digest(b"dexbytes")));
+        assert_eq!(m.digest("missing"), None);
+    }
+
+    #[test]
+    fn serialization_is_order_independent() {
+        let a = Manifest::compute([("b", b"2".as_slice()), ("a", b"1".as_slice())]);
+        let b = Manifest::compute([("a", b"1".as_slice()), ("b", b"2".as_slice())]);
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+
+    #[test]
+    fn digest_changes_with_content() {
+        let a = Manifest::compute([("classes.dex", b"original".as_slice())]);
+        let b = Manifest::compute([("classes.dex", b"modified".as_slice())]);
+        assert_ne!(a.digest("classes.dex"), b.digest("classes.dex"));
+    }
+}

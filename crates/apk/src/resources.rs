@@ -1,0 +1,104 @@
+//! `strings.xml` string resources.
+//!
+//! BombDroid hides expected digests (`Do`) inside string resources via
+//! steganography (§4.1); the [`crate::stego`] module supplies the
+//! embed/extract scheme, this module supplies the resource table itself.
+
+use std::collections::BTreeMap;
+
+/// An app's string resource table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StringsXml {
+    strings: BTreeMap<String, String>,
+}
+
+impl StringsXml {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces a string resource, returning the old value.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) -> Option<String> {
+        self.strings.insert(key.into(), value.into())
+    }
+
+    /// Looks up a string resource.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.strings.get(key).map(|s| s.as_str())
+    }
+
+    /// Iterates `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.strings.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Serializes to the (simplified) XML byte form stored as the APK's
+    /// `res/strings.xml` entry.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = String::from("<resources>\n");
+        for (k, v) in &self.strings {
+            out.push_str("  <string name=\"");
+            out.push_str(k);
+            out.push_str("\">");
+            out.push_str(v);
+            out.push_str("</string>\n");
+        }
+        out.push_str("</resources>\n");
+        out.into_bytes()
+    }
+}
+
+impl FromIterator<(String, String)> for StringsXml {
+    fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> Self {
+        StringsXml {
+            strings: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(String, String)> for StringsXml {
+    fn extend<T: IntoIterator<Item = (String, String)>>(&mut self, iter: T) {
+        self.strings.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut s = StringsXml::new();
+        assert!(s.set("app_name", "AndroFish").is_none());
+        assert_eq!(s.get("app_name"), Some("AndroFish"));
+        assert_eq!(s.set("app_name", "Other"), Some("AndroFish".to_string()));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn serialization_contains_entries() {
+        let mut s = StringsXml::new();
+        s.set("greeting", "hello");
+        let xml = String::from_utf8(s.to_bytes()).unwrap();
+        assert!(xml.contains("<string name=\"greeting\">hello</string>"));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: StringsXml = vec![("a".to_string(), "1".to_string())]
+            .into_iter()
+            .collect();
+        assert_eq!(s.get("a"), Some("1"));
+    }
+}

@@ -1,0 +1,256 @@
+//! Textbook RSA over 64-bit moduli — the developer signing keys.
+//!
+//! Android app signing binds an APK to its developer's public/private key
+//! pair; repackaging forces a key change (paper §2.1). Nothing in the paper
+//! attacks RSA itself, so a miniature-but-real RSA (random 32-bit primes
+//! found by deterministic Miller–Rabin, `e = 65537`, CRT-free decryption)
+//! keeps the exact semantics — unique keys per developer, signatures that
+//! verify only under the matching public key — at negligible cost.
+
+use bombdroid_crypto::sha256;
+use rand::Rng;
+use std::fmt;
+
+/// Modular multiplication without overflow (via `u128`).
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Modular exponentiation.
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    if m == 1 {
+        return 0;
+    }
+    let mut acc: u64 = 1;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Deterministic Miller–Rabin, exact for all `u64` with this witness set.
+fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn random_prime_32(rng: &mut impl Rng) -> u64 {
+    loop {
+        // Odd 32-bit candidate with the top bit set so n = p*q fills 64 bits.
+        let candidate = (rng.gen::<u32>() | 0x8000_0001) as u64;
+        if is_prime(candidate) {
+            return candidate;
+        }
+    }
+}
+
+/// Extended Euclid: returns `e⁻¹ mod φ` if it exists.
+fn mod_inverse(e: u64, phi: u64) -> Option<u64> {
+    let (mut old_r, mut r) = (e as i128, phi as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    if old_r != 1 {
+        return None;
+    }
+    Some(old_s.rem_euclid(phi as i128) as u64)
+}
+
+const E: u64 = 65_537;
+
+/// A developer's public key — the value compared by repackaging detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PublicKey {
+    /// RSA modulus `n = p·q`.
+    pub n: u64,
+    /// Public exponent (always 65537 here).
+    pub e: u64,
+}
+
+impl PublicKey {
+    /// Serializes the key to the byte string embedded in `CERT.RSA` and in
+    /// detection payloads (`Ko` in §4.1).
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.n.to_be_bytes());
+        out[8..].copy_from_slice(&self.e.to_be_bytes());
+        out
+    }
+
+    /// Parses key bytes back (inverse of [`PublicKey::to_bytes`]).
+    ///
+    /// Returns `None` if `bytes` is not exactly 16 bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 16 {
+            return None;
+        }
+        Some(PublicKey {
+            n: u64::from_be_bytes(bytes[..8].try_into().ok()?),
+            e: u64::from_be_bytes(bytes[8..].try_into().ok()?),
+        })
+    }
+
+    /// Verifies `sig` over `message`.
+    pub fn verify(self, message: &[u8], sig: u64) -> bool {
+        let h = digest_to_residue(message, self.n);
+        pow_mod(sig, self.e, self.n) == h
+    }
+}
+
+impl fmt::Display for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rsa64:{:016x}:{:x}", self.n, self.e)
+    }
+}
+
+/// A developer's full keypair. The private exponent never leaves the
+/// developer (the protector receives only the public key — paper §2.3:
+/// "the private key is kept by the legitimate developer and is not
+/// disclosed to BombDroid").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeveloperKey {
+    /// Public half.
+    pub public: PublicKey,
+    d: u64,
+}
+
+impl DeveloperKey {
+    /// Generates a fresh keypair from the supplied RNG (deterministic under
+    /// a seeded RNG, so experiments are reproducible).
+    pub fn generate(rng: &mut impl Rng) -> Self {
+        loop {
+            let p = random_prime_32(rng);
+            let q = random_prime_32(rng);
+            if p == q {
+                continue;
+            }
+            let n = p * q;
+            let phi = (p - 1) * (q - 1);
+            let Some(d) = mod_inverse(E, phi) else {
+                continue;
+            };
+            return DeveloperKey {
+                public: PublicKey { n, e: E },
+                d,
+            };
+        }
+    }
+
+    /// Signs `message` (hash-then-sign).
+    pub fn sign(&self, message: &[u8]) -> u64 {
+        let h = digest_to_residue(message, self.public.n);
+        pow_mod(h, self.d, self.public.n)
+    }
+}
+
+/// Reduces a SHA-256 digest of the message into the RSA residue ring.
+fn digest_to_residue(message: &[u8], n: u64) -> u64 {
+    let d = sha256::digest(message);
+    u64::from_be_bytes(d[..8].try_into().expect("8 bytes")) % n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn miller_rabin_agrees_with_trial_division() {
+        fn trial(n: u64) -> bool {
+            if n < 2 {
+                return false;
+            }
+            let mut i = 2;
+            while i * i <= n {
+                if n % i == 0 {
+                    return false;
+                }
+                i += 1;
+            }
+            true
+        }
+        for n in 0..2_000u64 {
+            assert_eq!(is_prime(n), trial(n), "n = {n}");
+        }
+        // A few structured cases: Carmichael numbers and large primes.
+        assert!(!is_prime(561));
+        assert!(!is_prime(41041));
+        assert!(is_prime(4_294_967_291)); // largest 32-bit prime
+        assert!(is_prime(18_446_744_073_709_551_557)); // largest 64-bit prime
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let key = DeveloperKey::generate(&mut rng);
+        let msg = b"manifest digest bytes";
+        let sig = key.sign(msg);
+        assert!(key.public.verify(msg, sig));
+        assert!(!key.public.verify(b"tampered", sig));
+        assert!(!key.public.verify(msg, sig ^ 1));
+    }
+
+    #[test]
+    fn distinct_developers_distinct_keys() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = DeveloperKey::generate(&mut rng);
+        let b = DeveloperKey::generate(&mut rng);
+        assert_ne!(a.public, b.public);
+        // A signature by one developer never verifies under the other's key.
+        let sig = a.sign(b"apk");
+        assert!(!b.public.verify(b"apk", sig));
+    }
+
+    #[test]
+    fn public_key_bytes_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let key = DeveloperKey::generate(&mut rng);
+        let bytes = key.public.to_bytes();
+        assert_eq!(PublicKey::from_bytes(&bytes), Some(key.public));
+        assert_eq!(PublicKey::from_bytes(&bytes[..5]), None);
+    }
+
+    #[test]
+    fn keygen_is_deterministic_under_seed() {
+        let a = DeveloperKey::generate(&mut StdRng::seed_from_u64(99));
+        let b = DeveloperKey::generate(&mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,138 @@
+//! Human-analyst attack (paper §8.3.2): skilled analysts who know
+//! BombDroid's design run the app for many hours, use any tools they like,
+//! and *mutate environment values* between runs — the paper's four
+//! analysts each spent 20 hours per app and triggered at most 9.3% of
+//! bombs.
+//!
+//! Modelled as coverage-guided (Dynodroid-grade) input generation with
+//! periodic environment mutation and app restarts: each phase samples a
+//! new device profile or tweaks individual properties, because "mutating
+//! environment variables values is slightly helpful", but the space of
+//! environments is far too large to sweep.
+
+use crate::fuzz::count_outer_conditions;
+use bombdroid_apk::ApkFile;
+use bombdroid_dex::{EnvKey, ParamDomain};
+use bombdroid_runtime::{driver, DeviceEnv, InstalledPackage, RtValue, Vm};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Result of the analyst campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnalystReport {
+    /// Total virtual hours spent.
+    pub hours: u64,
+    /// Environment phases (restarts with mutated env).
+    pub phases: usize,
+    /// Distinct bombs triggered across all phases.
+    pub bombs_triggered: usize,
+    /// Outer conditions satisfied across all phases.
+    pub outer_satisfied: usize,
+    /// Total outer conditions in the app.
+    pub total_outer: usize,
+}
+
+/// Runs `hours` of guided analysis with env mutation every
+/// `phase_minutes`.
+///
+/// # Panics
+///
+/// Panics if the APK does not verify at install.
+pub fn analyst_campaign(
+    apk: &ApkFile,
+    hours: u64,
+    phase_minutes: u64,
+    seed: u64,
+) -> AnalystReport {
+    let total_minutes = hours * 60;
+    let phases = (total_minutes / phase_minutes.max(1)).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut markers: BTreeSet<u32> = BTreeSet::new();
+    let mut outer: BTreeSet<(bombdroid_dex::MethodRef, usize)> = BTreeSet::new();
+    let pkg0 = InstalledPackage::install(apk).expect("analyst installs the app");
+    let total_outer = count_outer_conditions(&pkg0.dex);
+
+    for phase in 0..phases {
+        // Environment strategy: the analyst owns a handful of emulator
+        // images and mutates *individual* values between runs — "mutating
+        // environment variables values is slightly helpful", but with tens
+        // of properties, most having large domains, they "cannot configure
+        // the environments in a guided way" (§8.3.2). They cannot fabricate
+        // a fresh realistic device per run the way the user population
+        // supplies one.
+        let mut env = DeviceEnv::attacker_lab(3).remove((phase % 3) as usize);
+        if phase % 2 == 1 {
+            // Targeted tweaks of a couple of values per run.
+            env.set_int(EnvKey::IpOctetC, rng.gen_range(0..256));
+            env.set_int(EnvKey::BatteryPct, rng.gen_range(0..101));
+            env.set_int(EnvKey::SdkInt, rng.gen_range(19..32));
+        }
+        let pkg = InstalledPackage::install(apk).expect("reinstall");
+        let mut vm = Vm::boot(pkg, env, seed ^ phase);
+        let dex = vm.pkg.dex.clone();
+        if dex.entry_points.is_empty() {
+            break;
+        }
+        // Dynodroid-grade driving: least-fired entries, systematic choices.
+        let mut fired = vec![0u64; dex.entry_points.len()];
+        let mut choice_cursor = 0usize;
+        let deadline = phase_minutes * 60_000;
+        while vm.clock_ms() < deadline && !vm.is_killed() && !vm.is_frozen() {
+            let min = *fired.iter().min().expect("nonempty");
+            let candidates: Vec<usize> =
+                (0..fired.len()).filter(|&i| fired[i] == min).collect();
+            let entry = candidates[rng.gen_range(0..candidates.len())];
+            fired[entry] += 1;
+            let args: Vec<RtValue> = dex.entry_points[entry]
+                .params
+                .iter()
+                .map(|d| match d {
+                    ParamDomain::Choice(vs) => {
+                        choice_cursor += 1;
+                        vs[choice_cursor % vs.len()].clone().into()
+                    }
+                    other => driver::uniform_arg(other, &mut rng),
+                })
+                .collect();
+            let _ = vm.fire_entry(entry, args);
+            vm.advance_ms(1_000);
+        }
+        markers.extend(vm.telemetry().markers.iter().copied());
+        outer.extend(vm.telemetry().outer_satisfied.iter().cloned());
+    }
+
+    AnalystReport {
+        hours,
+        phases: phases as usize,
+        bombs_triggered: markers.len(),
+        outer_satisfied: outer.len(),
+        total_outer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bombdroid_apk::DeveloperKey;
+    use bombdroid_core::{ProtectConfig, Protector};
+
+    #[test]
+    fn analysts_trigger_only_a_small_fraction() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let dev = DeveloperKey::generate(&mut rng);
+        let apk = bombdroid_corpus::flagship::binaural_beat().apk(&dev);
+        let protected = Protector::new(ProtectConfig::fast_profile())
+            .protect(&apk, &mut rng)
+            .unwrap();
+        let total_bombs = protected.report.bombs_injected();
+        let signed = protected.package(&dev);
+        // A shortened campaign (1 h) for test speed; the bench runs 20 h.
+        let report = analyst_campaign(&signed, 1, 15, 3);
+        assert!(report.phases >= 4);
+        let pct = 100.0 * report.bombs_triggered as f64 / total_bombs.max(1) as f64;
+        assert!(
+            pct <= 35.0,
+            "analysts should trigger a minority of bombs, got {pct:.1}%"
+        );
+    }
+}

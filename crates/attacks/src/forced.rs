@@ -1,0 +1,151 @@
+//! Forced execution (paper §2.1): "apply forced execution to directly
+//! execute the code that is suspected to be payloads" (Wilhelm & Chiueh's
+//! forced sampled execution, X-Force style).
+//!
+//! The attack patches away the guard branches and runs every suspicious
+//! region with arbitrary register values. Plain-condition bombs (naive,
+//! SSN) duly execute their payloads; BombDroid's regions funnel into
+//! `DecryptExec` with a wrong key and die with an authentication fault.
+
+use crate::instrument::force_hash_branches;
+use bombdroid_apk::ApkFile;
+use bombdroid_dex::{DexFile, Instr, MethodRef};
+use bombdroid_runtime::{DeviceEnv, InstalledPackage, RtValue, Vm, VmOptions};
+
+/// What forced execution observed in one method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForcedOutcome {
+    /// Method executed.
+    pub method: MethodRef,
+    /// Distinct payload markers observed (payload actually ran).
+    pub payloads_executed: usize,
+    /// Decryption faults hit.
+    pub decrypt_failures: u64,
+}
+
+/// Aggregate result of the forced-execution campaign.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ForcedReport {
+    /// Per-method observations (methods containing suspicious code only).
+    pub outcomes: Vec<ForcedOutcome>,
+    /// Total distinct payloads exposed across the app.
+    pub total_payloads_exposed: usize,
+    /// Total decryption failures across the app.
+    pub total_decrypt_failures: u64,
+}
+
+/// Runs forced execution: flip all hash-guard branches, then invoke every
+/// method that contains suspicious instructions with a few register
+/// seedings.
+///
+/// # Panics
+///
+/// Panics if the APK does not verify at install.
+pub fn forced_execution(apk: &ApkFile, seed: u64) -> ForcedReport {
+    // The attacker works on a patched copy: guards removed.
+    let mut dex = apk.dex.clone();
+    force_hash_branches(&mut dex);
+
+    let pkg = InstalledPackage::install(apk).expect("attacker installs the app");
+    // Execute the patched code inside the attacker's (hooked) runtime by
+    // swapping the dex out via detached fragments.
+    let mut vm = Vm::new(
+        pkg,
+        DeviceEnv::attacker_lab(1).remove(0),
+        seed,
+        VmOptions::default(),
+    );
+
+    let mut report = ForcedReport::default();
+    for method in suspicious_methods(&dex) {
+        let before_markers = vm.telemetry().markers.len();
+        let before_failures = vm.telemetry().decrypt_failures;
+        for probe in [0i64, 1, -1, 7, 1_000] {
+            let regs = vec![RtValue::Int(probe); method.registers.max(4) as usize];
+            let _ = vm.run_detached_fragment(&method.body, regs);
+        }
+        let outcome = ForcedOutcome {
+            method: method.method_ref(),
+            payloads_executed: vm.telemetry().markers.len() - before_markers,
+            decrypt_failures: vm.telemetry().decrypt_failures - before_failures,
+        };
+        report.outcomes.push(outcome);
+    }
+    report.total_payloads_exposed = vm.telemetry().markers.len();
+    report.total_decrypt_failures = vm.telemetry().decrypt_failures;
+    report
+}
+
+fn suspicious_methods(dex: &DexFile) -> Vec<&bombdroid_dex::Method> {
+    dex.methods()
+        .filter(|m| {
+            m.body.iter().any(|i| {
+                matches!(
+                    i,
+                    Instr::DecryptExec { .. }
+                        | Instr::Hash { .. }
+                        | Instr::HostCall {
+                            api: bombdroid_dex::HostApi::GetPublicKey,
+                            ..
+                        }
+                )
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bombdroid_apk::DeveloperKey;
+    use bombdroid_core::{NaiveProtector, ProtectConfig, Protector};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn keys() -> (StdRng, DeveloperKey) {
+        let mut rng = StdRng::seed_from_u64(6);
+        let dev = DeveloperKey::generate(&mut rng);
+        (rng, dev)
+    }
+
+    #[test]
+    fn naive_bombs_fall_to_forced_execution() {
+        let (mut rng, dev) = keys();
+        let apk = bombdroid_corpus::flagship::hash_droid().apk(&dev);
+        let protected = NaiveProtector::new(ProtectConfig::fast_profile())
+            .protect(&apk, &mut rng)
+            .unwrap()
+            .package(&dev);
+        let report = forced_execution(&protected, 1);
+        assert!(
+            report.total_payloads_exposed > 0,
+            "plaintext payloads must be exposed by forcing branches"
+        );
+        assert_eq!(report.total_decrypt_failures, 0);
+    }
+
+    #[test]
+    fn bombdroid_payloads_survive_forced_execution() {
+        let (mut rng, dev) = keys();
+        let apk = bombdroid_corpus::flagship::hash_droid().apk(&dev);
+        let protected = Protector::new(ProtectConfig::fast_profile())
+            .protect(&apk, &mut rng)
+            .unwrap()
+            .package(&dev);
+        let report = forced_execution(&protected, 1);
+        // Weak (small-domain) constants may fall to lucky probes — the
+        // §5.1 brute-force caveat — but forced execution as a technique
+        // must fail: the vast majority of payloads stay sealed and the
+        // runs pile up authentication failures.
+        let sites = report.outcomes.len().max(1);
+        assert!(
+            report.total_payloads_exposed * 5 < sites,
+            "{} of {} suspicious methods exposed payloads",
+            report.total_payloads_exposed,
+            sites
+        );
+        assert!(
+            report.total_decrypt_failures > 0,
+            "forcing guards runs into authentication failures"
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Blackbox fuzzing attacks (paper §8.3.2, Table 4 and Fig. 5).
+//!
+//! Four input-generation tools with the relative sophistication ordering of
+//! the paper's Monkey / PUMA / AndroidHooker / Dynodroid line-up:
+//!
+//! * **Monkey** — raw uniform events, a large share of which are wasted
+//!   (system keys, off-widget taps);
+//! * **PUMA** — UI-automation, uniform over real handlers, no waste;
+//! * **AndroidHooker** — scripted round-robin over handlers, small waste;
+//! * **Dynodroid** — "observe which events are relevant": least-fired
+//!   handler first, and systematic sweeping of enumerable (choice)
+//!   parameters plus boundary-value integers.
+//!
+//! All tools run on the attacker's emulator image
+//! ([`DeviceEnv::attacker_lab`]) — which is exactly why inner triggers keep
+//! most bombs dormant no matter how long they fuzz.
+
+use bombdroid_apk::ApkFile;
+use bombdroid_dex::{DexFile, Instr, ParamDomain, RegOrConst, Value};
+use bombdroid_runtime::{driver, DeviceEnv, InstalledPackage, RtValue, Vm};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The four evaluated tools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuzzerKind {
+    /// UI/Application Exerciser Monkey.
+    Monkey,
+    /// PUMA programmable UI automation.
+    Puma,
+    /// AndroidHooker.
+    AndroidHooker,
+    /// Dynodroid.
+    Dynodroid,
+}
+
+impl FuzzerKind {
+    /// All tools, Table 4 column order.
+    pub const ALL: [FuzzerKind; 4] = [
+        FuzzerKind::Monkey,
+        FuzzerKind::Puma,
+        FuzzerKind::AndroidHooker,
+        FuzzerKind::Dynodroid,
+    ];
+
+    /// Fraction of events that achieve nothing (tool overhead).
+    fn waste(self) -> f64 {
+        match self {
+            FuzzerKind::Monkey => 0.35,
+            FuzzerKind::Puma => 0.08,
+            FuzzerKind::AndroidHooker => 0.12,
+            FuzzerKind::Dynodroid => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for FuzzerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FuzzerKind::Monkey => "Monkey",
+            FuzzerKind::Puma => "PUMA",
+            FuzzerKind::AndroidHooker => "AndroidHooker",
+            FuzzerKind::Dynodroid => "Dynodroid",
+        })
+    }
+}
+
+/// Results of one fuzzing campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzReport {
+    /// Tool used.
+    pub tool: FuzzerKind,
+    /// Events fired (including wasted ones).
+    pub events: u64,
+    /// Outer (obfuscated) trigger conditions present in the app.
+    pub total_outer: usize,
+    /// Distinct outer conditions satisfied at least once.
+    pub satisfied_outer: usize,
+    /// Distinct bombs triggered (outer + inner both met).
+    pub bombs_triggered: usize,
+    /// `(minute, cumulative bombs triggered)` samples for Fig. 5.
+    pub timeline: Vec<(u64, usize)>,
+}
+
+impl FuzzReport {
+    /// Percentage of outer trigger conditions satisfied (Table 4 cell).
+    pub fn satisfied_pct(&self) -> f64 {
+        if self.total_outer == 0 {
+            return 0.0;
+        }
+        100.0 * self.satisfied_outer as f64 / self.total_outer as f64
+    }
+}
+
+/// Counts the obfuscated outer trigger conditions in a DEX (branches
+/// comparing against a `Bytes` constant).
+pub fn count_outer_conditions(dex: &DexFile) -> usize {
+    dex.methods()
+        .flat_map(|m| m.body.iter())
+        .filter(|i| {
+            matches!(
+                i,
+                Instr::If {
+                    rhs: RegOrConst::Const(Value::Bytes(_)),
+                    ..
+                }
+            )
+        })
+        .count()
+}
+
+struct FuzzState {
+    kind: FuzzerKind,
+    fired: Vec<u64>,
+    choice_cursor: HashMap<(usize, usize), usize>,
+}
+
+impl FuzzState {
+    fn new(kind: FuzzerKind, entries: usize) -> Self {
+        FuzzState {
+            kind,
+            fired: vec![0; entries],
+            choice_cursor: HashMap::new(),
+        }
+    }
+
+    fn pick_entry(&mut self, rng: &mut StdRng, events_so_far: u64) -> usize {
+        let n = self.fired.len();
+        let idx = match self.kind {
+            FuzzerKind::Monkey | FuzzerKind::Puma => rng.gen_range(0..n),
+            FuzzerKind::AndroidHooker => (events_so_far as usize) % n,
+            FuzzerKind::Dynodroid => {
+                // Least-fired first, ties randomised.
+                let min = *self.fired.iter().min().expect("nonempty");
+                let least: Vec<usize> = (0..n).filter(|&i| self.fired[i] == min).collect();
+                least[rng.gen_range(0..least.len())]
+            }
+        };
+        self.fired[idx] += 1;
+        idx
+    }
+
+    fn gen_arg(
+        &mut self,
+        entry: usize,
+        param: usize,
+        domain: &ParamDomain,
+        rng: &mut StdRng,
+    ) -> RtValue {
+        match (self.kind, domain) {
+            (FuzzerKind::Dynodroid, ParamDomain::Choice(vs)) => {
+                // Systematic sweep over enumerable inputs.
+                let cursor = self.choice_cursor.entry((entry, param)).or_insert(0);
+                let v = vs[*cursor % vs.len()].clone();
+                *cursor += 1;
+                v.into()
+            }
+            (FuzzerKind::Dynodroid, ParamDomain::IntRange(lo, hi)) => {
+                if rng.gen_bool(0.4) {
+                    // Boundary and small values.
+                    let candidates = [*lo, *hi, 0, 1, -1, 2, 16, 256, 1 << 12];
+                    let v = candidates[rng.gen_range(0..candidates.len())];
+                    RtValue::Int(v.clamp(*lo, *hi))
+                } else {
+                    RtValue::Int(rng.gen_range(*lo..=*hi))
+                }
+            }
+            _ => driver::uniform_arg(domain, rng),
+        }
+    }
+}
+
+/// Runs a fuzzing campaign of `minutes` virtual minutes at 60 events per
+/// minute against an installed copy of `apk` on the attacker's emulator.
+///
+/// The attacker analyzes the *original signed* protected app (so detection
+/// payloads compare equal and never kill the process mid-campaign); marker
+/// and trigger-condition telemetry is identical to a repackaged copy.
+///
+/// # Panics
+///
+/// Panics if `apk` does not verify (attacker installs it as-is).
+pub fn run_fuzzer(kind: FuzzerKind, apk: &ApkFile, minutes: u64, seed: u64) -> FuzzReport {
+    let pkg = InstalledPackage::install(apk).expect("attacker installs the signed app");
+    let total_outer = count_outer_conditions(&pkg.dex);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let env = DeviceEnv::attacker_lab(1).remove(0);
+    let mut vm = Vm::boot(pkg, env, seed ^ 0xF422);
+    let dex = vm.pkg.dex.clone();
+    let mut state = FuzzState::new(kind, dex.entry_points.len());
+
+    let mut report = FuzzReport {
+        tool: kind,
+        events: 0,
+        total_outer,
+        satisfied_outer: 0,
+        bombs_triggered: 0,
+        timeline: Vec::with_capacity(minutes as usize),
+    };
+    if dex.entry_points.is_empty() {
+        return report;
+    }
+
+    let deadline = minutes * 60_000;
+    let mut next_sample = 60_000u64;
+    while vm.clock_ms() < deadline {
+        report.events += 1;
+        if rng.gen_bool(kind.waste()) {
+            vm.advance_ms(1_000);
+        } else {
+            let entry = state.pick_entry(&mut rng, report.events);
+            let args: Vec<RtValue> = dex.entry_points[entry]
+                .params
+                .iter()
+                .enumerate()
+                .map(|(pi, d)| state.gen_arg(entry, pi, d, &mut rng))
+                .collect();
+            let _ = vm.fire_entry(entry, args);
+            vm.advance_ms(1_000);
+        }
+        while vm.clock_ms() >= next_sample && next_sample <= deadline {
+            report
+                .timeline
+                .push((next_sample / 60_000, vm.telemetry().markers.len()));
+            next_sample += 60_000;
+        }
+    }
+    report.satisfied_outer = vm.telemetry().outer_satisfied.len();
+    report.bombs_triggered = vm.telemetry().markers.len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bombdroid_apk::DeveloperKey;
+    use bombdroid_core::{ProtectConfig, Protector};
+
+    fn protected_apk() -> ApkFile {
+        let mut rng = StdRng::seed_from_u64(77);
+        let dev = DeveloperKey::generate(&mut rng);
+        let app = bombdroid_corpus::flagship::hash_droid();
+        let apk = app.apk(&dev);
+        let protector = Protector::new(ProtectConfig::fast_profile());
+        protector.protect(&apk, &mut rng).unwrap().package(&dev)
+    }
+
+    #[test]
+    fn fuzzers_satisfy_only_a_minority_of_outer_conditions() {
+        let apk = protected_apk();
+        for kind in [FuzzerKind::Monkey, FuzzerKind::Dynodroid] {
+            let report = run_fuzzer(kind, &apk, 10, 5);
+            assert!(report.total_outer > 10, "bombs present");
+            let pct = report.satisfied_pct();
+            assert!(
+                pct < 70.0,
+                "{kind}: {pct:.1}% outer conditions satisfied — too easy"
+            );
+            assert!(report.events > 400);
+        }
+    }
+
+    #[test]
+    fn dynodroid_beats_monkey() {
+        let apk = protected_apk();
+        // Average over seeds to damp variance.
+        let mut dyno = 0.0;
+        let mut monkey = 0.0;
+        for seed in 0..3 {
+            dyno += run_fuzzer(FuzzerKind::Dynodroid, &apk, 10, seed).satisfied_pct();
+            monkey += run_fuzzer(FuzzerKind::Monkey, &apk, 10, seed).satisfied_pct();
+        }
+        assert!(
+            dyno >= monkey,
+            "Dynodroid ({dyno:.1}) should be at least as good as Monkey ({monkey:.1})"
+        );
+    }
+
+    #[test]
+    fn timeline_is_monotone_and_sampled_per_minute() {
+        let apk = protected_apk();
+        let report = run_fuzzer(FuzzerKind::Dynodroid, &apk, 5, 1);
+        assert!(report.timeline.len() >= 5);
+        for w in report.timeline.windows(2) {
+            assert!(w[1].1 >= w[0].1, "cumulative count must not decrease");
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+}

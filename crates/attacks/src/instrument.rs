@@ -1,0 +1,222 @@
+//! Code-instrumentation attacks (paper §2.1): the attacker "may modify
+//! code to assist attack" — force `rand()` to 0, check reflection call
+//! destinations, or flip suspicious branches outright.
+
+use bombdroid_dex::{CondOp, DexFile, HostApi, Instr, RegOrConst, Value};
+
+/// Rewrites every framework-RNG call to yield 0, turning SSN's
+/// probabilistic invocation deterministic ("force rand() to return 0,
+/// such that probabilistic invocation becomes deterministic").
+///
+/// Returns the number of calls rewritten.
+pub fn force_random_zero(dex: &mut DexFile) -> usize {
+    let mut n = 0;
+    for method in dex.methods_mut() {
+        for instr in &mut method.body {
+            if let Instr::HostCall {
+                api: HostApi::Random,
+                dst: Some(d),
+                ..
+            } = instr
+            {
+                *instr = Instr::Const {
+                    dst: *d,
+                    value: Value::Int(0),
+                };
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Inserts a `Log` of the resolved name before every reflective call
+/// ("inserting code right before a suspicious reflection call to check the
+/// destination of the call"). Running the instrumented app on the
+/// attacker's device then prints every hidden API name.
+///
+/// Returns the number of call sites instrumented.
+pub fn log_reflection_targets(dex: &mut DexFile) -> usize {
+    let mut n = 0;
+    for method in dex.methods_mut() {
+        let mut pc = 0;
+        while pc < method.body.len() {
+            if let Instr::InvokeReflect { name, .. } = &method.body[pc] {
+                let log = Instr::HostCall {
+                    api: HostApi::Log,
+                    args: vec![*name],
+                    dst: None,
+                };
+                method.body.insert(pc, log);
+                // Shift branch targets past the insertion point.
+                let at = pc;
+                for instr in &mut method.body {
+                    match instr {
+                        Instr::If { target, .. } | Instr::Goto { target } => {
+                            if *target > at {
+                                *target += 1;
+                            }
+                        }
+                        Instr::Switch { arms, default, .. } => {
+                            for (_, t) in arms.iter_mut() {
+                                if *t > at {
+                                    *t += 1;
+                                }
+                            }
+                            if *default > at {
+                                *default += 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                n += 1;
+                pc += 2;
+            } else {
+                pc += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Forces every branch that compares a register against a `Bytes` constant
+/// (the obfuscated outer trigger shape) so control always *reaches* the
+/// guarded code — the "circumventing trigger conditions" attack. Against
+/// BombDroid this drives execution into `DecryptExec` with an unknown key,
+/// which fails authentication instead of exposing the payload.
+///
+/// Returns the number of branches flipped.
+pub fn force_hash_branches(dex: &mut DexFile) -> usize {
+    let mut n = 0;
+    for method in dex.methods_mut() {
+        for instr in &mut method.body {
+            if let Instr::If {
+                cond,
+                rhs: RegOrConst::Const(Value::Bytes(_)),
+                ..
+            } = instr
+            {
+                // The protector emits `if h != Hc goto skip`; making it
+                // never skip forces the payload path.
+                if *cond == CondOp::Ne {
+                    *instr = Instr::Nop;
+                    n += 1;
+                }
+            }
+        }
+    }
+    n
+}
+
+/// Strips SSN detection nodes: whenever a reflective call's result feeds a
+/// comparison, nop out the comparison and the flag write behind it. This is
+/// the end-to-end SSN bypass — after forcing the RNG and logging reflection
+/// targets, the attacker knows exactly where the nodes are.
+///
+/// Returns the number of nodes stripped.
+pub fn strip_ssn_nodes(dex: &mut DexFile) -> usize {
+    let mut n = 0;
+    for method in dex.methods_mut() {
+        for pc in 0..method.body.len() {
+            if !matches!(method.body[pc], Instr::InvokeReflect { .. }) {
+                continue;
+            }
+            // Nop the reflect call, the following compare and the response
+            // write (the Listing-1 node tail).
+            let end = (pc + 3).min(method.body.len());
+            for q in pc..end {
+                let is_tail = matches!(
+                    method.body[q],
+                    Instr::InvokeReflect { .. } | Instr::If { .. } | Instr::Const { .. }
+                        | Instr::PutStatic { .. }
+                );
+                if is_tail {
+                    method.body[q] = Instr::Nop;
+                }
+            }
+            // Also clear the trailing PutStatic if present.
+            if let Some(Instr::PutStatic { .. }) = method.body.get(end) {
+                method.body[end] = Instr::Nop;
+            }
+            n += 1;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bombdroid_dex::{Class, MethodBuilder, Reg};
+
+    fn dex_with(body: impl FnOnce(&mut MethodBuilder)) -> DexFile {
+        let mut dex = DexFile::new();
+        let mut c = Class::new("A");
+        let mut b = MethodBuilder::new("A", "m", 1);
+        body(&mut b);
+        b.ret_void();
+        c.methods.push(b.finish());
+        dex.classes.push(c);
+        dex
+    }
+
+    #[test]
+    fn random_forced_to_zero() {
+        let mut dex = dex_with(|b| {
+            let n = b.fresh_reg();
+            b.const_(n, 100i64);
+            let r = b.fresh_reg();
+            b.host(HostApi::Random, vec![n], Some(r));
+        });
+        assert_eq!(force_random_zero(&mut dex), 1);
+        assert!(dex
+            .methods()
+            .flat_map(|m| m.body.iter())
+            .any(|i| matches!(i, Instr::Const { value: Value::Int(0), .. })));
+    }
+
+    #[test]
+    fn reflection_logging_inserted_and_targets_shifted() {
+        let mut dex = dex_with(|b| {
+            let skip = b.fresh_label();
+            b.if_(CondOp::Eq, Reg(0), RegOrConst::Const(Value::Int(1)), skip);
+            let n = b.fresh_reg();
+            b.const_(n, Value::str("getPublicKey"));
+            let k = b.fresh_reg();
+            b.push(Instr::InvokeReflect {
+                name: n,
+                args: vec![],
+                dst: Some(k),
+            });
+            b.place_label(skip);
+        });
+        let old_target = match &dex.methods().next().unwrap().body[0] {
+            Instr::If { target, .. } => *target,
+            _ => unreachable!(),
+        };
+        assert_eq!(log_reflection_targets(&mut dex), 1);
+        match &dex.methods().next().unwrap().body[0] {
+            Instr::If { target, .. } => assert_eq!(*target, old_target + 1),
+            other => panic!("unexpected {other:?}"),
+        };
+    }
+
+    #[test]
+    fn hash_branches_flipped() {
+        let mut dex = dex_with(|b| {
+            let h = b.fresh_reg();
+            b.hash(h, Reg(0), vec![1]);
+            let skip = b.fresh_label();
+            b.if_(
+                CondOp::Ne,
+                h,
+                RegOrConst::Const(Value::bytes([0u8; 20])),
+                skip,
+            );
+            b.host_log("payload path");
+            b.place_label(skip);
+        });
+        assert_eq!(force_hash_branches(&mut dex), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! The adversary toolkit: every attack the paper evaluates BombDroid (and
+//! its baselines) against.
+//!
+//! Paper §2.1 enumerates the threat model's analyses; §5 argues resilience;
+//! §8.3 measures it. This crate makes each of them a runnable experiment:
+//!
+//! | Module | Paper attack |
+//! |---|---|
+//! | [`textsearch`] | grep for `getPublicKey` and friends |
+//! | [`instrument`] | force `rand()`, check reflection targets, flip/strip suspicious code |
+//! | [`fuzz`] | blackbox fuzzing with Monkey / PUMA / AndroidHooker / Dynodroid (Table 4, Fig. 5) |
+//! | [`symbolic`] | symbolic execution & path exploration (TriggerScope et al.) |
+//! | [`slicing`] | HARVESTER backward slicing + slice execution |
+//! | [`forced`] | forced (sampled) execution of suspected payloads |
+//! | [`brute`] | brute-force key search against `Hash(X|salt) == Hc` (§5.1) |
+//! | [`deletion`] | delete suspicious code, ship, hope nothing breaks (§3.4) |
+//! | [`analyst`] | 20-hour human analysts with environment mutation (§8.3.2) |
+//! | [`resilience`] | the full attack × protection matrix of §5 |
+//!
+//! # Example
+//!
+//! ```no_run
+//! use bombdroid_attacks::resilience::{resilience_matrix, AttackKind, Protection};
+//!
+//! let app = bombdroid_corpus::flagship::catlog();
+//! let report = resilience_matrix(&app, 7);
+//! let cell = report.cell(AttackKind::SymbolicExecution, Protection::BombDroid);
+//! assert!(!cell.defeated, "{}", cell.note);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyst;
+pub mod brute;
+pub mod deletion;
+pub mod forced;
+pub mod fuzz;
+pub mod instrument;
+pub mod resilience;
+pub mod slicing;
+pub mod symbolic;
+pub mod textsearch;
+
+pub use analyst::{analyst_campaign, AnalystReport};
+pub use brute::{brute_force_campaign, BruteReport};
+pub use deletion::{deletion_attack, CorruptionReport};
+pub use forced::{forced_execution, ForcedReport};
+pub use fuzz::{count_outer_conditions, run_fuzzer, FuzzReport, FuzzerKind};
+pub use resilience::{resilience_matrix, AttackKind, MatrixCell, Protection, ResilienceReport};
+pub use slicing::{slice_attack, SliceOutcome};
+pub use symbolic::{analyze_dex, analyze_method, Limits, SymbolicOutcome, Unsolvable};
+pub use textsearch::{search_default, TextHit};

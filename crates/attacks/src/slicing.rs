@@ -1,0 +1,130 @@
+//! HARVESTER-style slice execution (paper §2.1): "perform backward program
+//! slicing starting from that line of code, and then execute the extracted
+//! slices to uncover the payload behavior".
+//!
+//! The slicer itself lives in `bombdroid_analysis::slice`; this module
+//! drives it as an attack: find suspicious `DecryptExec` sites, slice
+//! backwards, execute the slice detached from the app's control flow, and
+//! see whether the payload decrypts. Against BombDroid it never does —
+//! the slice recomputes everything *except* the erased constant `c`, so
+//! the derived key is wrong and authentication fails.
+
+use bombdroid_analysis::slice::backward_slice;
+use bombdroid_apk::ApkFile;
+use bombdroid_dex::{Instr, MethodRef};
+use bombdroid_runtime::{DeviceEnv, Fault, InstalledPackage, RtValue, Vm};
+
+/// Outcome of slice-executing one suspicious site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceOutcome {
+    /// Method sliced.
+    pub method: MethodRef,
+    /// The `DecryptExec` seed pc.
+    pub seed_pc: usize,
+    /// Number of instructions in the extracted slice.
+    pub slice_len: usize,
+    /// Whether the payload was uncovered (decryption succeeded).
+    pub payload_uncovered: bool,
+    /// The fault that stopped slice execution, if any.
+    pub fault: Option<Fault>,
+}
+
+/// Runs the slicing attack against every `DecryptExec` in the app.
+///
+/// `probe_inputs` are the concrete values the analyst tries for the sliced
+/// method's parameters (HARVESTER enumerates a small set).
+///
+/// # Panics
+///
+/// Panics if the APK does not verify at install.
+pub fn slice_attack(apk: &ApkFile, probe_inputs: &[i64], seed: u64) -> Vec<SliceOutcome> {
+    let pkg = InstalledPackage::install(apk).expect("attacker installs the app");
+    let dex = pkg.dex.clone();
+    let mut vm = Vm::boot(pkg, DeviceEnv::attacker_lab(1).remove(0), seed);
+    let mut outcomes = Vec::new();
+
+    for method in dex.methods() {
+        for (pc, instr) in method.body.iter().enumerate() {
+            // Suspicious seeds: encrypted-payload launches and the bare
+            // detection APIs of plaintext (naive/SSN) protections.
+            let suspicious = matches!(instr, Instr::DecryptExec { .. })
+                || matches!(
+                    instr,
+                    Instr::HostCall {
+                        api: bombdroid_dex::HostApi::GetPublicKey
+                            | bombdroid_dex::HostApi::Marker(_),
+                        ..
+                    }
+                );
+            if !suspicious {
+                continue;
+            }
+            let slice = backward_slice(method, pc);
+            let fragment = slice.extract(method);
+            let mut uncovered = false;
+            let mut last_fault = None;
+            for &probe in probe_inputs {
+                let mut regs = vec![RtValue::Int(probe); method.registers as usize];
+                // Parameters get the probe value; everything else starts 0.
+                for r in regs.iter_mut().skip(method.params as usize) {
+                    *r = RtValue::Int(0);
+                }
+                for (i, r) in regs.iter_mut().enumerate().take(method.params as usize) {
+                    *r = RtValue::Int(probe.wrapping_add(i as i64));
+                }
+                match vm.run_detached_fragment(&fragment, regs) {
+                    Ok(_) => {
+                        // Reaching past DecryptExec without fault means the
+                        // blob opened: payload uncovered.
+                        uncovered = true;
+                        break;
+                    }
+                    Err(f) => last_fault = Some(f),
+                }
+            }
+            outcomes.push(SliceOutcome {
+                method: method.method_ref(),
+                seed_pc: pc,
+                slice_len: slice.pcs.len(),
+                payload_uncovered: uncovered,
+                fault: last_fault,
+            });
+        }
+    }
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bombdroid_apk::DeveloperKey;
+    use bombdroid_core::{ProtectConfig, Protector};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn slices_cannot_uncover_encrypted_payloads() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dev = DeveloperKey::generate(&mut rng);
+        let apk = bombdroid_corpus::flagship::angulo().apk(&dev);
+        let protected = Protector::new(ProtectConfig::fast_profile())
+            .protect(&apk, &mut rng)
+            .unwrap()
+            .package(&dev);
+        let outcomes = slice_attack(&protected, &[0, 1, 42, 999], 3);
+        assert!(!outcomes.is_empty(), "bombs to attack");
+        let uncovered = outcomes.iter().filter(|o| o.payload_uncovered).count();
+        // A few *weak* (small-domain) constants may fall to lucky probes —
+        // the §5.1 brute-force caveat — but the overwhelming majority of
+        // payloads must stay sealed.
+        assert!(
+            uncovered * 5 < outcomes.len(),
+            "slicing uncovered {uncovered}/{} payloads",
+            outcomes.len()
+        );
+        // Failed slices die specifically on decryption.
+        assert!(outcomes
+            .iter()
+            .filter(|o| !o.payload_uncovered)
+            .all(|o| o.fault == Some(Fault::DecryptFailed)));
+    }
+}

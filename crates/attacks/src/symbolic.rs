@@ -1,0 +1,730 @@
+//! Symbolic execution over the bytecode IR — the path-exploration attack
+//! family of paper §2.1/§5 (TriggerScope, whitebox fuzzing, multi-path
+//! execution).
+//!
+//! The engine tracks linear integer expressions over entry-point inputs and
+//! string-equality tests, forks on symbolic branches, and *solves* path
+//! constraints to synthesize triggering inputs. Its power matches the
+//! state of the art the paper argues against: it cracks plain `X == c`
+//! trigger conditions (naive bombs, SSN) outright — and hits a wall on
+//! `Hash(X|salt) == Hc`, because a cryptographic hash is an uninterpreted,
+//! non-invertible function to any constraint solver ("as cryptographic
+//! hash functions cannot be reversed, no constraint solvers can solve it",
+//! §5).
+
+use bombdroid_crypto::kdf;
+use bombdroid_dex::{
+    BinOp, CondOp, DexFile, Instr, MethodRef, Reg, RegOrConst, StrOp, Value,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A symbolic value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sym {
+    /// Compile-time constant.
+    Const(Value),
+    /// Linear integer expression `a·input(var) + b`.
+    Lin {
+        /// Input variable index.
+        var: usize,
+        /// Coefficient.
+        a: i64,
+        /// Offset.
+        b: i64,
+    },
+    /// The raw string input `var`.
+    StrInput(usize),
+    /// Boolean test `input == literal` produced by a string comparison.
+    StrEq(usize, Arc<str>),
+    /// Salted hash of another symbolic value — **uninterpreted**.
+    HashOf(Box<Sym>, Vec<u8>),
+    /// Anything the engine cannot reason about (env queries, fields,
+    /// callee returns).
+    Opaque,
+}
+
+impl Sym {
+    fn input(var: usize) -> Sym {
+        Sym::Lin { var, a: 1, b: 0 }
+    }
+}
+
+/// One recorded path constraint: `sym op value` (register-vs-register
+/// comparisons degrade to `Opaque`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Left-hand symbolic value.
+    pub sym: Sym,
+    /// Comparison (already oriented for the *taken* direction).
+    pub op: CondOp,
+    /// Right-hand constant.
+    pub value: Value,
+}
+
+/// Why a path's constraints could not be solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unsolvable {
+    /// A constraint equates a cryptographic hash with a constant — the
+    /// solver cannot invert it. This is BombDroid's defence working.
+    HashBarrier,
+    /// A constraint involves values the engine cannot model.
+    OpaqueValue,
+    /// Constraints contradict each other.
+    Contradiction,
+}
+
+/// Result of solving one path.
+pub type Solution = Result<HashMap<usize, Value>, Unsolvable>;
+
+/// Tries to satisfy all constraints, assigning input variables.
+pub fn solve(constraints: &[Constraint]) -> Solution {
+    let mut assign: HashMap<usize, Value> = HashMap::new();
+    let pin = |var: usize,
+                   value: Value,
+                   assign: &mut HashMap<usize, Value>|
+     -> Result<(), Unsolvable> {
+        match assign.get(&var) {
+            Some(existing) if *existing != value => Err(Unsolvable::Contradiction),
+            _ => {
+                assign.insert(var, value);
+                Ok(())
+            }
+        }
+    };
+    for c in constraints {
+        match (&c.sym, c.op) {
+            (Sym::HashOf(..), _) => return Err(Unsolvable::HashBarrier),
+            (Sym::Const(v), op) => {
+                // Concrete-vs-concrete: just check.
+                let holds = check_concrete(v, op, &c.value).ok_or(Unsolvable::OpaqueValue)?;
+                if !holds {
+                    return Err(Unsolvable::Contradiction);
+                }
+            }
+            (Sym::Lin { var, a, b }, CondOp::Eq) => {
+                let Value::Int(target) = c.value else {
+                    return Err(Unsolvable::OpaqueValue);
+                };
+                if *a == 0 {
+                    if *b != target {
+                        return Err(Unsolvable::Contradiction);
+                    }
+                    continue;
+                }
+                let num = target - b;
+                if num % a != 0 {
+                    return Err(Unsolvable::Contradiction);
+                }
+                pin(*var, Value::Int(num / a), &mut assign)?;
+            }
+            (Sym::Lin { var, .. }, CondOp::Ne) => {
+                // Satisfiable by picking any other value; only conflicts if
+                // the variable is already pinned to the excluded value.
+                if let (Some(Value::Int(pinned)), Value::Int(excl)) =
+                    (assign.get(var), &c.value)
+                {
+                    // Conservative: only exact pin-vs-exclusion conflicts.
+                    let Sym::Lin { a, b, .. } = &c.sym else { unreachable!() };
+                    if a * pinned + b == *excl {
+                        return Err(Unsolvable::Contradiction);
+                    }
+                }
+            }
+            (Sym::Lin { .. }, _) => {
+                // Ordered constraints: treated as satisfiable (the solver
+                // picks values later); adequate for equality-centric QCs.
+            }
+            (Sym::StrEq(var, lit), CondOp::Eq) => match &c.value {
+                Value::Bool(true) => pin(*var, Value::Str(lit.clone()), &mut assign)?,
+                Value::Bool(false) => {}
+                _ => return Err(Unsolvable::OpaqueValue),
+            },
+            (Sym::StrEq(var, lit), CondOp::Ne) => match &c.value {
+                Value::Bool(false) => pin(*var, Value::Str(lit.clone()), &mut assign)?,
+                Value::Bool(true) => {}
+                _ => return Err(Unsolvable::OpaqueValue),
+            },
+            (Sym::StrInput(var), CondOp::Eq) => match &c.value {
+                Value::Str(s) => pin(*var, Value::Str(s.clone()), &mut assign)?,
+                _ => return Err(Unsolvable::OpaqueValue),
+            },
+            (Sym::StrInput(..), CondOp::Ne) => {}
+            (Sym::Opaque, _) | (Sym::StrEq(..), _) | (Sym::StrInput(..), _) => {
+                return Err(Unsolvable::OpaqueValue)
+            }
+        }
+    }
+    Ok(assign)
+}
+
+fn check_concrete(a: &Value, op: CondOp, b: &Value) -> Option<bool> {
+    match op {
+        CondOp::Eq => Some(a == b),
+        CondOp::Ne => Some(a != b),
+        _ => match (a, b) {
+            (Value::Int(x), Value::Int(y)) => Some(match op {
+                CondOp::Lt => x < y,
+                CondOp::Le => x <= y,
+                CondOp::Gt => x > y,
+                CondOp::Ge => x >= y,
+                _ => unreachable!(),
+            }),
+            _ => None,
+        },
+    }
+}
+
+/// A `DecryptExec` reached during exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BombFinding {
+    /// Method containing the bomb.
+    pub method: MethodRef,
+    /// Instruction index of the `DecryptExec`.
+    pub pc: usize,
+    /// `Ok(inputs)` when the solver can synthesize inputs that reach it
+    /// (and therefore derive the decryption key); `Err` explains the wall.
+    pub key_recovery: Solution,
+}
+
+/// A plaintext payload (marker or detection API call) reached with
+/// solvable constraints — what happens to naive bombs and SSN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExposedPayload {
+    /// Method containing the payload.
+    pub method: MethodRef,
+    /// Instruction index.
+    pub pc: usize,
+    /// Concrete inputs that drive execution to it.
+    pub inputs: HashMap<usize, Value>,
+}
+
+/// Exploration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum forked paths per method.
+    pub max_paths: usize,
+    /// Maximum instructions per path.
+    pub max_steps: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_paths: 256,
+            max_steps: 2_048,
+        }
+    }
+}
+
+/// Aggregate result over a DEX file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SymbolicOutcome {
+    /// Encrypted bombs found, with key-recovery verdicts.
+    pub bombs: Vec<BombFinding>,
+    /// Plaintext payloads exposed with concrete triggering inputs.
+    pub exposed: Vec<ExposedPayload>,
+    /// Paths explored in total.
+    pub paths_explored: usize,
+}
+
+impl SymbolicOutcome {
+    /// Bombs whose keys the solver recovered.
+    pub fn keys_recovered(&self) -> usize {
+        self.bombs.iter().filter(|b| b.key_recovery.is_ok()).count()
+    }
+
+    /// Bombs blocked by the hash barrier.
+    pub fn hash_barriers(&self) -> usize {
+        self.bombs
+            .iter()
+            .filter(|b| b.key_recovery == Err(Unsolvable::HashBarrier))
+            .count()
+    }
+}
+
+/// Symbolically executes every entry point of `dex`.
+pub fn analyze_dex(dex: &DexFile, limits: Limits) -> SymbolicOutcome {
+    let mut outcome = SymbolicOutcome::default();
+    for ep in &dex.entry_points {
+        if let Some(method) = dex.method(&ep.method) {
+            explore_method(method, limits, &mut outcome);
+        }
+    }
+    outcome
+}
+
+/// Symbolically executes a single method with fully symbolic parameters.
+pub fn analyze_method(dex: &DexFile, mref: &MethodRef, limits: Limits) -> SymbolicOutcome {
+    let mut outcome = SymbolicOutcome::default();
+    if let Some(method) = dex.method(mref) {
+        explore_method(method, limits, &mut outcome);
+    }
+    outcome
+}
+
+struct PathState {
+    pc: usize,
+    regs: Vec<Sym>,
+    constraints: Vec<Constraint>,
+    steps: usize,
+    next_var: usize,
+}
+
+fn explore_method(
+    method: &bombdroid_dex::Method,
+    limits: Limits,
+    outcome: &mut SymbolicOutcome,
+) {
+    let mref = method.method_ref();
+    let mut regs = vec![Sym::Opaque; method.registers as usize];
+    for p in 0..method.params as usize {
+        // Parameter types are unknown statically; track both linear-int and
+        // string views by starting linear and switching on first string op.
+        regs[p] = Sym::input(p);
+    }
+    let mut stack = vec![PathState {
+        pc: 0,
+        regs,
+        constraints: Vec::new(),
+        steps: 0,
+        next_var: method.params as usize,
+    }];
+    let mut paths = 0usize;
+
+    while let Some(mut st) = stack.pop() {
+        if paths >= limits.max_paths {
+            break;
+        }
+        loop {
+            if st.steps >= limits.max_steps || st.pc >= method.body.len() {
+                break;
+            }
+            st.steps += 1;
+            let pc = st.pc;
+            let mut next = pc + 1;
+            match &method.body[pc] {
+                Instr::Const { dst, value } => set(&mut st.regs, *dst, Sym::Const(value.clone())),
+                Instr::Move { dst, src } => {
+                    let v = get(&st.regs, *src);
+                    set(&mut st.regs, *dst, v);
+                }
+                Instr::BinOpConst { op, dst, lhs, rhs } => {
+                    let v = bin_const(get(&st.regs, *lhs), *op, *rhs);
+                    set(&mut st.regs, *dst, v);
+                }
+                Instr::BinOp { op, dst, lhs, rhs } => {
+                    let v = match (get(&st.regs, *lhs), get(&st.regs, *rhs)) {
+                        (Sym::Const(Value::Int(a)), Sym::Const(Value::Int(b))) => {
+                            concrete_bin(*op, a, b)
+                                .map(|x| Sym::Const(Value::Int(x)))
+                                .unwrap_or(Sym::Opaque)
+                        }
+                        (l, Sym::Const(Value::Int(b))) => bin_const(l, *op, b),
+                        (Sym::Const(Value::Int(a)), r)
+                            if matches!(op, BinOp::Add | BinOp::Mul) =>
+                        {
+                            bin_const(r, *op, a)
+                        }
+                        _ => Sym::Opaque,
+                    };
+                    set(&mut st.regs, *dst, v);
+                }
+                Instr::UnOp { dst, .. } => set(&mut st.regs, *dst, Sym::Opaque),
+                Instr::StrOp { op, dst, lhs, rhs } => {
+                    let v = str_op_sym(&st.regs, *op, *lhs, *rhs);
+                    set(&mut st.regs, *dst, v);
+                }
+                Instr::Hash { dst, src, salt } => {
+                    let inner = get(&st.regs, *src);
+                    let v = match inner {
+                        // Hash of a concrete value computes concretely.
+                        Sym::Const(c) => Sym::Const(Value::bytes(kdf::condition_hash(
+                            &c.canonical_bytes(),
+                            salt,
+                        ))),
+                        other => Sym::HashOf(Box::new(other), salt.clone()),
+                    };
+                    set(&mut st.regs, *dst, v);
+                }
+                Instr::If {
+                    cond,
+                    lhs,
+                    rhs,
+                    target,
+                } => {
+                    let l = get(&st.regs, *lhs);
+                    let rv = match rhs {
+                        RegOrConst::Const(v) => Some(v.clone()),
+                        RegOrConst::Reg(r) => match get(&st.regs, *r) {
+                            Sym::Const(v) => Some(v),
+                            _ => None,
+                        },
+                    };
+                    match (l, rv) {
+                        (Sym::Const(lc), Some(rc)) => {
+                            if check_concrete(&lc, *cond, &rc).unwrap_or(false) {
+                                next = *target;
+                            }
+                        }
+                        (lsym, Some(rc)) => {
+                            // Fork: taken branch records `lsym cond rc`;
+                            // fallthrough records the negation.
+                            if paths + 1 < limits.max_paths {
+                                let mut taken = PathState {
+                                    pc: *target,
+                                    regs: st.regs.clone(),
+                                    constraints: st.constraints.clone(),
+                                    steps: st.steps,
+                                    next_var: st.next_var,
+                                };
+                                taken.constraints.push(Constraint {
+                                    sym: lsym.clone(),
+                                    op: *cond,
+                                    value: rc.clone(),
+                                });
+                                stack.push(taken);
+                                paths += 1;
+                            }
+                            st.constraints.push(Constraint {
+                                sym: lsym,
+                                op: cond.negate(),
+                                value: rc,
+                            });
+                        }
+                        (_, None) => {
+                            // Register-register with symbolic rhs: explore
+                            // the fallthrough only, conservatively.
+                        }
+                    }
+                }
+                Instr::Switch { src, arms, default } => {
+                    match get(&st.regs, *src) {
+                        Sym::Const(Value::Int(v)) => {
+                            next = arms
+                                .iter()
+                                .find(|(c, _)| *c == v)
+                                .map(|(_, t)| *t)
+                                .unwrap_or(*default);
+                        }
+                        sym => {
+                            for (case, t) in arms {
+                                if paths + 1 < limits.max_paths {
+                                    let mut forked = PathState {
+                                        pc: *t,
+                                        regs: st.regs.clone(),
+                                        constraints: st.constraints.clone(),
+                                        steps: st.steps,
+                                        next_var: st.next_var,
+                                    };
+                                    forked.constraints.push(Constraint {
+                                        sym: sym.clone(),
+                                        op: CondOp::Eq,
+                                        value: Value::Int(*case),
+                                    });
+                                    stack.push(forked);
+                                    paths += 1;
+                                }
+                            }
+                            next = *default;
+                        }
+                    }
+                }
+                Instr::Goto { target } => next = *target,
+                Instr::DecryptExec { .. } => {
+                    outcome.bombs.push(BombFinding {
+                        method: mref.clone(),
+                        pc,
+                        key_recovery: solve(&st.constraints),
+                    });
+                    // The engine cannot see inside the blob; continue after.
+                }
+                Instr::HostCall { api, dst, .. } => {
+                    use bombdroid_dex::HostApi;
+                    if matches!(
+                        api,
+                        HostApi::Marker(_) | HostApi::GetPublicKey | HostApi::ReportPiracy
+                    ) {
+                        if let Ok(inputs) = solve(&st.constraints) {
+                            outcome.exposed.push(ExposedPayload {
+                                method: mref.clone(),
+                                pc,
+                                inputs,
+                            });
+                        }
+                    }
+                    if let Some(d) = dst {
+                        // The framework RNG is *controllable* from the
+                        // analyst's perspective ("such probabilistic
+                        // computation can be turned deterministic", §1):
+                        // model its result as a fresh solvable input, so
+                        // SSN's `rand() < p` gate does not stop the
+                        // explorer.
+                        let v = if matches!(api, HostApi::Random) {
+                            let var = st.next_var;
+                            st.next_var += 1;
+                            Sym::input(var)
+                        } else {
+                            Sym::Opaque
+                        };
+                        set(&mut st.regs, *d, v);
+                    }
+                }
+                Instr::InvokeReflect { dst, .. } => {
+                    // A reflective call on a solvable path exposes the
+                    // hidden destination (SSN's concealment fails here).
+                    if let Ok(inputs) = solve(&st.constraints) {
+                        outcome.exposed.push(ExposedPayload {
+                            method: mref.clone(),
+                            pc,
+                            inputs,
+                        });
+                    }
+                    if let Some(d) = dst {
+                        set(&mut st.regs, *d, Sym::Opaque);
+                    }
+                }
+                Instr::Invoke { dst, .. } => {
+                    if let Some(d) = dst {
+                        set(&mut st.regs, *d, Sym::Opaque);
+                    }
+                }
+                Instr::Return { .. } | Instr::Throw { .. } => break,
+                other => {
+                    if let Some(d) = other.def() {
+                        set(&mut st.regs, d, Sym::Opaque);
+                    }
+                }
+            }
+            st.pc = next;
+        }
+        paths += 1;
+        outcome.paths_explored += 1;
+    }
+}
+
+fn get(regs: &[Sym], r: Reg) -> Sym {
+    regs.get(r.0 as usize).cloned().unwrap_or(Sym::Opaque)
+}
+
+fn set(regs: &mut Vec<Sym>, r: Reg, v: Sym) {
+    let i = r.0 as usize;
+    if i >= regs.len() {
+        regs.resize(i + 1, Sym::Opaque);
+    }
+    regs[i] = v;
+}
+
+fn concrete_bin(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+        BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+    })
+}
+
+fn bin_const(l: Sym, op: BinOp, rhs: i64) -> Sym {
+    match (l, op) {
+        (Sym::Const(Value::Int(a)), _) => concrete_bin(op, a, rhs)
+            .map(|x| Sym::Const(Value::Int(x)))
+            .unwrap_or(Sym::Opaque),
+        (Sym::Lin { var, a, b }, BinOp::Add) => Sym::Lin {
+            var,
+            a,
+            b: b.wrapping_add(rhs),
+        },
+        (Sym::Lin { var, a, b }, BinOp::Sub) => Sym::Lin {
+            var,
+            a,
+            b: b.wrapping_sub(rhs),
+        },
+        (Sym::Lin { var, a, b }, BinOp::Mul) => Sym::Lin {
+            var,
+            a: a.wrapping_mul(rhs),
+            b: b.wrapping_mul(rhs),
+        },
+        _ => Sym::Opaque,
+    }
+}
+
+fn str_op_sym(regs: &[Sym], op: StrOp, lhs: Reg, rhs: Option<Reg>) -> Sym {
+    if op != StrOp::Equals {
+        return Sym::Opaque;
+    }
+    let receiver = get(regs, lhs);
+    let lit = rhs.map(|r| get(regs, r));
+    match (receiver, lit) {
+        (Sym::Lin { var, a: 1, b: 0 }, Some(Sym::Const(Value::Str(s))))
+        | (Sym::StrInput(var), Some(Sym::Const(Value::Str(s)))) => Sym::StrEq(var, s),
+        (Sym::Const(Value::Str(a)), Some(Sym::Const(Value::Str(b)))) => {
+            Sym::Const(Value::Bool(a == b))
+        }
+        _ => Sym::Opaque,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bombdroid_dex::{Class, HostApi, MethodBuilder};
+
+    fn into_dex(m: bombdroid_dex::Method) -> (DexFile, MethodRef) {
+        let mref = m.method_ref();
+        let mut dex = DexFile::new();
+        let mut c = Class::new(mref.class.as_str());
+        c.methods.push(m);
+        dex.classes.push(c);
+        (dex, mref)
+    }
+
+    #[test]
+    fn solves_plain_integer_trigger() {
+        // Listing 2: if (x == 0x56789abc) { marker } — symbolic execution
+        // finds the input instantly ("Line 1 cannot stop symbolic executor
+        // from exploring the path").
+        let mut b = MethodBuilder::new("T", "m", 1);
+        let skip = b.fresh_label();
+        b.if_not(
+            CondOp::Eq,
+            Reg(0),
+            RegOrConst::Const(Value::Int(0x5678_9abc)),
+            skip,
+        );
+        b.host(HostApi::Marker(0), vec![], None);
+        b.place_label(skip);
+        b.ret_void();
+        let (dex, mref) = into_dex(b.finish());
+        let out = analyze_method(&dex, &mref, Limits::default());
+        assert_eq!(out.exposed.len(), 1);
+        assert_eq!(
+            out.exposed[0].inputs.get(&0),
+            Some(&Value::Int(0x5678_9abc))
+        );
+    }
+
+    #[test]
+    fn inverts_linear_transformations() {
+        // if (x*3 + 5 == senior) — solver inverts the arithmetic.
+        let mut b = MethodBuilder::new("T", "lin", 1);
+        let t = b.fresh_reg();
+        b.bin_const(BinOp::Mul, t, Reg(0), 3);
+        b.bin_const(BinOp::Add, t, t, 5);
+        let skip = b.fresh_label();
+        b.if_not(CondOp::Eq, t, RegOrConst::Const(Value::Int(35)), skip);
+        b.host(HostApi::Marker(0), vec![], None);
+        b.place_label(skip);
+        b.ret_void();
+        let (dex, mref) = into_dex(b.finish());
+        let out = analyze_method(&dex, &mref, Limits::default());
+        assert_eq!(out.exposed.len(), 1);
+        assert_eq!(out.exposed[0].inputs.get(&0), Some(&Value::Int(10)));
+    }
+
+    #[test]
+    fn solves_string_trigger() {
+        let mut b = MethodBuilder::new("T", "s", 1);
+        let lit = b.fresh_reg();
+        b.const_(lit, Value::str("magic"));
+        let flag = b.fresh_reg();
+        b.str_op(StrOp::Equals, flag, Reg(0), Some(lit));
+        let skip = b.fresh_label();
+        b.if_not(CondOp::Eq, flag, RegOrConst::Const(Value::Bool(true)), skip);
+        b.host(HostApi::Marker(0), vec![], None);
+        b.place_label(skip);
+        b.ret_void();
+        let (dex, mref) = into_dex(b.finish());
+        let out = analyze_method(&dex, &mref, Limits::default());
+        assert_eq!(out.exposed.len(), 1);
+        assert_eq!(out.exposed[0].inputs.get(&0), Some(&Value::str("magic")));
+    }
+
+    #[test]
+    fn hash_condition_is_a_barrier() {
+        // The BombDroid shape: Hash(x|salt) == Hc guarding DecryptExec.
+        let mut b = MethodBuilder::new("T", "bomb", 1);
+        let h = b.fresh_reg();
+        b.hash(h, Reg(0), vec![7, 7]);
+        let skip = b.fresh_label();
+        b.if_not(
+            CondOp::Eq,
+            h,
+            RegOrConst::Const(Value::bytes([9u8; 20])),
+            skip,
+        );
+        b.decrypt_exec(bombdroid_dex::BlobId(0), Reg(0));
+        b.place_label(skip);
+        b.ret_void();
+        let m = b.finish();
+        let mref = m.method_ref();
+        let mut dex = DexFile::new();
+        let mut c = Class::new("T");
+        c.methods.push(m);
+        dex.classes.push(c);
+        dex.add_blob(bombdroid_dex::EncryptedBlob {
+            salt: vec![7, 7],
+            sealed: vec![0; 40],
+        });
+        let out = analyze_method(&dex, &mref, Limits::default());
+        assert_eq!(out.bombs.len(), 1);
+        assert_eq!(out.bombs[0].key_recovery, Err(Unsolvable::HashBarrier));
+        assert_eq!(out.hash_barriers(), 1);
+        assert_eq!(out.keys_recovered(), 0);
+    }
+
+    #[test]
+    fn concrete_hash_still_computes() {
+        // Hashing a concrete value is not a barrier (sanity check that the
+        // barrier comes from symbolism, not from the Hash instruction).
+        let salt = vec![1, 2, 3];
+        let hc = kdf::condition_hash(&Value::Int(5).canonical_bytes(), &salt);
+        let mut b = MethodBuilder::new("T", "c", 0);
+        let x = b.fresh_reg();
+        b.const_(x, 5i64);
+        let h = b.fresh_reg();
+        b.hash(h, x, salt);
+        let skip = b.fresh_label();
+        b.if_not(CondOp::Eq, h, RegOrConst::Const(Value::bytes(hc)), skip);
+        b.host(HostApi::Marker(1), vec![], None);
+        b.place_label(skip);
+        b.ret_void();
+        let (dex, mref) = into_dex(b.finish());
+        let out = analyze_method(&dex, &mref, Limits::default());
+        assert_eq!(out.exposed.len(), 1, "concrete path taken");
+    }
+
+    #[test]
+    fn contradictory_paths_pruned() {
+        let constraints = vec![
+            Constraint {
+                sym: Sym::input(0),
+                op: CondOp::Eq,
+                value: Value::Int(3),
+            },
+            Constraint {
+                sym: Sym::input(0),
+                op: CondOp::Eq,
+                value: Value::Int(4),
+            },
+        ];
+        assert_eq!(solve(&constraints), Err(Unsolvable::Contradiction));
+    }
+}

@@ -1,0 +1,95 @@
+//! Text search (paper §2.1): grep the disassembly for suspicious patterns.
+//!
+//! Against SSN, the giveaway string `getPublicKey` is hidden by
+//! obfuscation+reflection, but the reflection call itself is visible.
+//! Against BombDroid the bomb *machinery* (`sha1-hash`, `decrypt-exec`) is
+//! visible too — the design "deter[s] attackers from deleting the code"
+//! rather than hiding it — while the payload stays unreadable ciphertext.
+
+use bombdroid_dex::{asm, DexFile, MethodRef};
+
+/// Patterns an analyst greps for.
+pub const DEFAULT_PATTERNS: [&str; 6] = [
+    "getPublicKey",
+    "Manifest.getDigest",
+    "Package.codeDigest",
+    "invoke-reflect",
+    "sha1-hash",
+    "decrypt-exec",
+];
+
+/// One grep hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextHit {
+    /// Method containing the hit.
+    pub method: MethodRef,
+    /// Instruction index.
+    pub pc: usize,
+    /// Which pattern matched.
+    pub pattern: &'static str,
+}
+
+/// Greps every method's disassembly for `patterns`.
+pub fn search(dex: &DexFile, patterns: &[&'static str]) -> Vec<TextHit> {
+    let mut hits = Vec::new();
+    for method in dex.methods() {
+        for (pc, instr) in method.body.iter().enumerate() {
+            let line = asm::disasm_instr(pc, instr);
+            for p in patterns {
+                if line.contains(p) {
+                    hits.push(TextHit {
+                        method: method.method_ref(),
+                        pc,
+                        pattern: p,
+                    });
+                }
+            }
+        }
+    }
+    hits
+}
+
+/// Greps with the default suspicious-pattern set.
+pub fn search_default(dex: &DexFile) -> Vec<TextHit> {
+    search(dex, &DEFAULT_PATTERNS)
+}
+
+/// Whether the plaintext mentions the key detection API at all — the test
+/// SSN is designed to pass and naive protection fails.
+pub fn exposes_get_public_key(dex: &DexFile) -> bool {
+    search(dex, &["getPublicKey"]).iter().any(|h| h.pattern == "getPublicKey")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bombdroid_dex::{Class, HostApi, MethodBuilder};
+
+    #[test]
+    fn finds_direct_api_calls() {
+        let mut dex = DexFile::new();
+        let mut c = Class::new("A");
+        let mut b = MethodBuilder::new("A", "m", 0);
+        let r = b.fresh_reg();
+        b.host(HostApi::GetPublicKey, vec![], Some(r));
+        b.ret_void();
+        c.methods.push(b.finish());
+        dex.classes.push(c);
+        let hits = search_default(&dex);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].pattern, "getPublicKey");
+        assert!(exposes_get_public_key(&dex));
+    }
+
+    #[test]
+    fn clean_app_has_no_hits() {
+        let mut dex = DexFile::new();
+        let mut c = Class::new("A");
+        let mut b = MethodBuilder::new("A", "m", 0);
+        b.host_log("hello");
+        b.ret_void();
+        c.methods.push(b.finish());
+        dex.classes.push(c);
+        assert!(search_default(&dex).is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Ablation benchmarks for DESIGN.md's called-out design choices,
+//! measured at the protection-pipeline level: what each defence layer
+//! costs to build.
+
+use bombdroid_bench::fixed_keys;
+use bombdroid_core::{ProtectConfig, Protector};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn protect_with(config: ProtectConfig) -> usize {
+    let (dev, _) = fixed_keys();
+    let app = bombdroid_corpus::flagship::angulo();
+    let apk = app.apk(&dev);
+    let mut rng = StdRng::seed_from_u64(2);
+    Protector::new(config)
+        .protect(&apk, &mut rng)
+        .unwrap()
+        .report
+        .bombs_injected()
+}
+
+fn bench_trigger_structure(c: &mut Criterion) {
+    for (name, double) in [("single_trigger", false), ("double_trigger", true)] {
+        c.bench_function(&format!("ablation/protect_{name}"), |b| {
+            b.iter(|| {
+                protect_with(ProtectConfig {
+                    double_trigger: double,
+                    ..ProtectConfig::fast_profile()
+                })
+            })
+        });
+    }
+}
+
+fn bench_alpha(c: &mut Criterion) {
+    for alpha in [0.0, 0.25, 0.5] {
+        c.bench_function(&format!("ablation/protect_alpha_{alpha}"), |b| {
+            b.iter(|| {
+                protect_with(ProtectConfig {
+                    alpha,
+                    ..ProtectConfig::fast_profile()
+                })
+            })
+        });
+    }
+}
+
+fn bench_weaving(c: &mut Criterion) {
+    for (name, weave) in [("weave_on", true), ("weave_off", false)] {
+        c.bench_function(&format!("ablation/protect_{name}"), |b| {
+            b.iter(|| {
+                protect_with(ProtectConfig {
+                    weave_original: weave,
+                    ..ProtectConfig::fast_profile()
+                })
+            })
+        });
+    }
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_trigger_structure, bench_alpha, bench_weaving
+}
+criterion_main!(benches);

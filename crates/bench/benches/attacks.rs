@@ -1,0 +1,75 @@
+//! Attack-cost benchmarks: what the adversary pays per analysis pass —
+//! symbolic exploration, slicing, brute-force tries, and a minute of
+//! fuzzing.
+
+use bombdroid_attacks::{brute, fuzz, symbolic};
+use bombdroid_bench::experiments::protect_app;
+use bombdroid_core::ProtectConfig;
+use bombdroid_crypto::kdf;
+use bombdroid_dex::Value;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_symbolic(c: &mut Criterion) {
+    let app = bombdroid_corpus::flagship::hash_droid();
+    let (_, signed) = protect_app(&app, ProtectConfig::fast_profile(), 0xA77);
+    c.bench_function("attacks/symbolic_analyze_dex", |b| {
+        b.iter(|| {
+            symbolic::analyze_dex(
+                std::hint::black_box(&signed.dex),
+                symbolic::Limits {
+                    max_paths: 64,
+                    max_steps: 512,
+                },
+            )
+            .bombs
+            .len()
+        })
+    });
+}
+
+fn bench_brute(c: &mut Criterion) {
+    let salt = b"bench-salt".to_vec();
+    let weak = brute::ObfuscatedCondition {
+        method: bombdroid_dex::MethodRef::new("T", "m"),
+        pc: 0,
+        hc: kdf::condition_hash(&Value::Bool(true).canonical_bytes(), &salt).to_vec(),
+        salt: salt.clone(),
+    };
+    c.bench_function("attacks/brute_crack_weak", |b| {
+        b.iter(|| brute::crack(std::hint::black_box(&weak), 1_000).tries)
+    });
+    let medium = brute::ObfuscatedCondition {
+        method: bombdroid_dex::MethodRef::new("T", "m"),
+        pc: 0,
+        hc: kdf::condition_hash(&Value::Int(40_000).canonical_bytes(), &salt).to_vec(),
+        salt,
+    };
+    c.bench_function("attacks/brute_crack_medium_80k_tries", |b| {
+        b.iter(|| brute::crack(std::hint::black_box(&medium), 100_000).tries)
+    });
+}
+
+fn bench_fuzz_minute(c: &mut Criterion) {
+    let app = bombdroid_corpus::flagship::angulo();
+    let (_, signed) = protect_app(&app, ProtectConfig::fast_profile(), 0xA78);
+    c.bench_function("attacks/dynodroid_one_minute", |b| {
+        b.iter(|| {
+            fuzz::run_fuzzer(fuzz::FuzzerKind::Dynodroid, std::hint::black_box(&signed), 1, 9)
+                .events
+        })
+    });
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_symbolic, bench_brute, bench_fuzz_minute
+}
+criterion_main!(benches);

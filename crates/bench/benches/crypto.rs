@@ -1,0 +1,77 @@
+//! Microbenchmarks for the from-scratch crypto substrate: the cost of one
+//! trigger-condition hash and one payload seal/open — the per-bomb runtime
+//! primitives behind Table 5's overhead.
+
+use bombdroid_crypto::{aes, blob, kdf, sha1, sha256};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    for size in [16usize, 256, 4_096] {
+        let data = vec![0xABu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("sha1/{size}"), |b| {
+            b.iter(|| sha1::digest(std::hint::black_box(&data)))
+        });
+        g.bench_function(format!("sha256/{size}"), |b| {
+            b.iter(|| sha256::digest(std::hint::black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_condition_hash(c: &mut Criterion) {
+    // The exact operation every outer trigger evaluation performs.
+    c.bench_function("condition_hash/int", |b| {
+        let v = bombdroid_dex::Value::Int(0xfff000).canonical_bytes();
+        b.iter(|| kdf::condition_hash(std::hint::black_box(&v), b"salt-16-bytes!!!"))
+    });
+}
+
+fn bench_aes(c: &mut Criterion) {
+    let key = [7u8; 16];
+    let mut g = c.benchmark_group("aes128");
+    for size in [64usize, 1_024, 16_384] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("ctr/{size}"), |b| {
+            let mut data = vec![0u8; size];
+            b.iter(|| aes::ctr_xor(&key, 42, std::hint::black_box(&mut data)))
+        });
+    }
+    g.finish();
+    c.bench_function("aes128/expand_key", |b| {
+        b.iter(|| aes::Aes128::new(std::hint::black_box(&key)))
+    });
+}
+
+fn bench_blob(c: &mut Criterion) {
+    // A typical bomb payload is a few hundred bytes of encoded fragment.
+    let key = kdf::derive_key(b"constant", b"salt");
+    let payload = vec![0x5Au8; 400];
+    let sealed = blob::seal(&key, &payload);
+    c.bench_function("blob/seal_400B", |b| {
+        b.iter(|| blob::seal(std::hint::black_box(&key), std::hint::black_box(&payload)))
+    });
+    c.bench_function("blob/open_400B", |b| {
+        b.iter(|| blob::open(std::hint::black_box(&key), std::hint::black_box(&sealed)).unwrap())
+    });
+    // What a forced-execution attacker pays per wrong-key attempt.
+    let wrong = kdf::derive_key(b"wrong", b"salt");
+    c.bench_function("blob/open_wrong_key", |b| {
+        b.iter(|| blob::open(std::hint::black_box(&wrong), std::hint::black_box(&sealed)).unwrap_err())
+    });
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_hashes, bench_condition_hash, bench_aes, bench_blob
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Protection-pipeline benchmarks: what it costs to harden an app with
+//! each scheme (BombDroid, naive, SSN) — the offline cost a protection
+//! service pays per submitted APK.
+
+use bombdroid_bench::fixed_keys;
+use bombdroid_core::{NaiveProtector, ProtectConfig, Protector};
+use bombdroid_ssn::{SsnConfig, SsnProtector};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_protectors(c: &mut Criterion) {
+    let (dev, _) = fixed_keys();
+    let app = bombdroid_corpus::flagship::angulo();
+    let apk = app.apk(&dev);
+    let config = ProtectConfig::fast_profile();
+
+    c.bench_function("pipeline/bombdroid_protect", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            Protector::new(config.clone())
+                .protect(std::hint::black_box(&apk), &mut rng)
+                .unwrap()
+                .report
+                .bombs_injected()
+        })
+    });
+    c.bench_function("pipeline/naive_protect", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            NaiveProtector::new(config.clone())
+                .protect(std::hint::black_box(&apk), &mut rng)
+                .unwrap()
+                .report
+                .bombs_injected()
+        })
+    });
+    c.bench_function("pipeline/ssn_protect", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            SsnProtector::new(SsnConfig::default())
+                .protect(std::hint::black_box(&apk), &mut rng)
+                .report
+                .detection_nodes
+        })
+    });
+}
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("pipeline/generate_game_app", |b| {
+        b.iter(|| {
+            bombdroid_corpus::generate_app("BenchApp", bombdroid_corpus::Category::Game, 5)
+                .dex
+                .instruction_count()
+        })
+    });
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_protectors, bench_generation
+}
+criterion_main!(benches);

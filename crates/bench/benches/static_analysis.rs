@@ -1,0 +1,99 @@
+//! Benchmarks for the Soot-shaped analysis substrate: CFG construction,
+//! dominators, loop detection, QC scanning, and slicing over a realistic
+//! flagship app (protection Step 2 of the paper's Fig. 1).
+
+use bombdroid_analysis::{backward_slice, qc, Cfg, Dominators, LoopInfo};
+use bombdroid_dex::Instr;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn app() -> bombdroid_corpus::GeneratedApp {
+    bombdroid_corpus::flagship::hash_droid()
+}
+
+fn bench_cfg(c: &mut Criterion) {
+    let app = app();
+    c.bench_function("analysis/cfg_all_methods", |b| {
+        b.iter(|| {
+            let mut blocks = 0usize;
+            for m in app.dex.methods() {
+                blocks += Cfg::build(std::hint::black_box(m)).len();
+            }
+            blocks
+        })
+    });
+}
+
+fn bench_dominators_and_loops(c: &mut Criterion) {
+    let app = app();
+    let methods: Vec<_> = app.dex.methods().cloned().collect();
+    c.bench_function("analysis/dominators_loops_all_methods", |b| {
+        b.iter(|| {
+            let mut loops = 0usize;
+            for m in &methods {
+                let cfg = Cfg::build(m);
+                if !cfg.is_empty() {
+                    let dom = Dominators::compute(&cfg);
+                    loops += LoopInfo::compute(&cfg, &dom).back_edges.len();
+                }
+            }
+            loops
+        })
+    });
+}
+
+fn bench_qc_scan(c: &mut Criterion) {
+    let app = app();
+    c.bench_function("analysis/qc_scan_dex", |b| {
+        b.iter(|| qc::scan_dex(std::hint::black_box(&app.dex)).len())
+    });
+}
+
+fn bench_slicing(c: &mut Criterion) {
+    let app = app();
+    // Slice from the last instruction of the biggest method.
+    let method = app
+        .dex
+        .methods()
+        .max_by_key(|m| m.body.len())
+        .expect("nonempty app")
+        .clone();
+    let seed = method
+        .body
+        .iter()
+        .rposition(|i| !matches!(i, Instr::Return { .. }))
+        .unwrap_or(0);
+    c.bench_function("analysis/backward_slice_largest_method", |b| {
+        b.iter(|| backward_slice(std::hint::black_box(&method), seed).pcs.len())
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let app = app();
+    let bytes = bombdroid_dex::wire::encode_dex(&app.dex);
+    c.bench_function("wire/encode_dex", |b| {
+        b.iter(|| bombdroid_dex::wire::encode_dex(std::hint::black_box(&app.dex)).len())
+    });
+    c.bench_function("wire/decode_dex", |b| {
+        b.iter(|| bombdroid_dex::wire::decode_dex(std::hint::black_box(&bytes)).unwrap())
+    });
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets =
+    bench_cfg,
+    bench_dominators_and_loops,
+    bench_qc_scan,
+    bench_slicing,
+    bench_wire
+
+}
+criterion_main!(benches);

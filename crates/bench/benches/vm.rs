@@ -1,0 +1,64 @@
+//! VM throughput benchmarks: event execution on original vs protected
+//! builds (the Table 5 kernel) and the decrypt-exec cold/warm costs.
+
+use bombdroid_bench::{experiments::protect_app, fixed_keys};
+use bombdroid_core::ProtectConfig;
+use bombdroid_runtime::{
+    DeviceEnv, EventSource, InstalledPackage, RandomEventSource, Vm,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn run_events(pkg: &InstalledPackage, n: u64, seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vm = Vm::boot(pkg.clone(), DeviceEnv::sample(&mut rng), seed);
+    let mut source = RandomEventSource;
+    let dex = vm.pkg.dex.clone();
+    for _ in 0..n {
+        if let Some(ev) = source.next_event(&dex, &mut rng) {
+            let _ = vm.fire_entry(ev.entry_index, ev.args);
+        }
+        if vm.is_killed() || vm.is_frozen() {
+            break;
+        }
+    }
+    vm.telemetry().instr_executed
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let (dev, _) = fixed_keys();
+    let app = bombdroid_corpus::flagship::hash_droid();
+    let original = InstalledPackage::install(&app.apk(&dev)).unwrap();
+    let (_, signed) = protect_app(&app, ProtectConfig::fast_profile(), 0xBE);
+    let protected = InstalledPackage::install(&signed).unwrap();
+
+    c.bench_function("vm/100_events_original", |b| {
+        b.iter(|| run_events(std::hint::black_box(&original), 100, 3))
+    });
+    c.bench_function("vm/100_events_protected", |b| {
+        b.iter(|| run_events(std::hint::black_box(&protected), 100, 3))
+    });
+}
+
+fn bench_install(c: &mut Criterion) {
+    let (dev, _) = fixed_keys();
+    let app = bombdroid_corpus::flagship::catlog();
+    let apk = app.apk(&dev);
+    c.bench_function("vm/install_verify", |b| {
+        b.iter(|| InstalledPackage::install(std::hint::black_box(&apk)).unwrap())
+    });
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_event_throughput, bench_install
+}
+criterion_main!(benches);

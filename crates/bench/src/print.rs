@@ -1,0 +1,67 @@
+//! Minimal fixed-width table rendering for the `repro` binary.
+
+/// Renders a table with a header row, column-aligned.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            if i < widths.len() {
+                for _ in cell.len()..widths[i] {
+                    out.push(' ');
+                }
+            }
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    render(&header_cells, &widths, &mut out);
+    let rule_len = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+    out.push_str(&"-".repeat(rule_len));
+    out.push('\n');
+    for row in rows {
+        render(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Formats a float with one decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a float as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let s = table(
+            &["App", "Bombs"],
+            &[
+                vec!["AndroFish".into(), "67".into()],
+                vec!["BRouter".into(), "263".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("App      "));
+        assert!(lines[2].starts_with("AndroFish"));
+        assert_eq!(lines.len(), 4);
+    }
+}

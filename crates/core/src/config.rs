@@ -1,0 +1,128 @@
+//! Protection configuration.
+
+/// Which repackaging-detection methods payloads use (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectionMethods {
+    /// Public-key comparison (`Kr != Ko`).
+    pub public_key: bool,
+    /// Manifest-digest comparison against a steganographically hidden `Do`
+    /// (icon / AndroidManifest entries).
+    pub digest: bool,
+    /// Code-snippet scanning of untouched classes.
+    pub code_scan: bool,
+}
+
+impl Default for DetectionMethods {
+    fn default() -> Self {
+        // The paper's prototype "implemented the repackaging detection
+        // method based on public-key comparison" (§7.4); digest comparison
+        // and code scanning are the future-work methods we also implement.
+        DetectionMethods {
+            public_key: true,
+            digest: true,
+            code_scan: true,
+        }
+    }
+}
+
+/// Destructive response flavours (paper §4.2). A payload always warns the
+/// user and reports to the developer; destructive responses are chosen
+/// round-robin from the enabled set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResponseChoice {
+    /// Kill the process.
+    Kill,
+    /// Spin forever.
+    Freeze,
+    /// Leak a large allocation.
+    LeakMemory,
+    /// Null out reference fields for a delayed crash.
+    NullOutField,
+}
+
+/// Full protection configuration. Defaults reproduce the paper's settings.
+#[derive(Debug, Clone)]
+pub struct ProtectConfig {
+    /// Fraction of candidate methods that receive an artificial qualified
+    /// condition (`α = 0.25`, §7.2 — "α is configurable").
+    pub alpha: f64,
+    /// Fraction of most-invoked methods excluded as *hot* (top 10%, §7.1).
+    pub hot_method_ratio: f64,
+    /// Population probability range for inner trigger conditions
+    /// (`p ∈ [0.1, 0.2]`, §7.3 — "customizable by developers").
+    pub inner_probability: (f64, f64),
+    /// Build double-trigger bombs (§6). Disable for the single-trigger
+    /// ablation.
+    pub double_trigger: bool,
+    /// Weave the original conditional body into the encrypted payload
+    /// (§3.4 code weaving). Disable for the deletion-attack ablation.
+    pub weave_original: bool,
+    /// Fraction of *unused* existing QCs turned into bogus bombs (§3.4).
+    pub bogus_ratio: f64,
+    /// Detection methods to compile into payloads.
+    pub detection: DetectionMethods,
+    /// Destructive responses to rotate through.
+    pub responses: Vec<ResponseChoice>,
+    /// Random user events fed to the app during profiling (10,000 in
+    /// §7.1).
+    pub profiling_events: u64,
+    /// Upper bound on real bombs per app (`None` = unlimited).
+    pub max_bombs: Option<usize>,
+    /// Strategic muting (the paper's §10 future work: "explore how to mute
+    /// other bombs strategically once a bomb is triggered, so that even
+    /// more bombs can survive"): after any bomb's detection fires, every
+    /// payload checks a runtime flag and goes quiet, denying the analyst
+    /// further trigger observations.
+    pub mute_after_detection: bool,
+}
+
+impl Default for ProtectConfig {
+    fn default() -> Self {
+        ProtectConfig {
+            alpha: 0.25,
+            hot_method_ratio: 0.10,
+            inner_probability: (0.10, 0.20),
+            double_trigger: true,
+            weave_original: true,
+            bogus_ratio: 0.5,
+            detection: DetectionMethods::default(),
+            responses: vec![
+                ResponseChoice::Kill,
+                ResponseChoice::Freeze,
+                ResponseChoice::LeakMemory,
+                ResponseChoice::NullOutField,
+            ],
+            profiling_events: 10_000,
+            max_bombs: None,
+            mute_after_detection: false,
+        }
+    }
+}
+
+impl ProtectConfig {
+    /// A cheap configuration for unit tests: tiny profiling run, otherwise
+    /// paper defaults.
+    pub fn fast_profile() -> Self {
+        ProtectConfig {
+            profiling_events: 300,
+            ..ProtectConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ProtectConfig::default();
+        assert!((c.alpha - 0.25).abs() < 1e-9);
+        assert!((c.hot_method_ratio - 0.10).abs() < 1e-9);
+        assert_eq!(c.inner_probability, (0.10, 0.20));
+        assert!(c.double_trigger);
+        assert!(c.weave_original);
+        assert_eq!(c.profiling_events, 10_000);
+        assert!(c.detection.public_key);
+    }
+}

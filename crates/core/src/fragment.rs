@@ -1,0 +1,208 @@
+//! Building encrypted code fragments.
+//!
+//! Fragments are the plaintext inside [`EncryptedBlob`]s: straight-line (or
+//! internally branching) instruction sequences executed inline in the
+//! enclosing frame when a bomb's outer trigger fires. Unlike
+//! [`bombdroid_dex::MethodBuilder`], a fragment must *not* end in an
+//! implicit `return` — falling off the end resumes the enclosing method.
+//!
+//! [`EncryptedBlob`]: bombdroid_dex::EncryptedBlob
+
+use bombdroid_dex::{CondOp, HostApi, Instr, Reg, RegOrConst, Value};
+use std::collections::HashMap;
+
+/// A forward-referencing label within one fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FragLabel(u32);
+
+/// Builder for fragment instruction sequences.
+#[derive(Debug, Default)]
+pub struct FragmentBuilder {
+    body: Vec<Instr>,
+    next_label: u32,
+    placed: HashMap<FragLabel, usize>,
+    pending: Vec<(usize, FragLabel)>,
+    scratch_next: u16,
+}
+
+impl FragmentBuilder {
+    /// Starts a fragment whose scratch registers begin at `scratch_base`
+    /// (above every register the enclosing method uses).
+    pub fn new(scratch_base: u16) -> Self {
+        FragmentBuilder {
+            scratch_next: scratch_base,
+            ..FragmentBuilder::default()
+        }
+    }
+
+    /// Allocates a scratch register.
+    pub fn fresh_reg(&mut self) -> Reg {
+        let r = Reg(self.scratch_next);
+        self.scratch_next += 1;
+        r
+    }
+
+    /// Highest register index used (for bumping the method's frame size).
+    pub fn max_reg(&self) -> u16 {
+        self.scratch_next
+    }
+
+    /// Creates an unplaced label.
+    pub fn fresh_label(&mut self) -> FragLabel {
+        let l = FragLabel(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Pins `label` to the next emitted instruction.
+    pub fn place_label(&mut self, label: FragLabel) {
+        assert!(
+            self.placed.insert(label, self.body.len()).is_none(),
+            "fragment label placed twice"
+        );
+    }
+
+    /// Emits an instruction with already-resolved fragment-local targets.
+    pub fn push(&mut self, instr: Instr) -> &mut Self {
+        self.body.push(instr);
+        self
+    }
+
+    /// Emits `dst := value`.
+    pub fn const_(&mut self, dst: Reg, value: impl Into<Value>) -> &mut Self {
+        self.push(Instr::Const {
+            dst,
+            value: value.into(),
+        })
+    }
+
+    /// Emits a branch to `label` when the condition holds.
+    pub fn if_(&mut self, cond: CondOp, lhs: Reg, rhs: RegOrConst, label: FragLabel) -> &mut Self {
+        let at = self.body.len();
+        self.body.push(Instr::If {
+            cond,
+            lhs,
+            rhs,
+            target: usize::MAX,
+        });
+        self.pending.push((at, label));
+        self
+    }
+
+    /// Emits a branch to `label` when the condition does NOT hold.
+    pub fn if_not(
+        &mut self,
+        cond: CondOp,
+        lhs: Reg,
+        rhs: RegOrConst,
+        label: FragLabel,
+    ) -> &mut Self {
+        self.if_(cond.negate(), lhs, rhs, label)
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn goto(&mut self, label: FragLabel) -> &mut Self {
+        let at = self.body.len();
+        self.body.push(Instr::Goto { target: usize::MAX });
+        self.pending.push((at, label));
+        self
+    }
+
+    /// Emits a host call.
+    pub fn host(&mut self, api: HostApi, args: Vec<Reg>, dst: Option<Reg>) -> &mut Self {
+        self.push(Instr::HostCall { api, args, dst })
+    }
+
+    /// Appends pre-built instructions whose branch targets are relative to
+    /// *their own* sequence (they are shifted by the current position).
+    pub fn splice(&mut self, instrs: Vec<Instr>) -> &mut Self {
+        let base = self.body.len();
+        for mut i in instrs {
+            match &mut i {
+                Instr::If { target, .. } | Instr::Goto { target } => *target += base,
+                Instr::Switch { arms, default, .. } => {
+                    for (_, t) in arms.iter_mut() {
+                        *t += base;
+                    }
+                    *default += base;
+                }
+                _ => {}
+            }
+            self.body.push(i);
+        }
+        self
+    }
+
+    /// Resolves labels and returns the fragment body. Labels placed at the
+    /// end resolve to one-past-the-last instruction (fall out of the
+    /// fragment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label was never placed.
+    pub fn finish(mut self) -> Vec<Instr> {
+        for (at, label) in &self.pending {
+            let pos = *self
+                .placed
+                .get(label)
+                .unwrap_or_else(|| panic!("fragment label {label:?} never placed"));
+            match &mut self.body[*at] {
+                Instr::If { target, .. } | Instr::Goto { target } => *target = pos,
+                other => panic!("pending fragment label on {other:?}"),
+            }
+        }
+        self.body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve_including_fragment_end() {
+        let mut f = FragmentBuilder::new(10);
+        let end = f.fresh_label();
+        let r = f.fresh_reg();
+        f.const_(r, 1i64);
+        f.if_not(CondOp::Eq, r, RegOrConst::Const(Value::Int(1)), end);
+        f.host(HostApi::Marker(5), vec![], None);
+        f.place_label(end);
+        let body = f.finish();
+        assert_eq!(body.len(), 3);
+        match &body[1] {
+            Instr::If { target, .. } => assert_eq!(*target, 3, "end label = past-the-end"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn splice_shifts_targets() {
+        let inner = vec![
+            Instr::If {
+                cond: CondOp::Eq,
+                lhs: Reg(0),
+                rhs: RegOrConst::Const(Value::Int(0)),
+                target: 2,
+            },
+            Instr::Nop,
+            Instr::Nop,
+        ];
+        let mut f = FragmentBuilder::new(5);
+        f.push(Instr::Nop);
+        f.splice(inner);
+        let body = f.finish();
+        match &body[1] {
+            Instr::If { target, .. } => assert_eq!(*target, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scratch_registers_start_at_base() {
+        let mut f = FragmentBuilder::new(7);
+        assert_eq!(f.fresh_reg(), Reg(7));
+        assert_eq!(f.fresh_reg(), Reg(8));
+        assert_eq!(f.max_reg(), 9);
+    }
+}

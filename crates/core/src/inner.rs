@@ -1,0 +1,353 @@
+//! Inner trigger conditions for double-trigger bombs (paper §6, §7.3).
+//!
+//! Each inner condition is a quantifier-free constraint `f(env) op r` over
+//! a device/environment property, synthesized so that the fraction of the
+//! *user population* satisfying it falls in the configured range
+//! (`p ∈ [0.1, 0.2]` by default). The population model mirrors the
+//! Dashboards/AppBrain statistics in `bombdroid_runtime::env`.
+
+use crate::fragment::{FragLabel, FragmentBuilder};
+use bombdroid_dex::{CondOp, EnvKey, HostApi, RegOrConst, SensorKind, Value};
+use rand::Rng;
+
+/// A synthesized inner trigger condition with its population probability.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InnerCond {
+    /// `env[key] == v` for an integer property.
+    EnvIntEq {
+        /// Property queried.
+        key: EnvKey,
+        /// Expected value.
+        value: i64,
+        /// Estimated population probability.
+        prob: f64,
+    },
+    /// `env[key] == s` for a string property.
+    EnvStrEq {
+        /// Property queried.
+        key: EnvKey,
+        /// Expected value.
+        value: String,
+        /// Estimated population probability.
+        prob: f64,
+    },
+    /// `lo <= env[key] < hi` for an integer property.
+    EnvIntRange {
+        /// Property queried.
+        key: EnvKey,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Exclusive upper bound.
+        hi: i64,
+        /// Estimated population probability.
+        prob: f64,
+    },
+    /// `lo <= sensor(kind) < hi`.
+    SensorRange {
+        /// Sensor sampled.
+        kind: SensorKind,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Exclusive upper bound.
+        hi: i64,
+        /// Estimated population probability.
+        prob: f64,
+    },
+    /// Wall-clock minute-of-day within `[start, start+len)` (mod 1440) —
+    /// the paper's "sets off only if the app is played at some specific
+    /// time".
+    ClockWindow {
+        /// Window start minute.
+        start: u32,
+        /// Window length in minutes.
+        len: u32,
+        /// Estimated population probability.
+        prob: f64,
+    },
+}
+
+impl InnerCond {
+    /// The estimated probability that a random user device/moment satisfies
+    /// this condition.
+    pub fn probability(&self) -> f64 {
+        match self {
+            InnerCond::EnvIntEq { prob, .. }
+            | InnerCond::EnvStrEq { prob, .. }
+            | InnerCond::EnvIntRange { prob, .. }
+            | InnerCond::SensorRange { prob, .. }
+            | InnerCond::ClockWindow { prob, .. } => *prob,
+        }
+    }
+
+    /// Human-readable description for reports.
+    pub fn describe(&self) -> String {
+        match self {
+            InnerCond::EnvIntEq { key, value, .. } => format!("{} == {}", key.name(), value),
+            InnerCond::EnvStrEq { key, value, .. } => format!("{} == {:?}", key.name(), value),
+            InnerCond::EnvIntRange { key, lo, hi, .. } => {
+                format!("{} in [{}, {})", key.name(), lo, hi)
+            }
+            InnerCond::SensorRange { kind, lo, hi, .. } => {
+                format!("{} in [{}, {})", kind.name(), lo, hi)
+            }
+            InnerCond::ClockWindow { start, len, .. } => {
+                format!("minuteOfDay in [{start}, {start}+{len})")
+            }
+        }
+    }
+
+    /// Emits fragment code that branches to `fail` when the condition does
+    /// NOT hold (falls through when it does).
+    pub fn emit(&self, f: &mut FragmentBuilder, fail: FragLabel) {
+        match self {
+            InnerCond::EnvIntEq { key, value, .. } => {
+                let r = f.fresh_reg();
+                f.host(HostApi::EnvQuery(*key), vec![], Some(r));
+                f.if_not(CondOp::Eq, r, RegOrConst::Const(Value::Int(*value)), fail);
+            }
+            InnerCond::EnvStrEq { key, value, .. } => {
+                let r = f.fresh_reg();
+                f.host(HostApi::EnvQuery(*key), vec![], Some(r));
+                f.if_not(
+                    CondOp::Eq,
+                    r,
+                    RegOrConst::Const(Value::str(value.clone())),
+                    fail,
+                );
+            }
+            InnerCond::EnvIntRange { key, lo, hi, .. } => {
+                let r = f.fresh_reg();
+                f.host(HostApi::EnvQuery(*key), vec![], Some(r));
+                f.if_not(CondOp::Ge, r, RegOrConst::Const(Value::Int(*lo)), fail);
+                f.if_not(CondOp::Lt, r, RegOrConst::Const(Value::Int(*hi)), fail);
+            }
+            InnerCond::SensorRange { kind, lo, hi, .. } => {
+                let r = f.fresh_reg();
+                f.host(HostApi::Sensor(*kind), vec![], Some(r));
+                f.if_not(CondOp::Ge, r, RegOrConst::Const(Value::Int(*lo)), fail);
+                f.if_not(CondOp::Lt, r, RegOrConst::Const(Value::Int(*hi)), fail);
+            }
+            InnerCond::ClockWindow { start, len, .. } => {
+                let r = f.fresh_reg();
+                f.host(HostApi::WallClockMinute, vec![], Some(r));
+                // shifted = (minute - start + 1440) % 1440 < len
+                let s = f.fresh_reg();
+                f.push(bombdroid_dex::Instr::BinOpConst {
+                    op: bombdroid_dex::BinOp::Sub,
+                    dst: s,
+                    lhs: r,
+                    rhs: *start as i64,
+                });
+                f.push(bombdroid_dex::Instr::BinOpConst {
+                    op: bombdroid_dex::BinOp::Add,
+                    dst: s,
+                    lhs: s,
+                    rhs: 1_440,
+                });
+                f.push(bombdroid_dex::Instr::BinOpConst {
+                    op: bombdroid_dex::BinOp::Rem,
+                    dst: s,
+                    lhs: s,
+                    rhs: 1_440,
+                });
+                f.if_not(CondOp::Lt, s, RegOrConst::Const(Value::Int(*len as i64)), fail);
+            }
+        }
+    }
+}
+
+/// Candidate generators: each samples a condition with its population
+/// probability; the synthesizer rejects candidates outside the target
+/// range.
+pub fn synthesize(rng: &mut impl Rng, p_range: (f64, f64)) -> InnerCond {
+    let (lo_p, hi_p) = p_range;
+    // Band conditions over uniformly distributed device properties: each
+    // bomb draws its own random interval, so conditions are statistically
+    // independent across bombs — a device unlucky for one bomb is not
+    // unlucky for the others. `(key, domain lo, domain hi)`.
+    const BAND_KEYS: [(EnvKey, i64, i64); 4] = [
+        (EnvKey::IpOctetC, 0, 256),
+        (EnvKey::IpOctetD, 1, 255),
+        (EnvKey::MacAddrHash, 0, 1 << 24),
+        (EnvKey::SerialHash, 0, 1 << 24),
+    ];
+    const SENSOR_BANDS: [(SensorKind, i64, i64); 4] = [
+        (SensorKind::GpsLatE3, -60_000, 70_000),
+        (SensorKind::GpsLonE3, -180_000, 180_000),
+        (SensorKind::Pressure, 950, 1_050),
+        (SensorKind::TemperatureDeciC, -100, 400),
+    ];
+    loop {
+        let cond = match rng.gen_range(0..11u8) {
+            0..=3 => {
+                // Environment band: p = width/span.
+                let (key, dlo, dhi) = BAND_KEYS[rng.gen_range(0..BAND_KEYS.len())];
+                let span = (dhi - dlo) as f64;
+                let width = rng.gen_range((lo_p * span) as i64..=(hi_p * span) as i64);
+                let start = rng.gen_range(dlo..(dhi - width));
+                InnerCond::EnvIntRange {
+                    key,
+                    lo: start,
+                    hi: start + width,
+                    prob: width as f64 / span,
+                }
+            }
+            4..=5 => {
+                // Sensor band.
+                let (kind, dlo, dhi) = SENSOR_BANDS[rng.gen_range(0..SENSOR_BANDS.len())];
+                let span = (dhi - dlo) as f64;
+                let width = rng.gen_range((lo_p * span) as i64..=(hi_p * span) as i64);
+                let start = rng.gen_range(dlo..(dhi - width));
+                InnerCond::SensorRange {
+                    kind,
+                    lo: start,
+                    hi: start + width,
+                    prob: width as f64 / span,
+                }
+            }
+            6 => {
+                // SDK level equality; weights from the population table.
+                let (sdk, prob) = *[
+                    (26i64, 0.10),
+                    (27, 0.12),
+                    (28, 0.16),
+                    (29, 0.14),
+                    (30, 0.10),
+                ]
+                .iter()
+                .nth(rng.gen_range(0..5))
+                .expect("5 entries");
+                InnerCond::EnvIntEq {
+                    key: EnvKey::SdkInt,
+                    value: sdk,
+                    prob,
+                }
+            }
+            7 => {
+                // Manufacturer equality (share in range).
+                let (m, prob) = *[
+                    ("xiaomi", 0.13),
+                    ("huawei", 0.10),
+                    ("oppo", 0.09),
+                    ("vivo", 0.08),
+                ]
+                .iter()
+                .nth(rng.gen_range(0..4))
+                .expect("4 entries");
+                InnerCond::EnvStrEq {
+                    key: EnvKey::Manufacturer,
+                    value: m.to_string(),
+                    prob,
+                }
+            }
+            8 => {
+                // Country code equality.
+                let (c, prob) = *[("US", 0.14), ("IN", 0.18), ("CN", 0.10)]
+                    .iter()
+                    .nth(rng.gen_range(0..3))
+                    .expect("3 entries");
+                InnerCond::EnvStrEq {
+                    key: EnvKey::CountryCode,
+                    value: c.to_string(),
+                    prob,
+                }
+            }
+            9 => {
+                // Battery below a threshold: p ≈ (t - 5)/96.
+                let t = rng.gen_range(15..25i64);
+                InnerCond::EnvIntRange {
+                    key: EnvKey::BatteryPct,
+                    lo: 0,
+                    hi: t,
+                    prob: (t - 5) as f64 / 96.0,
+                }
+            }
+            _ => {
+                // Time-of-day window: p = len/1440.
+                let len = rng.gen_range((lo_p * 1_440.0) as u32..=(hi_p * 1_440.0) as u32);
+                let start = rng.gen_range(0..1_440);
+                InnerCond::ClockWindow {
+                    start,
+                    len,
+                    prob: len as f64 / 1_440.0,
+                }
+            }
+        };
+        // Accept only conditions in the configured probability band (a
+        // small tolerance accommodates the discrete tables).
+        let p = cond.probability();
+        if p >= lo_p - 0.03 && p <= hi_p + 0.03 {
+            return cond;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bombdroid_dex::Instr;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn synthesized_probabilities_in_band() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let c = synthesize(&mut rng, (0.10, 0.20));
+            let p = c.probability();
+            assert!((0.07..=0.23).contains(&p), "{} has p={p}", c.describe());
+        }
+    }
+
+    #[test]
+    fn synthesis_covers_multiple_kinds() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut kinds = std::collections::HashSet::new();
+        for _ in 0..100 {
+            kinds.insert(std::mem::discriminant(&synthesize(&mut rng, (0.10, 0.20))));
+        }
+        assert!(kinds.len() >= 4, "only {} kinds", kinds.len());
+    }
+
+    #[test]
+    fn emit_produces_guarded_code() {
+        let cond = InnerCond::EnvIntRange {
+            key: EnvKey::IpOctetC,
+            lo: 100,
+            hi: 140,
+            prob: 40.0 / 256.0,
+        };
+        let mut f = FragmentBuilder::new(10);
+        let fail = f.fresh_label();
+        cond.emit(&mut f, fail);
+        f.host(HostApi::Marker(1), vec![], None);
+        f.place_label(fail);
+        let body = f.finish();
+        // Env query + two comparisons + marker.
+        assert_eq!(body.len(), 4);
+        assert!(matches!(body[0], Instr::HostCall { .. }));
+        // Both Ifs must target past-the-end (the fail label).
+        let mut if_count = 0;
+        for i in &body {
+            if let Instr::If { target, .. } = i {
+                assert_eq!(*target, 4);
+                if_count += 1;
+            }
+        }
+        assert_eq!(if_count, 2);
+    }
+
+    #[test]
+    fn clock_window_wraps_midnight() {
+        let cond = InnerCond::ClockWindow {
+            start: 1_400,
+            len: 200,
+            prob: 200.0 / 1_440.0,
+        };
+        let mut f = FragmentBuilder::new(0);
+        let fail = f.fresh_label();
+        cond.emit(&mut f, fail);
+        f.place_label(fail);
+        let body = f.finish();
+        assert!(body.len() >= 5, "modular arithmetic emitted");
+    }
+}

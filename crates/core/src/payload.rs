@@ -1,0 +1,224 @@
+//! Repackaging detection & response payload codegen (paper §4).
+//!
+//! A payload (a) retrieves a runtime identity value — the installed
+//! certificate's public key, a MANIFEST.MF digest, or an installed-class
+//! code digest — (b) compares it to the original value baked in at
+//! protection time (directly for the public key `Ko`, via steganographic
+//! `strings.xml` covers for digests), and (c) on mismatch warns the user,
+//! reports to the developer, and fires a destructive response.
+
+use crate::config::ResponseChoice;
+use crate::fragment::FragmentBuilder;
+use bombdroid_dex::{CondOp, FieldRef, HostApi, Instr, RegOrConst, UiKind, Value};
+
+/// The runtime flag strategic muting communicates through (inside
+/// encrypted payloads only, so invisible to static analysis). The name
+/// reads as ordinary app state.
+pub const MUTE_FLAG: (&str, &str) = ("cfg/Session", "syncDone");
+
+/// Which identity a payload checks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectionKind {
+    /// Compare `Certificate.getPublicKey()` against the original `Ko`.
+    PublicKey {
+        /// Original public-key bytes.
+        original: Vec<u8>,
+    },
+    /// Compare a manifest entry's digest against a stego-hidden original.
+    ManifestDigest {
+        /// APK entry name (e.g. `res/icon.png`).
+        entry: String,
+        /// `strings.xml` key whose value hides the expected digest.
+        stego_key: String,
+    },
+    /// Compare an installed class's code digest against a stego-hidden
+    /// original (code-snippet scanning, targeting classes the protector
+    /// never touches).
+    CodeScan {
+        /// Class name to scan.
+        class: String,
+        /// `strings.xml` key whose value hides the expected digest.
+        stego_key: String,
+    },
+}
+
+impl DetectionKind {
+    /// Short tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DetectionKind::PublicKey { .. } => "public-key",
+            DetectionKind::ManifestDigest { .. } => "manifest-digest",
+            DetectionKind::CodeScan { .. } => "code-scan",
+        }
+    }
+}
+
+/// Emits detection + response code into `f`. Control falls through whether
+/// or not repackaging is detected (responses like `Kill` abort execution on
+/// their own).
+///
+/// With `mute_others` (the §10 future-work extension), the payload first
+/// checks the shared mute flag and stays silent if another bomb already
+/// fired; on a fresh detection it raises the flag before responding, so
+/// an analyst tracing the response observes only the *first* bomb.
+pub fn emit_detection(
+    f: &mut FragmentBuilder,
+    kind: &DetectionKind,
+    response: ResponseChoice,
+    warn_message: &str,
+    mute_others: bool,
+) {
+    let ok = f.fresh_label();
+    if mute_others {
+        let m = f.fresh_reg();
+        f.push(Instr::GetStatic {
+            dst: m,
+            field: FieldRef::new(MUTE_FLAG.0, MUTE_FLAG.1),
+        });
+        f.if_(CondOp::Eq, m, RegOrConst::Const(Value::Bool(true)), ok);
+    }
+    match kind {
+        DetectionKind::PublicKey { original } => {
+            let k = f.fresh_reg();
+            f.host(HostApi::GetPublicKey, vec![], Some(k));
+            f.if_(
+                CondOp::Eq,
+                k,
+                RegOrConst::Const(Value::bytes(original.clone())),
+                ok,
+            );
+        }
+        DetectionKind::ManifestDigest { entry, stego_key } => {
+            let e = f.fresh_reg();
+            f.const_(e, Value::str(entry.clone()));
+            let d = f.fresh_reg();
+            f.host(HostApi::GetManifestDigest, vec![e], Some(d));
+            let s = f.fresh_reg();
+            f.const_(s, Value::str(stego_key.clone()));
+            let cover = f.fresh_reg();
+            f.host(HostApi::GetResourceString, vec![s], Some(cover));
+            let expected = f.fresh_reg();
+            f.push(Instr::StegoExtract {
+                dst: expected,
+                src: cover,
+            });
+            f.if_(CondOp::Eq, d, RegOrConst::Reg(expected), ok);
+        }
+        DetectionKind::CodeScan { class, stego_key } => {
+            let c = f.fresh_reg();
+            f.const_(c, Value::str(class.clone()));
+            let d = f.fresh_reg();
+            f.host(HostApi::CodeDigest, vec![c], Some(d));
+            let s = f.fresh_reg();
+            f.const_(s, Value::str(stego_key.clone()));
+            let cover = f.fresh_reg();
+            f.host(HostApi::GetResourceString, vec![s], Some(cover));
+            let expected = f.fresh_reg();
+            f.push(Instr::StegoExtract {
+                dst: expected,
+                src: cover,
+            });
+            f.if_(CondOp::Eq, d, RegOrConst::Reg(expected), ok);
+        }
+    }
+    // Repackaging detected.
+    if mute_others {
+        let t = f.fresh_reg();
+        f.const_(t, Value::Bool(true));
+        f.push(Instr::PutStatic {
+            field: FieldRef::new(MUTE_FLAG.0, MUTE_FLAG.1),
+            src: t,
+        });
+    }
+    let msg = f.fresh_reg();
+    f.const_(msg, Value::str(warn_message));
+    f.host(HostApi::UiNotify(UiKind::Dialog), vec![msg], None);
+    f.host(HostApi::ReportPiracy, vec![], None);
+    f.host(response_api(response), vec![], None);
+    f.place_label(ok);
+}
+
+fn response_api(choice: ResponseChoice) -> HostApi {
+    match choice {
+        ResponseChoice::Kill => HostApi::KillProcess,
+        ResponseChoice::Freeze => HostApi::Freeze,
+        ResponseChoice::LeakMemory => HostApi::LeakMemory,
+        ResponseChoice::NullOutField => HostApi::NullOutField,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pubkey_payload_shape() {
+        let mut f = FragmentBuilder::new(8);
+        emit_detection(
+            &mut f,
+            &DetectionKind::PublicKey {
+                original: vec![1, 2, 3],
+            },
+            ResponseChoice::Kill,
+            "pirated copy",
+            false,
+        );
+        let body = f.finish();
+        assert!(body
+            .iter()
+            .any(|i| matches!(i, Instr::HostCall { api: HostApi::GetPublicKey, .. })));
+        assert!(body
+            .iter()
+            .any(|i| matches!(i, Instr::HostCall { api: HostApi::KillProcess, .. })));
+        assert!(body
+            .iter()
+            .any(|i| matches!(i, Instr::HostCall { api: HostApi::ReportPiracy, .. })));
+        // The match branch must jump past the response code (to the end).
+        match body.iter().find(|i| matches!(i, Instr::If { .. })) {
+            Some(Instr::If { target, .. }) => assert_eq!(*target, body.len()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn digest_payload_uses_stego() {
+        let mut f = FragmentBuilder::new(8);
+        emit_detection(
+            &mut f,
+            &DetectionKind::ManifestDigest {
+                entry: "res/icon.png".into(),
+                stego_key: "cfg_cache_0".into(),
+            },
+            ResponseChoice::Freeze,
+            "warn",
+            false,
+        );
+        let body = f.finish();
+        assert!(body.iter().any(|i| matches!(i, Instr::StegoExtract { .. })));
+        assert!(body
+            .iter()
+            .any(|i| matches!(i, Instr::HostCall { api: HostApi::GetManifestDigest, .. })));
+    }
+
+    #[test]
+    fn code_scan_payload_targets_class() {
+        let mut f = FragmentBuilder::new(8);
+        emit_detection(
+            &mut f,
+            &DetectionKind::CodeScan {
+                class: "Stable".into(),
+                stego_key: "cfg_cache_1".into(),
+            },
+            ResponseChoice::LeakMemory,
+            "warn",
+            false,
+        );
+        let body = f.finish();
+        assert!(body
+            .iter()
+            .any(|i| matches!(i, Instr::HostCall { api: HostApi::CodeDigest, .. })));
+        assert!(body
+            .iter()
+            .any(|i| matches!(i, Instr::HostCall { api: HostApi::LeakMemory, .. })));
+    }
+}

@@ -1,0 +1,368 @@
+//! The end-to-end protection pipeline (paper Fig. 1).
+//!
+//! Unpack → profile (Dynodroid + Traceview roles) → static analysis and
+//! site planning → bomb construction & bytecode instrumentation →
+//! encryption → repackage unsigned output for the developer to sign.
+
+use crate::bomb::{arm_artificial, arm_existing, PayloadSpec};
+use crate::config::{ProtectConfig, ResponseChoice};
+use crate::inner;
+use crate::payload::DetectionKind;
+use crate::profiling::profile_app;
+use crate::report::{BombInfo, BombKind, ProtectReport};
+use crate::sites::{self, PlannedArtificial, PlannedExisting};
+use bombdroid_analysis::Strength;
+use bombdroid_apk::container::entry;
+use bombdroid_apk::{package_app, stego, ApkFile, AppMeta, DeveloperKey, StringsXml, VerifyError};
+use bombdroid_dex::{wire, DexFile, MethodRef, Value};
+use rand::{rngs::StdRng, Rng};
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+/// Why protection failed.
+#[derive(Debug)]
+pub enum ProtectError {
+    /// The input APK is not validly signed.
+    Install(VerifyError),
+    /// Instrumentation produced structurally invalid bytecode (a bug — the
+    /// validator is our safety net).
+    Validate(Vec<bombdroid_dex::ValidateError>),
+}
+
+impl fmt::Display for ProtectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtectError::Install(e) => write!(f, "input APK rejected: {e}"),
+            ProtectError::Validate(errs) => {
+                write!(f, "instrumented DEX failed validation ({} errors)", errs.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtectError {}
+
+impl From<VerifyError> for ProtectError {
+    fn from(e: VerifyError) -> Self {
+        ProtectError::Install(e)
+    }
+}
+
+/// A protected-but-unsigned app, to be signed by the legitimate developer
+/// ("the private key is kept by the legitimate developer and is not
+/// disclosed to BombDroid", §2.3).
+#[derive(Debug, Clone)]
+pub struct ProtectedApp {
+    /// Instrumented bytecode.
+    pub dex: DexFile,
+    /// Resources including steganographic digest covers.
+    pub strings: StringsXml,
+    /// Unchanged app metadata.
+    pub meta: AppMeta,
+    /// What was injected.
+    pub report: ProtectReport,
+}
+
+impl ProtectedApp {
+    /// Signs and packages the protected app with the developer's key.
+    pub fn package(&self, key: &DeveloperKey) -> ApkFile {
+        package_app(&self.dex, self.strings.clone(), self.meta.clone(), key)
+    }
+}
+
+/// The BombDroid protector.
+#[derive(Debug, Clone, Default)]
+pub struct Protector {
+    config: ProtectConfig,
+}
+
+impl Protector {
+    /// Creates a protector with the given configuration.
+    pub fn new(config: ProtectConfig) -> Self {
+        Protector { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ProtectConfig {
+        &self.config
+    }
+
+    /// Protects `apk`, returning the instrumented (unsigned) app and a
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProtectError::Install`] if the input APK's signature does not
+    ///   verify;
+    /// * [`ProtectError::Validate`] if instrumentation produced invalid
+    ///   bytecode (internal invariant).
+    pub fn protect(&self, apk: &ApkFile, rng: &mut StdRng) -> Result<ProtectedApp, ProtectError> {
+        let config = &self.config;
+        // Step 1–2: unpack, extract the public key, profile, plan sites.
+        let profile = profile_app(apk, config, rng.gen())?;
+        let mut dex = apk.dex.clone();
+        let plan = sites::plan(&dex, &profile, config, rng);
+
+        // Detection pool + steganographic resource strings.
+        let mut strings = apk.strings.clone();
+        let detections = self.build_detections(apk, &plan, &mut strings);
+
+        // Step 3–4: instrument, encrypt. Group actions per method and apply
+        // top-down (descending position) so indices stay valid.
+        enum Action {
+            Existing(PlannedExisting),
+            Bogus(PlannedExisting),
+            Artificial(PlannedArtificial),
+        }
+        impl Action {
+            fn position(&self) -> usize {
+                match self {
+                    Action::Existing(p) | Action::Bogus(p) => p.anchor,
+                    Action::Artificial(p) => p.at,
+                }
+            }
+            fn method(&self) -> &MethodRef {
+                match self {
+                    Action::Existing(p) | Action::Bogus(p) => &p.site.method,
+                    Action::Artificial(p) => &p.method,
+                }
+            }
+        }
+        let mut by_method: BTreeMap<MethodRef, Vec<Action>> = BTreeMap::new();
+        for p in plan.existing.iter().cloned() {
+            by_method
+                .entry(p.site.method.clone())
+                .or_default()
+                .push(Action::Existing(p));
+        }
+        for p in plan.bogus.iter().cloned() {
+            by_method
+                .entry(p.site.method.clone())
+                .or_default()
+                .push(Action::Bogus(p));
+        }
+        for p in plan.artificial.iter().cloned() {
+            by_method
+                .entry(p.method.clone())
+                .or_default()
+                .push(Action::Artificial(p));
+        }
+
+        let mut report = ProtectReport {
+            existing_qc_found: plan.existing_qc_found,
+            candidate_methods: plan.candidate_methods,
+            hot_methods: plan.hot_methods,
+            skipped_sites: plan.skipped_sites,
+            original_dex_size: wire::encode_dex(&apk.dex).len(),
+            ..ProtectReport::default()
+        };
+
+        let mut next_marker: u32 = 0;
+        let mut payload_counter: usize = 0;
+        let DexFile {
+            classes, blobs, ..
+        } = &mut dex;
+        for class in classes.iter_mut() {
+            for method in class.methods.iter_mut() {
+                let mref = method.method_ref();
+                let Some(mut actions) = by_method.remove(&mref) else {
+                    continue;
+                };
+                actions.sort_by(|a, b| b.position().cmp(&a.position()));
+                for action in actions {
+                    debug_assert_eq!(action.method(), &mref);
+                    let mut salt = vec![0u8; 8];
+                    rng.fill(&mut salt[..]);
+                    match action {
+                        Action::Existing(p) => {
+                            let spec = self.real_payload_spec(
+                                &detections,
+                                &mut next_marker,
+                                &mut payload_counter,
+                                rng,
+                            );
+                            match arm_existing(
+                                method,
+                                blobs,
+                                &p,
+                                &spec,
+                                &salt,
+                                config.weave_original,
+                            ) {
+                                Ok(blob) => report.bombs.push(BombInfo {
+                                    marker: spec.marker,
+                                    kind: BombKind::ExistingQc,
+                                    method: mref.clone(),
+                                    strength: p.site.strength(),
+                                    inner: spec
+                                        .inner
+                                        .as_ref()
+                                        .map(|i| (i.describe(), i.probability())),
+                                    detection: spec.detection.as_ref().map(|(k, _)| k.tag()),
+                                    blob,
+                                }),
+                                Err(_) => report.skipped_sites += 1,
+                            }
+                        }
+                        Action::Bogus(p) => {
+                            let spec = PayloadSpec {
+                                marker: None,
+                                inner: None,
+                                detection: None,
+                                warn_message: String::new(),
+                                mute_others: false,
+                            };
+                            match arm_existing(method, blobs, &p, &spec, &salt, true) {
+                                Ok(blob) => report.bombs.push(BombInfo {
+                                    marker: None,
+                                    kind: BombKind::Bogus,
+                                    method: mref.clone(),
+                                    strength: p.site.strength(),
+                                    inner: None,
+                                    detection: None,
+                                    blob,
+                                }),
+                                Err(_) => report.skipped_sites += 1,
+                            }
+                        }
+                        Action::Artificial(p) => {
+                            let spec = self.real_payload_spec(
+                                &detections,
+                                &mut next_marker,
+                                &mut payload_counter,
+                                rng,
+                            );
+                            let strength = match &p.constant {
+                                Value::Bool(_) => Strength::Weak,
+                                Value::Int(_) => Strength::Medium,
+                                _ => Strength::Strong,
+                            };
+                            match arm_artificial(method, blobs, &p, &spec, &salt) {
+                                Ok(blob) => report.bombs.push(BombInfo {
+                                    marker: spec.marker,
+                                    kind: BombKind::ArtificialQc,
+                                    method: mref.clone(),
+                                    strength,
+                                    inner: spec
+                                        .inner
+                                        .as_ref()
+                                        .map(|i| (i.describe(), i.probability())),
+                                    detection: spec.detection.as_ref().map(|(k, _)| k.tag()),
+                                    blob,
+                                }),
+                                Err(_) => report.skipped_sites += 1,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        bombdroid_dex::validate(&dex).map_err(ProtectError::Validate)?;
+        report.protected_dex_size = wire::encode_dex(&dex).len();
+
+        Ok(ProtectedApp {
+            dex,
+            strings,
+            meta: apk.meta.clone(),
+            report,
+        })
+    }
+
+    /// Builds the detection pool: public key, manifest digests of entries a
+    /// repackager must change (icon, AndroidManifest), and code scans of
+    /// classes the plan leaves untouched. Hides expected digests in
+    /// `strings.xml` covers.
+    fn build_detections(
+        &self,
+        apk: &ApkFile,
+        plan: &sites::SitePlan,
+        strings: &mut StringsXml,
+    ) -> Vec<DetectionKind> {
+        let mut detections = Vec::new();
+        let mut stego_n = 0usize;
+        let mut hide = |strings: &mut StringsXml, payload: &[u8]| -> String {
+            let key = format!("cfg_token_{stego_n}");
+            stego_n += 1;
+            strings.set(key.clone(), stego::embed(payload));
+            key
+        };
+        if self.config.detection.public_key {
+            detections.push(DetectionKind::PublicKey {
+                original: apk.cert.public_key.to_bytes().to_vec(),
+            });
+        }
+        if self.config.detection.digest {
+            let manifest = apk.manifest();
+            for e in [entry::ICON, entry::ANDROID_MANIFEST] {
+                if let Some(d) = manifest.digest(e) {
+                    let key = hide(strings, d);
+                    detections.push(DetectionKind::ManifestDigest {
+                        entry: e.to_string(),
+                        stego_key: key,
+                    });
+                }
+            }
+        }
+        if self.config.detection.code_scan {
+            let touched: HashSet<&str> = plan
+                .existing
+                .iter()
+                .chain(plan.bogus.iter())
+                .map(|p| p.site.method.class.as_str())
+                .chain(plan.artificial.iter().map(|p| p.method.class.as_str()))
+                .collect();
+            let mut scans = 0;
+            for class in &apk.dex.classes {
+                if touched.contains(class.name.as_str()) {
+                    continue;
+                }
+                let digest = wire::class_digest(class);
+                let key = hide(strings, &digest);
+                detections.push(DetectionKind::CodeScan {
+                    class: class.name.as_str().to_string(),
+                    stego_key: key,
+                });
+                scans += 1;
+                if scans >= 2 {
+                    break;
+                }
+            }
+        }
+        detections
+    }
+
+    fn real_payload_spec(
+        &self,
+        detections: &[DetectionKind],
+        next_marker: &mut u32,
+        payload_counter: &mut usize,
+        rng: &mut StdRng,
+    ) -> PayloadSpec {
+        let marker = *next_marker;
+        *next_marker += 1;
+        let detection = if detections.is_empty() {
+            None
+        } else {
+            let kind = detections[*payload_counter % detections.len()].clone();
+            let response = if self.config.responses.is_empty() {
+                ResponseChoice::Kill
+            } else {
+                self.config.responses[*payload_counter % self.config.responses.len()]
+            };
+            Some((kind, response))
+        };
+        *payload_counter += 1;
+        let inner_cond = self
+            .config
+            .double_trigger
+            .then(|| inner::synthesize(rng, self.config.inner_probability));
+        PayloadSpec {
+            marker: Some(marker),
+            inner: inner_cond,
+            detection,
+            warn_message: "unofficial copy detected".to_string(),
+            mute_others: self.config.mute_after_detection,
+        }
+    }
+}

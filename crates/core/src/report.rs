@@ -1,0 +1,151 @@
+//! Protection reports: what got injected where (feeds Tables 1, 2 and
+//! Fig. 4).
+
+use bombdroid_analysis::Strength;
+use bombdroid_dex::{BlobId, MethodRef};
+
+/// The three bomb flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BombKind {
+    /// Built on a qualified condition already present in the app (§3.3).
+    ExistingQc,
+    /// Built on an inserted artificial qualified condition (§3.3).
+    ArtificialQc,
+    /// Bogus bomb: original conditional code dressed up as a bomb (§3.4).
+    Bogus,
+}
+
+/// One injected bomb.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BombInfo {
+    /// Marker id (None for bogus bombs, which carry no payload).
+    pub marker: Option<u32>,
+    /// Flavour.
+    pub kind: BombKind,
+    /// Host method.
+    pub method: MethodRef,
+    /// Outer-condition strength (Fig. 4 weak/medium/strong).
+    pub strength: Strength,
+    /// Inner trigger description + population probability (double-trigger
+    /// bombs only).
+    pub inner: Option<(String, f64)>,
+    /// Detection method tag (`public-key` / `manifest-digest` /
+    /// `code-scan`); None for bogus bombs.
+    pub detection: Option<&'static str>,
+    /// Blob holding the encrypted payload.
+    pub blob: BlobId,
+}
+
+/// Summary of one protection run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProtectReport {
+    /// Every bomb injected (real + bogus).
+    pub bombs: Vec<BombInfo>,
+    /// Total existing QCs found by the scanner (Table 1 column).
+    pub existing_qc_found: usize,
+    /// Candidate (non-hot) methods (Table 1 column).
+    pub candidate_methods: usize,
+    /// Methods excluded as hot.
+    pub hot_methods: usize,
+    /// Eligible existing sites that had to be skipped (non-self-contained
+    /// regions etc.).
+    pub skipped_sites: usize,
+    /// `classes.dex` size before protection, bytes.
+    pub original_dex_size: usize,
+    /// `classes.dex` size after protection, bytes.
+    pub protected_dex_size: usize,
+}
+
+impl ProtectReport {
+    /// Number of real (payload-carrying) bombs.
+    pub fn bombs_injected(&self) -> usize {
+        self.bombs.iter().filter(|b| b.kind != BombKind::Bogus).count()
+    }
+
+    /// Real bombs built on existing QCs.
+    pub fn existing_bombs(&self) -> usize {
+        self.count(BombKind::ExistingQc)
+    }
+
+    /// Real bombs built on artificial QCs.
+    pub fn artificial_bombs(&self) -> usize {
+        self.count(BombKind::ArtificialQc)
+    }
+
+    /// Bogus bombs.
+    pub fn bogus_bombs(&self) -> usize {
+        self.count(BombKind::Bogus)
+    }
+
+    fn count(&self, kind: BombKind) -> usize {
+        self.bombs.iter().filter(|b| b.kind == kind).count()
+    }
+
+    /// `(weak, medium, strong)` counts among bombs of `kind` (Fig. 4).
+    pub fn strength_histogram(&self, kind: BombKind) -> (usize, usize, usize) {
+        let mut h = (0, 0, 0);
+        for b in self.bombs.iter().filter(|b| b.kind == kind) {
+            match b.strength {
+                Strength::Weak => h.0 += 1,
+                Strength::Medium => h.1 += 1,
+                Strength::Strong => h.2 += 1,
+            }
+        }
+        h
+    }
+
+    /// Code-size increase ratio, e.g. `0.097` for +9.7% (§8.4).
+    pub fn code_size_increase(&self) -> f64 {
+        if self.original_dex_size == 0 {
+            return 0.0;
+        }
+        (self.protected_dex_size as f64 - self.original_dex_size as f64)
+            / self.original_dex_size as f64
+    }
+
+    /// Marker ids of all real bombs (the denominator for triggered-ratio
+    /// measurements, Fig. 5).
+    pub fn marker_ids(&self) -> Vec<u32> {
+        self.bombs.iter().filter_map(|b| b.marker).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bomb(kind: BombKind, strength: Strength, marker: Option<u32>) -> BombInfo {
+        BombInfo {
+            marker,
+            kind,
+            method: MethodRef::new("C", "m"),
+            strength,
+            inner: None,
+            detection: None,
+            blob: BlobId(0),
+        }
+    }
+
+    #[test]
+    fn counting_and_histograms() {
+        let report = ProtectReport {
+            bombs: vec![
+                bomb(BombKind::ExistingQc, Strength::Weak, Some(0)),
+                bomb(BombKind::ExistingQc, Strength::Strong, Some(1)),
+                bomb(BombKind::ArtificialQc, Strength::Medium, Some(2)),
+                bomb(BombKind::Bogus, Strength::Medium, None),
+            ],
+            existing_qc_found: 10,
+            original_dex_size: 1_000,
+            protected_dex_size: 1_097,
+            ..ProtectReport::default()
+        };
+        assert_eq!(report.bombs_injected(), 3);
+        assert_eq!(report.existing_bombs(), 2);
+        assert_eq!(report.artificial_bombs(), 1);
+        assert_eq!(report.bogus_bombs(), 1);
+        assert_eq!(report.strength_histogram(BombKind::ExistingQc), (1, 0, 1));
+        assert!((report.code_size_increase() - 0.097).abs() < 1e-9);
+        assert_eq!(report.marker_ids(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,278 @@
+//! In-place bytecode rewriting with branch-target remapping — the
+//! Javassist-shaped piece of the instrumentation step.
+
+use bombdroid_dex::{Instr, Method};
+use std::fmt;
+
+/// Why a region could not be rewritten.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// Region bounds are out of range or inverted.
+    BadRange {
+        /// Requested start.
+        start: usize,
+        /// Requested end.
+        end: usize,
+        /// Method body length.
+        len: usize,
+    },
+    /// A branch from outside the region targets its interior — the region
+    /// is not single-entry and cannot be replaced atomically.
+    CrossJumpIntoRegion {
+        /// The offending branch's pc.
+        from: usize,
+        /// Its interior target.
+        target: usize,
+    },
+    /// An instruction inside the region jumps somewhere other than within
+    /// the region or to its end — the region is not self-contained.
+    RegionEscapes {
+        /// The offending instruction's pc.
+        at: usize,
+        /// Its escaping target.
+        target: usize,
+    },
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::BadRange { start, end, len } => {
+                write!(f, "bad rewrite range {start}..{end} for body of {len}")
+            }
+            RewriteError::CrossJumpIntoRegion { from, target } => {
+                write!(f, "branch at @{from} jumps into region interior @{target}")
+            }
+            RewriteError::RegionEscapes { at, target } => {
+                write!(f, "instruction at @{at} escapes the region to @{target}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+/// Checks that `[start, end)` is a *self-contained, single-entry* region:
+/// no external branch lands strictly inside it, and no internal branch
+/// leaves it (targets within the region or exactly `end` are fine).
+///
+/// # Errors
+///
+/// Returns the violation found.
+pub fn check_region(method: &Method, start: usize, end: usize) -> Result<(), RewriteError> {
+    let len = method.body.len();
+    if start > end || end > len {
+        return Err(RewriteError::BadRange { start, end, len });
+    }
+    for (pc, instr) in method.body.iter().enumerate() {
+        for t in instr.branch_targets() {
+            let inside_region = (start..end).contains(&pc);
+            if inside_region {
+                if !(start..=end).contains(&t) {
+                    return Err(RewriteError::RegionEscapes { at: pc, target: t });
+                }
+            } else if t > start && t < end {
+                return Err(RewriteError::CrossJumpIntoRegion { from: pc, target: t });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Replaces the instruction region `[start, end)` of `method` with
+/// `replacement`, remapping every branch target in the rest of the method.
+///
+/// Branch targets inside `replacement` must be *region-relative*: `0` is
+/// the first replacement instruction, and `replacement.len()` means "the
+/// instruction after the region" (they are shifted by `start`).
+///
+/// # Errors
+///
+/// Returns [`RewriteError`] if the region is not self-contained (see
+/// [`check_region`]).
+pub fn rewrite_region(
+    method: &mut Method,
+    start: usize,
+    end: usize,
+    replacement: Vec<Instr>,
+) -> Result<(), RewriteError> {
+    check_region(method, start, end)?;
+    let old_region_len = end - start;
+    let new_region_len = replacement.len();
+    let map = |old_target: usize| -> usize {
+        if old_target <= start {
+            old_target
+        } else {
+            // Region is single-entry, so any other target is ≥ end.
+            old_target - old_region_len + new_region_len
+        }
+    };
+
+    let mut new_body: Vec<Instr> = Vec::with_capacity(method.body.len() - old_region_len + new_region_len);
+    let remap = |mut instr: Instr| -> Instr {
+        match &mut instr {
+            Instr::If { target, .. } | Instr::Goto { target } => *target = map(*target),
+            Instr::Switch { arms, default, .. } => {
+                for (_, t) in arms.iter_mut() {
+                    *t = map(*t);
+                }
+                *default = map(*default);
+            }
+            _ => {}
+        }
+        instr
+    };
+    for instr in &method.body[..start] {
+        new_body.push(remap(instr.clone()));
+    }
+    for mut instr in replacement {
+        match &mut instr {
+            Instr::If { target, .. } | Instr::Goto { target } => *target += start,
+            Instr::Switch { arms, default, .. } => {
+                for (_, t) in arms.iter_mut() {
+                    *t += start;
+                }
+                *default += start;
+            }
+            _ => {}
+        }
+        new_body.push(instr);
+    }
+    for instr in &method.body[end..] {
+        new_body.push(remap(instr.clone()));
+    }
+    method.body = new_body;
+    // Keep the frame large enough for any new registers.
+    for instr in &method.body {
+        for r in instr.uses() {
+            method.registers = method.registers.max(r.0 + 1);
+        }
+        if let Some(d) = instr.def() {
+            method.registers = method.registers.max(d.0 + 1);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bombdroid_dex::{CondOp, MethodBuilder, Reg, RegOrConst, Value};
+
+    fn branch_over_method() -> Method {
+        // 0: if v0 != 7 goto 3 ; 1: const v1 "b" ; 2: host log ; 3: return
+        let mut b = MethodBuilder::new("T", "m", 1);
+        let skip = b.fresh_label();
+        b.if_not(CondOp::Eq, Reg(0), RegOrConst::Const(Value::Int(7)), skip);
+        b.host_log("body");
+        b.place_label(skip);
+        b.ret_void();
+        b.finish()
+    }
+
+    #[test]
+    fn replace_body_shrinks_and_remaps() {
+        let mut m = branch_over_method();
+        assert_eq!(m.body.len(), 4);
+        // Replace the 2-instruction body (pcs 1..3) with 1 Nop.
+        rewrite_region(&mut m, 1, 3, vec![Instr::Nop]).unwrap();
+        assert_eq!(m.body.len(), 3);
+        match &m.body[0] {
+            Instr::If { target, .. } => assert_eq!(*target, 2, "skip target shifted"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insertion_at_point_shifts_later_targets() {
+        let mut m = branch_over_method();
+        // Insert two Nops at pc 1 (start == end → pure insertion).
+        rewrite_region(&mut m, 1, 1, vec![Instr::Nop, Instr::Nop]).unwrap();
+        assert_eq!(m.body.len(), 6);
+        match &m.body[0] {
+            Instr::If { target, .. } => assert_eq!(*target, 5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replacement_relative_targets_shifted() {
+        let mut m = branch_over_method();
+        // Replacement with an internal branch: region-relative target 2 ==
+        // "after region".
+        let rep = vec![
+            Instr::If {
+                cond: CondOp::Eq,
+                lhs: Reg(0),
+                rhs: RegOrConst::Const(Value::Int(1)),
+                target: 2,
+            },
+            Instr::Nop,
+        ];
+        rewrite_region(&mut m, 1, 3, rep).unwrap();
+        match &m.body[1] {
+            Instr::If { target, .. } => assert_eq!(*target, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_jump_rejected() {
+        let mut b = MethodBuilder::new("T", "x", 1);
+        let mid = b.fresh_label();
+        let end = b.fresh_label();
+        b.if_(CondOp::Eq, Reg(0), RegOrConst::Const(Value::Int(0)), mid); // 0
+        b.host_log("a"); // 1,2
+        b.place_label(mid);
+        b.host_log("b"); // 3,4
+        b.place_label(end);
+        b.ret_void();
+        let mut m = b.finish();
+        // Region 1..5 has an external branch into pc 3 → reject.
+        let err = rewrite_region(&mut m, 1, 5, vec![Instr::Nop]).unwrap_err();
+        assert!(matches!(err, RewriteError::CrossJumpIntoRegion { target: 3, .. }));
+    }
+
+    #[test]
+    fn escaping_region_rejected() {
+        let mut b = MethodBuilder::new("T", "y", 1);
+        let top = b.fresh_label();
+        b.place_label(top);
+        b.host_log("a"); // 0,1
+        b.goto(top); // 2 (jumps back to 0)
+        let mut m = b.finish();
+        // Region 1..3 contains the goto targeting 0 (outside) → escape.
+        let err = rewrite_region(&mut m, 1, 3, vec![Instr::Nop]).unwrap_err();
+        assert!(matches!(err, RewriteError::RegionEscapes { target: 0, .. }));
+    }
+
+    #[test]
+    fn bad_range_rejected() {
+        let mut m = branch_over_method();
+        assert!(matches!(
+            rewrite_region(&mut m, 3, 2, vec![]),
+            Err(RewriteError::BadRange { .. })
+        ));
+        assert!(matches!(
+            rewrite_region(&mut m, 0, 99, vec![]),
+            Err(RewriteError::BadRange { .. })
+        ));
+    }
+
+    #[test]
+    fn registers_bumped_for_new_regs() {
+        let mut m = branch_over_method();
+        let before = m.registers;
+        rewrite_region(
+            &mut m,
+            1,
+            1,
+            vec![Instr::Const {
+                dst: Reg(before + 5),
+                value: Value::Int(1),
+            }],
+        )
+        .unwrap();
+        assert_eq!(m.registers, before + 6);
+    }
+}

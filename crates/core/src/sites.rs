@@ -1,0 +1,395 @@
+//! Bomb-site planning (paper §7.2): which existing qualified conditions to
+//! arm, where to insert artificial ones, and which leftovers become bogus
+//! bombs.
+
+use crate::config::ProtectConfig;
+use crate::profiling::ProfileResult;
+use crate::rewrite::check_region;
+use bombdroid_analysis::{distinct_values, qc, rank_fields, QcCompare, QcSite};
+use bombdroid_analysis::{Cfg, Dominators, LoopInfo};
+use bombdroid_dex::{DexFile, FieldKind, FieldRef, Instr, Method, MethodRef, Value};
+use rand::{seq::SliceRandom, Rng};
+use std::collections::HashSet;
+
+/// An armed existing-QC site with its resolved rewrite region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedExisting {
+    /// The underlying qualified condition.
+    pub site: QcSite,
+    /// First instruction of the region to replace (literal const for string
+    /// QCs, the branch itself otherwise).
+    pub anchor: usize,
+    /// One past the region: the branch-over skip target.
+    pub skip: usize,
+}
+
+/// A planned artificial-QC insertion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedArtificial {
+    /// Host method.
+    pub method: MethodRef,
+    /// Insertion point (instruction index).
+    pub at: usize,
+    /// Profiled high-entropy static field providing `ϕ`.
+    pub field: FieldRef,
+    /// Observed field value chosen as the constant `c`.
+    pub constant: Value,
+}
+
+/// The full instrumentation plan for one app.
+#[derive(Debug, Clone, Default)]
+pub struct SitePlan {
+    /// Existing-QC sites selected for real bombs.
+    pub existing: Vec<PlannedExisting>,
+    /// Leftover eligible sites earmarked for bogus bombs.
+    pub bogus: Vec<PlannedExisting>,
+    /// Artificial-QC insertions.
+    pub artificial: Vec<PlannedArtificial>,
+    /// All existing QCs the scanner found (Table 1).
+    pub existing_qc_found: usize,
+    /// Candidate (non-hot) method count (Table 1).
+    pub candidate_methods: usize,
+    /// Hot method count.
+    pub hot_methods: usize,
+    /// Eligible-looking sites rejected by the region checker.
+    pub skipped_sites: usize,
+}
+
+/// Resolves the branch-over skip target of a site, if it has the
+/// transformable shape.
+fn branch_over_skip(method: &Method, site: &QcSite) -> Option<usize> {
+    // Transformable shapes compile `if (X == c) { body }` as a negated
+    // branch over the body: body starts right after the branch.
+    if site.body_entry != site.branch_pc + 1 {
+        return None;
+    }
+    match &method.body[site.branch_pc] {
+        Instr::If { target, .. } => (*target >= site.body_entry).then_some(*target),
+        _ => None,
+    }
+}
+
+fn anchor_of(site: &QcSite) -> Option<usize> {
+    match site.compare {
+        QcCompare::SwitchArm => None,
+        QcCompare::StrEquals | QcCompare::StrStartsWith | QcCompare::StrEndsWith => {
+            // String QCs need the literal-const + StrOp + If anchor to be
+            // contiguous so the whole idiom is replaced (otherwise the
+            // plaintext literal would survive in the bytecode).
+            let lit = site.lit_const_pc?;
+            let sop = site.str_op_pc?;
+            (lit + 1 == sop && sop + 1 == site.branch_pc).then_some(lit)
+        }
+        QcCompare::IntEq | QcCompare::BoolEq => Some(site.branch_pc),
+    }
+}
+
+fn region_is_clean(method: &Method, anchor: usize, skip: usize) -> bool {
+    if check_region(method, anchor, skip).is_err() {
+        return false;
+    }
+    // Don't double-instrument regions that already contain bomb machinery.
+    method.body[anchor..skip]
+        .iter()
+        .all(|i| !matches!(i, Instr::Hash { .. } | Instr::DecryptExec { .. }))
+}
+
+/// Plans instrumentation for `dex` given profiling results.
+pub fn plan(
+    dex: &DexFile,
+    profile: &ProfileResult,
+    config: &ProtectConfig,
+    rng: &mut impl Rng,
+) -> SitePlan {
+    let mut plan = SitePlan::default();
+    let all_methods: Vec<MethodRef> = dex.methods().map(|m| m.method_ref()).collect();
+    plan.hot_methods = profile.hot.len();
+    let candidates: Vec<MethodRef> = all_methods
+        .iter()
+        .filter(|m| !profile.hot.contains(m))
+        .cloned()
+        .collect();
+    plan.candidate_methods = candidates.len();
+    let candidate_set: HashSet<&MethodRef> = candidates.iter().collect();
+
+    // ---- existing QCs --------------------------------------------------
+    let mut eligible: Vec<PlannedExisting> = Vec::new();
+    for method in dex.methods() {
+        let sites = qc::scan_method(method);
+        plan.existing_qc_found += sites.len();
+        if !candidate_set.contains(&method.method_ref()) {
+            continue;
+        }
+        // Per-method greedy non-overlapping selection, highest anchor first
+        // so later rewrites don't shift earlier regions.
+        let mut per_method: Vec<PlannedExisting> = sites
+            .into_iter()
+            .filter(|s| !s.in_loop)
+            .filter_map(|s| {
+                let anchor = anchor_of(&s)?;
+                let skip = branch_over_skip(method, &s)?;
+                Some(PlannedExisting {
+                    site: s,
+                    anchor,
+                    skip,
+                })
+            })
+            .collect();
+        per_method.sort_by(|a, b| b.anchor.cmp(&a.anchor));
+        let mut taken_below = usize::MAX;
+        for p in per_method {
+            if p.skip > taken_below {
+                plan.skipped_sites += 1;
+                continue; // overlaps a previously taken (higher) region
+            }
+            if !region_is_clean(method, p.anchor, p.skip) {
+                plan.skipped_sites += 1;
+                continue;
+            }
+            taken_below = p.anchor;
+            eligible.push(p);
+        }
+    }
+
+    // Split eligible sites into real bombs and bogus bombs.
+    let max_real = config.max_bombs.unwrap_or(usize::MAX);
+    for p in eligible {
+        if plan.existing.len() < max_real {
+            plan.existing.push(p);
+        } else if (plan.bogus.len() as f64)
+            < config.bogus_ratio * (plan.existing.len() as f64)
+        {
+            plan.bogus.push(p);
+        }
+    }
+    // Reserve a slice of the real sites as bogus even under no cap, so the
+    // two populations coexist (paper §3.4 wants both).
+    if config.max_bombs.is_none() && config.bogus_ratio > 0.0 && plan.existing.len() >= 4 {
+        let n_bogus = ((plan.existing.len() as f64) * config.bogus_ratio / 4.0).round() as usize;
+        for _ in 0..n_bogus {
+            if let Some(p) = plan.existing.pop() {
+                plan.bogus.push(p);
+            }
+        }
+    }
+
+    // ---- artificial QCs -------------------------------------------------
+    // High-entropy profiled *static* fields (resolvable from any method).
+    let ranked = rank_fields(profile.telemetry.field_values.iter());
+    let usable_fields: Vec<(FieldRef, Vec<Value>)> = ranked
+        .iter()
+        .filter(|fe| fe.unique >= 4)
+        .filter_map(|fe| {
+            let (class, name) = fe.field.rsplit_once('.')?;
+            let class_def = dex.class(class)?;
+            if !class_def.has_field(name, FieldKind::Static) {
+                return None;
+            }
+            let samples = profile.telemetry.field_values.get(&fe.field)?;
+            // Prefer values the field took *repeatedly* during profiling:
+            // a constant the program revisits is a trigger users will
+            // eventually satisfy, while a one-off value would make the
+            // bomb dead on every device.
+            let mut counts: std::collections::HashMap<&Value, usize> =
+                std::collections::HashMap::new();
+            for (_, v) in samples {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+            let scalar = |v: &Value| matches!(v, Value::Int(_) | Value::Str(_) | Value::Bool(_));
+            // Monotonic counters (every value distinct) would make dead
+            // bombs — skip fields without recurring values outright.
+            let values: Vec<Value> = distinct_values(samples)
+                .into_iter()
+                .filter(|v| scalar(v) && counts.get(v).copied().unwrap_or(0) >= 3)
+                .collect();
+            (!values.is_empty()).then(|| (FieldRef::new(class, name), values))
+        })
+        .collect();
+
+    if !usable_fields.is_empty() {
+        // Prefer frequently-invoked (but non-hot) methods: a trigger
+        // condition that is never evaluated can never fire on the user
+        // side, so insertion sites follow the invocation profile.
+        let mut by_calls: Vec<MethodRef> = candidates.clone();
+        by_calls.sort_by_key(|m| {
+            std::cmp::Reverse(profile.telemetry.method_calls.get(m).copied().unwrap_or(0))
+        });
+        let n = ((candidates.len() as f64) * config.alpha).round() as usize;
+        // Pool: the warmer half of the candidates, grown if α demands more.
+        let warm_pool = (((by_calls.len() + 1) / 2).max(1)).max(n.min(by_calls.len()));
+        let mut picked: Vec<MethodRef> = by_calls[..warm_pool].to_vec();
+        picked.shuffle(rng);
+        picked.truncate(n);
+        for mref in picked {
+            let Some(method) = dex.method(&mref) else {
+                continue;
+            };
+            if method.body.is_empty() {
+                continue;
+            }
+            // Random non-loop location; avoid positions inside selected
+            // existing regions of the same method.
+            let cfg = Cfg::build(method);
+            let loops = LoopInfo::compute(&cfg, &Dominators::compute(&cfg));
+            let blocked: Vec<(usize, usize)> = plan
+                .existing
+                .iter()
+                .chain(plan.bogus.iter())
+                .filter(|p| p.site.method == mref)
+                .map(|p| (p.anchor, p.skip))
+                .collect();
+            let spots: Vec<usize> = (0..method.body.len())
+                .filter(|&pc| !loops.pc_in_loop(&cfg, pc))
+                .filter(|&pc| !blocked.iter().any(|&(a, s)| pc > a && pc < s))
+                .collect();
+            if spots.is_empty() {
+                continue;
+            }
+            let at = spots[rng.gen_range(0..spots.len())];
+            // Prefer the highest-entropy fields ("fields that have the
+            // largest numbers of unique values", §7.2) with a little
+            // variety across bombs.
+            let fi = rng.gen_range(0..usable_fields.len().min(3));
+            let (field, values) = &usable_fields[fi];
+            let constant = values[rng.gen_range(0..values.len())].clone();
+            plan.artificial.push(PlannedArtificial {
+                method: mref,
+                at,
+                field: field.clone(),
+                constant,
+            });
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiling::ProfileResult;
+    use bombdroid_dex::{Class, CondOp, MethodBuilder, Reg, RegOrConst};
+    use bombdroid_runtime::Telemetry;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn app_with_qcs() -> DexFile {
+        let mut dex = DexFile::new();
+        let mut class = Class::new("A");
+        class.fields.push(bombdroid_dex::Field::stat("counter"));
+        // Method with two disjoint QCs.
+        let mut b = MethodBuilder::new("A", "handler", 1);
+        let skip1 = b.fresh_label();
+        b.if_not(CondOp::Eq, Reg(0), RegOrConst::Const(Value::Int(42)), skip1);
+        b.host_log("forty-two");
+        b.place_label(skip1);
+        let skip2 = b.fresh_label();
+        b.if_not(CondOp::Eq, Reg(0), RegOrConst::Const(Value::Int(7)), skip2);
+        b.host_log("seven");
+        b.place_label(skip2);
+        b.ret_void();
+        class.methods.push(b.finish());
+        // A second, QC-free method.
+        let mut c = MethodBuilder::new("A", "quiet", 0);
+        c.host_log("quiet");
+        c.ret_void();
+        class.methods.push(c.finish());
+        dex.classes.push(class);
+        dex
+    }
+
+    fn fake_profile() -> ProfileResult {
+        let mut telemetry = Telemetry::new();
+        // 50 distinct values, each recurring (the planner requires values
+        // the program revisits).
+        for round in 0..4u64 {
+            for i in 0..50u64 {
+                telemetry.record_field("A.counter".into(), round * 50 + i, Value::Int(i as i64));
+            }
+        }
+        ProfileResult {
+            telemetry,
+            hot: HashSet::new(),
+        }
+    }
+
+    #[test]
+    fn plans_existing_sites_without_overlap() {
+        let dex = app_with_qcs();
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = plan(
+            &dex,
+            &fake_profile(),
+            &ProtectConfig {
+                bogus_ratio: 0.0,
+                alpha: 0.0,
+                ..ProtectConfig::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(plan.existing_qc_found, 2);
+        assert_eq!(plan.existing.len(), 2);
+        // Highest anchor first (descending transformation order).
+        assert!(plan.existing[0].anchor > plan.existing[1].anchor);
+        assert!(plan.artificial.is_empty());
+    }
+
+    #[test]
+    fn alpha_drives_artificial_count() {
+        let dex = app_with_qcs();
+        let mut rng = StdRng::seed_from_u64(2);
+        let plan = plan(
+            &dex,
+            &fake_profile(),
+            &ProtectConfig {
+                alpha: 1.0,
+                bogus_ratio: 0.0,
+                ..ProtectConfig::default()
+            },
+            &mut rng,
+        );
+        // Both candidate methods should get an artificial QC.
+        assert_eq!(plan.artificial.len(), 2);
+        for a in &plan.artificial {
+            assert_eq!(a.field, FieldRef::new("A", "counter"));
+            assert!(matches!(a.constant, Value::Int(_)));
+        }
+    }
+
+    #[test]
+    fn hot_methods_excluded() {
+        let dex = app_with_qcs();
+        let mut profile = fake_profile();
+        profile.hot.insert(MethodRef::new("A", "handler"));
+        let mut rng = StdRng::seed_from_u64(3);
+        let plan = plan(
+            &dex,
+            &profile,
+            &ProtectConfig {
+                alpha: 0.0,
+                ..ProtectConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(plan.existing.is_empty(), "hot method must not be armed");
+        assert_eq!(plan.candidate_methods, 1);
+        assert_eq!(plan.hot_methods, 1);
+    }
+
+    #[test]
+    fn max_bombs_diverts_to_bogus() {
+        let dex = app_with_qcs();
+        let mut rng = StdRng::seed_from_u64(4);
+        let plan = plan(
+            &dex,
+            &fake_profile(),
+            &ProtectConfig {
+                max_bombs: Some(1),
+                bogus_ratio: 1.0,
+                alpha: 0.0,
+                ..ProtectConfig::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(plan.existing.len(), 1);
+        assert_eq!(plan.bogus.len(), 1);
+    }
+}

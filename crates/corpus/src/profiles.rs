@@ -1,0 +1,167 @@
+//! Category profiles calibrated to the paper's Table 1 (963 F-Droid apps
+//! in eight categories).
+
+use std::fmt;
+
+/// The eight app categories of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Category {
+    Game,
+    ScienceEdu,
+    SportHealth,
+    Writing,
+    Navigation,
+    Multimedia,
+    Security,
+    Development,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl Category {
+    /// Table 1 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Game => "Game",
+            Category::ScienceEdu => "Science&Edu.",
+            Category::SportHealth => "Sport&Health",
+            Category::Writing => "Writing",
+            Category::Navigation => "Navigation",
+            Category::Multimedia => "Multimedia",
+            Category::Security => "Security",
+            Category::Development => "Development",
+        }
+    }
+
+    /// All categories in Table 1 order.
+    pub const ALL: [Category; 8] = [
+        Category::Game,
+        Category::ScienceEdu,
+        Category::SportHealth,
+        Category::Writing,
+        Category::Navigation,
+        Category::Multimedia,
+        Category::Security,
+        Category::Development,
+    ];
+}
+
+/// Target statistics for one category (the paper's Table 1 values).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CategoryProfile {
+    /// Category.
+    pub category: Category,
+    /// Number of apps in the corpus.
+    pub apps: usize,
+    /// Average lines of (Java) code — our instruction-count analogue.
+    pub avg_loc: usize,
+    /// Average candidate (non-hot) methods.
+    pub avg_candidate_methods: usize,
+    /// Average existing qualified conditions.
+    pub avg_existing_qcs: usize,
+    /// Average distinct environment variables used.
+    pub avg_env_vars: usize,
+}
+
+/// Table 1, verbatim.
+pub const CATEGORY_PROFILES: [CategoryProfile; 8] = [
+    CategoryProfile {
+        category: Category::Game,
+        apps: 105,
+        avg_loc: 3_043,
+        avg_candidate_methods: 95,
+        avg_existing_qcs: 56,
+        avg_env_vars: 16,
+    },
+    CategoryProfile {
+        category: Category::ScienceEdu,
+        apps: 98,
+        avg_loc: 4_046,
+        avg_candidate_methods: 86,
+        avg_existing_qcs: 44,
+        avg_env_vars: 8,
+    },
+    CategoryProfile {
+        category: Category::SportHealth,
+        apps: 87,
+        avg_loc: 5_467,
+        avg_candidate_methods: 113,
+        avg_existing_qcs: 40,
+        avg_env_vars: 11,
+    },
+    CategoryProfile {
+        category: Category::Writing,
+        apps: 149,
+        avg_loc: 7_099,
+        avg_candidate_methods: 149,
+        avg_existing_qcs: 67,
+        avg_env_vars: 6,
+    },
+    CategoryProfile {
+        category: Category::Navigation,
+        apps: 121,
+        avg_loc: 9_374,
+        avg_candidate_methods: 185,
+        avg_existing_qcs: 52,
+        avg_env_vars: 9,
+    },
+    CategoryProfile {
+        category: Category::Multimedia,
+        apps: 108,
+        avg_loc: 10_032,
+        avg_candidate_methods: 203,
+        avg_existing_qcs: 72,
+        avg_env_vars: 17,
+    },
+    CategoryProfile {
+        category: Category::Security,
+        apps: 152,
+        avg_loc: 11_073,
+        avg_candidate_methods: 242,
+        avg_existing_qcs: 86,
+        avg_env_vars: 12,
+    },
+    CategoryProfile {
+        category: Category::Development,
+        apps: 143,
+        avg_loc: 14_376,
+        avg_candidate_methods: 373,
+        avg_existing_qcs: 93,
+        avg_env_vars: 11,
+    },
+];
+
+/// Total corpus size (963 in the paper).
+pub fn corpus_size() -> usize {
+    CATEGORY_PROFILES.iter().map(|p| p.apps).sum()
+}
+
+/// Profile for a category.
+pub fn profile_of(category: Category) -> &'static CategoryProfile {
+    CATEGORY_PROFILES
+        .iter()
+        .find(|p| p.category == category)
+        .expect("all categories present")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_totals_963() {
+        assert_eq!(corpus_size(), 963);
+    }
+
+    #[test]
+    fn every_category_has_a_profile() {
+        for c in Category::ALL {
+            assert_eq!(profile_of(c).category, c);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Static characteristics of generated apps (Table 1 columns).
+
+use crate::gen::GeneratedApp;
+use bombdroid_analysis::qc;
+use bombdroid_dex::{DexFile, HostApi, Instr};
+use std::collections::BTreeSet;
+
+/// Table 1 measurements for one app.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppStats {
+    /// App name.
+    pub name: String,
+    /// Instruction count (LOC analogue).
+    pub loc: usize,
+    /// Total methods.
+    pub methods: usize,
+    /// Existing qualified conditions.
+    pub existing_qcs: usize,
+    /// Distinct environment variables queried.
+    pub env_vars: usize,
+    /// Entry points (events).
+    pub entry_points: usize,
+}
+
+/// Distinct environment variables used by a DEX file.
+pub fn env_var_count(dex: &DexFile) -> usize {
+    let mut keys = BTreeSet::new();
+    for m in dex.methods() {
+        for i in &m.body {
+            if let Instr::HostCall {
+                api: HostApi::EnvQuery(k),
+                ..
+            } = i
+            {
+                keys.insert(*k);
+            }
+        }
+    }
+    keys.len()
+}
+
+/// Computes Table 1 statistics for one app.
+pub fn app_stats(app: &GeneratedApp) -> AppStats {
+    AppStats {
+        name: app.name.clone(),
+        loc: app.dex.instruction_count(),
+        methods: app.dex.methods().count(),
+        existing_qcs: qc::scan_dex(&app.dex).len(),
+        env_vars: env_var_count(&app.dex),
+        entry_points: app.dex.entry_points.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_app;
+    use crate::profiles::Category;
+
+    #[test]
+    fn stats_are_nonzero_for_generated_apps() {
+        let app = generate_app("StatsApp", Category::Multimedia, 21);
+        let s = app_stats(&app);
+        assert!(s.loc > 1_000);
+        assert!(s.methods > 20);
+        assert!(s.existing_qcs > 10);
+        assert!(s.env_vars >= 1);
+        assert!(s.entry_points > 3);
+    }
+}

@@ -1,0 +1,246 @@
+//! AES-128 (FIPS 197) and a CTR keystream mode.
+//!
+//! The paper encrypts each bomb's payload bytecode with AES-128 (§7.4);
+//! [`ctr_xor`] provides the stream mode our sealed-blob format uses so
+//! payloads of arbitrary length need no padding.
+
+use crate::Key128;
+
+/// Forward S-box, generated from the AES finite-field inverse + affine map.
+const SBOX: [u8; 256] = build_sbox();
+
+const fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+        i += 1;
+    }
+    p
+}
+
+const fn gf_inv(a: u8) -> u8 {
+    // a^254 in GF(2^8) by square-and-multiply.
+    if a == 0 {
+        return 0;
+    }
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u8;
+    while exp > 0 {
+        if exp & 1 != 0 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+const fn build_sbox() -> [u8; 256] {
+    let mut sbox = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let inv = gf_inv(i as u8);
+        let mut x = inv;
+        let mut y = inv;
+        let mut j = 0;
+        while j < 4 {
+            y = y.rotate_left(1);
+            x ^= y;
+            j += 1;
+        }
+        sbox[i] = x ^ 0x63;
+        i += 1;
+    }
+    sbox
+}
+
+/// An expanded AES-128 key schedule (11 round keys).
+///
+/// ```
+/// use bombdroid_crypto::aes::Aes128;
+/// let aes = Aes128::new(&[0u8; 16]);
+/// let ct = aes.encrypt_block(&[0u8; 16]);
+/// assert_eq!(
+///     bombdroid_crypto::hex::encode(&ct),
+///     "66e94bd4ef8a2c3b884cfa59ca342b2e",
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expands `key` into the full round-key schedule.
+    pub fn new(key: &Key128) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        let mut rcon: u8 = 1;
+        for i in 4..44 {
+            let mut tmp = w[i - 1];
+            if i % 4 == 0 {
+                tmp.rotate_left(1);
+                for b in &mut tmp {
+                    *b = SBOX[*b as usize];
+                }
+                tmp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ tmp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for r in 0..11 {
+            for c in 0..4 {
+                round_keys[r][4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypts a single 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[10]);
+        state
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+// State layout: state[4*c + r] = byte at row r, column c (column-major as in FIPS 197).
+fn shift_rows(state: &mut [u8; 16]) {
+    let old = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = old[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+/// XORs `data` in place with the AES-128-CTR keystream for (`key`, `nonce`).
+///
+/// Applying it twice with the same parameters round-trips, so it both
+/// encrypts and decrypts:
+///
+/// ```
+/// use bombdroid_crypto::aes::ctr_xor;
+/// let key = [7u8; 16];
+/// let mut data = b"logic bomb payload".to_vec();
+/// ctr_xor(&key, 42, &mut data);
+/// assert_ne!(&data, b"logic bomb payload");
+/// ctr_xor(&key, 42, &mut data);
+/// assert_eq!(&data, b"logic bomb payload");
+/// ```
+pub fn ctr_xor(key: &Key128, nonce: u64, data: &mut [u8]) {
+    let aes = Aes128::new(key);
+    let mut counter_block = [0u8; 16];
+    counter_block[..8].copy_from_slice(&nonce.to_be_bytes());
+    for (i, chunk) in data.chunks_mut(16).enumerate() {
+        counter_block[8..].copy_from_slice(&(i as u64).to_be_bytes());
+        let ks = aes.encrypt_block(&counter_block);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn fips197_appendix_b() {
+        let key: Key128 = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt: [u8; 16] = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let ct = Aes128::new(&key).encrypt_block(&pt);
+        assert_eq!(hex::encode(&ct), "3925841d02dc09fbdc118597196a0b32");
+    }
+
+    #[test]
+    fn nist_sp800_38a_ecb_vector() {
+        let key: Key128 = hex::decode_array("2b7e151628aed2a6abf7158809cf4f3c").unwrap();
+        let pt: [u8; 16] = hex::decode_array("6bc1bee22e409f96e93d7e117393172a").unwrap();
+        let ct = Aes128::new(&key).encrypt_block(&pt);
+        assert_eq!(hex::encode(&ct), "3ad77bb40d7a3660a89ecaf32466ef97");
+    }
+
+    #[test]
+    fn ctr_roundtrip_various_lengths() {
+        let key = [0xAB; 16];
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 1000] {
+            let original: Vec<u8> = (0..len).map(|i| (i * 7 + 3) as u8).collect();
+            let mut data = original.clone();
+            ctr_xor(&key, 99, &mut data);
+            if len > 0 {
+                assert_ne!(data, original, "len {len} must change");
+            }
+            ctr_xor(&key, 99, &mut data);
+            assert_eq!(data, original, "len {len} must round-trip");
+        }
+    }
+
+    #[test]
+    fn different_nonce_different_stream() {
+        let key = [1u8; 16];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        ctr_xor(&key, 1, &mut a);
+        ctr_xor(&key, 2, &mut b);
+        assert_ne!(a, b);
+    }
+}

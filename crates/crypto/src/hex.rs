@@ -1,0 +1,122 @@
+//! Hexadecimal encoding/decoding used by digests, the disassembler, and
+//! steganographic resource strings.
+
+use std::fmt;
+
+/// Encodes `data` as lowercase hex.
+///
+/// ```
+/// assert_eq!(bombdroid_crypto::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for b in data {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble in range"));
+        out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble in range"));
+    }
+    out
+}
+
+/// Error returned by [`decode`] for malformed hex input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeHexError {
+    kind: DecodeHexErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum DecodeHexErrorKind {
+    OddLength(usize),
+    BadDigit(char),
+    BadLength { expected: usize, actual: usize },
+}
+
+impl fmt::Display for DecodeHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            DecodeHexErrorKind::OddLength(n) => write!(f, "odd hex string length {n}"),
+            DecodeHexErrorKind::BadDigit(c) => write!(f, "invalid hex digit {c:?}"),
+            DecodeHexErrorKind::BadLength { expected, actual } => {
+                write!(f, "expected {expected} bytes of hex, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeHexError {}
+
+/// Decodes a lowercase/uppercase hex string.
+///
+/// # Errors
+///
+/// Returns [`DecodeHexError`] if the string has odd length or contains a
+/// non-hex character.
+///
+/// ```
+/// assert_eq!(bombdroid_crypto::hex::decode("dead").unwrap(), vec![0xde, 0xad]);
+/// assert!(bombdroid_crypto::hex::decode("xyz").is_err());
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
+    if s.len() % 2 != 0 {
+        return Err(DecodeHexError {
+            kind: DecodeHexErrorKind::OddLength(s.len()),
+        });
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let mut chars = s.chars();
+    while let (Some(hi), Some(lo)) = (chars.next(), chars.next()) {
+        let hi = hi.to_digit(16).ok_or(DecodeHexError {
+            kind: DecodeHexErrorKind::BadDigit(hi),
+        })?;
+        let lo = lo.to_digit(16).ok_or(DecodeHexError {
+            kind: DecodeHexErrorKind::BadDigit(lo),
+        })?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+/// Decodes hex into a fixed-size array.
+///
+/// # Errors
+///
+/// Returns [`DecodeHexError`] on malformed hex or when the decoded length is
+/// not exactly `N`.
+///
+/// ```
+/// let key: [u8; 2] = bombdroid_crypto::hex::decode_array("beef").unwrap();
+/// assert_eq!(key, [0xbe, 0xef]);
+/// ```
+pub fn decode_array<const N: usize>(s: &str) -> Result<[u8; N], DecodeHexError> {
+    let bytes = decode(s)?;
+    let actual = bytes.len();
+    bytes.try_into().map_err(|_| DecodeHexError {
+        kind: DecodeHexErrorKind::BadLength {
+            expected: N,
+            actual,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(decode("a").is_err());
+        assert!(decode("zz").is_err());
+        assert!(decode_array::<4>("aabb").is_err());
+        assert_eq!(decode_array::<2>("aabb").unwrap(), [0xaa, 0xbb]);
+    }
+
+    #[test]
+    fn uppercase_accepted() {
+        assert_eq!(decode("DEADBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Key derivation: the paper's `key = Hash(c | S)` (§7.4).
+//!
+//! A trigger constant `c` of arbitrary size is mixed with a per-bomb salt
+//! `S` and hashed into a uniform 128-bit AES key. The salt also defeats
+//! rainbow-table attacks against the stored condition hashes (§5.1).
+
+use crate::{sha1, Digest160, Key128};
+
+/// Domain separator so condition hashes and encryption keys derived from the
+/// same `(c, salt)` pair are unrelated values.
+const KEY_DOMAIN: &[u8] = b"bombdroid/key/v1";
+const COND_DOMAIN: &[u8] = b"bombdroid/cond/v1";
+
+/// Derives the 128-bit payload-encryption key from trigger constant `c` and
+/// per-bomb salt, truncating `Hash(domain|c|salt)` to 16 bytes.
+///
+/// ```
+/// use bombdroid_crypto::kdf::derive_key;
+/// let k1 = derive_key(b"secret-constant", b"salt-a");
+/// let k2 = derive_key(b"secret-constant", b"salt-b");
+/// assert_ne!(k1, k2, "different salts must give different keys");
+/// ```
+pub fn derive_key(c: &[u8], salt: &[u8]) -> Key128 {
+    let mut h = sha1::Sha1::new();
+    h.update(KEY_DOMAIN);
+    h.update(&(c.len() as u64).to_be_bytes());
+    h.update(c);
+    h.update(salt);
+    let digest = h.finalize();
+    let mut key = [0u8; 16];
+    key.copy_from_slice(&digest[..16]);
+    key
+}
+
+/// Computes the stored *condition hash* `Hc = Hash(c | salt)` that replaces
+/// the plaintext comparison `X == c` in an obfuscated trigger condition.
+///
+/// ```
+/// use bombdroid_crypto::kdf::condition_hash;
+/// let hc = condition_hash(b"0xfff000", b"salt");
+/// assert_eq!(hc, condition_hash(b"0xfff000", b"salt"));
+/// assert_ne!(hc, condition_hash(b"0xfff000", b"other-salt"));
+/// ```
+pub fn condition_hash(c: &[u8], salt: &[u8]) -> Digest160 {
+    let mut h = sha1::Sha1::new();
+    h.update(COND_DOMAIN);
+    h.update(&(c.len() as u64).to_be_bytes());
+    h.update(c);
+    h.update(salt);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_and_condition_hash_are_domain_separated() {
+        let key = derive_key(b"c", b"s");
+        let cond = condition_hash(b"c", b"s");
+        assert_ne!(&cond[..16], &key[..], "domains must not collide");
+    }
+
+    #[test]
+    fn length_prefix_prevents_boundary_ambiguity() {
+        // (c="ab", salt="c") must differ from (c="a", salt="bc").
+        assert_ne!(derive_key(b"ab", b"c"), derive_key(b"a", b"bc"));
+        assert_ne!(condition_hash(b"ab", b"c"), condition_hash(b"a", b"bc"));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(derive_key(b"x", b"y"), derive_key(b"x", b"y"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Textual disassembler (smali-flavoured).
+//!
+//! This is the view an attacker gets of the protected bytecode: the *text
+//! search* attack of §2.1 greps the output for suspicious strings such as
+//! `getPublicKey`, `sha1-hash` or `decrypt-exec`. Encrypted blob contents
+//! appear only as opaque hex, which is the point of the whole design.
+
+use crate::class::{Class, FieldKind, Method};
+use crate::dex_file::DexFile;
+use crate::instr::Instr;
+use std::fmt::Write as _;
+
+/// Disassembles a single instruction at index `idx`.
+pub fn disasm_instr(idx: usize, instr: &Instr) -> String {
+    let body = match instr {
+        Instr::Const { dst, value } => format!("const {dst}, #{value}"),
+        Instr::Move { dst, src } => format!("move {dst}, {src}"),
+        Instr::BinOp { op, dst, lhs, rhs } => {
+            format!("{} {dst}, {lhs}, {rhs}", op.mnemonic())
+        }
+        Instr::BinOpConst { op, dst, lhs, rhs } => {
+            format!("{}/lit {dst}, {lhs}, #{rhs}", op.mnemonic())
+        }
+        Instr::UnOp { op, dst, src } => format!("{} {dst}, {src}", op.mnemonic()),
+        Instr::StrOp { op, dst, lhs, rhs } => match rhs {
+            Some(r) => format!("{} {dst}, {lhs}, {r}", op.mnemonic()),
+            None => format!("{} {dst}, {lhs}", op.mnemonic()),
+        },
+        Instr::If {
+            cond,
+            lhs,
+            rhs,
+            target,
+        } => format!("{} {lhs}, {rhs} -> @{target}", cond.mnemonic()),
+        Instr::Switch { src, arms, default } => {
+            let mut s = format!("table-switch {src} {{");
+            for (v, t) in arms {
+                let _ = write!(s, " {v}->@{t}");
+            }
+            let _ = write!(s, " default->@{default} }}");
+            s
+        }
+        Instr::Goto { target } => format!("goto @{target}"),
+        Instr::Invoke { method, args, dst } => {
+            format_call(&format!("invoke-static {method}"), args_str(args), dst)
+        }
+        Instr::InvokeReflect { name, args, dst } => format_call(
+            &format!("invoke-reflect name={name}"),
+            args_str(args),
+            dst,
+        ),
+        Instr::HostCall { api, args, dst } => {
+            format_call(&format!("invoke-host {}", api.name()), args_str(args), dst)
+        }
+        Instr::GetField { dst, obj, field } => format!("iget {dst}, {obj}, {field}"),
+        Instr::PutField { obj, field, src } => format!("iput {src}, {obj}, {field}"),
+        Instr::GetStatic { dst, field } => format!("sget {dst}, {field}"),
+        Instr::PutStatic { field, src } => format!("sput {src}, {field}"),
+        Instr::NewInstance { dst, class } => format!("new-instance {dst}, {class}"),
+        Instr::NewArray { dst, len } => format!("new-array {dst}, {len}"),
+        Instr::ArrayGet { dst, arr, idx } => format!("aget {dst}, {arr}, {idx}"),
+        Instr::ArrayPut { arr, idx, src } => format!("aput {src}, {arr}, {idx}"),
+        Instr::ArrayLen { dst, arr } => format!("array-length {dst}, {arr}"),
+        Instr::Hash { dst, src, salt } => format!(
+            "sha1-hash {dst}, {src}, salt=0x{}",
+            bombdroid_crypto::hex::encode(salt)
+        ),
+        Instr::DecryptExec { blob, key_src } => {
+            format!("decrypt-exec {blob}, key={key_src}")
+        }
+        Instr::StegoExtract { dst, src } => format!("cfg-decode {dst}, {src}"),
+        Instr::Return { src } => match src {
+            Some(r) => format!("return {r}"),
+            None => "return-void".to_string(),
+        },
+        Instr::Throw { msg } => format!("throw {msg:?}"),
+        Instr::Nop => "nop".to_string(),
+    };
+    format!("  @{idx:<4} {body}")
+}
+
+fn args_str(args: &[crate::instr::Reg]) -> String {
+    let parts: Vec<String> = args.iter().map(|r| r.to_string()).collect();
+    parts.join(", ")
+}
+
+fn format_call(head: &str, args: String, dst: &Option<crate::instr::Reg>) -> String {
+    let mut s = format!("{head} ({args})");
+    if let Some(d) = dst {
+        let _ = write!(s, " -> {d}");
+    }
+    s
+}
+
+/// Disassembles a full method.
+pub fn disasm_method(m: &Method) -> String {
+    let mut out = format!(
+        ".method {}.{} params={} registers={}\n",
+        m.class, m.name, m.params, m.registers
+    );
+    for (i, instr) in m.body.iter().enumerate() {
+        out.push_str(&disasm_instr(i, instr));
+        out.push('\n');
+    }
+    out.push_str(".end method\n");
+    out
+}
+
+/// Disassembles a class.
+pub fn disasm_class(c: &Class) -> String {
+    let mut out = format!(".class {}\n", c.name);
+    for f in &c.fields {
+        let kind = match f.kind {
+            FieldKind::Instance => "field",
+            FieldKind::Static => "static-field",
+        };
+        let _ = writeln!(out, ".{kind} {}", f.name);
+    }
+    for m in &c.methods {
+        out.push_str(&disasm_method(m));
+    }
+    out.push_str(".end class\n");
+    out
+}
+
+/// Disassembles an entire DEX file, including opaque blob hex.
+pub fn disasm_dex(dex: &DexFile) -> String {
+    let mut out = String::new();
+    for c in &dex.classes {
+        out.push_str(&disasm_class(c));
+        out.push('\n');
+    }
+    for (i, b) in dex.blobs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            ".blob #{i} salt=0x{} sealed=0x{}",
+            bombdroid_crypto::hex::encode(&b.salt),
+            bombdroid_crypto::hex::encode(&b.sealed)
+        );
+    }
+    for e in &dex.entry_points {
+        let _ = writeln!(out, ".entry {} -> {}", e.event, e.method);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MethodBuilder;
+    use crate::dex_file::{BlobId, EncryptedBlob};
+    use crate::instr::{CondOp, HostApi, Reg, RegOrConst};
+    use crate::value::Value;
+
+    #[test]
+    fn disassembly_mentions_key_constructs() {
+        let mut dex = DexFile::new();
+        let mut c = Class::new("A");
+        let mut b = MethodBuilder::new("A", "m", 1);
+        let end = b.fresh_label();
+        let h = b.fresh_reg();
+        b.hash(h, Reg(0), vec![0xAA]);
+        b.if_not(
+            CondOp::Eq,
+            h,
+            RegOrConst::Const(Value::bytes([1, 2, 3])),
+            end,
+        );
+        b.decrypt_exec(BlobId(0), Reg(0));
+        b.place_label(end);
+        b.host(HostApi::GetPublicKey, vec![], Some(h));
+        b.ret_void();
+        c.methods.push(b.finish());
+        dex.classes.push(c);
+        dex.add_blob(EncryptedBlob {
+            salt: vec![0xAA],
+            sealed: vec![0xBB; 30],
+        });
+        let text = disasm_dex(&dex);
+        assert!(text.contains("sha1-hash"));
+        assert!(text.contains("decrypt-exec"));
+        assert!(text.contains("Certificate.getPublicKey"));
+        assert!(text.contains(".blob #0 salt=0xaa"));
+        // Blob plaintext is NOT visible.
+        assert!(!text.contains("plaintext"));
+    }
+
+    #[test]
+    fn every_instruction_disassembles() {
+        // Smoke-test the formatter across the whole ISA.
+        use crate::instr::{BinOp, StrOp, UnOp};
+        let instrs = vec![
+            Instr::Const {
+                dst: Reg(0),
+                value: Value::Int(1),
+            },
+            Instr::Move {
+                dst: Reg(0),
+                src: Reg(1),
+            },
+            Instr::BinOp {
+                op: BinOp::Add,
+                dst: Reg(0),
+                lhs: Reg(1),
+                rhs: Reg(2),
+            },
+            Instr::BinOpConst {
+                op: BinOp::Xor,
+                dst: Reg(0),
+                lhs: Reg(1),
+                rhs: 5,
+            },
+            Instr::UnOp {
+                op: UnOp::Neg,
+                dst: Reg(0),
+                src: Reg(1),
+            },
+            Instr::StrOp {
+                op: StrOp::Equals,
+                dst: Reg(0),
+                lhs: Reg(1),
+                rhs: Some(Reg(2)),
+            },
+            Instr::Switch {
+                src: Reg(0),
+                arms: vec![(1, 2)],
+                default: 3,
+            },
+            Instr::Goto { target: 0 },
+            Instr::Throw { msg: "bad".into() },
+            Instr::Nop,
+        ];
+        for (i, instr) in instrs.iter().enumerate() {
+            let line = disasm_instr(i, instr);
+            assert!(line.contains(&format!("@{i}")), "line: {line}");
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Ergonomic method construction with symbolic labels.
+//!
+//! Both the corpus generator and the instrumentation passes build method
+//! bodies; raw absolute branch targets would be unmanageable, so the builder
+//! provides forward-referencing labels that are resolved in
+//! [`MethodBuilder::finish`].
+
+use crate::class::Method;
+use crate::dex_file::BlobId;
+use crate::instr::{BinOp, CondOp, HostApi, Instr, Reg, RegOrConst, StrOp, UnOp};
+use crate::value::{ClassName, FieldRef, MethodRef, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A symbolic jump target. Created by [`MethodBuilder::fresh_label`] and
+/// pinned to a position with [`MethodBuilder::place_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LabelId(u32);
+
+/// Builder for [`Method`] bodies.
+#[derive(Debug)]
+pub struct MethodBuilder {
+    class: ClassName,
+    name: Arc<str>,
+    params: u16,
+    max_reg: u16,
+    body: Vec<Instr>,
+    next_label: u32,
+    placed: HashMap<LabelId, usize>,
+    // (instruction index, which target slot) -> label awaiting resolution
+    pending: Vec<(usize, usize, LabelId)>,
+}
+
+impl MethodBuilder {
+    /// Starts a method of `params` parameters on class `class`.
+    pub fn new(class: impl Into<ClassName>, name: impl AsRef<str>, params: u16) -> Self {
+        MethodBuilder {
+            class: class.into(),
+            name: Arc::from(name.as_ref()),
+            params,
+            max_reg: params.saturating_sub(1),
+            body: Vec::new(),
+            next_label: 0,
+            placed: HashMap::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh register above the parameters and everything used
+    /// so far.
+    pub fn fresh_reg(&mut self) -> Reg {
+        self.max_reg += 1;
+        Reg(self.max_reg)
+    }
+
+    /// Creates an unplaced label.
+    pub fn fresh_label(&mut self) -> LabelId {
+        let id = LabelId(self.next_label);
+        self.next_label += 1;
+        id
+    }
+
+    /// Pins `label` to the *next* emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already placed.
+    pub fn place_label(&mut self, label: LabelId) {
+        let pos = self.body.len();
+        let prev = self.placed.insert(label, pos);
+        assert!(prev.is_none(), "label {label:?} placed twice");
+    }
+
+    /// Current instruction index (where the next instruction will land).
+    pub fn cursor(&self) -> usize {
+        self.body.len()
+    }
+
+    fn track(&mut self, instr: &Instr) {
+        for r in instr.uses() {
+            self.max_reg = self.max_reg.max(r.0);
+        }
+        if let Some(r) = instr.def() {
+            self.max_reg = self.max_reg.max(r.0);
+        }
+    }
+
+    /// Emits a raw instruction (targets must already be absolute).
+    pub fn push(&mut self, instr: Instr) -> &mut Self {
+        self.track(&instr);
+        self.body.push(instr);
+        self
+    }
+
+    /// `dst := value`.
+    pub fn const_(&mut self, dst: Reg, value: impl Into<Value>) -> &mut Self {
+        self.push(Instr::Const {
+            dst,
+            value: value.into(),
+        })
+    }
+
+    /// `dst := src`.
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.push(Instr::Move { dst, src })
+    }
+
+    /// `dst := lhs op rhs`.
+    pub fn bin(&mut self, op: BinOp, dst: Reg, lhs: Reg, rhs: Reg) -> &mut Self {
+        self.push(Instr::BinOp { op, dst, lhs, rhs })
+    }
+
+    /// `dst := lhs op literal`.
+    pub fn bin_const(&mut self, op: BinOp, dst: Reg, lhs: Reg, rhs: i64) -> &mut Self {
+        self.push(Instr::BinOpConst { op, dst, lhs, rhs })
+    }
+
+    /// `dst := op src`.
+    pub fn un(&mut self, op: UnOp, dst: Reg, src: Reg) -> &mut Self {
+        self.push(Instr::UnOp { op, dst, src })
+    }
+
+    /// String operation.
+    pub fn str_op(&mut self, op: StrOp, dst: Reg, lhs: Reg, rhs: Option<Reg>) -> &mut Self {
+        self.push(Instr::StrOp { op, dst, lhs, rhs })
+    }
+
+    /// Branch to `label` when `lhs cond rhs`.
+    pub fn if_(&mut self, cond: CondOp, lhs: Reg, rhs: RegOrConst, label: LabelId) -> &mut Self {
+        let at = self.body.len();
+        let instr = Instr::If {
+            cond,
+            lhs,
+            rhs,
+            target: usize::MAX,
+        };
+        self.track(&instr);
+        self.body.push(instr);
+        self.pending.push((at, 0, label));
+        self
+    }
+
+    /// Branch to `label` when NOT (`lhs cond rhs`) — the branch-over idiom
+    /// for compiling `if (cond) { body }`.
+    pub fn if_not(&mut self, cond: CondOp, lhs: Reg, rhs: RegOrConst, label: LabelId) -> &mut Self {
+        self.if_(cond.negate(), lhs, rhs, label)
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn goto(&mut self, label: LabelId) -> &mut Self {
+        let at = self.body.len();
+        self.body.push(Instr::Goto { target: usize::MAX });
+        self.pending.push((at, 0, label));
+        self
+    }
+
+    /// `TABLESWITCH` over labelled arms.
+    pub fn switch(&mut self, src: Reg, arms: Vec<(i64, LabelId)>, default: LabelId) -> &mut Self {
+        let at = self.body.len();
+        let instr = Instr::Switch {
+            src,
+            arms: arms.iter().map(|(v, _)| (*v, usize::MAX)).collect(),
+            default: usize::MAX,
+        };
+        self.track(&instr);
+        self.body.push(instr);
+        for (slot, (_, label)) in arms.iter().enumerate() {
+            self.pending.push((at, slot + 1, *label));
+        }
+        self.pending.push((at, 0, default));
+        self
+    }
+
+    /// Static invocation.
+    pub fn invoke(&mut self, method: MethodRef, args: Vec<Reg>, dst: Option<Reg>) -> &mut Self {
+        self.push(Instr::Invoke { method, args, dst })
+    }
+
+    /// Framework call.
+    pub fn host(&mut self, api: HostApi, args: Vec<Reg>, dst: Option<Reg>) -> &mut Self {
+        self.push(Instr::HostCall { api, args, dst })
+    }
+
+    /// Logs a constant message (allocates a scratch register).
+    pub fn host_log(&mut self, msg: &str) -> &mut Self {
+        let r = self.fresh_reg();
+        self.const_(r, Value::str(msg));
+        self.host(HostApi::Log, vec![r], None)
+    }
+
+    /// `dst := obj.field`.
+    pub fn get_field(&mut self, dst: Reg, obj: Reg, field: FieldRef) -> &mut Self {
+        self.push(Instr::GetField { dst, obj, field })
+    }
+
+    /// `obj.field := src`.
+    pub fn put_field(&mut self, obj: Reg, field: FieldRef, src: Reg) -> &mut Self {
+        self.push(Instr::PutField { obj, field, src })
+    }
+
+    /// `dst := Class.field`.
+    pub fn get_static(&mut self, dst: Reg, field: FieldRef) -> &mut Self {
+        self.push(Instr::GetStatic { dst, field })
+    }
+
+    /// `Class.field := src`.
+    pub fn put_static(&mut self, field: FieldRef, src: Reg) -> &mut Self {
+        self.push(Instr::PutStatic { field, src })
+    }
+
+    /// `dst := SHA1(canonical(src)|salt)`.
+    pub fn hash(&mut self, dst: Reg, src: Reg, salt: Vec<u8>) -> &mut Self {
+        self.push(Instr::Hash { dst, src, salt })
+    }
+
+    /// Decrypt-and-execute an embedded blob keyed by `key_src`.
+    pub fn decrypt_exec(&mut self, blob: BlobId, key_src: Reg) -> &mut Self {
+        self.push(Instr::DecryptExec { blob, key_src })
+    }
+
+    /// `return src`.
+    pub fn ret(&mut self, src: Reg) -> &mut Self {
+        self.push(Instr::Return { src: Some(src) })
+    }
+
+    /// `return` (void).
+    pub fn ret_void(&mut self) -> &mut Self {
+        self.push(Instr::Return { src: None })
+    }
+
+    /// Resolves all labels and produces the method.
+    ///
+    /// A trailing `return-void` is appended if the body can fall off the
+    /// end. Labels placed at the very end of the body resolve to the
+    /// appended return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label was never placed.
+    pub fn finish(mut self) -> Method {
+        let needs_trailing_return = self.body.last().map(|i| i.falls_through()).unwrap_or(true)
+            || self.placed.values().any(|&p| p == self.body.len());
+        if needs_trailing_return {
+            self.body.push(Instr::Return { src: None });
+        }
+        for (at, slot, label) in &self.pending {
+            let pos = *self
+                .placed
+                .get(label)
+                .unwrap_or_else(|| panic!("label {label:?} referenced but never placed"));
+            match &mut self.body[*at] {
+                Instr::If { target, .. } | Instr::Goto { target } => *target = pos,
+                Instr::Switch { arms, default, .. } => {
+                    if *slot == 0 {
+                        *default = pos;
+                    } else {
+                        arms[*slot - 1].1 = pos;
+                    }
+                }
+                other => panic!("pending label on non-branch instruction {other:?}"),
+            }
+        }
+        Method {
+            class: self.class,
+            name: self.name,
+            params: self.params,
+            registers: self.max_reg + 1,
+            body: self.body,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_label_resolution() {
+        let mut b = MethodBuilder::new("T", "m", 1);
+        let end = b.fresh_label();
+        b.if_(
+            CondOp::Eq,
+            Reg(0),
+            RegOrConst::Const(Value::Int(3)),
+            end,
+        );
+        b.host_log("not three");
+        b.place_label(end);
+        b.ret_void();
+        let m = b.finish();
+        match &m.body[0] {
+            Instr::If { target, .. } => assert_eq!(*target, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(m.registers, 2); // v0 param + v1 scratch for log
+    }
+
+    #[test]
+    fn switch_labels() {
+        let mut b = MethodBuilder::new("T", "s", 1);
+        let a = b.fresh_label();
+        let c = b.fresh_label();
+        let d = b.fresh_label();
+        b.switch(Reg(0), vec![(1, a), (2, c)], d);
+        b.place_label(a);
+        b.host_log("one");
+        b.place_label(c);
+        b.host_log("two");
+        b.place_label(d);
+        b.ret_void();
+        let m = b.finish();
+        match &m.body[0] {
+            Instr::Switch { arms, default, .. } => {
+                assert_eq!(arms, &vec![(1, 1), (2, 3)]);
+                assert_eq!(*default, 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_return_added() {
+        let mut b = MethodBuilder::new("T", "empty", 0);
+        b.host_log("x");
+        let m = b.finish();
+        assert!(matches!(m.body.last(), Some(Instr::Return { src: None })));
+    }
+
+    #[test]
+    fn end_label_resolves_to_trailing_return() {
+        let mut b = MethodBuilder::new("T", "endlbl", 1);
+        let end = b.fresh_label();
+        b.if_(CondOp::Eq, Reg(0), RegOrConst::Const(Value::Int(0)), end);
+        b.host_log("nonzero");
+        b.place_label(end);
+        let m = b.finish();
+        match &m.body[0] {
+            Instr::If { target, .. } => assert_eq!(*target, m.body.len() - 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "never placed")]
+    fn unplaced_label_panics() {
+        let mut b = MethodBuilder::new("T", "bad", 0);
+        let l = b.fresh_label();
+        b.goto(l);
+        let _ = b.finish();
+    }
+}

@@ -1,0 +1,133 @@
+//! Classes, fields, and methods.
+
+use crate::instr::Instr;
+use crate::value::{ClassName, MethodRef};
+use std::sync::Arc;
+
+/// Whether a field is per-instance or class-static.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldKind {
+    /// One slot per object.
+    Instance,
+    /// One slot per class, shared by all code.
+    Static,
+}
+
+/// A declared field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name, unique within the class.
+    pub name: Arc<str>,
+    /// Instance or static.
+    pub kind: FieldKind,
+}
+
+impl Field {
+    /// Declares an instance field.
+    pub fn instance(name: impl AsRef<str>) -> Self {
+        Field {
+            name: Arc::from(name.as_ref()),
+            kind: FieldKind::Instance,
+        }
+    }
+
+    /// Declares a static field.
+    pub fn stat(name: impl AsRef<str>) -> Self {
+        Field {
+            name: Arc::from(name.as_ref()),
+            kind: FieldKind::Static,
+        }
+    }
+}
+
+/// A method: name, frame size, parameter count, and body.
+///
+/// Parameters arrive in registers `v0..v(params-1)`; the frame has
+/// `registers` slots total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Method {
+    /// Owning class.
+    pub class: ClassName,
+    /// Method name, unique within the class.
+    pub name: Arc<str>,
+    /// Number of parameters (stored in the lowest registers).
+    pub params: u16,
+    /// Total frame registers.
+    pub registers: u16,
+    /// Instruction list; branch targets are absolute indices into it.
+    pub body: Vec<Instr>,
+}
+
+impl Method {
+    /// This method's [`MethodRef`].
+    pub fn method_ref(&self) -> MethodRef {
+        MethodRef {
+            class: self.class.clone(),
+            name: self.name.clone(),
+        }
+    }
+}
+
+/// A class: named fields plus methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Class {
+    /// Class name, unique within the DEX file.
+    pub name: ClassName,
+    /// Declared fields.
+    pub fields: Vec<Field>,
+    /// Declared methods.
+    pub methods: Vec<Method>,
+}
+
+impl Class {
+    /// Creates an empty class.
+    pub fn new(name: impl Into<ClassName>) -> Self {
+        Class {
+            name: name.into(),
+            fields: Vec::new(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Looks up a method by name.
+    pub fn method(&self, name: &str) -> Option<&Method> {
+        self.methods.iter().find(|m| &*m.name == name)
+    }
+
+    /// Looks up a method by name, mutably.
+    pub fn method_mut(&mut self, name: &str) -> Option<&mut Method> {
+        self.methods.iter_mut().find(|m| &*m.name == name)
+    }
+
+    /// Whether the class declares a field with this name and kind.
+    pub fn has_field(&self, name: &str, kind: FieldKind) -> bool {
+        self.fields
+            .iter()
+            .any(|f| &*f.name == name && f.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup() {
+        let mut c = Class::new("A");
+        c.fields.push(Field::instance("x"));
+        c.fields.push(Field::stat("S"));
+        c.methods.push(Method {
+            class: ClassName::new("A"),
+            name: Arc::from("m"),
+            params: 0,
+            registers: 1,
+            body: vec![Instr::Return { src: None }],
+        });
+        assert!(c.method("m").is_some());
+        assert!(c.method("nope").is_none());
+        assert!(c.has_field("x", FieldKind::Instance));
+        assert!(!c.has_field("x", FieldKind::Static));
+        assert!(c.has_field("S", FieldKind::Static));
+        assert_eq!(c.method("m").unwrap().method_ref().to_string(), "A.m");
+    }
+}

@@ -1,0 +1,781 @@
+//! The instruction set.
+
+use crate::value::{ClassName, FieldRef, MethodRef, Value};
+use std::fmt;
+
+/// A virtual register within a method frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u16);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Right-hand operand of a conditional branch: either a register or an
+/// immediate constant (the `IF_*Z` / literal-compare forms).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegOrConst {
+    /// Compare against another register.
+    Reg(Reg),
+    /// Compare against an immediate constant.
+    Const(Value),
+}
+
+impl fmt::Display for RegOrConst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegOrConst::Reg(r) => write!(f, "{r}"),
+            RegOrConst::Const(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// Comparison operators for [`Instr::If`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CondOp {
+    /// Equal — the equality form the paper's qualified conditions require.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than (ints only).
+    Lt,
+    /// Less or equal (ints only).
+    Le,
+    /// Greater than (ints only).
+    Gt,
+    /// Greater or equal (ints only).
+    Ge,
+}
+
+impl CondOp {
+    /// The negated operator (used to compile `if (c) {body}` as a
+    /// branch-over on `!c`).
+    pub fn negate(self) -> CondOp {
+        match self {
+            CondOp::Eq => CondOp::Ne,
+            CondOp::Ne => CondOp::Eq,
+            CondOp::Lt => CondOp::Ge,
+            CondOp::Le => CondOp::Gt,
+            CondOp::Gt => CondOp::Le,
+            CondOp::Ge => CondOp::Lt,
+        }
+    }
+
+    /// Mnemonic used by the disassembler (`if-eq`, mirroring smali).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CondOp::Eq => "if-eq",
+            CondOp::Ne => "if-ne",
+            CondOp::Lt => "if-lt",
+            CondOp::Le => "if-le",
+            CondOp::Gt => "if-gt",
+            CondOp::Ge => "if-ge",
+        }
+    }
+}
+
+/// Integer binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Min,
+    Max,
+}
+
+impl BinOp {
+    /// Mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add-int",
+            BinOp::Sub => "sub-int",
+            BinOp::Mul => "mul-int",
+            BinOp::Div => "div-int",
+            BinOp::Rem => "rem-int",
+            BinOp::And => "and-int",
+            BinOp::Or => "or-int",
+            BinOp::Xor => "xor-int",
+            BinOp::Shl => "shl-int",
+            BinOp::Shr => "shr-int",
+            BinOp::Min => "min-int",
+            BinOp::Max => "max-int",
+        }
+    }
+}
+
+/// Integer/boolean unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    Not,
+    Abs,
+}
+
+impl UnOp {
+    /// Mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg-int",
+            UnOp::Not => "not-int",
+            UnOp::Abs => "abs-int",
+        }
+    }
+}
+
+/// String operations — `equals`/`startsWith`/`endsWith` are the comparison
+/// methods the paper accepts in qualified conditions (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum StrOp {
+    Equals,
+    StartsWith,
+    EndsWith,
+    Contains,
+    Concat,
+    Length,
+    HashCode,
+    CharAt,
+    ToUpper,
+    Substring,
+    /// Letter rotation — the string-deobfuscation routine SSN-style
+    /// protections use to recover hidden API names at runtime (§2.1's
+    /// `recoverFunName`).
+    Rot13,
+}
+
+impl StrOp {
+    /// Mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            StrOp::Equals => "str-equals",
+            StrOp::StartsWith => "str-starts-with",
+            StrOp::EndsWith => "str-ends-with",
+            StrOp::Contains => "str-contains",
+            StrOp::Concat => "str-concat",
+            StrOp::Length => "str-length",
+            StrOp::HashCode => "str-hash-code",
+            StrOp::CharAt => "str-char-at",
+            StrOp::ToUpper => "str-to-upper",
+            StrOp::Substring => "str-substring",
+            StrOp::Rot13 => "str-rot13",
+        }
+    }
+
+    /// Whether this op is an equality-style comparison usable as a
+    /// qualified condition.
+    pub fn is_equality_check(self) -> bool {
+        matches!(self, StrOp::Equals | StrOp::StartsWith | StrOp::EndsWith)
+    }
+}
+
+/// Device/environment properties queryable through the framework — the
+/// paper's §6 list: hardware environment, software environment, time and
+/// sensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum EnvKey {
+    Manufacturer,
+    Board,
+    BootloaderVersion,
+    Brand,
+    CpuAbi,
+    DisplayDensityDpi,
+    MacAddrHash,
+    SerialHash,
+    FlashSizeGb,
+    SdkInt,
+    ApiLevel,
+    OsVersionCode,
+    IpOctetC,
+    IpOctetD,
+    CountryCode,
+    LanguageCode,
+    TimezoneOffsetMin,
+    BatteryPct,
+}
+
+impl EnvKey {
+    /// All environment keys, for iteration in condition synthesis.
+    pub const ALL: [EnvKey; 18] = [
+        EnvKey::Manufacturer,
+        EnvKey::Board,
+        EnvKey::BootloaderVersion,
+        EnvKey::Brand,
+        EnvKey::CpuAbi,
+        EnvKey::DisplayDensityDpi,
+        EnvKey::MacAddrHash,
+        EnvKey::SerialHash,
+        EnvKey::FlashSizeGb,
+        EnvKey::SdkInt,
+        EnvKey::ApiLevel,
+        EnvKey::OsVersionCode,
+        EnvKey::IpOctetC,
+        EnvKey::IpOctetD,
+        EnvKey::CountryCode,
+        EnvKey::LanguageCode,
+        EnvKey::TimezoneOffsetMin,
+        EnvKey::BatteryPct,
+    ];
+
+    /// Name used by the disassembler and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnvKey::Manufacturer => "Build.MANUFACTURER",
+            EnvKey::Board => "Build.BOARD",
+            EnvKey::BootloaderVersion => "Build.BOOTLOADER",
+            EnvKey::Brand => "Build.BRAND",
+            EnvKey::CpuAbi => "Build.CPU_ABI",
+            EnvKey::DisplayDensityDpi => "DisplayMetrics.densityDpi",
+            EnvKey::MacAddrHash => "WifiInfo.macAddressHash",
+            EnvKey::SerialHash => "Build.SERIAL.hash",
+            EnvKey::FlashSizeGb => "StatFs.flashSizeGb",
+            EnvKey::SdkInt => "Build.VERSION.SDK_INT",
+            EnvKey::ApiLevel => "Build.VERSION.API_LEVEL",
+            EnvKey::OsVersionCode => "Build.VERSION.RELEASE",
+            EnvKey::IpOctetC => "NetworkInterface.ip[2]",
+            EnvKey::IpOctetD => "NetworkInterface.ip[3]",
+            EnvKey::CountryCode => "Locale.country",
+            EnvKey::LanguageCode => "Locale.language",
+            EnvKey::TimezoneOffsetMin => "TimeZone.rawOffsetMin",
+            EnvKey::BatteryPct => "BatteryManager.pct",
+        }
+    }
+}
+
+/// Physical sensors queryable at runtime (paper §6: "GPS, light, and
+/// temperature").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum SensorKind {
+    GpsLatE3,
+    GpsLonE3,
+    LightLux,
+    TemperatureDeciC,
+    Accelerometer,
+    Pressure,
+}
+
+impl SensorKind {
+    /// All sensor kinds, for iteration in condition synthesis.
+    pub const ALL: [SensorKind; 6] = [
+        SensorKind::GpsLatE3,
+        SensorKind::GpsLonE3,
+        SensorKind::LightLux,
+        SensorKind::TemperatureDeciC,
+        SensorKind::Accelerometer,
+        SensorKind::Pressure,
+    ];
+
+    /// Name used by the disassembler and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SensorKind::GpsLatE3 => "gps.lat",
+            SensorKind::GpsLonE3 => "gps.lon",
+            SensorKind::LightLux => "sensor.light",
+            SensorKind::TemperatureDeciC => "sensor.temperature",
+            SensorKind::Accelerometer => "sensor.accel",
+            SensorKind::Pressure => "sensor.pressure",
+        }
+    }
+}
+
+/// User-visible response channels (paper §4.2: TextViews, PopupWindows,
+/// Dialogs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UiKind {
+    Toast,
+    Dialog,
+    TextView,
+}
+
+/// Calls into the (shimmed) Android framework. `GetPublicKey`,
+/// `GetManifestDigest` and `CodeDigest` are the three repackaging-detection
+/// primitives of §4.1; the rest support inner triggers, app behaviour, and
+/// responses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HostApi {
+    /// `Certificate.getPublicKey` — returns the installed cert's public key
+    /// bytes (managed by the Android system, not forgeable by the app).
+    GetPublicKey,
+    /// Digest of an APK entry from `MANIFEST.MF`; argument: entry name.
+    GetManifestDigest,
+    /// Reads a string resource from `strings.xml`; argument: key.
+    GetResourceString,
+    /// Digest of a class's installed bytecode (code-snippet scanning);
+    /// argument: class name.
+    CodeDigest,
+    /// Queries a device/environment property.
+    EnvQuery(EnvKey),
+    /// Reads a sensor value as an integer.
+    Sensor(SensorKind),
+    /// Milliseconds since the app process started.
+    TimeMillis,
+    /// Wall-clock minute-of-day on the device.
+    WallClockMinute,
+    /// Framework RNG (`rand()` in SSN's Listing 1); returns an int in
+    /// `[0, arg)`.
+    Random,
+    /// Appends a log line; arguments are stringified.
+    Log,
+    /// Shows a user-visible notification (response channel).
+    UiNotify(UiKind),
+    /// Sends a piracy report to the developer (decentralized aggregation).
+    ReportPiracy,
+    /// Response: leak a large allocation reachable from a static field.
+    LeakMemory,
+    /// Response: kill the app process.
+    KillProcess,
+    /// Response: spin forever (freeze).
+    Freeze,
+    /// Response: make a reference field null so the app crashes later.
+    NullOutField,
+    /// Sleeps for the given number of milliseconds (burns time budget).
+    SleepMs,
+    /// Analytics-style instrumentation point with a numeric id. The
+    /// protector tags each bomb payload with one so the measurement harness
+    /// can count *triggered* bombs (Tables 3–4, Fig. 5); it reads as an
+    /// ordinary analytics call in disassembly.
+    Marker(u32),
+}
+
+impl HostApi {
+    /// Name used by the disassembler — this is what text-search attacks grep
+    /// for.
+    pub fn name(&self) -> String {
+        match self {
+            HostApi::GetPublicKey => "Certificate.getPublicKey".into(),
+            HostApi::GetManifestDigest => "Manifest.getDigest".into(),
+            HostApi::GetResourceString => "Resources.getString".into(),
+            HostApi::CodeDigest => "Package.codeDigest".into(),
+            HostApi::EnvQuery(k) => format!("Env.{}", k.name()),
+            HostApi::Sensor(s) => format!("Sensor.{}", s.name()),
+            HostApi::TimeMillis => "SystemClock.uptimeMillis".into(),
+            HostApi::WallClockMinute => "Calendar.minuteOfDay".into(),
+            HostApi::Random => "Random.nextInt".into(),
+            HostApi::Log => "Log.d".into(),
+            HostApi::UiNotify(UiKind::Toast) => "Toast.show".into(),
+            HostApi::UiNotify(UiKind::Dialog) => "Dialog.show".into(),
+            HostApi::UiNotify(UiKind::TextView) => "TextView.setText".into(),
+            HostApi::ReportPiracy => "Telemetry.reportPiracy".into(),
+            HostApi::LeakMemory => "Response.leakMemory".into(),
+            HostApi::KillProcess => "Process.killProcess".into(),
+            HostApi::Freeze => "Response.freeze".into(),
+            HostApi::NullOutField => "Response.nullOutField".into(),
+            HostApi::SleepMs => "Thread.sleep".into(),
+            HostApi::Marker(id) => format!("Analytics.trackEvent#{id}"),
+        }
+    }
+}
+
+/// One bytecode instruction.
+///
+/// Branch targets are absolute instruction indices within the enclosing
+/// body (method body or decrypted fragment).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `dst := value`.
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// Constant loaded.
+        value: Value,
+    },
+    /// `dst := src`.
+    Move {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst := lhs op rhs` over integers.
+    BinOp {
+        /// Operator.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Reg,
+    },
+    /// `dst := lhs op literal` (Dalvik's `*-int/lit` forms).
+    BinOpConst {
+        /// Operator.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        lhs: Reg,
+        /// Immediate right operand.
+        rhs: i64,
+    },
+    /// `dst := op src` over integers/booleans.
+    UnOp {
+        /// Operator.
+        op: UnOp,
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// String operation; `rhs` is absent for unary ops such as `Length`.
+    StrOp {
+        /// Operator.
+        op: StrOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand (the receiver string).
+        lhs: Reg,
+        /// Optional right operand.
+        rhs: Option<Reg>,
+    },
+    /// Conditional branch: `if lhs cond rhs goto target`.
+    If {
+        /// Comparison operator.
+        cond: CondOp,
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand (register or immediate).
+        rhs: RegOrConst,
+        /// Absolute instruction index to jump to when the condition holds.
+        target: usize,
+    },
+    /// `TABLESWITCH` analogue: jump to the arm matching the register value.
+    Switch {
+        /// Scrutinee register (integer).
+        src: Reg,
+        /// `(case value, target)` arms.
+        arms: Vec<(i64, usize)>,
+        /// Fallthrough target when no arm matches.
+        default: usize,
+    },
+    /// Unconditional jump.
+    Goto {
+        /// Absolute instruction index.
+        target: usize,
+    },
+    /// Static method invocation.
+    Invoke {
+        /// Callee.
+        method: MethodRef,
+        /// Argument registers, copied into the callee frame.
+        args: Vec<Reg>,
+        /// Register receiving the return value, if any.
+        dst: Option<Reg>,
+    },
+    /// Reflective call: the *method name* is a string in a register
+    /// (SSN's hidden `getPublicKey` call goes through this).
+    InvokeReflect {
+        /// Register holding the method/API name string.
+        name: Reg,
+        /// Argument registers.
+        args: Vec<Reg>,
+        /// Register receiving the return value, if any.
+        dst: Option<Reg>,
+    },
+    /// Call into the Android framework shim.
+    HostCall {
+        /// Which framework API.
+        api: HostApi,
+        /// Argument registers.
+        args: Vec<Reg>,
+        /// Register receiving the return value, if any.
+        dst: Option<Reg>,
+    },
+    /// `dst := obj.field`.
+    GetField {
+        /// Destination register.
+        dst: Reg,
+        /// Object reference register.
+        obj: Reg,
+        /// Field reference.
+        field: FieldRef,
+    },
+    /// `obj.field := src`.
+    PutField {
+        /// Object reference register.
+        obj: Reg,
+        /// Field reference.
+        field: FieldRef,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst := Class.field` (static).
+    GetStatic {
+        /// Destination register.
+        dst: Reg,
+        /// Static field reference.
+        field: FieldRef,
+    },
+    /// `Class.field := src` (static).
+    PutStatic {
+        /// Static field reference.
+        field: FieldRef,
+        /// Source register.
+        src: Reg,
+    },
+    /// Allocates a new object of `class`; fields start zeroed/null.
+    NewInstance {
+        /// Destination register.
+        dst: Reg,
+        /// Class to instantiate.
+        class: ClassName,
+    },
+    /// Allocates an integer array of length `len`.
+    NewArray {
+        /// Destination register.
+        dst: Reg,
+        /// Length register.
+        len: Reg,
+    },
+    /// `dst := arr[idx]`.
+    ArrayGet {
+        /// Destination register.
+        dst: Reg,
+        /// Array reference register.
+        arr: Reg,
+        /// Index register.
+        idx: Reg,
+    },
+    /// `arr[idx] := src`.
+    ArrayPut {
+        /// Array reference register.
+        arr: Reg,
+        /// Index register.
+        idx: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst := arr.length`.
+    ArrayLen {
+        /// Destination register.
+        dst: Reg,
+        /// Array reference register.
+        arr: Reg,
+    },
+    /// `dst := SHA1(canonical(src) | salt)` as `Value::Bytes` — the
+    /// obfuscated-condition hash (paper Listing 3, line 1).
+    Hash {
+        /// Destination register (receives a 20-byte `Bytes`).
+        dst: Reg,
+        /// Register holding the value `X` being tested.
+        src: Reg,
+        /// Per-bomb salt baked into the instruction.
+        salt: Vec<u8>,
+    },
+    /// Derive `key = KDF(canonical(key_src) | blob.salt)`, authenticate and
+    /// decrypt the referenced blob, and execute the decrypted code fragment
+    /// inline in the current frame (paper Listing 3, lines 3–4).
+    ///
+    /// Decryption failure (wrong key) raises a VM fault — this is what
+    /// forced execution and condition-circumvention attacks observe.
+    DecryptExec {
+        /// Index of the encrypted blob in the DEX file.
+        blob: crate::dex_file::BlobId,
+        /// Register whose value re-derives the key.
+        key_src: Reg,
+    },
+    /// `dst := stego_decode(src)` — recovers bytes hidden in a resource
+    /// string (the paper hides expected digests `Do` in `strings.xml`,
+    /// §4.1). This intrinsic stands for the inlined recovery routine; in
+    /// BombDroid that logic ships *inside the encrypted payload*, and the
+    /// instrumentation here likewise only ever emits it into encrypted
+    /// fragments, so it is invisible to text search. Yields `Null` for an
+    /// invalid cover string (i.e. after resource tampering).
+    StegoExtract {
+        /// Destination register (receives `Bytes` or `Null`).
+        dst: Reg,
+        /// Register holding the cover string.
+        src: Reg,
+    },
+    /// Return from the enclosing *method* (bubbles out of decrypted
+    /// fragments).
+    Return {
+        /// Returned register, if the method returns a value.
+        src: Option<Reg>,
+    },
+    /// Raise an unconditional runtime fault (used by app logic and bogus
+    /// error paths).
+    Throw {
+        /// Human-readable fault description.
+        msg: String,
+    },
+    /// No operation.
+    Nop,
+}
+
+impl Instr {
+    /// Registers read by this instruction (for def-use analysis).
+    pub fn uses(&self) -> Vec<Reg> {
+        match self {
+            Instr::Const { .. }
+            | Instr::Goto { .. }
+            | Instr::GetStatic { .. }
+            | Instr::NewInstance { .. }
+            | Instr::Throw { .. }
+            | Instr::Nop => vec![],
+            Instr::Move { src, .. } | Instr::UnOp { src, .. } => vec![*src],
+            Instr::BinOp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Instr::BinOpConst { lhs, .. } => vec![*lhs],
+            Instr::StrOp { lhs, rhs, .. } => {
+                let mut v = vec![*lhs];
+                if let Some(r) = rhs {
+                    v.push(*r);
+                }
+                v
+            }
+            Instr::If { lhs, rhs, .. } => {
+                let mut v = vec![*lhs];
+                if let RegOrConst::Reg(r) = rhs {
+                    v.push(*r);
+                }
+                v
+            }
+            Instr::Switch { src, .. } => vec![*src],
+            Instr::Invoke { args, .. } | Instr::HostCall { args, .. } => args.clone(),
+            Instr::InvokeReflect { name, args, .. } => {
+                let mut v = vec![*name];
+                v.extend_from_slice(args);
+                v
+            }
+            Instr::GetField { obj, .. } => vec![*obj],
+            Instr::PutField { obj, src, .. } => vec![*obj, *src],
+            Instr::PutStatic { src, .. } => vec![*src],
+            Instr::NewArray { len, .. } => vec![*len],
+            Instr::ArrayGet { arr, idx, .. } => vec![*arr, *idx],
+            Instr::ArrayPut { arr, idx, src } => vec![*arr, *idx, *src],
+            Instr::ArrayLen { arr, .. } => vec![*arr],
+            Instr::Hash { src, .. } => vec![*src],
+            Instr::StegoExtract { src, .. } => vec![*src],
+            Instr::DecryptExec { key_src, .. } => vec![*key_src],
+            Instr::Return { src } => src.iter().copied().collect(),
+        }
+    }
+
+    /// Register written by this instruction, if any.
+    pub fn def(&self) -> Option<Reg> {
+        match self {
+            Instr::Const { dst, .. }
+            | Instr::Move { dst, .. }
+            | Instr::BinOp { dst, .. }
+            | Instr::BinOpConst { dst, .. }
+            | Instr::UnOp { dst, .. }
+            | Instr::StrOp { dst, .. }
+            | Instr::GetField { dst, .. }
+            | Instr::GetStatic { dst, .. }
+            | Instr::NewInstance { dst, .. }
+            | Instr::NewArray { dst, .. }
+            | Instr::ArrayGet { dst, .. }
+            | Instr::ArrayLen { dst, .. }
+            | Instr::Hash { dst, .. }
+            | Instr::StegoExtract { dst, .. } => Some(*dst),
+            Instr::Invoke { dst, .. }
+            | Instr::InvokeReflect { dst, .. }
+            | Instr::HostCall { dst, .. } => *dst,
+            _ => None,
+        }
+    }
+
+    /// Branch targets of this instruction (empty for straight-line code).
+    pub fn branch_targets(&self) -> Vec<usize> {
+        match self {
+            Instr::If { target, .. } | Instr::Goto { target } => vec![*target],
+            Instr::Switch { arms, default, .. } => {
+                let mut t: Vec<usize> = arms.iter().map(|(_, tgt)| *tgt).collect();
+                t.push(*default);
+                t
+            }
+            _ => vec![],
+        }
+    }
+
+    /// Whether control can fall through to the next instruction.
+    pub fn falls_through(&self) -> bool {
+        !matches!(
+            self,
+            Instr::Goto { .. } | Instr::Return { .. } | Instr::Throw { .. } | Instr::Switch { .. }
+        )
+    }
+
+    /// Whether this instruction ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Instr::If { .. }
+                | Instr::Switch { .. }
+                | Instr::Goto { .. }
+                | Instr::Return { .. }
+                | Instr::Throw { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negation_is_involutive() {
+        for op in [
+            CondOp::Eq,
+            CondOp::Ne,
+            CondOp::Lt,
+            CondOp::Le,
+            CondOp::Gt,
+            CondOp::Ge,
+        ] {
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn def_use_coverage() {
+        let i = Instr::BinOp {
+            op: BinOp::Add,
+            dst: Reg(2),
+            lhs: Reg(0),
+            rhs: Reg(1),
+        };
+        assert_eq!(i.def(), Some(Reg(2)));
+        assert_eq!(i.uses(), vec![Reg(0), Reg(1)]);
+
+        let j = Instr::If {
+            cond: CondOp::Eq,
+            lhs: Reg(3),
+            rhs: RegOrConst::Const(Value::Int(5)),
+            target: 7,
+        };
+        assert_eq!(j.def(), None);
+        assert_eq!(j.uses(), vec![Reg(3)]);
+        assert_eq!(j.branch_targets(), vec![7]);
+        assert!(j.falls_through());
+
+        let g = Instr::Goto { target: 3 };
+        assert!(!g.falls_through());
+        assert!(g.is_terminator());
+    }
+
+    #[test]
+    fn switch_targets_include_default() {
+        let s = Instr::Switch {
+            src: Reg(0),
+            arms: vec![(1, 10), (2, 20)],
+            default: 30,
+        };
+        assert_eq!(s.branch_targets(), vec![10, 20, 30]);
+        assert!(!s.falls_through());
+    }
+}

@@ -1,0 +1,313 @@
+//! Structural validation of DEX files.
+//!
+//! Instrumentation passes rewrite bytecode aggressively; the validator
+//! catches malformed output early (branch targets out of range, register
+//! overflow, dangling blob references) instead of at interpretation time.
+
+use crate::class::Method;
+use crate::dex_file::DexFile;
+use crate::instr::Instr;
+use crate::value::MethodRef;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A branch target is outside the method body.
+    BadBranchTarget {
+        /// Offending method.
+        method: MethodRef,
+        /// Instruction index containing the branch.
+        at: usize,
+        /// The out-of-range target.
+        target: usize,
+    },
+    /// An instruction touches a register ≥ the declared frame size.
+    RegisterOutOfRange {
+        /// Offending method.
+        method: MethodRef,
+        /// Instruction index.
+        at: usize,
+        /// Offending register index.
+        reg: u16,
+        /// Declared frame size.
+        registers: u16,
+    },
+    /// A `DecryptExec` references a blob id not present in the DEX.
+    DanglingBlob {
+        /// Offending method.
+        method: MethodRef,
+        /// Instruction index.
+        at: usize,
+        /// Missing blob index.
+        blob: u32,
+    },
+    /// Control flow can run off the end of the method body.
+    FallsOffEnd {
+        /// Offending method.
+        method: MethodRef,
+    },
+    /// Two classes share a name.
+    DuplicateClass {
+        /// The duplicated name.
+        name: String,
+    },
+    /// An entry point references a missing method.
+    MissingEntryMethod {
+        /// The dangling reference.
+        method: MethodRef,
+    },
+    /// An entry point's parameter count does not match its handler.
+    EntryArityMismatch {
+        /// Handler method.
+        method: MethodRef,
+        /// Parameters declared by the entry point.
+        declared: usize,
+        /// Parameters expected by the method.
+        expected: u16,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::BadBranchTarget { method, at, target } => {
+                write!(f, "{method}@{at}: branch target @{target} out of range")
+            }
+            ValidateError::RegisterOutOfRange {
+                method,
+                at,
+                reg,
+                registers,
+            } => write!(
+                f,
+                "{method}@{at}: register v{reg} exceeds frame size {registers}"
+            ),
+            ValidateError::DanglingBlob { method, at, blob } => {
+                write!(f, "{method}@{at}: blob #{blob} does not exist")
+            }
+            ValidateError::FallsOffEnd { method } => {
+                write!(f, "{method}: control flow can fall off the end")
+            }
+            ValidateError::DuplicateClass { name } => write!(f, "duplicate class {name}"),
+            ValidateError::MissingEntryMethod { method } => {
+                write!(f, "entry point references missing method {method}")
+            }
+            ValidateError::EntryArityMismatch {
+                method,
+                declared,
+                expected,
+            } => write!(
+                f,
+                "entry point for {method} declares {declared} params, method expects {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+fn validate_method(m: &Method, blob_count: usize, errors: &mut Vec<ValidateError>) {
+    let len = m.body.len();
+    let mref = m.method_ref();
+    for (at, instr) in m.body.iter().enumerate() {
+        for target in instr.branch_targets() {
+            if target >= len {
+                errors.push(ValidateError::BadBranchTarget {
+                    method: mref.clone(),
+                    at,
+                    target,
+                });
+            }
+        }
+        let mut regs = instr.uses();
+        if let Some(d) = instr.def() {
+            regs.push(d);
+        }
+        for r in regs {
+            if r.0 >= m.registers {
+                errors.push(ValidateError::RegisterOutOfRange {
+                    method: mref.clone(),
+                    at,
+                    reg: r.0,
+                    registers: m.registers,
+                });
+            }
+        }
+        if let Instr::DecryptExec { blob, .. } = instr {
+            if blob.0 as usize >= blob_count {
+                errors.push(ValidateError::DanglingBlob {
+                    method: mref.clone(),
+                    at,
+                    blob: blob.0,
+                });
+            }
+        }
+    }
+    match m.body.last() {
+        None => errors.push(ValidateError::FallsOffEnd { method: mref }),
+        Some(last) if last.falls_through() => {
+            errors.push(ValidateError::FallsOffEnd { method: mref })
+        }
+        _ => {}
+    }
+}
+
+/// Validates a DEX file, returning every problem found.
+///
+/// # Errors
+///
+/// Returns the full list of [`ValidateError`]s (empty `Ok(())` means the
+/// file is structurally sound).
+pub fn validate(dex: &DexFile) -> Result<(), Vec<ValidateError>> {
+    let mut errors = Vec::new();
+    let mut seen = HashSet::new();
+    for c in &dex.classes {
+        if !seen.insert(c.name.clone()) {
+            errors.push(ValidateError::DuplicateClass {
+                name: c.name.as_str().to_string(),
+            });
+        }
+        for m in &c.methods {
+            validate_method(m, dex.blobs.len(), &mut errors);
+        }
+    }
+    for e in &dex.entry_points {
+        match dex.method(&e.method) {
+            None => errors.push(ValidateError::MissingEntryMethod {
+                method: e.method.clone(),
+            }),
+            Some(m) => {
+                if e.params.len() != m.params as usize {
+                    errors.push(ValidateError::EntryArityMismatch {
+                        method: e.method.clone(),
+                        declared: e.params.len(),
+                        expected: m.params,
+                    });
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MethodBuilder;
+    use crate::class::Class;
+    use crate::dex_file::{BlobId, EntryPoint, ParamDomain};
+    use crate::instr::Reg;
+    use std::sync::Arc;
+
+    fn ok_dex() -> DexFile {
+        let mut dex = DexFile::new();
+        let mut c = Class::new("A");
+        let mut b = MethodBuilder::new("A", "m", 1);
+        b.host_log("x");
+        b.ret_void();
+        c.methods.push(b.finish());
+        dex.classes.push(c);
+        dex.entry_points.push(EntryPoint {
+            event: Arc::from("m"),
+            method: MethodRef::new("A", "m"),
+            params: vec![ParamDomain::IntRange(0, 5)],
+            user_weight: 1.0,
+        });
+        dex
+    }
+
+    #[test]
+    fn valid_dex_passes() {
+        assert!(validate(&ok_dex()).is_ok());
+    }
+
+    #[test]
+    fn catches_bad_branch() {
+        let mut dex = ok_dex();
+        dex.classes[0].methods[0]
+            .body
+            .insert(0, Instr::Goto { target: 999 });
+        let errs = validate(&dex).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::BadBranchTarget { .. })));
+    }
+
+    #[test]
+    fn catches_register_overflow() {
+        let mut dex = ok_dex();
+        dex.classes[0].methods[0].body.insert(
+            0,
+            Instr::Move {
+                dst: Reg(200),
+                src: Reg(0),
+            },
+        );
+        let errs = validate(&dex).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::RegisterOutOfRange { reg: 200, .. })));
+    }
+
+    #[test]
+    fn catches_dangling_blob() {
+        let mut dex = ok_dex();
+        dex.classes[0].methods[0].body.insert(
+            0,
+            Instr::DecryptExec {
+                blob: BlobId(3),
+                key_src: Reg(0),
+            },
+        );
+        let errs = validate(&dex).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::DanglingBlob { blob: 3, .. })));
+    }
+
+    #[test]
+    fn catches_fall_off_end() {
+        let mut dex = ok_dex();
+        dex.classes[0].methods[0].body.pop(); // remove trailing return
+        let errs = validate(&dex).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::FallsOffEnd { .. })));
+    }
+
+    #[test]
+    fn catches_missing_entry_and_arity() {
+        let mut dex = ok_dex();
+        dex.entry_points.push(EntryPoint {
+            event: Arc::from("ghost"),
+            method: MethodRef::new("A", "ghost"),
+            params: vec![],
+            user_weight: 1.0,
+        });
+        dex.entry_points[0].params.clear(); // arity mismatch for A.m
+        let errs = validate(&dex).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::MissingEntryMethod { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::EntryArityMismatch { .. })));
+    }
+
+    #[test]
+    fn catches_duplicate_class() {
+        let mut dex = ok_dex();
+        let c = dex.classes[0].clone();
+        dex.classes.push(c);
+        let errs = validate(&dex).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::DuplicateClass { .. })));
+    }
+}

@@ -1,0 +1,348 @@
+//! Device environments: the diversity axis BombDroid exploits.
+//!
+//! The paper's core observation (D1, §1) is that "the hardware/software
+//! environments and sensor values are very diverse on the user side, while
+//! the attacker can only afford ... a limited number of environments".
+//! [`DeviceEnv::sample`] draws devices from population distributions
+//! modelled on the Android Dashboards / AppBrain statistics the paper cites
+//! (§7.3); [`DeviceEnv::attacker_lab`] yields the handful of emulator-like
+//! configurations an attacker tests on.
+
+use bombdroid_dex::{EnvKey, SensorKind};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A concrete device/user environment.
+///
+/// String-valued properties live in `strings`, numeric ones in `ints`;
+/// sensors have a base value that jitters per query (see
+/// [`DeviceEnv::sensor_sample`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceEnv {
+    strings: BTreeMap<EnvKey, String>,
+    ints: BTreeMap<EnvKey, i64>,
+    sensors: BTreeMap<SensorKind, i64>,
+    /// Minute-of-day at which the app process starts on this device.
+    pub start_minute: u32,
+}
+
+/// (value, weight) population table.
+type Table<T> = &'static [(T, u32)];
+
+const MANUFACTURERS: Table<&str> = &[
+    ("samsung", 30),
+    ("xiaomi", 13),
+    ("huawei", 10),
+    ("oppo", 9),
+    ("vivo", 8),
+    ("motorola", 5),
+    ("lge", 4),
+    ("oneplus", 3),
+    ("google", 3),
+    ("sony", 2),
+    ("htc", 2),
+    ("asus", 2),
+    ("lenovo", 2),
+    ("zte", 1),
+    ("tcl", 1),
+    ("realme", 5),
+];
+
+const SDK_LEVELS: Table<i64> = &[
+    (19, 2),
+    (21, 3),
+    (22, 4),
+    (23, 8),
+    (24, 8),
+    (25, 7),
+    (26, 10),
+    (27, 12),
+    (28, 16),
+    (29, 14),
+    (30, 10),
+    (31, 6),
+];
+
+const DENSITIES: Table<i64> = &[(120, 2), (160, 8), (240, 18), (320, 35), (480, 27), (640, 10)];
+
+const CPU_ABIS: Table<&str> = &[("arm64-v8a", 75), ("armeabi-v7a", 18), ("x86_64", 5), ("x86", 2)];
+
+const FLASH_GB: Table<i64> = &[(8, 5), (16, 15), (32, 30), (64, 28), (128, 16), (256, 6)];
+
+const COUNTRIES: Table<&str> = &[
+    ("US", 14),
+    ("IN", 18),
+    ("BR", 8),
+    ("ID", 7),
+    ("CN", 10),
+    ("RU", 5),
+    ("MX", 4),
+    ("DE", 4),
+    ("JP", 4),
+    ("GB", 3),
+    ("FR", 3),
+    ("TR", 3),
+    ("VN", 3),
+    ("KR", 2),
+    ("ES", 2),
+    ("IT", 2),
+    ("NG", 2),
+    ("EG", 2),
+    ("PK", 2),
+    ("TH", 2),
+];
+
+const LANGUAGES: Table<&str> = &[
+    ("en", 30),
+    ("hi", 8),
+    ("pt", 8),
+    ("id", 7),
+    ("zh", 10),
+    ("ru", 5),
+    ("es", 9),
+    ("de", 4),
+    ("ja", 4),
+    ("fr", 4),
+    ("tr", 3),
+    ("vi", 3),
+    ("ko", 2),
+    ("ar", 3),
+];
+
+fn pick<T: Copy>(rng: &mut impl Rng, table: Table<T>) -> T {
+    let total: u32 = table.iter().map(|(_, w)| w).sum();
+    let mut roll = rng.gen_range(0..total);
+    for (value, weight) in table {
+        if roll < *weight {
+            return *value;
+        }
+        roll -= weight;
+    }
+    table[table.len() - 1].0
+}
+
+impl DeviceEnv {
+    /// Samples a user device from the population distributions.
+    pub fn sample(rng: &mut impl Rng) -> Self {
+        let manufacturer = pick(rng, MANUFACTURERS).to_string();
+        let sdk = pick(rng, SDK_LEVELS);
+        let mut strings = BTreeMap::new();
+        let mut ints = BTreeMap::new();
+        strings.insert(EnvKey::Manufacturer, manufacturer.clone());
+        strings.insert(
+            EnvKey::Board,
+            format!("{}-board-{}", manufacturer, rng.gen_range(1..9)),
+        );
+        strings.insert(
+            EnvKey::BootloaderVersion,
+            format!("blv{}.{}", rng.gen_range(1..6), rng.gen_range(0..100)),
+        );
+        strings.insert(EnvKey::Brand, manufacturer);
+        strings.insert(EnvKey::CpuAbi, pick(rng, CPU_ABIS).to_string());
+        strings.insert(EnvKey::CountryCode, pick(rng, COUNTRIES).to_string());
+        strings.insert(EnvKey::LanguageCode, pick(rng, LANGUAGES).to_string());
+        ints.insert(EnvKey::DisplayDensityDpi, pick(rng, DENSITIES));
+        ints.insert(EnvKey::MacAddrHash, rng.gen_range(0..1 << 24));
+        ints.insert(EnvKey::SerialHash, rng.gen_range(0..1 << 24));
+        ints.insert(EnvKey::FlashSizeGb, pick(rng, FLASH_GB));
+        ints.insert(EnvKey::SdkInt, sdk);
+        ints.insert(EnvKey::ApiLevel, sdk);
+        ints.insert(EnvKey::OsVersionCode, sdk - 15); // rough Android major
+        ints.insert(EnvKey::IpOctetC, rng.gen_range(0..256));
+        ints.insert(EnvKey::IpOctetD, rng.gen_range(1..255));
+        ints.insert(
+            EnvKey::TimezoneOffsetMin,
+            *[-480, -420, -300, -240, -180, 0, 60, 120, 180, 330, 420, 480, 540]
+                .iter()
+                .nth(rng.gen_range(0..13))
+                .expect("13 offsets"),
+        );
+        ints.insert(EnvKey::BatteryPct, rng.gen_range(5..101));
+
+        let mut sensors = BTreeMap::new();
+        sensors.insert(SensorKind::GpsLatE3, rng.gen_range(-60_000..70_000));
+        sensors.insert(SensorKind::GpsLonE3, rng.gen_range(-180_000..180_000));
+        // Light is log-uniform-ish: indoor lull to sunlight.
+        let light_exp = rng.gen_range(0..5);
+        sensors.insert(
+            SensorKind::LightLux,
+            10i64.pow(light_exp) + rng.gen_range(0..10i64.pow(light_exp).max(1)),
+        );
+        sensors.insert(SensorKind::TemperatureDeciC, rng.gen_range(-100..400));
+        sensors.insert(SensorKind::Accelerometer, rng.gen_range(-20..21));
+        sensors.insert(SensorKind::Pressure, rng.gen_range(950..1050));
+
+        DeviceEnv {
+            strings,
+            ints,
+            sensors,
+            start_minute: rng.gen_range(0..1440),
+        }
+    }
+
+    /// The attacker's test environments: `n` emulator-like configurations
+    /// with far less diversity than the user population (deterministic per
+    /// index, matching how real analysts reuse a few AVD images).
+    pub fn attacker_lab(n: usize) -> Vec<DeviceEnv> {
+        (0..n)
+            .map(|i| {
+                let mut strings = BTreeMap::new();
+                let mut ints = BTreeMap::new();
+                strings.insert(EnvKey::Manufacturer, "google".to_string());
+                strings.insert(EnvKey::Board, "goldfish".to_string());
+                strings.insert(EnvKey::BootloaderVersion, "unknown".to_string());
+                strings.insert(EnvKey::Brand, "generic".to_string());
+                strings.insert(
+                    EnvKey::CpuAbi,
+                    if i % 2 == 0 { "x86_64" } else { "arm64-v8a" }.to_string(),
+                );
+                strings.insert(EnvKey::CountryCode, "US".to_string());
+                strings.insert(EnvKey::LanguageCode, "en".to_string());
+                ints.insert(EnvKey::DisplayDensityDpi, 320 + 160 * (i as i64 % 2));
+                ints.insert(EnvKey::MacAddrHash, 0x5E5E5E);
+                ints.insert(EnvKey::SerialHash, 0x100000 + i as i64);
+                ints.insert(EnvKey::FlashSizeGb, 32);
+                let sdk = 26 + (i as i64 % 3) * 2;
+                ints.insert(EnvKey::SdkInt, sdk);
+                ints.insert(EnvKey::ApiLevel, sdk);
+                ints.insert(EnvKey::OsVersionCode, sdk - 15);
+                ints.insert(EnvKey::IpOctetC, 0);
+                ints.insert(EnvKey::IpOctetD, 2);
+                ints.insert(EnvKey::TimezoneOffsetMin, -480);
+                ints.insert(EnvKey::BatteryPct, 100);
+                let mut sensors = BTreeMap::new();
+                sensors.insert(SensorKind::GpsLatE3, 37_422); // Mountain View default
+                sensors.insert(SensorKind::GpsLonE3, -122_084);
+                sensors.insert(SensorKind::LightLux, 0);
+                sensors.insert(SensorKind::TemperatureDeciC, 250);
+                sensors.insert(SensorKind::Accelerometer, 0);
+                sensors.insert(SensorKind::Pressure, 1013);
+                DeviceEnv {
+                    strings,
+                    ints,
+                    sensors,
+                    start_minute: 600, // analysts work office hours
+                }
+            })
+            .collect()
+    }
+
+    /// Queries an environment property.
+    pub fn query(&self, key: EnvKey) -> EnvValue {
+        if let Some(s) = self.strings.get(&key) {
+            EnvValue::Str(s.clone())
+        } else if let Some(i) = self.ints.get(&key) {
+            EnvValue::Int(*i)
+        } else {
+            EnvValue::Int(0)
+        }
+    }
+
+    /// Samples a sensor: base value plus per-query jitter.
+    pub fn sensor_sample(&self, kind: SensorKind, rng: &mut impl Rng) -> i64 {
+        let base = self.sensors.get(&kind).copied().unwrap_or(0);
+        let jitter = match kind {
+            SensorKind::GpsLatE3 | SensorKind::GpsLonE3 => rng.gen_range(-3..4),
+            SensorKind::LightLux => rng.gen_range(-(base / 10 + 1)..base / 10 + 2),
+            SensorKind::TemperatureDeciC => rng.gen_range(-5..6),
+            SensorKind::Accelerometer => rng.gen_range(-2..3),
+            SensorKind::Pressure => rng.gen_range(-2..3),
+        };
+        base + jitter
+    }
+
+    /// Overrides one integer property (used by analysts mutating env
+    /// values, §8.3.2, and by tests).
+    pub fn set_int(&mut self, key: EnvKey, value: i64) {
+        self.ints.insert(key, value);
+    }
+
+    /// Overrides one string property.
+    pub fn set_str(&mut self, key: EnvKey, value: impl Into<String>) {
+        self.strings.insert(key, value.into());
+    }
+
+    /// Overrides a sensor's base value.
+    pub fn set_sensor(&mut self, kind: SensorKind, value: i64) {
+        self.sensors.insert(kind, value);
+    }
+
+    /// Integer value of `key` if the key is numeric.
+    pub fn int(&self, key: EnvKey) -> Option<i64> {
+        self.ints.get(&key).copied()
+    }
+}
+
+/// An environment query result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnvValue {
+    /// String-valued property (manufacturer, locale, …).
+    Str(String),
+    /// Numeric property (SDK level, IP octet, …).
+    Int(i64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn population_is_diverse() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let devices: Vec<DeviceEnv> = (0..200).map(|_| DeviceEnv::sample(&mut rng)).collect();
+        let manufacturers: std::collections::HashSet<String> = devices
+            .iter()
+            .map(|d| match d.query(EnvKey::Manufacturer) {
+                EnvValue::Str(s) => s,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(manufacturers.len() >= 8, "got {}", manufacturers.len());
+        let ip_c: std::collections::HashSet<i64> =
+            devices.iter().filter_map(|d| d.int(EnvKey::IpOctetC)).collect();
+        assert!(ip_c.len() > 50);
+    }
+
+    #[test]
+    fn attacker_lab_is_homogeneous() {
+        let lab = DeviceEnv::attacker_lab(5);
+        assert_eq!(lab.len(), 5);
+        for d in &lab {
+            assert_eq!(
+                d.query(EnvKey::Manufacturer),
+                EnvValue::Str("google".into())
+            );
+            assert_eq!(d.int(EnvKey::IpOctetC), Some(0));
+        }
+        // Deterministic.
+        assert_eq!(DeviceEnv::attacker_lab(2), DeviceEnv::attacker_lab(2));
+    }
+
+    #[test]
+    fn sensor_jitter_stays_near_base() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let env = DeviceEnv::sample(&mut rng);
+        let base = env.sensor_sample(SensorKind::Pressure, &mut rng);
+        for _ in 0..100 {
+            let v = env.sensor_sample(SensorKind::Pressure, &mut rng);
+            assert!((v - base).abs() < 10);
+        }
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let mut env = DeviceEnv::attacker_lab(1).pop().unwrap();
+        env.set_int(EnvKey::IpOctetC, 120);
+        assert_eq!(env.int(EnvKey::IpOctetC), Some(120));
+        env.set_str(EnvKey::Manufacturer, "samsung");
+        assert_eq!(
+            env.query(EnvKey::Manufacturer),
+            EnvValue::Str("samsung".into())
+        );
+        env.set_sensor(SensorKind::LightLux, 5000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = env.sensor_sample(SensorKind::LightLux, &mut rng);
+        assert!((4000..6000).contains(&v));
+    }
+}

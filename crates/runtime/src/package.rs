@@ -1,0 +1,120 @@
+//! Installed packages: what the Android system snapshots at install time.
+//!
+//! Once installed, the certificate and manifest "cannot be modified by app
+//! processes" (paper §2.1, §4.1) — so detection payloads query *this*
+//! structure, not the APK the attacker ships.
+
+use bombdroid_apk::{ApkFile, VerifyError};
+use bombdroid_crypto::Digest256;
+use bombdroid_dex::{wire, DexFile};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A package as installed on a device.
+#[derive(Debug, Clone)]
+pub struct InstalledPackage {
+    /// The app's code, as installed.
+    pub dex: Arc<DexFile>,
+    /// Public key bytes from the verified certificate (`Kr` in §4.1).
+    pub cert_public_key: Vec<u8>,
+    /// `MANIFEST.MF` digests, system-managed.
+    pub manifest_digests: BTreeMap<String, Digest256>,
+    /// Per-class code digests of the installed bytecode (for code-snippet
+    /// scanning).
+    pub class_digests: BTreeMap<String, Digest256>,
+    /// String resources (`strings.xml`), readable by the app.
+    pub resources: BTreeMap<String, String>,
+    /// Package name.
+    pub package_name: String,
+}
+
+impl InstalledPackage {
+    /// Installs an APK: verifies the signature (the system rejects
+    /// unsigned/tampered APKs), then snapshots certificate, manifest and
+    /// code digests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] when the APK's signature does not verify —
+    /// such an APK never reaches a device.
+    pub fn install(apk: &ApkFile) -> Result<Self, VerifyError> {
+        apk.verify()?;
+        let manifest = apk.manifest();
+        let manifest_digests = manifest
+            .iter()
+            .map(|(name, digest)| (name.to_string(), *digest))
+            .collect();
+        let class_digests = apk
+            .dex
+            .classes
+            .iter()
+            .map(|c| (c.name.as_str().to_string(), wire::class_digest(c)))
+            .collect();
+        let resources = apk
+            .strings
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        Ok(InstalledPackage {
+            dex: Arc::new(apk.dex.clone()),
+            cert_public_key: apk.cert.public_key.to_bytes().to_vec(),
+            manifest_digests,
+            class_digests,
+            resources,
+            package_name: apk.meta.package.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bombdroid_apk::{package_app, repackage, AppMeta, DeveloperKey, StringsXml};
+    use bombdroid_dex::{Class, MethodBuilder};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn dex() -> DexFile {
+        let mut dex = DexFile::new();
+        let mut c = Class::new("Main");
+        let mut b = MethodBuilder::new("Main", "run", 0);
+        b.ret_void();
+        c.methods.push(b.finish());
+        dex.classes.push(c);
+        dex
+    }
+
+    #[test]
+    fn install_snapshots_cert_and_digests() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dev = DeveloperKey::generate(&mut rng);
+        let mut strings = StringsXml::new();
+        strings.set("app_name", "demo");
+        let apk = package_app(&dex(), strings, AppMeta::named("demo"), &dev);
+        let pkg = InstalledPackage::install(&apk).unwrap();
+        assert_eq!(pkg.cert_public_key, dev.public.to_bytes().to_vec());
+        assert!(pkg.manifest_digests.contains_key("classes.dex"));
+        assert!(pkg.class_digests.contains_key("Main"));
+        assert_eq!(pkg.resources.get("app_name").map(String::as_str), Some("demo"));
+    }
+
+    #[test]
+    fn repackaged_app_installs_with_different_key() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let dev = DeveloperKey::generate(&mut rng);
+        let pirate = DeveloperKey::generate(&mut rng);
+        let apk = package_app(&dex(), StringsXml::new(), AppMeta::named("demo"), &dev);
+        let repack = repackage(&apk, &pirate, |_| {});
+        let original = InstalledPackage::install(&apk).unwrap();
+        let pirated = InstalledPackage::install(&repack).unwrap();
+        assert_ne!(original.cert_public_key, pirated.cert_public_key);
+    }
+
+    #[test]
+    fn tampered_apk_rejected_at_install() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dev = DeveloperKey::generate(&mut rng);
+        let mut apk = package_app(&dex(), StringsXml::new(), AppMeta::named("demo"), &dev);
+        apk.meta.author = "pirate".into(); // modified without re-signing
+        assert!(InstalledPackage::install(&apk).is_err());
+    }
+}

@@ -1,0 +1,940 @@
+//! The bytecode interpreter — our stand-in for the ART runtime.
+//!
+//! Executes installed packages event-by-event with a deterministic cost
+//! model (instructions ↦ virtual milliseconds), dispatches framework shims,
+//! and implements the two bomb instructions: salted hashing and
+//! decrypt-and-execute with fragment caching ("the code decryption is
+//! one-time effort by caching it in memory", paper §8.4).
+
+use crate::env::{DeviceEnv, EnvValue};
+use crate::package::InstalledPackage;
+use crate::telemetry::{ResponseEvent, ResponseKind, Telemetry};
+use crate::value::RtValue;
+use bombdroid_crypto::{blob, kdf};
+use bombdroid_dex::{
+    wire, BinOp, CondOp, HostApi, Instr, MethodRef, Reg, RegOrConst, StrOp, UnOp,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// Attacker-side hooks: an analyst may "hack and modify their own Android
+/// systems arbitrarily" (paper §2.2), so the VM can be instrumented when it
+/// plays the attacker's device.
+#[derive(Debug, Clone, Default)]
+pub struct AttackerHooks {
+    /// Make `getPublicKey` (direct and reflective) return these bytes.
+    pub fake_public_key: Option<Vec<u8>>,
+    /// Force the framework RNG to a constant (defeats SSN's probabilistic
+    /// invocation).
+    pub force_random: Option<i64>,
+    /// Record every reflective call's resolved name (defeats SSN's name
+    /// obfuscation).
+    pub trace_reflection: bool,
+}
+
+/// VM configuration.
+#[derive(Debug, Clone)]
+pub struct VmOptions {
+    /// Instruction budget per fired event (infinite loops hit this).
+    pub fuel_per_event: u64,
+    /// Instructions per virtual millisecond (the cost model's clock rate).
+    pub instr_per_ms: u64,
+    /// Record scalar field writes (profiling mode).
+    pub record_field_values: bool,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+    /// Attacker instrumentation.
+    pub hooks: AttackerHooks,
+}
+
+impl Default for VmOptions {
+    fn default() -> Self {
+        VmOptions {
+            fuel_per_event: 300_000,
+            instr_per_ms: 2_000,
+            record_field_values: false,
+            max_call_depth: 64,
+            hooks: AttackerHooks::default(),
+        }
+    }
+}
+
+/// A runtime fault. Responses deliberately inject some of these into
+/// repackaged apps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Null dereference.
+    NullDeref,
+    /// Operand had the wrong type.
+    TypeError(&'static str),
+    /// Integer division by zero.
+    DivByZero,
+    /// Array index out of bounds.
+    IndexOutOfBounds,
+    /// Call to a method that does not exist.
+    UnknownMethod(MethodRef),
+    /// Reflective call name did not resolve.
+    UnknownReflectTarget(String),
+    /// A `DecryptExec` failed to authenticate (wrong key or tampering).
+    DecryptFailed,
+    /// Decrypted bytes were not a valid fragment (tampered blob).
+    FragmentDecode,
+    /// Explicit `throw`.
+    Thrown(String),
+    /// Call depth exceeded.
+    StackOverflow,
+    /// Instruction budget exhausted (endless loop / freeze).
+    OutOfFuel,
+    /// The process was killed by a response.
+    Killed,
+    /// The app is frozen by a response.
+    Frozen,
+    /// Event index out of range or arity mismatch.
+    BadEvent(String),
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::NullDeref => write!(f, "null dereference"),
+            Fault::TypeError(what) => write!(f, "type error: {what}"),
+            Fault::DivByZero => write!(f, "division by zero"),
+            Fault::IndexOutOfBounds => write!(f, "array index out of bounds"),
+            Fault::UnknownMethod(m) => write!(f, "unknown method {m}"),
+            Fault::UnknownReflectTarget(n) => write!(f, "unknown reflection target {n:?}"),
+            Fault::DecryptFailed => write!(f, "payload decryption failed"),
+            Fault::FragmentDecode => write!(f, "decrypted fragment is malformed"),
+            Fault::Thrown(m) => write!(f, "thrown: {m}"),
+            Fault::StackOverflow => write!(f, "stack overflow"),
+            Fault::OutOfFuel => write!(f, "event exceeded instruction budget"),
+            Fault::Killed => write!(f, "process killed"),
+            Fault::Frozen => write!(f, "app frozen"),
+            Fault::BadEvent(m) => write!(f, "bad event: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// Outcome of firing one event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventOutcome {
+    /// `Ok(())` or the fault that ended the event.
+    pub result: Result<(), Fault>,
+    /// Instructions executed by this event.
+    pub instr: u64,
+}
+
+impl EventOutcome {
+    /// Whether the event ran to completion.
+    pub fn completed(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+enum Flow {
+    Done,
+    Returned(RtValue),
+}
+
+/// The virtual machine for one app process on one device.
+#[derive(Debug)]
+pub struct Vm {
+    /// Installed package being executed.
+    pub pkg: InstalledPackage,
+    /// Device environment.
+    pub env: DeviceEnv,
+    opts: VmOptions,
+    rng: StdRng,
+    statics: HashMap<String, RtValue>,
+    objects: Vec<BTreeMap<Arc<str>, RtValue>>,
+    arrays: Vec<Vec<RtValue>>,
+    telemetry: Telemetry,
+    blob_cache: HashMap<u32, Arc<Vec<Instr>>>,
+    clock_ms: u64,
+    instr_accum: u64,
+    fuel: u64,
+    killed: bool,
+    frozen: bool,
+}
+
+impl Vm {
+    /// Boots an app process for `pkg` on a device with environment `env`.
+    pub fn new(pkg: InstalledPackage, env: DeviceEnv, seed: u64, opts: VmOptions) -> Self {
+        Vm {
+            pkg,
+            env,
+            opts,
+            rng: StdRng::seed_from_u64(seed),
+            statics: HashMap::new(),
+            objects: Vec::new(),
+            arrays: Vec::new(),
+            telemetry: Telemetry::new(),
+            blob_cache: HashMap::new(),
+            clock_ms: 0,
+            instr_accum: 0,
+            fuel: 0,
+            killed: false,
+            frozen: false,
+        }
+    }
+
+    /// Convenience constructor with default options.
+    pub fn boot(pkg: InstalledPackage, env: DeviceEnv, seed: u64) -> Self {
+        Vm::new(pkg, env, seed, VmOptions::default())
+    }
+
+    /// Telemetry recorded so far.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Consumes the VM and returns its telemetry.
+    pub fn into_telemetry(self) -> Telemetry {
+        self.telemetry
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn clock_ms(&self) -> u64 {
+        self.clock_ms
+    }
+
+    /// Whether a response killed the process.
+    pub fn is_killed(&self) -> bool {
+        self.killed
+    }
+
+    /// Whether a response froze the app.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Advances idle time (user think-time between events).
+    pub fn advance_ms(&mut self, ms: u64) {
+        self.clock_ms += ms;
+    }
+
+    /// A sorted snapshot of all static fields — the app's observable state
+    /// (used by differential corruption probes).
+    pub fn statics_snapshot(&self) -> Vec<(String, String)> {
+        let mut snap: Vec<(String, String)> = self
+            .statics
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_string()))
+            .collect();
+        snap.sort();
+        snap
+    }
+
+    /// Executes a detached instruction fragment with a caller-supplied
+    /// register file — the primitive behind *forced execution* and
+    /// *slice execution* attacks (paper §2.1), where an analyst runs
+    /// extracted code outside its original control flow.
+    pub fn run_detached_fragment(
+        &mut self,
+        body: &[Instr],
+        mut regs: Vec<RtValue>,
+    ) -> Result<Option<RtValue>, Fault> {
+        self.fuel = self.opts.fuel_per_event;
+        let mref = MethodRef::new("<detached>", "fragment");
+        match self.exec_body(&mref, body, &mut regs, 0)? {
+            Flow::Returned(v) => Ok(Some(v)),
+            Flow::Done => Ok(None),
+        }
+    }
+
+    /// Fires entry point `index` with `args`.
+    pub fn fire_entry(&mut self, index: usize, args: Vec<RtValue>) -> EventOutcome {
+        let dex = self.pkg.dex.clone();
+        let Some(entry) = dex.entry_points.get(index) else {
+            return EventOutcome {
+                result: Err(Fault::BadEvent(format!("no entry point {index}"))),
+                instr: 0,
+            };
+        };
+        self.fire_method(&entry.method.clone(), args)
+    }
+
+    /// Fires an arbitrary method as an event (also used by forced-execution
+    /// attacks, which call internal methods directly).
+    pub fn fire_method(&mut self, mref: &MethodRef, args: Vec<RtValue>) -> EventOutcome {
+        if self.killed {
+            return EventOutcome {
+                result: Err(Fault::Killed),
+                instr: 0,
+            };
+        }
+        if self.frozen {
+            return EventOutcome {
+                result: Err(Fault::Frozen),
+                instr: 0,
+            };
+        }
+        self.fuel = self.opts.fuel_per_event;
+        self.telemetry.events_run += 1;
+        let before = self.telemetry.instr_executed;
+        let result = self.call(mref, args, 0).map(|_| ());
+        EventOutcome {
+            instr: self.telemetry.instr_executed - before,
+            result,
+        }
+    }
+
+    fn charge(&mut self, cost: u64) -> Result<(), Fault> {
+        self.telemetry.instr_executed += cost;
+        self.instr_accum += cost;
+        while self.instr_accum >= self.opts.instr_per_ms {
+            self.instr_accum -= self.opts.instr_per_ms;
+            self.clock_ms += 1;
+        }
+        if self.fuel < cost {
+            self.fuel = 0;
+            return Err(Fault::OutOfFuel);
+        }
+        self.fuel -= cost;
+        Ok(())
+    }
+
+    fn call(&mut self, mref: &MethodRef, args: Vec<RtValue>, depth: usize) -> Result<RtValue, Fault> {
+        if depth >= self.opts.max_call_depth {
+            return Err(Fault::StackOverflow);
+        }
+        let dex = self.pkg.dex.clone();
+        let method = dex
+            .method(mref)
+            .ok_or_else(|| Fault::UnknownMethod(mref.clone()))?;
+        if args.len() != method.params as usize {
+            return Err(Fault::BadEvent(format!(
+                "{mref}: expected {} args, got {}",
+                method.params,
+                args.len()
+            )));
+        }
+        *self.telemetry.method_calls.entry(mref.clone()).or_insert(0) += 1;
+        let mut regs = vec![RtValue::Null; method.registers.max(args.len() as u16) as usize];
+        for (i, a) in args.into_iter().enumerate() {
+            regs[i] = a;
+        }
+        self.charge(5)?;
+        match self.exec_body(mref, &method.body, &mut regs, depth)? {
+            Flow::Returned(v) => Ok(v),
+            Flow::Done => Ok(RtValue::Null),
+        }
+    }
+
+    fn reg(&self, regs: &[RtValue], r: Reg) -> RtValue {
+        regs.get(r.0 as usize).cloned().unwrap_or(RtValue::Null)
+    }
+
+    fn set_reg(regs: &mut Vec<RtValue>, r: Reg, v: RtValue) {
+        let idx = r.0 as usize;
+        if idx >= regs.len() {
+            regs.resize(idx + 1, RtValue::Null);
+        }
+        regs[idx] = v;
+    }
+
+    fn exec_body(
+        &mut self,
+        mref: &MethodRef,
+        body: &[Instr],
+        regs: &mut Vec<RtValue>,
+        depth: usize,
+    ) -> Result<Flow, Fault> {
+        let mut pc = 0usize;
+        while pc < body.len() {
+            let instr = &body[pc];
+            let mut next = pc + 1;
+            match instr {
+                Instr::Const { dst, value } => {
+                    self.charge(1)?;
+                    Self::set_reg(regs, *dst, value.clone().into());
+                }
+                Instr::Move { dst, src } => {
+                    self.charge(1)?;
+                    let v = self.reg(regs, *src);
+                    Self::set_reg(regs, *dst, v);
+                }
+                Instr::BinOp { op, dst, lhs, rhs } => {
+                    self.charge(1)?;
+                    let a = self
+                        .reg(regs, *lhs)
+                        .as_int()
+                        .ok_or(Fault::TypeError("binop lhs not int"))?;
+                    let b = self
+                        .reg(regs, *rhs)
+                        .as_int()
+                        .ok_or(Fault::TypeError("binop rhs not int"))?;
+                    Self::set_reg(regs, *dst, RtValue::Int(Self::arith(*op, a, b)?));
+                }
+                Instr::BinOpConst { op, dst, lhs, rhs } => {
+                    self.charge(1)?;
+                    let a = self
+                        .reg(regs, *lhs)
+                        .as_int()
+                        .ok_or(Fault::TypeError("binop lhs not int"))?;
+                    Self::set_reg(regs, *dst, RtValue::Int(Self::arith(*op, a, *rhs)?));
+                }
+                Instr::UnOp { op, dst, src } => {
+                    self.charge(1)?;
+                    let a = self
+                        .reg(regs, *src)
+                        .as_int()
+                        .ok_or(Fault::TypeError("unop operand not int"))?;
+                    let v = match op {
+                        UnOp::Neg => a.wrapping_neg(),
+                        UnOp::Not => !a,
+                        UnOp::Abs => a.wrapping_abs(),
+                    };
+                    Self::set_reg(regs, *dst, RtValue::Int(v));
+                }
+                Instr::StrOp { op, dst, lhs, rhs } => {
+                    self.charge(2)?;
+                    let v = self.str_op(*op, regs, *lhs, *rhs)?;
+                    Self::set_reg(regs, *dst, v);
+                }
+                Instr::If {
+                    cond,
+                    lhs,
+                    rhs,
+                    target,
+                } => {
+                    self.charge(1)?;
+                    let a = self.reg(regs, *lhs);
+                    let b = match rhs {
+                        RegOrConst::Reg(r) => self.reg(regs, *r),
+                        RegOrConst::Const(v) => v.clone().into(),
+                    };
+                    let taken = Self::compare(*cond, &a, &b)?;
+                    // QC-coverage telemetry: an equality on a constant that
+                    // held. (`Eq` taken, or `Ne` fall-through.)
+                    let eq_held = match cond {
+                        CondOp::Eq => taken,
+                        CondOp::Ne => !taken,
+                        _ => false,
+                    };
+                    if eq_held && matches!(rhs, RegOrConst::Const(_)) {
+                        self.telemetry.eq_satisfied.insert((mref.clone(), pc));
+                        if matches!(a, RtValue::Bytes(_)) {
+                            self.telemetry.outer_satisfied.insert((mref.clone(), pc));
+                        }
+                    }
+                    if taken {
+                        next = *target;
+                    }
+                }
+                Instr::Switch { src, arms, default } => {
+                    self.charge(1)?;
+                    let v = self
+                        .reg(regs, *src)
+                        .as_int()
+                        .ok_or(Fault::TypeError("switch operand not int"))?;
+                    next = arms
+                        .iter()
+                        .find(|(case, _)| *case == v)
+                        .map(|(_, t)| *t)
+                        .unwrap_or(*default);
+                }
+                Instr::Goto { target } => {
+                    self.charge(1)?;
+                    next = *target;
+                }
+                Instr::Invoke { method, args, dst } => {
+                    let argv: Vec<RtValue> = args.iter().map(|r| self.reg(regs, *r)).collect();
+                    let ret = self.call(method, argv, depth + 1)?;
+                    if let Some(d) = dst {
+                        Self::set_reg(regs, *d, ret);
+                    }
+                }
+                Instr::InvokeReflect { name, args, dst } => {
+                    self.charge(10)?;
+                    let target = self
+                        .reg(regs, *name)
+                        .as_str()
+                        .ok_or(Fault::TypeError("reflect name not string"))?
+                        .to_string();
+                    if self.opts.hooks.trace_reflection {
+                        let at = self.clock_ms;
+                        self.telemetry.reflection_trace.push((target.clone(), at));
+                    }
+                    let argv: Vec<RtValue> = args.iter().map(|r| self.reg(regs, *r)).collect();
+                    let ret = self.reflect_call(&target, &argv)?;
+                    if let Some(d) = dst {
+                        Self::set_reg(regs, *d, ret);
+                    }
+                }
+                Instr::HostCall { api, args, dst } => {
+                    self.charge(10)?;
+                    let argv: Vec<RtValue> = args.iter().map(|r| self.reg(regs, *r)).collect();
+                    let ret = self.host_call(api, &argv)?;
+                    if let Some(d) = dst {
+                        Self::set_reg(regs, *d, ret);
+                    }
+                }
+                Instr::GetField { dst, obj, field } => {
+                    self.charge(1)?;
+                    let v = match self.reg(regs, *obj) {
+                        RtValue::Obj(id) => self
+                            .objects
+                            .get(id)
+                            .and_then(|o| o.get(&field.name).cloned())
+                            .unwrap_or(RtValue::Null),
+                        RtValue::Null => return Err(Fault::NullDeref),
+                        _ => return Err(Fault::TypeError("iget on non-object")),
+                    };
+                    Self::set_reg(regs, *dst, v);
+                }
+                Instr::PutField { obj, field, src } => {
+                    self.charge(1)?;
+                    let v = self.reg(regs, *src);
+                    if self.opts.record_field_values {
+                        if let Some(c) = v.to_const() {
+                            let at = self.clock_ms;
+                            self.telemetry.record_field(field.to_string(), at, c);
+                        }
+                    }
+                    match self.reg(regs, *obj) {
+                        RtValue::Obj(id) => {
+                            let o = self
+                                .objects
+                                .get_mut(id)
+                                .ok_or(Fault::TypeError("dangling object"))?;
+                            o.insert(field.name.clone(), v);
+                        }
+                        RtValue::Null => return Err(Fault::NullDeref),
+                        _ => return Err(Fault::TypeError("iput on non-object")),
+                    }
+                }
+                Instr::GetStatic { dst, field } => {
+                    self.charge(1)?;
+                    // Unwritten statics read as 0, matching Java's default
+                    // initialization of numeric static fields.
+                    let v = self
+                        .statics
+                        .get(&field.to_string())
+                        .cloned()
+                        .unwrap_or(RtValue::Int(0));
+                    Self::set_reg(regs, *dst, v);
+                }
+                Instr::PutStatic { field, src } => {
+                    self.charge(1)?;
+                    let v = self.reg(regs, *src);
+                    if self.opts.record_field_values {
+                        if let Some(c) = v.to_const() {
+                            let at = self.clock_ms;
+                            self.telemetry.record_field(field.to_string(), at, c);
+                        }
+                    }
+                    self.statics.insert(field.to_string(), v);
+                }
+                Instr::NewInstance { dst, class: _ } => {
+                    self.charge(2)?;
+                    let id = self.objects.len();
+                    self.objects.push(BTreeMap::new());
+                    Self::set_reg(regs, *dst, RtValue::Obj(id));
+                }
+                Instr::NewArray { dst, len } => {
+                    self.charge(2)?;
+                    let n = self
+                        .reg(regs, *len)
+                        .as_int()
+                        .ok_or(Fault::TypeError("array length not int"))?;
+                    if !(0..=1_000_000).contains(&n) {
+                        return Err(Fault::IndexOutOfBounds);
+                    }
+                    let id = self.arrays.len();
+                    self.arrays.push(vec![RtValue::Int(0); n as usize]);
+                    Self::set_reg(regs, *dst, RtValue::Arr(id));
+                }
+                Instr::ArrayGet { dst, arr, idx } => {
+                    self.charge(1)?;
+                    let v = self.array_slot(regs, *arr, *idx)?.clone();
+                    Self::set_reg(regs, *dst, v);
+                }
+                Instr::ArrayPut { arr, idx, src } => {
+                    self.charge(1)?;
+                    let v = self.reg(regs, *src);
+                    *self.array_slot(regs, *arr, *idx)? = v;
+                }
+                Instr::ArrayLen { dst, arr } => {
+                    self.charge(1)?;
+                    let n = match self.reg(regs, *arr) {
+                        RtValue::Arr(id) => self
+                            .arrays
+                            .get(id)
+                            .ok_or(Fault::TypeError("dangling array"))?
+                            .len(),
+                        RtValue::Null => return Err(Fault::NullDeref),
+                        _ => return Err(Fault::TypeError("array-length on non-array")),
+                    };
+                    Self::set_reg(regs, *dst, RtValue::Int(n as i64));
+                }
+                Instr::Hash { dst, src, salt } => {
+                    // Hashing ≤ 16 input bytes is a handful of SHA-1
+                    // compressions — cheap next to interpreter dispatch.
+                    self.charge(4)?;
+                    let cb = self
+                        .reg(regs, *src)
+                        .canonical_bytes()
+                        .ok_or(Fault::TypeError("hash of reference value"))?;
+                    let digest = kdf::condition_hash(&cb, salt);
+                    Self::set_reg(regs, *dst, RtValue::Bytes(Arc::from(&digest[..])));
+                }
+                Instr::DecryptExec { blob, key_src } => {
+                    let cached = self.blob_cache.get(&blob.0).cloned();
+                    let fragment = if let Some(f) = cached {
+                        // "the code decryption is one-time effort by
+                        // caching it in memory" (§8.4).
+                        self.charge(2)?;
+                        f
+                    } else {
+                        let dex = self.pkg.dex.clone();
+                        let b = dex
+                            .blob(*blob)
+                            .ok_or(Fault::TypeError("dangling blob"))?;
+                        self.charge(50 + b.sealed.len() as u64 / 16)?;
+                        let cb = self
+                            .reg(regs, *key_src)
+                            .canonical_bytes()
+                            .ok_or(Fault::TypeError("key source is a reference"))?;
+                        let key = kdf::derive_key(&cb, &b.salt);
+                        let plaintext = blob::open(&key, &b.sealed).map_err(|_| {
+                            self.telemetry.decrypt_failures += 1;
+                            Fault::DecryptFailed
+                        })?;
+                        let instrs =
+                            wire::decode_fragment(&plaintext).map_err(|_| Fault::FragmentDecode)?;
+                        let f = Arc::new(instrs);
+                        self.blob_cache.insert(blob.0, f.clone());
+                        self.telemetry.blobs_decrypted.insert(blob.0);
+                        f
+                    };
+                    if let Flow::Returned(v) = self.exec_body(mref, &fragment, regs, depth)? {
+                        return Ok(Flow::Returned(v));
+                    }
+                }
+                Instr::StegoExtract { dst, src } => {
+                    self.charge(5)?;
+                    let v = match self.reg(regs, *src).as_str() {
+                        Some(cover) => match bombdroid_apk::stego::extract(cover) {
+                            Some(bytes) => RtValue::Bytes(Arc::from(bytes.as_slice())),
+                            None => RtValue::Null,
+                        },
+                        None => RtValue::Null,
+                    };
+                    Self::set_reg(regs, *dst, v);
+                }
+                Instr::Return { src } => {
+                    self.charge(1)?;
+                    let v = src.map(|r| self.reg(regs, r)).unwrap_or(RtValue::Null);
+                    return Ok(Flow::Returned(v));
+                }
+                Instr::Throw { msg } => {
+                    self.charge(1)?;
+                    return Err(Fault::Thrown(msg.clone()));
+                }
+                Instr::Nop => {
+                    self.charge(1)?;
+                }
+            }
+            pc = next;
+        }
+        Ok(Flow::Done)
+    }
+
+    fn arith(op: BinOp, a: i64, b: i64) -> Result<i64, Fault> {
+        Ok(match op {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    return Err(Fault::DivByZero);
+                }
+                a.wrapping_div(b)
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    return Err(Fault::DivByZero);
+                }
+                a.wrapping_rem(b)
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+            BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+        })
+    }
+
+    fn compare(cond: CondOp, a: &RtValue, b: &RtValue) -> Result<bool, Fault> {
+        match cond {
+            CondOp::Eq | CondOp::Ne => {
+                let equal = match (a, b) {
+                    (RtValue::Int(_) | RtValue::Bool(_), RtValue::Int(_) | RtValue::Bool(_)) => {
+                        a.as_int() == b.as_int()
+                    }
+                    (RtValue::Str(x), RtValue::Str(y)) => x == y,
+                    (RtValue::Bytes(x), RtValue::Bytes(y)) => x == y,
+                    (RtValue::Null, RtValue::Null) => true,
+                    (RtValue::Obj(x), RtValue::Obj(y)) => x == y,
+                    (RtValue::Arr(x), RtValue::Arr(y)) => x == y,
+                    _ => false,
+                };
+                Ok(if cond == CondOp::Eq { equal } else { !equal })
+            }
+            _ => {
+                let x = a.as_int().ok_or(Fault::TypeError("ordered compare on non-int"))?;
+                let y = b.as_int().ok_or(Fault::TypeError("ordered compare on non-int"))?;
+                Ok(match cond {
+                    CondOp::Lt => x < y,
+                    CondOp::Le => x <= y,
+                    CondOp::Gt => x > y,
+                    CondOp::Ge => x >= y,
+                    CondOp::Eq | CondOp::Ne => unreachable!(),
+                })
+            }
+        }
+    }
+
+    fn str_op(
+        &mut self,
+        op: StrOp,
+        regs: &[RtValue],
+        lhs: Reg,
+        rhs: Option<Reg>,
+    ) -> Result<RtValue, Fault> {
+        let a = self.reg(regs, lhs);
+        let s = a.as_str().ok_or(Fault::TypeError("strop receiver not string"))?;
+        let rhs_val = rhs.map(|r| self.reg(regs, r));
+        let b_str = |v: &Option<RtValue>| -> Result<String, Fault> {
+            match v {
+                Some(RtValue::Str(s)) => Ok(s.to_string()),
+                Some(RtValue::Int(i)) => Ok(i.to_string()),
+                Some(RtValue::Bool(b)) => Ok(b.to_string()),
+                _ => Err(Fault::TypeError("strop operand missing or non-scalar")),
+            }
+        };
+        Ok(match op {
+            StrOp::Equals => RtValue::Bool(s == b_str(&rhs_val)?),
+            StrOp::StartsWith => RtValue::Bool(s.starts_with(&b_str(&rhs_val)?)),
+            StrOp::EndsWith => RtValue::Bool(s.ends_with(&b_str(&rhs_val)?)),
+            StrOp::Contains => RtValue::Bool(s.contains(&b_str(&rhs_val)?)),
+            StrOp::Concat => RtValue::Str(Arc::from(format!("{s}{}", b_str(&rhs_val)?))),
+            StrOp::Length => RtValue::Int(s.chars().count() as i64),
+            StrOp::HashCode => {
+                // Java's String.hashCode.
+                let mut h: i32 = 0;
+                for c in s.chars() {
+                    h = h.wrapping_mul(31).wrapping_add(c as i32);
+                }
+                RtValue::Int(h as i64)
+            }
+            StrOp::CharAt => {
+                let idx = rhs_val
+                    .as_ref()
+                    .and_then(|v| v.as_int())
+                    .ok_or(Fault::TypeError("charAt index not int"))?;
+                let c = s
+                    .chars()
+                    .nth(usize::try_from(idx).map_err(|_| Fault::IndexOutOfBounds)?)
+                    .ok_or(Fault::IndexOutOfBounds)?;
+                RtValue::Int(c as i64)
+            }
+            StrOp::ToUpper => RtValue::Str(Arc::from(s.to_uppercase())),
+            StrOp::Rot13 => {
+                let rotated: String = s
+                    .chars()
+                    .map(|c| match c {
+                        'a'..='z' => (((c as u8 - b'a' + 13) % 26) + b'a') as char,
+                        'A'..='Z' => (((c as u8 - b'A' + 13) % 26) + b'A') as char,
+                        other => other,
+                    })
+                    .collect();
+                RtValue::Str(Arc::from(rotated))
+            }
+            StrOp::Substring => {
+                let idx = rhs_val
+                    .as_ref()
+                    .and_then(|v| v.as_int())
+                    .ok_or(Fault::TypeError("substring index not int"))?;
+                let idx = usize::try_from(idx).map_err(|_| Fault::IndexOutOfBounds)?;
+                if idx > s.chars().count() {
+                    return Err(Fault::IndexOutOfBounds);
+                }
+                RtValue::Str(Arc::from(s.chars().skip(idx).collect::<String>()))
+            }
+        })
+    }
+
+    fn array_slot(
+        &mut self,
+        regs: &[RtValue],
+        arr: Reg,
+        idx: Reg,
+    ) -> Result<&mut RtValue, Fault> {
+        let id = match self.reg(regs, arr) {
+            RtValue::Arr(id) => id,
+            RtValue::Null => return Err(Fault::NullDeref),
+            _ => return Err(Fault::TypeError("array op on non-array")),
+        };
+        let i = self
+            .reg(regs, idx)
+            .as_int()
+            .ok_or(Fault::TypeError("array index not int"))?;
+        let a = self.arrays.get_mut(id).ok_or(Fault::TypeError("dangling array"))?;
+        let i = usize::try_from(i).map_err(|_| Fault::IndexOutOfBounds)?;
+        a.get_mut(i).ok_or(Fault::IndexOutOfBounds)
+    }
+
+    fn reflect_call(&mut self, name: &str, args: &[RtValue]) -> Result<RtValue, Fault> {
+        match name {
+            "getPublicKey" => self.host_call(&HostApi::GetPublicKey, args),
+            "getManifestDigest" => self.host_call(&HostApi::GetManifestDigest, args),
+            "codeDigest" => self.host_call(&HostApi::CodeDigest, args),
+            "uptimeMillis" => self.host_call(&HostApi::TimeMillis, args),
+            other => Err(Fault::UnknownReflectTarget(other.to_string())),
+        }
+    }
+
+    fn host_call(&mut self, api: &HostApi, args: &[RtValue]) -> Result<RtValue, Fault> {
+        match api {
+            HostApi::GetPublicKey => {
+                if let Some(fake) = &self.opts.hooks.fake_public_key {
+                    return Ok(RtValue::Bytes(Arc::from(fake.as_slice())));
+                }
+                Ok(RtValue::Bytes(Arc::from(
+                    self.pkg.cert_public_key.as_slice(),
+                )))
+            }
+            HostApi::GetManifestDigest => {
+                let entry = args
+                    .first()
+                    .and_then(|v| v.as_str())
+                    .ok_or(Fault::TypeError("manifest entry name not string"))?;
+                Ok(match self.pkg.manifest_digests.get(entry) {
+                    Some(d) => RtValue::Bytes(Arc::from(&d[..])),
+                    None => RtValue::Null,
+                })
+            }
+            HostApi::GetResourceString => {
+                let key = args
+                    .first()
+                    .and_then(|v| v.as_str())
+                    .ok_or(Fault::TypeError("resource key not string"))?;
+                Ok(match self.pkg.resources.get(key) {
+                    Some(s) => RtValue::Str(Arc::from(s.as_str())),
+                    None => RtValue::Null,
+                })
+            }
+            HostApi::CodeDigest => {
+                let class = args
+                    .first()
+                    .and_then(|v| v.as_str())
+                    .ok_or(Fault::TypeError("class name not string"))?;
+                Ok(match self.pkg.class_digests.get(class) {
+                    Some(d) => RtValue::Bytes(Arc::from(&d[..])),
+                    None => RtValue::Null,
+                })
+            }
+            HostApi::EnvQuery(key) => Ok(match self.env.query(*key) {
+                EnvValue::Str(s) => RtValue::Str(Arc::from(s.as_str())),
+                EnvValue::Int(i) => RtValue::Int(i),
+            }),
+            HostApi::Sensor(kind) => {
+                let v = self.env.sensor_sample(*kind, &mut self.rng);
+                Ok(RtValue::Int(v))
+            }
+            HostApi::TimeMillis => Ok(RtValue::Int(self.clock_ms as i64)),
+            HostApi::WallClockMinute => {
+                let minute =
+                    (self.env.start_minute as u64 + self.clock_ms / 60_000) % 1_440;
+                Ok(RtValue::Int(minute as i64))
+            }
+            HostApi::Random => {
+                if let Some(forced) = self.opts.hooks.force_random {
+                    return Ok(RtValue::Int(forced));
+                }
+                let bound = args.first().and_then(|v| v.as_int()).unwrap_or(i64::MAX);
+                if bound <= 0 {
+                    return Ok(RtValue::Int(0));
+                }
+                Ok(RtValue::Int(self.rng.gen_range(0..bound)))
+            }
+            HostApi::Log => {
+                let line: Vec<String> = args.iter().map(|v| v.to_string()).collect();
+                self.telemetry.logs.push(line.join(" "));
+                Ok(RtValue::Null)
+            }
+            HostApi::UiNotify(kind) => {
+                let at = self.clock_ms;
+                self.telemetry.responses.push(ResponseEvent {
+                    kind: ResponseKind::UserWarned,
+                    at_ms: at,
+                });
+                let _ = kind;
+                Ok(RtValue::Null)
+            }
+            HostApi::ReportPiracy => {
+                self.telemetry.piracy_reports += 1;
+                Ok(RtValue::Null)
+            }
+            HostApi::LeakMemory => {
+                self.telemetry.leaked_bytes += 1 << 20;
+                let at = self.clock_ms;
+                self.telemetry.responses.push(ResponseEvent {
+                    kind: ResponseKind::MemoryLeaked,
+                    at_ms: at,
+                });
+                Ok(RtValue::Null)
+            }
+            HostApi::KillProcess => {
+                self.killed = true;
+                let at = self.clock_ms;
+                self.telemetry.responses.push(ResponseEvent {
+                    kind: ResponseKind::Killed,
+                    at_ms: at,
+                });
+                Err(Fault::Killed)
+            }
+            HostApi::Freeze => {
+                self.frozen = true;
+                let at = self.clock_ms;
+                self.telemetry.responses.push(ResponseEvent {
+                    kind: ResponseKind::Frozen,
+                    at_ms: at,
+                });
+                // A frozen app burns its whole event budget spinning.
+                self.clock_ms += self.fuel / self.opts.instr_per_ms;
+                self.fuel = 0;
+                Err(Fault::Frozen)
+            }
+            HostApi::NullOutField => {
+                for v in self.statics.values_mut() {
+                    *v = RtValue::Null;
+                }
+                let at = self.clock_ms;
+                self.telemetry.responses.push(ResponseEvent {
+                    kind: ResponseKind::FieldNulled,
+                    at_ms: at,
+                });
+                Ok(RtValue::Null)
+            }
+            HostApi::SleepMs => {
+                let ms = args.first().and_then(|v| v.as_int()).unwrap_or(0).max(0);
+                self.clock_ms += ms as u64;
+                Ok(RtValue::Null)
+            }
+            HostApi::Marker(id) => {
+                if self.telemetry.markers.insert(*id) && self.telemetry.first_marker_ms.is_none() {
+                    self.telemetry.first_marker_ms = Some(self.clock_ms);
+                }
+                Ok(RtValue::Null)
+            }
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! SSN (Stochastic Stealthy Network) baseline — the prior state of the art
+//! the paper compares against (§2.1, Listing 1; Luo et al., DSN'16).
+//!
+//! SSN builds repackaging detection into app code with three measures:
+//!
+//! 1. detection is invoked only *probabilistically* (`rand() < 0.01`);
+//! 2. the `getPublicKey` call is hidden behind an obfuscated name recovered
+//!    at runtime and invoked through reflection;
+//! 3. the response is *delayed*: detection raises a flag, and separate
+//!    degradation nodes act on it later.
+//!
+//! The paper shows each measure falls to a simple attack — forcing the
+//! framework RNG, checking reflection destinations, and symbolic
+//! execution all defeat it — which is reproduced by
+//! `bombdroid-attacks`. This crate implements SSN faithfully so those
+//! attacks have their real target.
+//!
+//! # Example
+//!
+//! ```
+//! use bombdroid_ssn::{SsnConfig, SsnProtector};
+//! use bombdroid_apk::{package_app, AppMeta, DeveloperKey, StringsXml};
+//! use bombdroid_corpus::flagship;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let dev = DeveloperKey::generate(&mut rng);
+//! let apk = flagship::hash_droid().apk(&dev);
+//! let protected = SsnProtector::new(SsnConfig::default()).protect(&apk, &mut rng);
+//! assert!(protected.report.detection_nodes > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bombdroid_apk::{package_app, ApkFile, AppMeta, DeveloperKey, StringsXml};
+use bombdroid_dex::{
+    CondOp, DexFile, FieldRef, HostApi, Instr, Method, MethodRef, Reg, RegOrConst, StrOp, Value,
+};
+use rand::{rngs::StdRng, seq::SliceRandom};
+
+/// The static flag SSN's delayed response communicates through.
+pub const SSN_FLAG: (&str, &str) = ("SsnRt", "flag");
+
+/// The obfuscated name constant (`rot13("getPublicKey")`).
+pub const OBFUSCATED_NAME: &str = "trgChoyvpXrl";
+
+/// SSN configuration.
+#[derive(Debug, Clone)]
+pub struct SsnConfig {
+    /// Fraction of methods receiving a detection node.
+    pub detection_node_ratio: f64,
+    /// Fraction of methods receiving a delayed-response node.
+    pub response_node_ratio: f64,
+    /// `rand() < p` invocation probability (paper: very low, e.g. 1%).
+    pub invoke_probability_inverse: i64,
+}
+
+impl Default for SsnConfig {
+    fn default() -> Self {
+        SsnConfig {
+            detection_node_ratio: 0.10,
+            response_node_ratio: 0.05,
+            invoke_probability_inverse: 100,
+        }
+    }
+}
+
+/// What SSN injected.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SsnReport {
+    /// Methods carrying a detection node.
+    pub detection_nodes: usize,
+    /// Methods carrying a delayed-response node.
+    pub response_nodes: usize,
+    /// Methods touched, for attack bookkeeping.
+    pub node_methods: Vec<MethodRef>,
+}
+
+/// A protected-but-unsigned SSN app.
+#[derive(Debug, Clone)]
+pub struct SsnProtectedApp {
+    /// Instrumented bytecode.
+    pub dex: DexFile,
+    /// Unchanged resources.
+    pub strings: StringsXml,
+    /// Unchanged metadata.
+    pub meta: AppMeta,
+    /// Injection summary.
+    pub report: SsnReport,
+}
+
+impl SsnProtectedApp {
+    /// Signs and packages with the developer's key.
+    pub fn package(&self, key: &DeveloperKey) -> ApkFile {
+        package_app(&self.dex, self.strings.clone(), self.meta.clone(), key)
+    }
+}
+
+/// The SSN protector.
+#[derive(Debug, Clone, Default)]
+pub struct SsnProtector {
+    config: SsnConfig,
+}
+
+impl SsnProtector {
+    /// Creates a protector.
+    pub fn new(config: SsnConfig) -> Self {
+        SsnProtector { config }
+    }
+
+    /// Protects `apk` with SSN-style detection and response nodes.
+    pub fn protect(&self, apk: &ApkFile, rng: &mut StdRng) -> SsnProtectedApp {
+        let mut dex = apk.dex.clone();
+        let pubkey = apk.cert.public_key.to_bytes().to_vec();
+        let mut report = SsnReport::default();
+
+        let mut method_refs: Vec<MethodRef> = dex.methods().map(|m| m.method_ref()).collect();
+        method_refs.shuffle(rng);
+        let n_detect = (((method_refs.len() as f64) * self.config.detection_node_ratio).ceil()
+            as usize)
+            .clamp(1, method_refs.len());
+        let n_respond = (((method_refs.len() as f64) * self.config.response_node_ratio).ceil()
+            as usize)
+            .min(method_refs.len().saturating_sub(n_detect));
+
+        for (i, mref) in method_refs.iter().enumerate() {
+            let method = dex.method_mut(mref).expect("method exists");
+            if i < n_detect {
+                prepend(method, detection_node(method.registers, &pubkey, &self.config));
+                report.detection_nodes += 1;
+                report.node_methods.push(mref.clone());
+            } else if i < n_detect + n_respond {
+                prepend(method, response_node(method.registers));
+                report.response_nodes += 1;
+                report.node_methods.push(mref.clone());
+            }
+        }
+
+        SsnProtectedApp {
+            dex,
+            strings: apk.strings.clone(),
+            meta: apk.meta.clone(),
+            report,
+        }
+    }
+}
+
+/// Prepends `snippet` to a method body, shifting existing branch targets.
+fn prepend(method: &mut Method, snippet: Vec<Instr>) {
+    let k = snippet.len();
+    let mut body = snippet;
+    for mut instr in method.body.drain(..) {
+        match &mut instr {
+            Instr::If { target, .. } | Instr::Goto { target } => *target += k,
+            Instr::Switch { arms, default, .. } => {
+                for (_, t) in arms.iter_mut() {
+                    *t += k;
+                }
+                *default += k;
+            }
+            _ => {}
+        }
+        body.push(instr);
+    }
+    method.body = body;
+    for instr in &method.body {
+        for r in instr.uses() {
+            method.registers = method.registers.max(r.0 + 1);
+        }
+        if let Some(d) = instr.def() {
+            method.registers = method.registers.max(d.0 + 1);
+        }
+    }
+}
+
+/// Listing 1: probabilistic, reflection-hidden public-key check with a
+/// delayed (flag-raising) response.
+fn detection_node(base: u16, pubkey: &[u8], config: &SsnConfig) -> Vec<Instr> {
+    let bound = Reg(base);
+    let roll = Reg(base + 1);
+    let obf = Reg(base + 2);
+    let name = Reg(base + 3);
+    let key = Reg(base + 4);
+    let flag = Reg(base + 5);
+    // Laid out with absolute targets; `skip` = snippet length.
+    let skip = 9usize;
+    vec![
+        Instr::Const {
+            dst: bound,
+            value: Value::Int(config.invoke_probability_inverse),
+        },
+        Instr::HostCall {
+            api: HostApi::Random,
+            args: vec![bound],
+            dst: Some(roll),
+        },
+        Instr::If {
+            cond: CondOp::Ne,
+            lhs: roll,
+            rhs: RegOrConst::Const(Value::Int(0)),
+            target: skip,
+        },
+        Instr::Const {
+            dst: obf,
+            value: Value::str(OBFUSCATED_NAME),
+        },
+        Instr::StrOp {
+            op: StrOp::Rot13,
+            dst: name,
+            lhs: obf,
+            rhs: None,
+        },
+        Instr::InvokeReflect {
+            name,
+            args: vec![],
+            dst: Some(key),
+        },
+        Instr::If {
+            cond: CondOp::Eq,
+            lhs: key,
+            rhs: RegOrConst::Const(Value::bytes(pubkey)),
+            target: skip,
+        },
+        Instr::Const {
+            dst: flag,
+            value: Value::Bool(true),
+        },
+        Instr::PutStatic {
+            field: FieldRef::new(SSN_FLAG.0, SSN_FLAG.1),
+            src: flag,
+        },
+    ]
+}
+
+/// Delayed response: if the flag is up, degrade the app (memory leak).
+fn response_node(base: u16) -> Vec<Instr> {
+    let flag = Reg(base);
+    vec![
+        Instr::GetStatic {
+            dst: flag,
+            field: FieldRef::new(SSN_FLAG.0, SSN_FLAG.1),
+        },
+        Instr::If {
+            cond: CondOp::Ne,
+            lhs: flag,
+            rhs: RegOrConst::Const(Value::Bool(true)),
+            target: 3,
+        },
+        Instr::HostCall {
+            api: HostApi::LeakMemory,
+            args: vec![],
+            dst: None,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bombdroid_apk::repackage;
+    use bombdroid_runtime::{DeviceEnv, InstalledPackage, RandomEventSource, Vm, VmOptions};
+    use bombdroid_runtime::{run_session, ResponseKind};
+    use rand::SeedableRng;
+
+    fn protected_apks() -> (ApkFile, ApkFile, DeveloperKey) {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dev = DeveloperKey::generate(&mut rng);
+        let pirate = DeveloperKey::generate(&mut rng);
+        let app = bombdroid_corpus::flagship::angulo();
+        let apk = app.apk(&dev);
+        let protected = SsnProtector::new(SsnConfig::default()).protect(&apk, &mut rng);
+        let signed = protected.package(&dev);
+        let pirated = repackage(&signed, &pirate, |_| {});
+        (signed, pirated, dev)
+    }
+
+    #[test]
+    fn obfuscated_name_recovers() {
+        // rot13(rot13(x)) == x and the constant decodes to the API name.
+        let rot = |s: &str| -> String {
+            s.chars()
+                .map(|c| match c {
+                    'a'..='z' => (((c as u8 - b'a' + 13) % 26) + b'a') as char,
+                    'A'..='Z' => (((c as u8 - b'A' + 13) % 26) + b'A') as char,
+                    other => other,
+                })
+                .collect()
+        };
+        assert_eq!(rot(OBFUSCATED_NAME), "getPublicKey");
+    }
+
+    #[test]
+    fn plaintext_never_contains_api_name() {
+        let (signed, _, _) = protected_apks();
+        let text = bombdroid_dex::asm::disasm_dex(&signed.dex);
+        assert!(!text.contains("getPublicKey"), "name must stay hidden");
+        assert!(text.contains("invoke-reflect"), "reflection is visible");
+    }
+
+    #[test]
+    fn detects_repackaging_on_user_devices_eventually() {
+        let (_, pirated, _) = protected_apks();
+        let pkg = InstalledPackage::install(&pirated).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut vm = Vm::boot(pkg, DeviceEnv::sample(&mut rng), 4);
+        let mut source = RandomEventSource;
+        run_session(&mut vm, &mut source, &mut rng, 30, 120);
+        // With 1% invocation probability and thousands of node executions,
+        // the flag goes up and degradation fires.
+        assert!(vm
+            .telemetry()
+            .responses
+            .iter()
+            .any(|r| r.kind == ResponseKind::MemoryLeaked));
+    }
+
+    #[test]
+    fn no_false_positives_on_legit_copy() {
+        let (signed, _, _) = protected_apks();
+        let pkg = InstalledPackage::install(&signed).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut vm = Vm::boot(pkg, DeviceEnv::sample(&mut rng), 4);
+        let mut source = RandomEventSource;
+        run_session(&mut vm, &mut source, &mut rng, 10, 120);
+        assert!(vm.telemetry().responses.is_empty());
+        assert_eq!(vm.telemetry().leaked_bytes, 0);
+    }
+
+    #[test]
+    fn forcing_rng_makes_detection_deterministic() {
+        // The instrumentation attack of §2.1: force rand() to 0.
+        let (_, pirated, _) = protected_apks();
+        let pkg = InstalledPackage::install(&pirated).unwrap();
+        let mut opts = VmOptions::default();
+        opts.hooks.force_random = Some(0);
+        opts.hooks.trace_reflection = true;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut vm = Vm::new(pkg, DeviceEnv::attacker_lab(1).remove(0), 4, opts);
+        let mut source = RandomEventSource;
+        run_session(&mut vm, &mut source, &mut rng, 2, 120);
+        // Every detection node now runs and the reflection trace exposes
+        // the hidden API.
+        assert!(vm
+            .telemetry()
+            .reflection_trace
+            .iter()
+            .any(|(n, _)| n == "getPublicKey"));
+    }
+}

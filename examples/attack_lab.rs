@@ -1,0 +1,56 @@
+//! Attack lab: run the paper's §2.1 adversary analyses against three
+//! protection schemes — naive bombs, SSN, and BombDroid — and print the
+//! resilience matrix of §5.
+//!
+//! ```sh
+//! cargo run --release --example attack_lab
+//! ```
+
+use bombdroid::attacks::resilience::{resilience_matrix, Protection};
+use bombdroid::attacks::AttackKind;
+
+fn main() {
+    let app = bombdroid::corpus::flagship::catlog();
+    println!("target app: {} ({} instructions)\n", app.name, app.dex.instruction_count());
+    let report = resilience_matrix(&app, 2024);
+
+    println!(
+        "{:<22} {:<10} {:<10} {:<10}",
+        "attack \\ protection", "naive", "SSN", "BombDroid"
+    );
+    println!("{}", "-".repeat(56));
+    for attack in AttackKind::ALL {
+        let verdict = |p: Protection| {
+            if report.cell(attack, p).defeated {
+                "DEFEATED"
+            } else {
+                "resists"
+            }
+        };
+        println!(
+            "{:<22} {:<10} {:<10} {:<10}",
+            attack.to_string(),
+            verdict(Protection::Naive),
+            verdict(Protection::Ssn),
+            verdict(Protection::BombDroid)
+        );
+    }
+
+    println!("\nevidence (BombDroid column):");
+    for attack in AttackKind::ALL {
+        let cell = report.cell(attack, Protection::BombDroid);
+        println!("  {:<22} {}", attack.to_string(), cell.note);
+    }
+
+    let brute = &report.brute.report;
+    println!(
+        "\nbrute force vs BombDroid: {}/{} outer conditions cracked \
+         ({} hash evaluations) — the weak (bool/small-int) ones, as §5.1 predicts",
+        brute.cracked, brute.total, brute.tries
+    );
+    println!(
+        "cost model: a 32-bit constant needs ~{:.0} CPU-seconds at 10^6 H/s; \
+         a string constant is out of reach",
+        bombdroid::attacks::brute::expected_seconds(32, 1e6)
+    );
+}

@@ -1,0 +1,204 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: wire-format round-trips, sealed-blob authentication,
+//! steganography, RSA signatures, and generator/validator coherence.
+
+use bombdroid::apk::{stego, DeveloperKey};
+use bombdroid::crypto::{blob, hex, kdf};
+use bombdroid::dex::{wire, BinOp, CondOp, Instr, Reg, RegOrConst, Value};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        "[a-z0-9 ]{0,24}".prop_map(Value::str),
+        proptest::collection::vec(any::<u8>(), 0..40).prop_map(Value::bytes),
+    ]
+}
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u16..32).prop_map(Reg)
+}
+
+/// A straight-line instruction (branch-free so any sequence is a valid
+/// fragment).
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (arb_reg(), arb_value()).prop_map(|(dst, value)| Instr::Const { dst, value }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Instr::Move { dst, src }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(dst, lhs, rhs)| Instr::BinOp {
+            op: BinOp::Add,
+            dst,
+            lhs,
+            rhs
+        }),
+        (arb_reg(), arb_reg(), any::<i64>()).prop_map(|(dst, lhs, rhs)| Instr::BinOpConst {
+            op: BinOp::Xor,
+            dst,
+            lhs,
+            rhs
+        }),
+        (arb_reg(), arb_reg(), proptest::collection::vec(any::<u8>(), 0..24))
+            .prop_map(|(dst, src, salt)| Instr::Hash { dst, src, salt }),
+        Just(Instr::Nop),
+        Just(Instr::Return { src: None }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn wire_fragment_roundtrip(body in proptest::collection::vec(arb_instr(), 0..60)) {
+        let bytes = wire::encode_fragment(&body);
+        let back = wire::decode_fragment(&bytes).expect("decode");
+        prop_assert_eq!(back, body);
+    }
+
+    #[test]
+    fn value_canonical_bytes_injective_across_types(a in arb_value(), b in arb_value()) {
+        // canonical_bytes must distinguish any two distinct values.
+        if a != b {
+            prop_assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+        } else {
+            prop_assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        }
+    }
+
+    #[test]
+    fn sealed_blobs_roundtrip_and_authenticate(
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        key_a in any::<[u8; 16]>(),
+        key_b in any::<[u8; 16]>(),
+    ) {
+        let sealed = blob::seal(&key_a, &payload);
+        prop_assert_eq!(blob::open(&key_a, &sealed).expect("right key"), payload);
+        if key_a != key_b {
+            prop_assert!(blob::open(&key_b, &sealed).is_err());
+        }
+    }
+
+    #[test]
+    fn sealed_blob_tamper_detection(
+        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        key in any::<[u8; 16]>(),
+        flip in any::<(usize, u8)>(),
+    ) {
+        let mut sealed = blob::seal(&key, &payload);
+        let idx = flip.0 % sealed.len();
+        let bit = 1u8 << (flip.1 % 8);
+        sealed[idx] ^= bit;
+        prop_assert!(blob::open(&key, &sealed).is_err());
+    }
+
+    #[test]
+    fn stego_roundtrips_any_bytes(payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let cover = stego::embed(&payload);
+        prop_assert_eq!(stego::extract(&cover).expect("valid cover"), payload);
+    }
+
+    #[test]
+    fn hex_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        prop_assert_eq!(hex::decode(&hex::encode(&data)).expect("valid hex"), data);
+    }
+
+    #[test]
+    fn kdf_is_deterministic_and_salt_sensitive(
+        c in proptest::collection::vec(any::<u8>(), 0..32),
+        salt_a in proptest::collection::vec(any::<u8>(), 1..16),
+        salt_b in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        prop_assert_eq!(kdf::derive_key(&c, &salt_a), kdf::derive_key(&c, &salt_a));
+        if salt_a != salt_b {
+            prop_assert_ne!(kdf::derive_key(&c, &salt_a), kdf::derive_key(&c, &salt_b));
+        }
+    }
+
+    #[test]
+    fn rsa_signatures_bind_message_and_key(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let key = DeveloperKey::generate(&mut rng);
+        let other = DeveloperKey::generate(&mut rng);
+        let sig = key.sign(&msg);
+        prop_assert!(key.public.verify(&msg, sig));
+        let mut tampered = msg.clone();
+        tampered.push(0x01);
+        prop_assert!(!key.public.verify(&tampered, sig));
+        prop_assert!(!other.public.verify(&msg, sig));
+    }
+
+    #[test]
+    fn generated_apps_always_validate(seed in any::<u64>(), cat_idx in 0usize..8) {
+        let category = bombdroid::corpus::Category::ALL[cat_idx];
+        let app = bombdroid::corpus::generate_app("PropApp", category, seed);
+        prop_assert!(bombdroid::dex::validate(&app.dex).is_ok());
+        prop_assert!(!app.dex.entry_points.is_empty());
+    }
+
+    #[test]
+    fn favorites_stay_in_domain(lo in -1_000i64..1_000, span in 1i64..100_000, idx in 0usize..4) {
+        let domain = bombdroid::dex::ParamDomain::IntRange(lo, lo + span);
+        for v in bombdroid::runtime::param_favorites(&domain, "ev", idx) {
+            match v {
+                Value::Int(i) => prop_assert!((lo..=lo + span).contains(&i)),
+                other => prop_assert!(false, "unexpected favourite {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn condop_negation_flips_comparisons(a in any::<i64>(), b in any::<i64>(), op_idx in 0usize..6) {
+        use bombdroid::dex::CondOp::*;
+        let op = [Eq, Ne, Lt, Le, Gt, Ge][op_idx];
+        let holds = |op: CondOp| match op {
+            Eq => a == b,
+            Ne => a != b,
+            Lt => a < b,
+            Le => a <= b,
+            Gt => a > b,
+            Ge => a >= b,
+        };
+        prop_assert_eq!(holds(op), !holds(op.negate()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Protecting a generated app keeps the DEX valid and erases every
+    /// armed plaintext constant — across random app seeds.
+    #[test]
+    fn protection_validates_across_random_apps(seed in any::<u64>()) {
+        use bombdroid::core::{ProtectConfig, Protector};
+        let app = bombdroid::corpus::generate_app(
+            "PropProtect",
+            bombdroid::corpus::Category::Game,
+            seed,
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+        let dev = DeveloperKey::generate(&mut rng);
+        let apk = app.apk(&dev);
+        let protected = Protector::new(ProtectConfig::fast_profile())
+            .protect(&apk, &mut rng)
+            .expect("protect");
+        prop_assert!(bombdroid::dex::validate(&protected.dex).is_ok());
+        // Every DecryptExec is guarded by a preceding salted hash compare
+        // in the same method.
+        for m in protected.dex.methods() {
+            for (pc, i) in m.body.iter().enumerate() {
+                if matches!(i, Instr::DecryptExec { .. }) {
+                    let guarded = m.body[..pc].iter().rev().take(4).any(|j| {
+                        matches!(
+                            j,
+                            Instr::If {
+                                rhs: RegOrConst::Const(Value::Bytes(_)),
+                                ..
+                            }
+                        )
+                    });
+                    prop_assert!(guarded, "{}@{pc}: unguarded DecryptExec", m.method_ref());
+                }
+            }
+        }
+    }
+}
