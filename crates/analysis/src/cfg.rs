@@ -139,8 +139,8 @@ impl Cfg {
             }
         }
         order.reverse();
-        for i in 0..self.blocks.len() {
-            if !visited[i] {
+        for (i, seen) in visited.iter().enumerate().take(self.blocks.len()) {
+            if !seen {
                 order.push(i);
             }
         }

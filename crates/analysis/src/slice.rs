@@ -67,9 +67,9 @@ pub fn backward_slice(method: &Method, seed_pc: usize) -> Slice {
     work.push_back((seed_block, seed_pc, seed_needs));
 
     let enqueue_field_stores = |name: &str,
-                                    in_slice: &mut BTreeSet<usize>,
-                                    work: &mut VecDeque<(usize, usize, BTreeSet<Reg>)>,
-                                    cfg: &Cfg| {
+                                in_slice: &mut BTreeSet<usize>,
+                                work: &mut VecDeque<(usize, usize, BTreeSet<Reg>)>,
+                                cfg: &Cfg| {
         if let Some(stores) = field_stores.get(name) {
             for &spc in stores {
                 if in_slice.insert(spc) {

@@ -34,7 +34,7 @@ pub fn embed(payload: &[u8]) -> String {
     let mut count = 0usize;
     for byte in payload {
         for nibble in [byte >> 4, byte & 0xf] {
-            if count > 0 && count % GROUP == 0 {
+            if count > 0 && count.is_multiple_of(GROUP) {
                 out.push('-');
             }
             out.push_str(SYLLABLES[nibble as usize]);
@@ -54,7 +54,7 @@ pub fn extract(cover: &str) -> Option<Vec<u8>> {
     let mut nibbles = Vec::new();
     let compact: String = body.chars().filter(|c| *c != '-').collect();
     let chars: Vec<char> = compact.chars().collect();
-    if chars.len() % 2 != 0 {
+    if !chars.len().is_multiple_of(2) {
         return None;
     }
     for pair in chars.chunks_exact(2) {

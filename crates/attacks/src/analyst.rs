@@ -38,12 +38,7 @@ pub struct AnalystReport {
 /// # Panics
 ///
 /// Panics if the APK does not verify at install.
-pub fn analyst_campaign(
-    apk: &ApkFile,
-    hours: u64,
-    phase_minutes: u64,
-    seed: u64,
-) -> AnalystReport {
+pub fn analyst_campaign(apk: &ApkFile, hours: u64, phase_minutes: u64, seed: u64) -> AnalystReport {
     let total_minutes = hours * 60;
     let phases = (total_minutes / phase_minutes.max(1)).max(1);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -79,8 +74,7 @@ pub fn analyst_campaign(
         let deadline = phase_minutes * 60_000;
         while vm.clock_ms() < deadline && !vm.is_killed() && !vm.is_frozen() {
             let min = *fired.iter().min().expect("nonempty");
-            let candidates: Vec<usize> =
-                (0..fired.len()).filter(|&i| fired[i] == min).collect();
+            let candidates: Vec<usize> = (0..fired.len()).filter(|&i| fired[i] == min).collect();
             let entry = candidates[rng.gen_range(0..candidates.len())];
             fired[entry] += 1;
             let args: Vec<RtValue> = dex.entry_points[entry]

@@ -9,9 +9,7 @@
 
 use bombdroid_apk::{repackage, ApkFile, DeveloperKey};
 use bombdroid_dex::{DexFile, Instr};
-use bombdroid_runtime::{
-    run_session, DeviceEnv, InstalledPackage, UserEventSource, Vm,
-};
+use bombdroid_runtime::{run_session, DeviceEnv, InstalledPackage, UserEventSource, Vm};
 use rand::{rngs::StdRng, SeedableRng};
 
 /// Nops out every `DecryptExec`; returns how many were deleted.
@@ -101,10 +99,8 @@ pub fn deletion_attack_with<T>(
     };
     for s in 0..sessions {
         let session_seed = seed.wrapping_add(s as u64).wrapping_mul(0x9E37_79B9);
-        let (ref_logs, ref_state, ref_faults) =
-            drive(reference, session_seed, minutes_per_session);
-        let (del_logs, del_state, del_faults) =
-            drive(&deleted, session_seed, minutes_per_session);
+        let (ref_logs, ref_state, ref_faults) = drive(reference, session_seed, minutes_per_session);
+        let (del_logs, del_state, del_faults) = drive(&deleted, session_seed, minutes_per_session);
         // Divergence in either the log stream or the final program state
         // counts as corruption ("instability, visualization errors,
         // incorrect computation, or crashes", §3.4).

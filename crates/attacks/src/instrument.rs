@@ -52,10 +52,8 @@ pub fn log_reflection_targets(dex: &mut DexFile) -> usize {
                 let at = pc;
                 for instr in &mut method.body {
                     match instr {
-                        Instr::If { target, .. } | Instr::Goto { target } => {
-                            if *target > at {
-                                *target += 1;
-                            }
+                        Instr::If { target, .. } | Instr::Goto { target } if *target > at => {
+                            *target += 1;
                         }
                         Instr::Switch { arms, default, .. } => {
                             for (_, t) in arms.iter_mut() {
@@ -128,7 +126,9 @@ pub fn strip_ssn_nodes(dex: &mut DexFile) -> usize {
             for q in pc..end {
                 let is_tail = matches!(
                     method.body[q],
-                    Instr::InvokeReflect { .. } | Instr::If { .. } | Instr::Const { .. }
+                    Instr::InvokeReflect { .. }
+                        | Instr::If { .. }
+                        | Instr::Const { .. }
                         | Instr::PutStatic { .. }
                 );
                 if is_tail {
@@ -170,10 +170,13 @@ mod tests {
             b.host(HostApi::Random, vec![n], Some(r));
         });
         assert_eq!(force_random_zero(&mut dex), 1);
-        assert!(dex
-            .methods()
-            .flat_map(|m| m.body.iter())
-            .any(|i| matches!(i, Instr::Const { value: Value::Int(0), .. })));
+        assert!(dex.methods().flat_map(|m| m.body.iter()).any(|i| matches!(
+            i,
+            Instr::Const {
+                value: Value::Int(0),
+                ..
+            }
+        )));
     }
 
     #[test]

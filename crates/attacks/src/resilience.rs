@@ -373,27 +373,39 @@ mod tests {
         assert_eq!(report.cells.len(), 18);
 
         // Naive bombs fall to essentially everything.
-        assert!(report
-            .cell(AttackKind::TextSearch, Protection::Naive)
-            .defeated);
-        assert!(report
-            .cell(AttackKind::SymbolicExecution, Protection::Naive)
-            .defeated);
-        assert!(report
-            .cell(AttackKind::ForcedExecution, Protection::Naive)
-            .defeated);
+        assert!(
+            report
+                .cell(AttackKind::TextSearch, Protection::Naive)
+                .defeated
+        );
+        assert!(
+            report
+                .cell(AttackKind::SymbolicExecution, Protection::Naive)
+                .defeated
+        );
+        assert!(
+            report
+                .cell(AttackKind::ForcedExecution, Protection::Naive)
+                .defeated
+        );
 
         // SSN survives text search but falls to instrumentation and
         // symbolic execution (§2.1).
-        assert!(!report
-            .cell(AttackKind::TextSearch, Protection::Ssn)
-            .defeated);
-        assert!(report
-            .cell(AttackKind::SymbolicExecution, Protection::Ssn)
-            .defeated);
-        assert!(report
-            .cell(AttackKind::CodeInstrumentation, Protection::Ssn)
-            .defeated);
+        assert!(
+            !report
+                .cell(AttackKind::TextSearch, Protection::Ssn)
+                .defeated
+        );
+        assert!(
+            report
+                .cell(AttackKind::SymbolicExecution, Protection::Ssn)
+                .defeated
+        );
+        assert!(
+            report
+                .cell(AttackKind::CodeInstrumentation, Protection::Ssn)
+                .defeated
+        );
 
         // BombDroid survives every attack (G1–G4).
         for attack in AttackKind::ALL {

@@ -13,9 +13,7 @@
 //! §5).
 
 use bombdroid_crypto::kdf;
-use bombdroid_dex::{
-    BinOp, CondOp, DexFile, Instr, MethodRef, Reg, RegOrConst, StrOp, Value,
-};
+use bombdroid_dex::{BinOp, CondOp, DexFile, Instr, MethodRef, Reg, RegOrConst, StrOp, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -80,18 +78,16 @@ pub type Solution = Result<HashMap<usize, Value>, Unsolvable>;
 /// Tries to satisfy all constraints, assigning input variables.
 pub fn solve(constraints: &[Constraint]) -> Solution {
     let mut assign: HashMap<usize, Value> = HashMap::new();
-    let pin = |var: usize,
-                   value: Value,
-                   assign: &mut HashMap<usize, Value>|
-     -> Result<(), Unsolvable> {
-        match assign.get(&var) {
-            Some(existing) if *existing != value => Err(Unsolvable::Contradiction),
-            _ => {
-                assign.insert(var, value);
-                Ok(())
+    let pin =
+        |var: usize, value: Value, assign: &mut HashMap<usize, Value>| -> Result<(), Unsolvable> {
+            match assign.get(&var) {
+                Some(existing) if *existing != value => Err(Unsolvable::Contradiction),
+                _ => {
+                    assign.insert(var, value);
+                    Ok(())
+                }
             }
-        }
-    };
+        };
     for c in constraints {
         match (&c.sym, c.op) {
             (Sym::HashOf(..), _) => return Err(Unsolvable::HashBarrier),
@@ -121,11 +117,11 @@ pub fn solve(constraints: &[Constraint]) -> Solution {
             (Sym::Lin { var, .. }, CondOp::Ne) => {
                 // Satisfiable by picking any other value; only conflicts if
                 // the variable is already pinned to the excluded value.
-                if let (Some(Value::Int(pinned)), Value::Int(excl)) =
-                    (assign.get(var), &c.value)
-                {
+                if let (Some(Value::Int(pinned)), Value::Int(excl)) = (assign.get(var), &c.value) {
                     // Conservative: only exact pin-vs-exclusion conflicts.
-                    let Sym::Lin { a, b, .. } = &c.sym else { unreachable!() };
+                    let Sym::Lin { a, b, .. } = &c.sym else {
+                        unreachable!()
+                    };
                     if a * pinned + b == *excl {
                         return Err(Unsolvable::Contradiction);
                     }
@@ -271,17 +267,13 @@ struct PathState {
     next_var: usize,
 }
 
-fn explore_method(
-    method: &bombdroid_dex::Method,
-    limits: Limits,
-    outcome: &mut SymbolicOutcome,
-) {
+fn explore_method(method: &bombdroid_dex::Method, limits: Limits, outcome: &mut SymbolicOutcome) {
     let mref = method.method_ref();
     let mut regs = vec![Sym::Opaque; method.registers as usize];
-    for p in 0..method.params as usize {
+    for (p, reg) in regs.iter_mut().enumerate().take(method.params as usize) {
         // Parameter types are unknown statically; track both linear-int and
         // string views by starting linear and switching on first string op.
-        regs[p] = Sym::input(p);
+        *reg = Sym::input(p);
     }
     let mut stack = vec![PathState {
         pc: 0,
@@ -321,9 +313,7 @@ fn explore_method(
                                 .unwrap_or(Sym::Opaque)
                         }
                         (l, Sym::Const(Value::Int(b))) => bin_const(l, *op, b),
-                        (Sym::Const(Value::Int(a)), r)
-                            if matches!(op, BinOp::Add | BinOp::Mul) =>
-                        {
+                        (Sym::Const(Value::Int(a)), r) if matches!(op, BinOp::Add | BinOp::Mul) => {
                             bin_const(r, *op, a)
                         }
                         _ => Sym::Opaque,
@@ -398,38 +388,36 @@ fn explore_method(
                         }
                     }
                 }
-                Instr::Switch { src, arms, default } => {
-                    match get(&st.regs, *src) {
-                        Sym::Const(Value::Int(v)) => {
-                            next = arms
-                                .iter()
-                                .find(|(c, _)| *c == v)
-                                .map(|(_, t)| *t)
-                                .unwrap_or(*default);
-                        }
-                        sym => {
-                            for (case, t) in arms {
-                                if paths + 1 < limits.max_paths {
-                                    let mut forked = PathState {
-                                        pc: *t,
-                                        regs: st.regs.clone(),
-                                        constraints: st.constraints.clone(),
-                                        steps: st.steps,
-                                        next_var: st.next_var,
-                                    };
-                                    forked.constraints.push(Constraint {
-                                        sym: sym.clone(),
-                                        op: CondOp::Eq,
-                                        value: Value::Int(*case),
-                                    });
-                                    stack.push(forked);
-                                    paths += 1;
-                                }
-                            }
-                            next = *default;
-                        }
+                Instr::Switch { src, arms, default } => match get(&st.regs, *src) {
+                    Sym::Const(Value::Int(v)) => {
+                        next = arms
+                            .iter()
+                            .find(|(c, _)| *c == v)
+                            .map(|(_, t)| *t)
+                            .unwrap_or(*default);
                     }
-                }
+                    sym => {
+                        for (case, t) in arms {
+                            if paths + 1 < limits.max_paths {
+                                let mut forked = PathState {
+                                    pc: *t,
+                                    regs: st.regs.clone(),
+                                    constraints: st.constraints.clone(),
+                                    steps: st.steps,
+                                    next_var: st.next_var,
+                                };
+                                forked.constraints.push(Constraint {
+                                    sym: sym.clone(),
+                                    op: CondOp::Eq,
+                                    value: Value::Int(*case),
+                                });
+                                stack.push(forked);
+                                paths += 1;
+                            }
+                        }
+                        next = *default;
+                    }
+                },
                 Instr::Goto { target } => next = *target,
                 Instr::DecryptExec { .. } => {
                     outcome.bombs.push(BombFinding {

@@ -57,7 +57,9 @@ pub fn search_default(dex: &DexFile) -> Vec<TextHit> {
 /// Whether the plaintext mentions the key detection API at all — the test
 /// SSN is designed to pass and naive protection fails.
 pub fn exposes_get_public_key(dex: &DexFile) -> bool {
-    search(dex, &["getPublicKey"]).iter().any(|h| h.pattern == "getPublicKey")
+    search(dex, &["getPublicKey"])
+        .iter()
+        .any(|h| h.pattern == "getPublicKey")
 }
 
 #[cfg(test)]

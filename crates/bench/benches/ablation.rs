@@ -21,7 +21,7 @@ fn protect_with(config: ProtectConfig) -> usize {
 
 fn bench_trigger_structure(c: &mut Criterion) {
     for (name, double) in [("single_trigger", false), ("double_trigger", true)] {
-        c.bench_function(&format!("ablation/protect_{name}"), |b| {
+        c.bench_function(format!("ablation/protect_{name}"), |b| {
             b.iter(|| {
                 protect_with(ProtectConfig {
                     double_trigger: double,
@@ -34,7 +34,7 @@ fn bench_trigger_structure(c: &mut Criterion) {
 
 fn bench_alpha(c: &mut Criterion) {
     for alpha in [0.0, 0.25, 0.5] {
-        c.bench_function(&format!("ablation/protect_alpha_{alpha}"), |b| {
+        c.bench_function(format!("ablation/protect_alpha_{alpha}"), |b| {
             b.iter(|| {
                 protect_with(ProtectConfig {
                     alpha,
@@ -47,7 +47,7 @@ fn bench_alpha(c: &mut Criterion) {
 
 fn bench_weaving(c: &mut Criterion) {
     for (name, weave) in [("weave_on", true), ("weave_off", false)] {
-        c.bench_function(&format!("ablation/protect_{name}"), |b| {
+        c.bench_function(format!("ablation/protect_{name}"), |b| {
             b.iter(|| {
                 protect_with(ProtectConfig {
                     weave_original: weave,

@@ -54,8 +54,13 @@ fn bench_fuzz_minute(c: &mut Criterion) {
     let (_, signed) = protect_app(&app, ProtectConfig::fast_profile(), 0xA78);
     c.bench_function("attacks/dynodroid_one_minute", |b| {
         b.iter(|| {
-            fuzz::run_fuzzer(fuzz::FuzzerKind::Dynodroid, std::hint::black_box(&signed), 1, 9)
-                .events
+            fuzz::run_fuzzer(
+                fuzz::FuzzerKind::Dynodroid,
+                std::hint::black_box(&signed),
+                1,
+                9,
+            )
+            .events
         })
     });
 }

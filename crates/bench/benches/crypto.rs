@@ -58,7 +58,9 @@ fn bench_blob(c: &mut Criterion) {
     // What a forced-execution attacker pays per wrong-key attempt.
     let wrong = kdf::derive_key(b"wrong", b"salt");
     c.bench_function("blob/open_wrong_key", |b| {
-        b.iter(|| blob::open(std::hint::black_box(&wrong), std::hint::black_box(&sealed)).unwrap_err())
+        b.iter(|| {
+            blob::open(std::hint::black_box(&wrong), std::hint::black_box(&sealed)).unwrap_err()
+        })
     });
 }
 

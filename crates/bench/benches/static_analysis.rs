@@ -63,7 +63,11 @@ fn bench_slicing(c: &mut Criterion) {
         .rposition(|i| !matches!(i, Instr::Return { .. }))
         .unwrap_or(0);
     c.bench_function("analysis/backward_slice_largest_method", |b| {
-        b.iter(|| backward_slice(std::hint::black_box(&method), seed).pcs.len())
+        b.iter(|| {
+            backward_slice(std::hint::black_box(&method), seed)
+                .pcs
+                .len()
+        })
     });
 }
 

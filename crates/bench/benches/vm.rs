@@ -3,9 +3,7 @@
 
 use bombdroid_bench::{experiments::protect_app, fixed_keys};
 use bombdroid_core::ProtectConfig;
-use bombdroid_runtime::{
-    DeviceEnv, EventSource, InstalledPackage, RandomEventSource, Vm,
-};
+use bombdroid_runtime::{DeviceEnv, EventSource, InstalledPackage, RandomEventSource, Vm};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{rngs::StdRng, SeedableRng};
 

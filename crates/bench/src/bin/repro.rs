@@ -11,6 +11,12 @@
 //! default budgets match the paper's (hour-long fuzzing runs, 50 user
 //! sessions, 20-hour analysts — all in *virtual* time, so the default run
 //! still completes in minutes of wall-clock).
+//!
+//! Every fan-out experiment runs on the deterministic fleet engine: set
+//! `BOMBDROID_THREADS=N` to pick the worker count (default: all CPUs).
+//! Output is bit-identical for any `N`; protection artifacts are shared
+//! across experiments through the harness cache, so `all` protects each
+//! flagship once.
 
 use bombdroid_bench::experiments as ex;
 use bombdroid_bench::print::{f1, pct, table};
@@ -68,7 +74,11 @@ impl Budgets {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let budgets = if fast { Budgets::fast() } else { Budgets::paper() };
+    let budgets = if fast {
+        Budgets::fast()
+    } else {
+        Budgets::paper()
+    };
     let mut wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -76,8 +86,20 @@ fn main() {
         .collect();
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec![
-            "table1", "fig3", "table2", "table3", "fig4", "table4", "fig5", "analysts",
-            "table5", "falsepos", "codesize", "resilience", "brute", "ablation",
+            "table1",
+            "fig3",
+            "table2",
+            "table3",
+            "fig4",
+            "table4",
+            "fig5",
+            "analysts",
+            "table5",
+            "falsepos",
+            "codesize",
+            "resilience",
+            "brute",
+            "ablation",
         ];
     }
     for w in wanted {
@@ -128,7 +150,14 @@ fn table1(b: &Budgets) {
     print!(
         "{}",
         table(
-            &["Category", "# apps", "Avg LOC", "Avg cand. methods", "Avg exist. QCs", "Avg env vars"],
+            &[
+                "Category",
+                "# apps",
+                "Avg LOC",
+                "Avg cand. methods",
+                "Avg exist. QCs",
+                "Avg env vars"
+            ],
             &printable,
         )
     );
@@ -177,7 +206,16 @@ fn table2(b: &Budgets) {
         .collect();
     print!(
         "{}",
-        table(&["App", "# bombs", "# existing QC", "# artificial QC", "(+bogus)"], &printable)
+        table(
+            &[
+                "App",
+                "# bombs",
+                "# existing QC",
+                "# artificial QC",
+                "(+bogus)"
+            ],
+            &printable
+        )
     );
 }
 
@@ -201,7 +239,10 @@ fn table3(b: &Budgets) {
         .collect();
     print!(
         "{}",
-        table(&["App", "Min (s)", "Max (s)", "Avg (s)", "Success"], &printable)
+        table(
+            &["App", "Min (s)", "Max (s)", "Avg (s)", "Success"],
+            &printable
+        )
     );
 }
 
@@ -223,10 +264,7 @@ fn fig4(b: &Budgets) {
         .collect();
     print!(
         "{}",
-        table(
-            &["App", "Existing W/M/S", "Artificial W/M/S"],
-            &printable
-        )
+        table(&["App", "Existing W/M/S", "Artificial W/M/S"], &printable)
     );
 }
 
@@ -266,7 +304,10 @@ fn fig5(b: &Budgets) {
         let last = s.points.last().map(|(_, p)| *p).unwrap_or(0.0);
         println!(
             "{:>14} ({:>3} bombs): {}  → final {:.1}%",
-            s.app, s.total_bombs, pts.join(" "), last
+            s.app,
+            s.total_bombs,
+            pts.join(" "),
+            last
         );
     }
 }
@@ -295,7 +336,10 @@ fn table5(b: &Budgets) {
         "Table 5 — execution-time overhead",
         "1.4–2.6% across the eight apps",
     );
-    let rows = ex::table5(b.config(), 20_000.min(if b.table1_apps == 6 { 3_000 } else { 20_000 }));
+    let rows = ex::table5(
+        b.config(),
+        20_000.min(if b.table1_apps == 6 { 3_000 } else { 20_000 }),
+    );
     let printable: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -353,7 +397,10 @@ fn codesize(b: &Budgets) {
         .collect();
     print!(
         "{}",
-        table(&["App", "Original (B)", "Protected (B)", "Increase"], &printable)
+        table(
+            &["App", "Original (B)", "Protected (B)", "Increase"],
+            &printable
+        )
     );
     println!("average increase: {avg:.1}%");
 }
@@ -430,14 +477,21 @@ fn ablation() {
     }
     println!("hot-method exclusion (overhead):");
     for (on, pct_overhead) in &report.hot_exclusion {
-        println!("  exclusion {}: {pct_overhead:.1}%", if *on { "on " } else { "off" });
+        println!(
+            "  exclusion {}: {pct_overhead:.1}%",
+            if *on { "on " } else { "off" }
+        );
     }
     println!("weaving vs deletion attack:");
     for (weave, corrupted) in &report.weaving {
         println!(
             "  weaving {}: deletion {}",
             if *weave { "on " } else { "off" },
-            if *corrupted { "corrupts the app" } else { "is harmless" }
+            if *corrupted {
+                "corrupts the app"
+            } else {
+                "is harmless"
+            }
         );
     }
 }

@@ -1,0 +1,96 @@
+//! Ablations for DESIGN.md's called-out design choices.
+
+use super::harness::{drive_events, protect_app};
+use crate::fixed_keys;
+use bombdroid_attacks::{deletion, fuzz};
+use bombdroid_core::ProtectConfig;
+use bombdroid_corpus::flagship;
+
+/// Ablation results for DESIGN.md's called-out design choices.
+#[derive(Debug, Clone)]
+pub struct AblationReport {
+    /// `(config name, % bombs triggered by 30-min Dynodroid)` — single vs
+    /// double trigger.
+    pub trigger_structure: Vec<(String, f64)>,
+    /// `(alpha, bombs injected, code-size %)`.
+    pub alpha_sweep: Vec<(f64, usize, f64)>,
+    /// `(hot exclusion on/off, overhead %)`.
+    pub hot_exclusion: Vec<(bool, f64)>,
+    /// `(weaving on/off, deletion corrupted?)`.
+    pub weaving: Vec<(bool, bool)>,
+}
+
+/// Runs all ablations on one mid-sized flagship (Binaural Beat). Each
+/// variant needs its own `ProtectConfig`, so nothing is cacheable and the
+/// sweep stays serial.
+pub fn ablation(minutes: u64) -> AblationReport {
+    let app = flagship::binaural_beat();
+    let (_, pirate) = fixed_keys();
+    let (dev, _) = fixed_keys();
+
+    // (a) single vs double trigger under fuzzing.
+    let mut trigger_structure = Vec::new();
+    for (name, double) in [("single-trigger", false), ("double-trigger", true)] {
+        let config = ProtectConfig {
+            double_trigger: double,
+            ..ProtectConfig::default()
+        };
+        let (protected, signed) = protect_app(&app, config, 0xAB1);
+        let total = protected.report.bombs_injected().max(1);
+        let report = fuzz::run_fuzzer(fuzz::FuzzerKind::Dynodroid, &signed, minutes, 0xAB2);
+        trigger_structure.push((
+            name.to_string(),
+            100.0 * report.bombs_triggered as f64 / total as f64,
+        ));
+    }
+
+    // (b) alpha sweep.
+    let mut alpha_sweep = Vec::new();
+    for alpha in [0.0, 0.25, 0.5] {
+        let config = ProtectConfig {
+            alpha,
+            ..ProtectConfig::default()
+        };
+        let (protected, _) = protect_app(&app, config, 0xAB3);
+        alpha_sweep.push((
+            alpha,
+            protected.report.bombs_injected(),
+            100.0 * protected.report.code_size_increase(),
+        ));
+    }
+
+    // (c) hot-method exclusion vs overhead.
+    let mut hot_exclusion = Vec::new();
+    for (on, ratio) in [(true, 0.10), (false, 0.0)] {
+        let config = ProtectConfig {
+            hot_method_ratio: ratio,
+            ..ProtectConfig::default()
+        };
+        let apk = app.apk(&dev);
+        let (_, signed) = protect_app(&app, config, 0xAB4);
+        let ta = drive_events(&apk, 3_000, 0xAB5).expect("original installs");
+        let tb = drive_events(&signed, 3_000, 0xAB5).expect("protected installs");
+        hot_exclusion.push((on, 100.0 * (tb as f64 - ta as f64) / ta as f64));
+    }
+
+    // (d) weaving vs deletion.
+    let mut weaving = Vec::new();
+    for weave in [true, false] {
+        let config = ProtectConfig {
+            weave_original: weave,
+            bogus_ratio: if weave { 0.5 } else { 0.0 },
+            ..ProtectConfig::default()
+        };
+        let apk = app.apk(&dev);
+        let (_, signed) = protect_app(&app, config, 0xAB6);
+        let report = deletion::deletion_attack(&apk, &signed, &pirate, 5, 2, 0xAB7);
+        weaving.push((weave, report.corrupted()));
+    }
+
+    AblationReport {
+        trigger_structure,
+        alpha_sweep,
+        hot_exclusion,
+        weaving,
+    }
+}

@@ -1,0 +1,49 @@
+//! §8.3.2 — human-analyst campaigns (guided exploration, env mutation).
+
+use super::harness::{default_fleet, flagships, shared_cache, ExperimentError, PROTECT_BASE};
+use bombdroid_attacks::analyst;
+use bombdroid_core::{expect_all, run_fleet, FleetConfig, ProtectConfig};
+
+/// One analyst-campaign row.
+#[derive(Debug, Clone)]
+pub struct AnalystRow {
+    /// App name.
+    pub app: String,
+    /// Bombs triggered.
+    pub triggered: usize,
+    /// Total real bombs.
+    pub total: usize,
+    /// Percentage.
+    pub pct: f64,
+}
+
+/// Regenerates the human-analyst result (paper: 20 h per app, ≤ 9.3%
+/// of bombs triggered).
+pub fn analysts(config: ProtectConfig, hours: u64, phase_minutes: u64) -> Vec<AnalystRow> {
+    analysts_with(default_fleet(0x7AB6), config, hours, phase_minutes)
+}
+
+/// [`analysts`] with explicit fleet scheduling: one campaign per flagship.
+pub fn analysts_with(
+    fleet: FleetConfig,
+    config: ProtectConfig,
+    hours: u64,
+    phase_minutes: u64,
+) -> Vec<AnalystRow> {
+    expect_all(run_fleet(
+        fleet,
+        flagships(),
+        |ctx, app| -> Result<AnalystRow, ExperimentError> {
+            let artifact =
+                shared_cache().get_or_protect(&app, &config, PROTECT_BASE + ctx.index as u64)?;
+            let total = artifact.0.report.bombs_injected().max(1);
+            let report = analyst::analyst_campaign(&artifact.1, hours, phase_minutes, ctx.seed);
+            Ok(AnalystRow {
+                app: app.name.clone(),
+                triggered: report.bombs_triggered,
+                total,
+                pct: 100.0 * report.bombs_triggered as f64 / total as f64,
+            })
+        },
+    ))
+}

@@ -1,0 +1,42 @@
+//! §5.1 — brute-force resistance of obfuscated conditions.
+
+use super::harness::{default_fleet, flagships, shared_cache, ExperimentError, PROTECT_BASE};
+use bombdroid_core::{expect_all, run_fleet, FleetConfig, ProtectConfig};
+
+/// One brute-force row.
+#[derive(Debug, Clone)]
+pub struct BruteRow {
+    /// App name.
+    pub app: String,
+    /// Obfuscated conditions found.
+    pub total: usize,
+    /// Cracked within the budget.
+    pub cracked: usize,
+    /// Hash evaluations spent.
+    pub tries: u64,
+}
+
+/// Brute-force campaigns against every flagship.
+pub fn brute_force(config: ProtectConfig, budget: u64) -> Vec<BruteRow> {
+    brute_force_with(default_fleet(0x7ABB), config, budget)
+}
+
+/// [`brute_force`] with explicit fleet scheduling: one campaign per
+/// flagship.
+pub fn brute_force_with(fleet: FleetConfig, config: ProtectConfig, budget: u64) -> Vec<BruteRow> {
+    expect_all(run_fleet(
+        fleet,
+        flagships(),
+        |ctx, app| -> Result<BruteRow, ExperimentError> {
+            let artifact =
+                shared_cache().get_or_protect(&app, &config, PROTECT_BASE + ctx.index as u64)?;
+            let report = bombdroid_attacks::brute_force_campaign(&artifact.1, budget);
+            Ok(BruteRow {
+                app: app.name.clone(),
+                total: report.total,
+                cracked: report.cracked,
+                tries: report.tries,
+            })
+        },
+    ))
+}

@@ -1,0 +1,59 @@
+//! §8.4 — code-size increase from protection.
+
+use super::harness::{default_fleet, flagships, shared_cache, ExperimentError, PROTECT_BASE};
+use bombdroid_core::{expect_all, run_fleet, FleetConfig, ProtectConfig};
+
+/// One code-size row.
+#[derive(Debug, Clone)]
+pub struct CodeSizeRow {
+    /// App name.
+    pub app: String,
+    /// Original `classes.dex` bytes.
+    pub original: usize,
+    /// Protected `classes.dex` bytes.
+    pub protected: usize,
+    /// Increase in percent.
+    pub increase_pct: f64,
+}
+
+/// Regenerates the code-size measurement (paper: 8–13%, avg 9.7%).
+pub fn code_size(config: ProtectConfig) -> Vec<CodeSizeRow> {
+    code_size_with(default_fleet(0x7AB9), config)
+}
+
+/// [`code_size`] with explicit fleet scheduling: one task per flagship.
+pub fn code_size_with(fleet: FleetConfig, config: ProtectConfig) -> Vec<CodeSizeRow> {
+    expect_all(run_fleet(
+        fleet,
+        flagships(),
+        |ctx, app| -> Result<CodeSizeRow, ExperimentError> {
+            let artifact =
+                shared_cache().get_or_protect(&app, &config, PROTECT_BASE + ctx.index as u64)?;
+            let report = &artifact.0.report;
+            Ok(CodeSizeRow {
+                app: app.name.clone(),
+                original: report.original_dex_size,
+                protected: report.protected_dex_size,
+                increase_pct: 100.0 * report.code_size_increase(),
+            })
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_size_increase_is_moderate() {
+        let rows = code_size(ProtectConfig::fast_profile());
+        for r in &rows {
+            assert!(
+                r.increase_pct > 1.0 && r.increase_pct < 60.0,
+                "{}: {:.1}%",
+                r.app,
+                r.increase_pct
+            );
+        }
+    }
+}

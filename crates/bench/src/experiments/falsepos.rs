@@ -1,0 +1,69 @@
+//! §8.4 — false positives: legitimate copies must never respond.
+
+use super::harness::{default_fleet, flagships, shared_cache, ExperimentError, PROTECT_BASE};
+use bombdroid_core::{expect_all, run_fleet, FleetConfig, ProtectConfig};
+use bombdroid_runtime::{DeviceEnv, InstalledPackage, RandomEventSource, Vm};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// One false-positive row.
+#[derive(Debug, Clone)]
+pub struct FalsePositiveRow {
+    /// App name.
+    pub app: String,
+    /// Events driven.
+    pub events: u64,
+    /// Responses fired (must be 0).
+    pub responses: usize,
+    /// Piracy reports sent (must be 0).
+    pub reports: u64,
+}
+
+/// Checks for false positives: drive the *original-signed* protected app
+/// for `minutes` of random events; no response may ever fire (§8.4 runs
+/// ten hours per app).
+pub fn false_positives(config: ProtectConfig, minutes: u64) -> Vec<FalsePositiveRow> {
+    false_positives_with(default_fleet(0x7AB8), config, minutes)
+}
+
+/// [`false_positives`] with explicit fleet scheduling: one session per
+/// flagship.
+pub fn false_positives_with(
+    fleet: FleetConfig,
+    config: ProtectConfig,
+    minutes: u64,
+) -> Vec<FalsePositiveRow> {
+    expect_all(run_fleet(
+        fleet,
+        flagships(),
+        |ctx, app| -> Result<FalsePositiveRow, ExperimentError> {
+            let artifact =
+                shared_cache().get_or_protect(&app, &config, PROTECT_BASE + ctx.index as u64)?;
+            let pkg = InstalledPackage::install(&artifact.1)?;
+            let mut rng = StdRng::seed_from_u64(ctx.seed);
+            let mut vm = Vm::boot(pkg, DeviceEnv::sample(&mut rng), ctx.seed);
+            let mut source = RandomEventSource;
+            let report =
+                bombdroid_runtime::run_session(&mut vm, &mut source, &mut rng, minutes, 60);
+            Ok(FalsePositiveRow {
+                app: app.name.clone(),
+                events: report.events,
+                responses: vm.telemetry().responses.len(),
+                reports: vm.telemetry().piracy_reports,
+            })
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn false_positive_free() {
+        let rows = false_positives(ProtectConfig::fast_profile(), 10);
+        for r in &rows {
+            assert_eq!(r.responses, 0, "{}: response fired on legit copy", r.app);
+            assert_eq!(r.reports, 0);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Fig. 4 — outer-trigger strength histograms.
+
+use super::harness::{default_fleet, flagships, shared_cache, ExperimentError, PROTECT_BASE};
+use bombdroid_core::{expect_all, run_fleet, BombKind, FleetConfig, ProtectConfig};
+
+/// One Fig. 4 row: strength histograms for existing vs artificial QCs.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// App name.
+    pub app: String,
+    /// `(weak, medium, strong)` among existing-QC bombs.
+    pub existing: (usize, usize, usize),
+    /// `(weak, medium, strong)` among artificial-QC bombs.
+    pub artificial: (usize, usize, usize),
+}
+
+/// Regenerates Fig. 4 from the protection reports.
+pub fn fig4(config: ProtectConfig) -> Vec<Fig4Row> {
+    fig4_with(default_fleet(0x7ABA), config)
+}
+
+/// [`fig4`] with explicit fleet scheduling: one task per flagship.
+pub fn fig4_with(fleet: FleetConfig, config: ProtectConfig) -> Vec<Fig4Row> {
+    expect_all(run_fleet(
+        fleet,
+        flagships(),
+        |ctx, app| -> Result<Fig4Row, ExperimentError> {
+            let artifact =
+                shared_cache().get_or_protect(&app, &config, PROTECT_BASE + ctx.index as u64)?;
+            let report = &artifact.0.report;
+            Ok(Fig4Row {
+                app: app.name.clone(),
+                existing: report.strength_histogram(BombKind::ExistingQc),
+                artificial: report.strength_histogram(BombKind::ArtificialQc),
+            })
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_artificial_qcs_never_weak() {
+        let rows = fig4(ProtectConfig::fast_profile());
+        for r in &rows {
+            let (weak, med, strong) = r.artificial;
+            assert_eq!(weak, 0, "{}: artificial QCs must be medium/strong", r.app);
+            assert!(med + strong > 0, "{}", r.app);
+        }
+    }
+}

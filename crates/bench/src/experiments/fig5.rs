@@ -1,0 +1,46 @@
+//! Fig. 5 — % of bombs triggered by Dynodroid over time.
+
+use super::harness::{default_fleet, flagships, shared_cache, ExperimentError, PROTECT_BASE};
+use bombdroid_attacks::fuzz;
+use bombdroid_core::{expect_all, run_fleet, FleetConfig, ProtectConfig};
+
+/// One Fig. 5 series: percentage of bombs triggered per minute.
+#[derive(Debug, Clone)]
+pub struct Fig5Series {
+    /// App name.
+    pub app: String,
+    /// Real bombs in the app.
+    pub total_bombs: usize,
+    /// `(minute, % of bombs triggered)`.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// Regenerates Fig. 5: Dynodroid for `minutes` against each flagship,
+/// sampling the triggered-bomb percentage per minute.
+pub fn fig5(config: ProtectConfig, minutes: u64) -> Vec<Fig5Series> {
+    fig5_with(default_fleet(0x7AB5), config, minutes)
+}
+
+/// [`fig5`] with explicit fleet scheduling: one task per flagship.
+pub fn fig5_with(fleet: FleetConfig, config: ProtectConfig, minutes: u64) -> Vec<Fig5Series> {
+    expect_all(run_fleet(
+        fleet,
+        flagships(),
+        |ctx, app| -> Result<Fig5Series, ExperimentError> {
+            let artifact =
+                shared_cache().get_or_protect(&app, &config, PROTECT_BASE + ctx.index as u64)?;
+            let total = artifact.0.report.bombs_injected().max(1);
+            let report =
+                fuzz::run_fuzzer(fuzz::FuzzerKind::Dynodroid, &artifact.1, minutes, ctx.seed);
+            Ok(Fig5Series {
+                app: app.name.clone(),
+                total_bombs: total,
+                points: report
+                    .timeline
+                    .iter()
+                    .map(|(m, n)| (*m, 100.0 * *n as f64 / total as f64))
+                    .collect(),
+            })
+        },
+    ))
+}

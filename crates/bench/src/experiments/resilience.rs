@@ -1,0 +1,27 @@
+//! §5 — attack × protection resilience matrix.
+
+use super::harness::{default_fleet, flagships, ExperimentError};
+use bombdroid_attacks::resilience;
+use bombdroid_core::{expect_all, run_fleet, FleetConfig};
+
+/// Runs the attack × protection matrix for `app_count` flagships.
+pub fn resilience_reports(app_count: usize) -> Vec<(String, resilience::ResilienceReport)> {
+    resilience_reports_with(default_fleet(0x5EC), app_count)
+}
+
+/// [`resilience_reports`] with explicit fleet scheduling: one matrix per
+/// flagship.
+pub fn resilience_reports_with(
+    fleet: FleetConfig,
+    app_count: usize,
+) -> Vec<(String, resilience::ResilienceReport)> {
+    let apps: Vec<_> = flagships().into_iter().take(app_count).collect();
+    expect_all(run_fleet(
+        fleet,
+        apps,
+        |ctx, app| -> Result<(String, resilience::ResilienceReport), ExperimentError> {
+            let report = resilience::resilience_matrix(&app, ctx.seed);
+            Ok((app.name.clone(), report))
+        },
+    ))
+}

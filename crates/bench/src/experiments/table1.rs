@@ -1,0 +1,78 @@
+//! Table 1 — static corpus characteristics per category.
+
+use super::harness::{default_fleet, ExperimentError};
+use crate::fixed_keys;
+use bombdroid_core::{expect_all, run_fleet, FleetConfig, ProtectConfig};
+use bombdroid_corpus::{corpus_specs, generate_app, Category};
+
+/// One Table 1 row: measured corpus statistics next to the paper's values.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Category label.
+    pub category: Category,
+    /// Apps measured.
+    pub apps: usize,
+    /// Average instruction count (LOC analogue).
+    pub avg_loc: f64,
+    /// Average candidate (non-hot) methods.
+    pub avg_candidate_methods: f64,
+    /// Average existing QCs.
+    pub avg_existing_qcs: f64,
+    /// Average distinct environment variables.
+    pub avg_env_vars: f64,
+}
+
+/// Regenerates Table 1 over `apps_per_category` sampled apps (the paper
+/// uses every app; pass `usize::MAX` for the full 963).
+pub fn table1(apps_per_category: usize, profiling_events: u64) -> Vec<Table1Row> {
+    table1_with(default_fleet(0x7AB1), apps_per_category, profiling_events)
+}
+
+/// [`table1`] with explicit fleet scheduling: one task per category.
+pub fn table1_with(
+    fleet: FleetConfig,
+    apps_per_category: usize,
+    profiling_events: u64,
+) -> Vec<Table1Row> {
+    let (dev, _) = fixed_keys();
+    let specs = corpus_specs();
+    expect_all(run_fleet(
+        fleet,
+        Category::ALL.to_vec(),
+        |_ctx, category| -> Result<Table1Row, ExperimentError> {
+            let selected: Vec<_> = specs
+                .iter()
+                .filter(|(_, c, _)| *c == category)
+                .take(apps_per_category)
+                .collect();
+            let mut loc = 0usize;
+            let mut cand = 0usize;
+            let mut qcs = 0usize;
+            let mut envs = 0usize;
+            for (name, cat, seed) in &selected {
+                let app = generate_app(name, *cat, *seed);
+                let stats = bombdroid_corpus::app_stats(&app);
+                loc += stats.loc;
+                qcs += stats.existing_qcs;
+                envs += stats.env_vars;
+                // Candidate methods need the profiling phase (§7.1).
+                let config = ProtectConfig {
+                    profiling_events,
+                    ..ProtectConfig::default()
+                };
+                let apk = app.apk(&dev);
+                let profile = bombdroid_core::profile_app(&apk, &config, *seed)?;
+                cand += stats.methods - profile.hot.len();
+            }
+            let n = selected.len().max(1) as f64;
+            Ok(Table1Row {
+                category,
+                apps: selected.len(),
+                avg_loc: loc as f64 / n,
+                avg_candidate_methods: cand as f64 / n,
+                avg_existing_qcs: qcs as f64 / n,
+                avg_env_vars: envs as f64 / n,
+            })
+        },
+    ))
+}

@@ -1,0 +1,65 @@
+//! Table 2 — bombs injected per flagship.
+
+use super::harness::{default_fleet, flagships, shared_cache, ExperimentError, PROTECT_BASE};
+use bombdroid_core::{expect_all, run_fleet, FleetConfig, ProtectConfig};
+
+/// One Table 2 row.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// App name.
+    pub app: String,
+    /// Real bombs injected.
+    pub total: usize,
+    /// On existing qualified conditions.
+    pub existing: usize,
+    /// On artificial qualified conditions.
+    pub artificial: usize,
+    /// Bogus bombs (extra, not in the paper's total).
+    pub bogus: usize,
+}
+
+/// Regenerates Table 2 by protecting all eight flagships.
+pub fn table2(config: ProtectConfig) -> Vec<Table2Row> {
+    table2_with(default_fleet(0x7AB2), config)
+}
+
+/// [`table2`] with explicit fleet scheduling: one task per flagship.
+pub fn table2_with(fleet: FleetConfig, config: ProtectConfig) -> Vec<Table2Row> {
+    expect_all(run_fleet(
+        fleet,
+        flagships(),
+        |ctx, app| -> Result<Table2Row, ExperimentError> {
+            let artifact =
+                shared_cache().get_or_protect(&app, &config, PROTECT_BASE + ctx.index as u64)?;
+            let report = &artifact.0.report;
+            Ok(Table2Row {
+                app: app.name.clone(),
+                total: report.bombs_injected(),
+                existing: report.existing_bombs(),
+                artificial: report.artificial_bombs(),
+                bogus: report.bogus_bombs(),
+            })
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_injects_bombs_everywhere() {
+        let rows = table2(ProtectConfig::fast_profile());
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert!(r.total > 5, "{}: only {} bombs", r.app, r.total);
+            assert!(r.existing > 0, "{}: no existing-QC bombs", r.app);
+            assert!(r.artificial > 0, "{}: no artificial-QC bombs", r.app);
+        }
+        // BRouter is the biggest, as in the paper.
+        let brouter = rows.iter().find(|r| r.app == "BRouter").unwrap();
+        for r in &rows {
+            assert!(brouter.total >= r.total, "BRouter must lead");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Table 4 — fuzzers vs outer trigger conditions.
+
+use super::harness::{default_fleet, flagships, shared_cache, ExperimentError, PROTECT_BASE};
+use bombdroid_attacks::fuzz;
+use bombdroid_core::{derive_seed, expect_all, run_fleet, FleetConfig, ProtectConfig};
+
+/// One Table 4 row: per-tool percentages of satisfied outer conditions.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// App name.
+    pub app: String,
+    /// `(tool, satisfied %)` in paper column order.
+    pub tools: Vec<(fuzz::FuzzerKind, f64)>,
+}
+
+/// Regenerates Table 4: one hour of each fuzzer against each flagship.
+pub fn table4(config: ProtectConfig, minutes: u64) -> Vec<Table4Row> {
+    table4_with(default_fleet(0x7AB4), config, minutes)
+}
+
+/// [`table4`] with explicit fleet scheduling: one task per flagship, each
+/// running the four fuzzers with seeds derived from the task seed.
+pub fn table4_with(fleet: FleetConfig, config: ProtectConfig, minutes: u64) -> Vec<Table4Row> {
+    expect_all(run_fleet(
+        fleet,
+        flagships(),
+        |ctx, app| -> Result<Table4Row, ExperimentError> {
+            let artifact =
+                shared_cache().get_or_protect(&app, &config, PROTECT_BASE + ctx.index as u64)?;
+            let tools = fuzz::FuzzerKind::ALL
+                .iter()
+                .enumerate()
+                .map(|(k, &kind)| {
+                    let seed = derive_seed(ctx.seed, k as u64);
+                    let report = fuzz::run_fuzzer(kind, &artifact.1, minutes, seed);
+                    (kind, report.satisfied_pct())
+                })
+                .collect();
+            Ok(Table4Row {
+                app: app.name.clone(),
+                tools,
+            })
+        },
+    ))
+}

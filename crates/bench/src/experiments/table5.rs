@@ -1,0 +1,69 @@
+//! Table 5 — execution-time overhead of protection.
+
+use super::harness::{
+    default_fleet, drive_events, flagships, shared_cache, ExperimentError, PROTECT_BASE,
+};
+use crate::fixed_keys;
+use bombdroid_core::{expect_all, run_fleet, FleetConfig, ProtectConfig};
+
+/// One Table 5 row.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// App name.
+    pub app: String,
+    /// Instructions executed by the original app (the `Ta` analogue).
+    pub ta_instr: u64,
+    /// Instructions executed by the protected app (the `Tb` analogue).
+    pub tb_instr: u64,
+    /// Overhead `(Tb - Ta) / Ta` in percent.
+    pub overhead_pct: f64,
+}
+
+/// Regenerates Table 5: feed the same `events` random events to the
+/// original and protected builds and compare executed instructions (the
+/// deterministic cost model's stand-in for wall-clock).
+pub fn table5(config: ProtectConfig, events: u64) -> Vec<Table5Row> {
+    table5_with(default_fleet(0x7AB7), config, events)
+}
+
+/// [`table5`] with explicit fleet scheduling: one task per flagship. Both
+/// builds are driven with the *same* task seed so the event streams match.
+pub fn table5_with(fleet: FleetConfig, config: ProtectConfig, events: u64) -> Vec<Table5Row> {
+    let (dev, _) = fixed_keys();
+    expect_all(run_fleet(
+        fleet,
+        flagships(),
+        |ctx, app| -> Result<Table5Row, ExperimentError> {
+            let apk = app.apk(&dev);
+            let artifact =
+                shared_cache().get_or_protect(&app, &config, PROTECT_BASE + ctx.index as u64)?;
+            let ta = drive_events(&apk, events, ctx.seed)?;
+            let tb = drive_events(&artifact.1, events, ctx.seed)?;
+            Ok(Table5Row {
+                app: app.name.clone(),
+                ta_instr: ta,
+                tb_instr: tb,
+                overhead_pct: 100.0 * (tb as f64 - ta as f64) / ta as f64,
+            })
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_overhead_is_small() {
+        let rows = table5(ProtectConfig::fast_profile(), 2_000);
+        for r in &rows {
+            assert!(
+                r.overhead_pct < 25.0,
+                "{}: overhead {:.1}% too large",
+                r.app,
+                r.overhead_pct
+            );
+            assert!(r.overhead_pct > -1.0);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! The fleet engine's determinism contract, proven end-to-end: running an
+//! experiment on 1, 2, and 8 worker threads must produce bit-identical
+//! rows. Rows are compared through their `Debug` form because some fields
+//! are `f64` and may be `NaN` (`NaN != NaN` under `PartialEq`).
+
+use bombdroid_bench::experiments as ex;
+use bombdroid_core::{FleetConfig, ProtectConfig};
+
+fn fleet(threads: usize) -> FleetConfig {
+    FleetConfig::serial(0xDE7E12).with_threads(threads)
+}
+
+#[test]
+fn table3_rows_identical_across_thread_counts() {
+    let config = ProtectConfig::fast_profile();
+    let run = |threads| {
+        format!(
+            "{:?}",
+            ex::table3_with(fleet(threads), config.clone(), 3, 30)
+        )
+    };
+    let one = run(1);
+    assert_eq!(one, run(2), "2 workers changed Table 3");
+    assert_eq!(one, run(8), "8 workers changed Table 3");
+}
+
+#[test]
+fn fig5_series_identical_across_thread_counts() {
+    let config = ProtectConfig::fast_profile();
+    let run = |threads| format!("{:?}", ex::fig5_with(fleet(threads), config.clone(), 5));
+    let one = run(1);
+    assert_eq!(one, run(2), "2 workers changed Fig. 5");
+    assert_eq!(one, run(8), "8 workers changed Fig. 5");
+}

@@ -16,7 +16,7 @@
 //! woven original body` under `KDF(c | salt)`.
 
 use crate::config::ResponseChoice;
-use crate::fragment::FragmentBuilder;
+use crate::fragment::{FragmentBuilder, FragmentError};
 use crate::inner::InnerCond;
 use crate::payload::{emit_detection, DetectionKind};
 use crate::rewrite::{rewrite_region, RewriteError};
@@ -51,11 +51,19 @@ pub enum ArmError {
         /// The offending branch target.
         target: usize,
     },
+    /// The payload fragment failed to assemble.
+    Fragment(FragmentError),
 }
 
 impl From<RewriteError> for ArmError {
     fn from(e: RewriteError) -> Self {
         ArmError::Rewrite(e)
+    }
+}
+
+impl From<FragmentError> for ArmError {
+    fn from(e: FragmentError) -> Self {
+        ArmError::Fragment(e)
     }
 }
 
@@ -66,6 +74,7 @@ impl std::fmt::Display for ArmError {
             ArmError::UnweavableBody { target } => {
                 write!(f, "body branch to @{target} cannot be woven")
             }
+            ArmError::Fragment(e) => write!(f, "payload fragment failed: {e}"),
         }
     }
 }
@@ -168,7 +177,7 @@ pub fn arm_existing(
     emit_payload(&mut f, spec);
     // Finish the payload first to learn its length, then append the woven
     // body in fragment coordinates.
-    let mut fragment = f.finish();
+    let mut fragment = f.finish()?;
     let frag_base = fragment.len();
     let max_frag_reg = scratch_base + 16; // generous bound; VM grows frames anyway
     if weave {
@@ -226,7 +235,7 @@ pub fn arm_artificial(
     let scratch_base = method.registers + 2; // sreg + hreg
     let mut f = FragmentBuilder::new(scratch_base);
     emit_payload(&mut f, spec);
-    let fragment = f.finish();
+    let fragment = f.finish()?;
 
     let hc = kdf::condition_hash(&planned.constant.canonical_bytes(), salt);
     let sreg = Reg(method.registers);
@@ -304,8 +313,8 @@ mod tests {
         let mut method = site_method();
         let p = planned(&method);
         let mut blobs = Vec::new();
-        let blob = arm_existing(&mut method, &mut blobs, &p, &simple_spec(0), b"salt", true)
-            .expect("arm");
+        let blob =
+            arm_existing(&mut method, &mut blobs, &p, &simple_spec(0), b"salt", true).expect("arm");
         assert_eq!(blob, BlobId(0));
         assert_eq!(blobs.len(), 1);
         // The constant 99 is gone from the bytecode.
@@ -366,13 +375,25 @@ mod tests {
         let p = planned(&method);
         let constant = p.site.constant.clone();
         let mut blobs = Vec::new();
-        arm_existing(&mut method, &mut blobs, &p, &simple_spec(3), b"pepper", true).unwrap();
+        arm_existing(
+            &mut method,
+            &mut blobs,
+            &p,
+            &simple_spec(3),
+            b"pepper",
+            true,
+        )
+        .unwrap();
         let right = kdf::derive_key(&constant.canonical_bytes(), b"pepper");
         let pt = crypto_blob::open(&right, &blobs[0].sealed).expect("right key opens");
         let frag = wire::decode_fragment(&pt).expect("valid fragment");
-        assert!(frag
-            .iter()
-            .any(|i| matches!(i, Instr::HostCall { api: HostApi::Marker(3), .. })));
+        assert!(frag.iter().any(|i| matches!(
+            i,
+            Instr::HostCall {
+                api: HostApi::Marker(3),
+                ..
+            }
+        )));
         let wrong = kdf::derive_key(&Value::Int(98).canonical_bytes(), b"pepper");
         assert!(crypto_blob::open(&wrong, &blobs[0].sealed).is_err());
     }

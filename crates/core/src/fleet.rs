@@ -1,0 +1,305 @@
+//! Deterministic parallel fleet engine.
+//!
+//! Every experiment in the paper reduces to the same shape: run `N`
+//! independent seeded tasks (protect an app, simulate a user session, fuzz
+//! for an hour, run an analyst phase) and fold the per-task results into a
+//! table row or figure series. This module extracts that shape into one
+//! scheduler so the experiments stay serial-looking while the work runs on a
+//! worker pool.
+//!
+//! # Determinism contract
+//!
+//! Results are **bit-identical regardless of thread count**. Two properties
+//! guarantee this:
+//!
+//! 1. Each task's randomness comes only from a seed derived from
+//!    `(base_seed, task index)` via [`derive_seed`] (a SplitMix64 mix), never
+//!    from scheduler state, thread ids, or time.
+//! 2. Each task writes its result into the slot for its index; the returned
+//!    vector is always in task order, independent of completion order.
+//!
+//! Workers claim indices from a shared atomic counter, so the *assignment* of
+//! tasks to threads is racy — but nothing observable depends on it.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How a fleet run is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Worker threads. `1` runs the tasks inline on the calling thread.
+    pub threads: usize,
+    /// Root seed; each task gets `derive_seed(base_seed, index)`.
+    pub base_seed: u64,
+}
+
+impl FleetConfig {
+    /// One worker per available CPU (at least one).
+    pub fn new(base_seed: u64) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        FleetConfig { threads, base_seed }
+    }
+
+    /// Run every task inline on the calling thread.
+    pub fn serial(base_seed: u64) -> Self {
+        FleetConfig {
+            threads: 1,
+            base_seed,
+        }
+    }
+
+    /// Same seed, explicit worker count (clamped to at least one).
+    pub fn with_threads(self, threads: usize) -> Self {
+        FleetConfig {
+            threads: threads.max(1),
+            ..self
+        }
+    }
+}
+
+/// SplitMix64 finalizer: mixes `base` and `index` into an independent
+/// per-task seed. Adjacent indices land in statistically unrelated streams,
+/// so tasks can safely use sequential indices.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Handed to each task: its position in the fleet and its private seed.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskCtx {
+    /// Index of this task in the input order (and in the result vector).
+    pub index: usize,
+    /// Seed derived from the fleet's base seed and `index`.
+    pub seed: u64,
+}
+
+impl TaskCtx {
+    /// A fresh deterministic RNG for this task.
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+}
+
+/// Why a single task produced no result.
+pub enum FleetError<E> {
+    /// The task returned its own typed error.
+    Task(E),
+    /// The task panicked; the payload message is preserved.
+    Panicked(String),
+}
+
+impl<E: fmt::Debug> fmt::Debug for FleetError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Task(e) => write!(f, "Task({e:?})"),
+            FleetError::Panicked(msg) => write!(f, "Panicked({msg:?})"),
+        }
+    }
+}
+
+impl<E: fmt::Display> fmt::Display for FleetError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Task(e) => write!(f, "task failed: {e}"),
+            FleetError::Panicked(msg) => write!(f, "task panicked: {msg}"),
+        }
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> std::error::Error for FleetError<E> {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `tasks` on `config.threads` workers and returns per-task results in
+/// task order. Each task sees only its [`TaskCtx`]; a panicking or failing
+/// task occupies its slot with a [`FleetError`] without taking down the rest
+/// of the fleet.
+pub fn run_fleet<T, R, E, F>(
+    config: FleetConfig,
+    tasks: Vec<T>,
+    f: F,
+) -> Vec<Result<R, FleetError<E>>>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(TaskCtx, T) -> Result<R, E> + Sync,
+{
+    let n = tasks.len();
+    // Slots claimed once each via the atomic cursor; Mutex keeps it safe
+    // without unsafe cells, and the per-slot cost is trivial next to any
+    // real task.
+    type ResultSlot<R, E> = Mutex<Option<Result<R, FleetError<E>>>>;
+    let task_slots: Vec<Mutex<Option<T>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let result_slots: Vec<ResultSlot<R, E>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    let run_one = |index: usize| {
+        let task = task_slots[index]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("fleet task slot claimed twice");
+        let ctx = TaskCtx {
+            index,
+            seed: derive_seed(config.base_seed, index as u64),
+        };
+        let outcome = match catch_unwind(AssertUnwindSafe(|| f(ctx, task))) {
+            Ok(Ok(r)) => Ok(r),
+            Ok(Err(e)) => Err(FleetError::Task(e)),
+            Err(payload) => Err(FleetError::Panicked(panic_message(payload))),
+        };
+        *result_slots[index]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+    };
+
+    let worker = || loop {
+        let index = cursor.fetch_add(1, Ordering::Relaxed);
+        if index >= n {
+            break;
+        }
+        run_one(index);
+    };
+
+    let workers = config.threads.max(1).min(n.max(1));
+    if workers <= 1 {
+        worker();
+    } else {
+        crossbeam::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|_| worker());
+            }
+        })
+        .expect("fleet worker pool panicked outside a task");
+    }
+
+    result_slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("fleet task never ran")
+        })
+        .collect()
+}
+
+/// [`run_fleet`] over `0..count` index-only tasks — the common "N seeded
+/// repetitions" shape.
+pub fn run_indexed<R, E, F>(
+    config: FleetConfig,
+    count: usize,
+    f: F,
+) -> Vec<Result<R, FleetError<E>>>
+where
+    R: Send,
+    E: Send,
+    F: Fn(TaskCtx) -> Result<R, E> + Sync,
+{
+    run_fleet(config, (0..count).collect(), |ctx, _i: usize| f(ctx))
+}
+
+/// Unwraps a fleet's results, panicking with the index and error of the
+/// first failed task. For harness code where any task failure is fatal.
+pub fn expect_all<R, E: fmt::Display>(results: Vec<Result<R, FleetError<E>>>) -> Vec<R> {
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| match r {
+            Ok(v) => v,
+            Err(e) => panic!("fleet task #{i} failed: {e}"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn results_are_in_task_order() {
+        let cfg = FleetConfig::serial(7).with_threads(4);
+        let out = expect_all(run_indexed(cfg, 64, |ctx| {
+            Ok::<_, std::convert::Infallible>(ctx.index * 2)
+        }));
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let draw = |ctx: TaskCtx| {
+            let mut rng = ctx.rng();
+            Ok::<_, std::convert::Infallible>(
+                (0..32).fold(0u64, |acc, _| acc.wrapping_add(rng.gen::<u64>())),
+            )
+        };
+        let one = expect_all(run_indexed(FleetConfig::serial(0xF1EE7), 40, draw));
+        let two = expect_all(run_indexed(
+            FleetConfig::serial(0xF1EE7).with_threads(2),
+            40,
+            draw,
+        ));
+        let eight = expect_all(run_indexed(
+            FleetConfig::serial(0xF1EE7).with_threads(8),
+            40,
+            draw,
+        ));
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn derived_seeds_differ_between_tasks() {
+        let seeds: std::collections::HashSet<u64> = (0..1000).map(|i| derive_seed(42, i)).collect();
+        assert_eq!(seeds.len(), 1000, "seed derivation must not collide");
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0), "base seed matters");
+    }
+
+    #[test]
+    fn task_errors_and_panics_fill_their_slots() {
+        let cfg = FleetConfig::serial(1).with_threads(3);
+        let out = run_indexed::<u32, String, _>(cfg, 6, |ctx| match ctx.index {
+            2 => Err("typed failure".to_string()),
+            4 => panic!("task 4 exploded"),
+            i => Ok(i as u32),
+        });
+        assert!(matches!(out[0], Ok(0)));
+        assert!(matches!(out[2], Err(FleetError::Task(ref m)) if m == "typed failure"));
+        assert!(
+            matches!(out[4], Err(FleetError::Panicked(ref m)) if m.contains("task 4 exploded"))
+        );
+        assert!(matches!(out[5], Ok(5)));
+    }
+
+    #[test]
+    fn tasks_move_owned_values() {
+        let cfg = FleetConfig::serial(3).with_threads(2);
+        let tasks: Vec<String> = (0..8).map(|i| format!("task-{i}")).collect();
+        let out = expect_all(run_fleet(cfg, tasks, |ctx, name| {
+            Ok::<_, std::convert::Infallible>(format!("{name}@{}", ctx.index))
+        }));
+        assert_eq!(out[3], "task-3@3");
+    }
+}

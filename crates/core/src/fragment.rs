@@ -15,6 +15,27 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FragLabel(u32);
 
+/// Errors from assembling a fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FragmentError {
+    /// A branch references a label that was never [`place_label`]ed.
+    ///
+    /// [`place_label`]: FragmentBuilder::place_label
+    UnplacedLabel(FragLabel),
+}
+
+impl std::fmt::Display for FragmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FragmentError::UnplacedLabel(label) => {
+                write!(f, "fragment label {label:?} never placed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FragmentError {}
+
 /// Builder for fragment instruction sequences.
 #[derive(Debug, Default)]
 pub struct FragmentBuilder {
@@ -135,23 +156,22 @@ impl FragmentBuilder {
 
     /// Resolves labels and returns the fragment body. Labels placed at the
     /// end resolve to one-past-the-last instruction (fall out of the
-    /// fragment).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a referenced label was never placed.
-    pub fn finish(mut self) -> Vec<Instr> {
+    /// fragment). Fails if a referenced label was never placed.
+    pub fn finish(mut self) -> Result<Vec<Instr>, FragmentError> {
         for (at, label) in &self.pending {
             let pos = *self
                 .placed
                 .get(label)
-                .unwrap_or_else(|| panic!("fragment label {label:?} never placed"));
+                .ok_or(FragmentError::UnplacedLabel(*label))?;
             match &mut self.body[*at] {
                 Instr::If { target, .. } | Instr::Goto { target } => *target = pos,
-                other => panic!("pending fragment label on {other:?}"),
+                // `pending` entries are created only by `if_`/`goto`, which
+                // push the branch at that exact index, and nothing reorders
+                // `body` afterwards.
+                other => unreachable!("pending fragment label on {other:?}"),
             }
         }
-        self.body
+        Ok(self.body)
     }
 }
 
@@ -168,7 +188,7 @@ mod tests {
         f.if_not(CondOp::Eq, r, RegOrConst::Const(Value::Int(1)), end);
         f.host(HostApi::Marker(5), vec![], None);
         f.place_label(end);
-        let body = f.finish();
+        let body = f.finish().expect("all labels placed");
         assert_eq!(body.len(), 3);
         match &body[1] {
             Instr::If { target, .. } => assert_eq!(*target, 3, "end label = past-the-end"),
@@ -191,11 +211,19 @@ mod tests {
         let mut f = FragmentBuilder::new(5);
         f.push(Instr::Nop);
         f.splice(inner);
-        let body = f.finish();
+        let body = f.finish().expect("all labels placed");
         match &body[1] {
             Instr::If { target, .. } => assert_eq!(*target, 3),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn unplaced_label_is_a_typed_error() {
+        let mut f = FragmentBuilder::new(0);
+        let l = f.fresh_label();
+        f.goto(l);
+        assert!(matches!(f.finish(), Err(FragmentError::UnplacedLabel(_))));
     }
 
     #[test]

@@ -150,7 +150,12 @@ impl InnerCond {
                     lhs: s,
                     rhs: 1_440,
                 });
-                f.if_not(CondOp::Lt, s, RegOrConst::Const(Value::Int(*len as i64)), fail);
+                f.if_not(
+                    CondOp::Lt,
+                    s,
+                    RegOrConst::Const(Value::Int(*len as i64)),
+                    fail,
+                );
             }
         }
     }
@@ -207,16 +212,13 @@ pub fn synthesize(rng: &mut impl Rng, p_range: (f64, f64)) -> InnerCond {
             }
             6 => {
                 // SDK level equality; weights from the population table.
-                let (sdk, prob) = *[
+                let (sdk, prob) = [
                     (26i64, 0.10),
                     (27, 0.12),
                     (28, 0.16),
                     (29, 0.14),
                     (30, 0.10),
-                ]
-                .iter()
-                .nth(rng.gen_range(0..5))
-                .expect("5 entries");
+                ][rng.gen_range(0..5usize)];
                 InnerCond::EnvIntEq {
                     key: EnvKey::SdkInt,
                     value: sdk,
@@ -225,15 +227,12 @@ pub fn synthesize(rng: &mut impl Rng, p_range: (f64, f64)) -> InnerCond {
             }
             7 => {
                 // Manufacturer equality (share in range).
-                let (m, prob) = *[
+                let (m, prob) = [
                     ("xiaomi", 0.13),
                     ("huawei", 0.10),
                     ("oppo", 0.09),
                     ("vivo", 0.08),
-                ]
-                .iter()
-                .nth(rng.gen_range(0..4))
-                .expect("4 entries");
+                ][rng.gen_range(0..4usize)];
                 InnerCond::EnvStrEq {
                     key: EnvKey::Manufacturer,
                     value: m.to_string(),
@@ -242,10 +241,8 @@ pub fn synthesize(rng: &mut impl Rng, p_range: (f64, f64)) -> InnerCond {
             }
             8 => {
                 // Country code equality.
-                let (c, prob) = *[("US", 0.14), ("IN", 0.18), ("CN", 0.10)]
-                    .iter()
-                    .nth(rng.gen_range(0..3))
-                    .expect("3 entries");
+                let (c, prob) =
+                    [("US", 0.14), ("IN", 0.18), ("CN", 0.10)][rng.gen_range(0..3usize)];
                 InnerCond::EnvStrEq {
                     key: EnvKey::CountryCode,
                     value: c.to_string(),
@@ -321,7 +318,7 @@ mod tests {
         cond.emit(&mut f, fail);
         f.host(HostApi::Marker(1), vec![], None);
         f.place_label(fail);
-        let body = f.finish();
+        let body = f.finish().expect("all labels placed");
         // Env query + two comparisons + marker.
         assert_eq!(body.len(), 4);
         assert!(matches!(body[0], Instr::HostCall { .. }));
@@ -347,7 +344,7 @@ mod tests {
         let fail = f.fresh_label();
         cond.emit(&mut f, fail);
         f.place_label(fail);
-        let body = f.finish();
+        let body = f.finish().expect("all labels placed");
         assert!(body.len() >= 5, "modular arithmetic emitted");
     }
 }

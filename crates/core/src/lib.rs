@@ -65,6 +65,7 @@
 
 pub mod bomb;
 pub mod config;
+pub mod fleet;
 pub mod fragment;
 pub mod inner;
 pub mod naive;
@@ -76,8 +77,11 @@ pub mod rewrite;
 pub mod sites;
 
 pub use config::{DetectionMethods, ProtectConfig, ResponseChoice};
-pub use naive::NaiveProtector;
+pub use fleet::{
+    derive_seed, expect_all, run_fleet, run_indexed, FleetConfig, FleetError, TaskCtx,
+};
 pub use inner::InnerCond;
+pub use naive::NaiveProtector;
 pub use payload::{DetectionKind, MUTE_FLAG};
 pub use pipeline::{ProtectError, ProtectedApp, Protector};
 pub use profiling::{profile_app, ProfileResult};

@@ -71,9 +71,20 @@ impl NaiveProtector {
                 "pirated copy detected",
                 false,
             );
-            let payload = f.finish();
-            if rewrite_region(method, planned.site.body_entry, planned.site.body_entry, payload)
-                .is_err()
+            // `emit_detection` places every label it creates, so this only
+            // fails if that invariant breaks — skip the site rather than
+            // abort the whole protection.
+            let Ok(payload) = f.finish() else {
+                report.skipped_sites += 1;
+                continue;
+            };
+            if rewrite_region(
+                method,
+                planned.site.body_entry,
+                planned.site.body_entry,
+                payload,
+            )
+            .is_err()
             {
                 report.skipped_sites += 1;
                 continue;

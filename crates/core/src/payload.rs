@@ -163,16 +163,28 @@ mod tests {
             "pirated copy",
             false,
         );
-        let body = f.finish();
-        assert!(body
-            .iter()
-            .any(|i| matches!(i, Instr::HostCall { api: HostApi::GetPublicKey, .. })));
-        assert!(body
-            .iter()
-            .any(|i| matches!(i, Instr::HostCall { api: HostApi::KillProcess, .. })));
-        assert!(body
-            .iter()
-            .any(|i| matches!(i, Instr::HostCall { api: HostApi::ReportPiracy, .. })));
+        let body = f.finish().expect("all labels placed");
+        assert!(body.iter().any(|i| matches!(
+            i,
+            Instr::HostCall {
+                api: HostApi::GetPublicKey,
+                ..
+            }
+        )));
+        assert!(body.iter().any(|i| matches!(
+            i,
+            Instr::HostCall {
+                api: HostApi::KillProcess,
+                ..
+            }
+        )));
+        assert!(body.iter().any(|i| matches!(
+            i,
+            Instr::HostCall {
+                api: HostApi::ReportPiracy,
+                ..
+            }
+        )));
         // The match branch must jump past the response code (to the end).
         match body.iter().find(|i| matches!(i, Instr::If { .. })) {
             Some(Instr::If { target, .. }) => assert_eq!(*target, body.len()),
@@ -193,11 +205,15 @@ mod tests {
             "warn",
             false,
         );
-        let body = f.finish();
+        let body = f.finish().expect("all labels placed");
         assert!(body.iter().any(|i| matches!(i, Instr::StegoExtract { .. })));
-        assert!(body
-            .iter()
-            .any(|i| matches!(i, Instr::HostCall { api: HostApi::GetManifestDigest, .. })));
+        assert!(body.iter().any(|i| matches!(
+            i,
+            Instr::HostCall {
+                api: HostApi::GetManifestDigest,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -213,12 +229,20 @@ mod tests {
             "warn",
             false,
         );
-        let body = f.finish();
-        assert!(body
-            .iter()
-            .any(|i| matches!(i, Instr::HostCall { api: HostApi::CodeDigest, .. })));
-        assert!(body
-            .iter()
-            .any(|i| matches!(i, Instr::HostCall { api: HostApi::LeakMemory, .. })));
+        let body = f.finish().expect("all labels placed");
+        assert!(body.iter().any(|i| matches!(
+            i,
+            Instr::HostCall {
+                api: HostApi::CodeDigest,
+                ..
+            }
+        )));
+        assert!(body.iter().any(|i| matches!(
+            i,
+            Instr::HostCall {
+                api: HostApi::LeakMemory,
+                ..
+            }
+        )));
     }
 }

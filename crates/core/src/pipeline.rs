@@ -34,7 +34,11 @@ impl fmt::Display for ProtectError {
         match self {
             ProtectError::Install(e) => write!(f, "input APK rejected: {e}"),
             ProtectError::Validate(errs) => {
-                write!(f, "instrumented DEX failed validation ({} errors)", errs.len())
+                write!(
+                    f,
+                    "instrumented DEX failed validation ({} errors)",
+                    errs.len()
+                )
             }
         }
     }
@@ -159,16 +163,14 @@ impl Protector {
 
         let mut next_marker: u32 = 0;
         let mut payload_counter: usize = 0;
-        let DexFile {
-            classes, blobs, ..
-        } = &mut dex;
+        let DexFile { classes, blobs, .. } = &mut dex;
         for class in classes.iter_mut() {
             for method in class.methods.iter_mut() {
                 let mref = method.method_ref();
                 let Some(mut actions) = by_method.remove(&mref) else {
                     continue;
                 };
-                actions.sort_by(|a, b| b.position().cmp(&a.position()));
+                actions.sort_by_key(|a| std::cmp::Reverse(a.position()));
                 for action in actions {
                     debug_assert_eq!(action.method(), &mref);
                     let mut salt = vec![0u8; 8];

@@ -63,9 +63,7 @@ pub fn profile_app(
 mod tests {
     use super::*;
     use bombdroid_apk::{package_app, AppMeta, DeveloperKey, StringsXml};
-    use bombdroid_dex::{
-        Class, DexFile, EntryPoint, FieldRef, MethodBuilder, ParamDomain, Reg,
-    };
+    use bombdroid_dex::{Class, DexFile, EntryPoint, FieldRef, MethodBuilder, ParamDomain, Reg};
     use std::sync::Arc;
 
     fn two_handler_app() -> ApkFile {

@@ -59,7 +59,10 @@ pub struct ProtectReport {
 impl ProtectReport {
     /// Number of real (payload-carrying) bombs.
     pub fn bombs_injected(&self) -> usize {
-        self.bombs.iter().filter(|b| b.kind != BombKind::Bogus).count()
+        self.bombs
+            .iter()
+            .filter(|b| b.kind != BombKind::Bogus)
+            .count()
     }
 
     /// Real bombs built on existing QCs.

@@ -72,7 +72,10 @@ pub fn check_region(method: &Method, start: usize, end: usize) -> Result<(), Rew
                     return Err(RewriteError::RegionEscapes { at: pc, target: t });
                 }
             } else if t > start && t < end {
-                return Err(RewriteError::CrossJumpIntoRegion { from: pc, target: t });
+                return Err(RewriteError::CrossJumpIntoRegion {
+                    from: pc,
+                    target: t,
+                });
             }
         }
     }
@@ -108,7 +111,8 @@ pub fn rewrite_region(
         }
     };
 
-    let mut new_body: Vec<Instr> = Vec::with_capacity(method.body.len() - old_region_len + new_region_len);
+    let mut new_body: Vec<Instr> =
+        Vec::with_capacity(method.body.len() - old_region_len + new_region_len);
     let remap = |mut instr: Instr| -> Instr {
         match &mut instr {
             Instr::If { target, .. } | Instr::Goto { target } => *target = map(*target),
@@ -230,7 +234,10 @@ mod tests {
         let mut m = b.finish();
         // Region 1..5 has an external branch into pc 3 → reject.
         let err = rewrite_region(&mut m, 1, 5, vec![Instr::Nop]).unwrap_err();
-        assert!(matches!(err, RewriteError::CrossJumpIntoRegion { target: 3, .. }));
+        assert!(matches!(
+            err,
+            RewriteError::CrossJumpIntoRegion { target: 3, .. }
+        ));
     }
 
     #[test]

@@ -135,7 +135,7 @@ pub fn plan(
                 })
             })
             .collect();
-        per_method.sort_by(|a, b| b.anchor.cmp(&a.anchor));
+        per_method.sort_by_key(|p| std::cmp::Reverse(p.anchor));
         let mut taken_below = usize::MAX;
         for p in per_method {
             if p.skip > taken_below {
@@ -156,9 +156,7 @@ pub fn plan(
     for p in eligible {
         if plan.existing.len() < max_real {
             plan.existing.push(p);
-        } else if (plan.bogus.len() as f64)
-            < config.bogus_ratio * (plan.existing.len() as f64)
-        {
+        } else if (plan.bogus.len() as f64) < config.bogus_ratio * (plan.existing.len() as f64) {
             plan.bogus.push(p);
         }
     }
@@ -216,7 +214,7 @@ pub fn plan(
         });
         let n = ((candidates.len() as f64) * config.alpha).round() as usize;
         // Pool: the warmer half of the candidates, grown if α demands more.
-        let warm_pool = (((by_calls.len() + 1) / 2).max(1)).max(n.min(by_calls.len()));
+        let warm_pool = (by_calls.len().div_ceil(2).max(1)).max(n.min(by_calls.len()));
         let mut picked: Vec<MethodRef> = by_calls[..warm_pool].to_vec();
         picked.shuffle(rng);
         picked.truncate(n);

@@ -11,8 +11,8 @@
 use crate::gen::{generate_with_targets, GenTargets, GeneratedApp};
 use crate::profiles::Category;
 use bombdroid_dex::{
-    BinOp, Class, CondOp, EntryPoint, Field, FieldRef, MethodBuilder, MethodRef, ParamDomain,
-    Reg, RegOrConst, Value,
+    BinOp, Class, CondOp, EntryPoint, Field, FieldRef, MethodBuilder, MethodRef, ParamDomain, Reg,
+    RegOrConst, Value,
 };
 use rand::{rngs::StdRng, SeedableRng};
 use std::sync::Arc;
@@ -215,11 +215,7 @@ mod tests {
                 "missing field {f}"
             );
         }
-        assert!(app
-            .dex
-            .entry_points
-            .iter()
-            .any(|e| &*e.event == "onFrame"));
+        assert!(app.dex.entry_points.iter().any(|e| &*e.event == "onFrame"));
     }
 
     #[test]
@@ -252,9 +248,12 @@ mod tests {
         for _ in 0..500 {
             vm.fire_entry(frame, vec![]).result.unwrap();
             if rng.gen_bool(0.3) {
-                vm.fire_entry(tap, vec![bombdroid_runtime::RtValue::Int(rng.gen_range(0..100_000))])
-                    .result
-                    .unwrap();
+                vm.fire_entry(
+                    tap,
+                    vec![bombdroid_runtime::RtValue::Int(rng.gen_range(0..100_000))],
+                )
+                .result
+                .unwrap();
             }
         }
         let fv = &vm.telemetry().field_values;

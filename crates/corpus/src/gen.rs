@@ -378,8 +378,8 @@ impl Gen<'_> {
 
         // Navigation: some handlers switch screens (small-int QCs via
         // TABLESWITCH or direct assignment).
-        if i % 3 == 0 {
-            if i % 6 == 0 {
+        if i.is_multiple_of(3) {
+            if i.is_multiple_of(6) {
                 // switch on the choice param: arms set the screen.
                 let arms: Vec<i64> = (0..3).collect();
                 let labels: Vec<_> = arms.iter().map(|_| b.fresh_label()).collect();
@@ -424,12 +424,7 @@ impl Gen<'_> {
                 b.get_static(s, self.field("screen"));
                 let skip_all = b.fresh_label();
                 let want = self.rng.gen_range(0..SCREENS);
-                b.if_not(
-                    CondOp::Eq,
-                    s,
-                    RegOrConst::Const(Value::Int(want)),
-                    skip_all,
-                );
+                b.if_not(CondOp::Eq, s, RegOrConst::Const(Value::Int(want)), skip_all);
                 Some(skip_all)
             } else {
                 None
@@ -455,7 +450,7 @@ impl Gen<'_> {
             .expect("class exists")
             .methods
             .push(b.finish());
-        let weight = if i % 3 == 0 { 3.0 } else { 1.0 };
+        let weight = if i.is_multiple_of(3) { 3.0 } else { 1.0 };
         self.dex.entry_points.push(EntryPoint {
             event: Arc::from(event.as_str()),
             method: mref,
@@ -480,7 +475,12 @@ impl Gen<'_> {
         let skip = b.fresh_label();
         match flavour {
             QcFlavour::BoolParam => {
-                b.if_not(CondOp::Eq, boolp, RegOrConst::Const(Value::Bool(true)), skip);
+                b.if_not(
+                    CondOp::Eq,
+                    boolp,
+                    RegOrConst::Const(Value::Bool(true)),
+                    skip,
+                );
                 let v = b.fresh_reg();
                 b.const_(v, 2i64);
                 b.put_static(self.field("mode"), v);
@@ -602,9 +602,7 @@ mod tests {
 
     #[test]
     fn apps_run_without_faulting_much() {
-        use bombdroid_runtime::{
-            run_session, DeviceEnv, InstalledPackage, UserEventSource, Vm,
-        };
+        use bombdroid_runtime::{run_session, DeviceEnv, InstalledPackage, UserEventSource, Vm};
         let app = generate_app("RunCheck", Category::Game, 13);
         let mut rng = StdRng::seed_from_u64(1);
         let dev = DeveloperKey::generate(&mut rng);

@@ -56,7 +56,7 @@ impl std::error::Error for DecodeHexError {}
 /// assert!(bombdroid_crypto::hex::decode("xyz").is_err());
 /// ```
 pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(DecodeHexError {
             kind: DecodeHexErrorKind::OddLength(s.len()),
         });

@@ -44,11 +44,9 @@ pub fn disasm_instr(idx: usize, instr: &Instr) -> String {
         Instr::Invoke { method, args, dst } => {
             format_call(&format!("invoke-static {method}"), args_str(args), dst)
         }
-        Instr::InvokeReflect { name, args, dst } => format_call(
-            &format!("invoke-reflect name={name}"),
-            args_str(args),
-            dst,
-        ),
+        Instr::InvokeReflect { name, args, dst } => {
+            format_call(&format!("invoke-reflect name={name}"), args_str(args), dst)
+        }
         Instr::HostCall { api, args, dst } => {
             format_call(&format!("invoke-host {}", api.name()), args_str(args), dst)
         }

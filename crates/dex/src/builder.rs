@@ -278,12 +278,7 @@ mod tests {
     fn forward_label_resolution() {
         let mut b = MethodBuilder::new("T", "m", 1);
         let end = b.fresh_label();
-        b.if_(
-            CondOp::Eq,
-            Reg(0),
-            RegOrConst::Const(Value::Int(3)),
-            end,
-        );
+        b.if_(CondOp::Eq, Reg(0), RegOrConst::Const(Value::Int(3)), end);
         b.host_log("not three");
         b.place_label(end);
         b.ret_void();

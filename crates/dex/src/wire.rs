@@ -203,7 +203,12 @@ fn read_value(r: &mut Reader) -> Result<Value, WireError> {
         2 => Value::Int(r.i64()?),
         3 => Value::str(r.str()?),
         4 => Value::Bytes(Arc::from(r.bytes()?)),
-        tag => return Err(WireError::BadTag { tag, context: "value" }),
+        tag => {
+            return Err(WireError::BadTag {
+                tag,
+                context: "value",
+            })
+        }
     })
 }
 
@@ -260,7 +265,12 @@ fn bin_op_from(tag: u8) -> Result<BinOp, WireError> {
         9 => BinOp::Shr,
         10 => BinOp::Min,
         11 => BinOp::Max,
-        tag => return Err(WireError::BadTag { tag, context: "binop" }),
+        tag => {
+            return Err(WireError::BadTag {
+                tag,
+                context: "binop",
+            })
+        }
     })
 }
 
@@ -283,7 +293,12 @@ fn cond_op_from(tag: u8) -> Result<CondOp, WireError> {
         3 => CondOp::Le,
         4 => CondOp::Gt,
         5 => CondOp::Ge,
-        tag => return Err(WireError::BadTag { tag, context: "condop" }),
+        tag => {
+            return Err(WireError::BadTag {
+                tag,
+                context: "condop",
+            })
+        }
     })
 }
 
@@ -300,7 +315,12 @@ fn un_op_from(tag: u8) -> Result<UnOp, WireError> {
         0 => UnOp::Neg,
         1 => UnOp::Not,
         2 => UnOp::Abs,
-        tag => return Err(WireError::BadTag { tag, context: "unop" }),
+        tag => {
+            return Err(WireError::BadTag {
+                tag,
+                context: "unop",
+            })
+        }
     })
 }
 
@@ -333,7 +353,12 @@ fn str_op_from(tag: u8) -> Result<StrOp, WireError> {
         8 => StrOp::ToUpper,
         9 => StrOp::Substring,
         10 => StrOp::Rot13,
-        tag => return Err(WireError::BadTag { tag, context: "strop" }),
+        tag => {
+            return Err(WireError::BadTag {
+                tag,
+                context: "strop",
+            })
+        }
     })
 }
 
@@ -345,18 +370,27 @@ fn env_key_from(tag: u8) -> Result<EnvKey, WireError> {
     EnvKey::ALL
         .get(tag as usize)
         .copied()
-        .ok_or(WireError::BadTag { tag, context: "envkey" })
+        .ok_or(WireError::BadTag {
+            tag,
+            context: "envkey",
+        })
 }
 
 fn sensor_tag(s: SensorKind) -> u8 {
-    SensorKind::ALL.iter().position(|e| *e == s).expect("in ALL") as u8
+    SensorKind::ALL
+        .iter()
+        .position(|e| *e == s)
+        .expect("in ALL") as u8
 }
 
 fn sensor_from(tag: u8) -> Result<SensorKind, WireError> {
     SensorKind::ALL
         .get(tag as usize)
         .copied()
-        .ok_or(WireError::BadTag { tag, context: "sensor" })
+        .ok_or(WireError::BadTag {
+            tag,
+            context: "sensor",
+        })
 }
 
 fn write_host_api(w: &mut Writer, api: &HostApi) {
@@ -414,7 +448,12 @@ fn read_host_api(r: &mut Reader) -> Result<HostApi, WireError> {
             0 => UiKind::Toast,
             1 => UiKind::Dialog,
             2 => UiKind::TextView,
-            tag => return Err(WireError::BadTag { tag, context: "uikind" }),
+            tag => {
+                return Err(WireError::BadTag {
+                    tag,
+                    context: "uikind",
+                })
+            }
         }),
         11 => HostApi::ReportPiracy,
         12 => HostApi::LeakMemory,
@@ -423,7 +462,12 @@ fn read_host_api(r: &mut Reader) -> Result<HostApi, WireError> {
         15 => HostApi::NullOutField,
         16 => HostApi::SleepMs,
         17 => HostApi::Marker(r.u32()?),
-        tag => return Err(WireError::BadTag { tag, context: "hostapi" }),
+        tag => {
+            return Err(WireError::BadTag {
+                tag,
+                context: "hostapi",
+            })
+        }
     })
 }
 
@@ -637,7 +681,12 @@ fn read_instr(r: &mut Reader) -> Result<Instr, WireError> {
             let rhs = match r.u8()? {
                 0 => RegOrConst::Reg(r.reg()?),
                 1 => RegOrConst::Const(read_value(r)?),
-                tag => return Err(WireError::BadTag { tag, context: "if-rhs" }),
+                tag => {
+                    return Err(WireError::BadTag {
+                        tag,
+                        context: "if-rhs",
+                    })
+                }
             };
             let target = r.len()?;
             Instr::If {
@@ -731,7 +780,12 @@ fn read_instr(r: &mut Reader) -> Result<Instr, WireError> {
             dst: r.reg()?,
             src: r.reg()?,
         },
-        tag => return Err(WireError::BadTag { tag, context: "instr" }),
+        tag => {
+            return Err(WireError::BadTag {
+                tag,
+                context: "instr",
+            })
+        }
     })
 }
 
@@ -792,7 +846,12 @@ fn read_class(r: &mut Reader) -> Result<Class, WireError> {
         let kind = match r.u8()? {
             0 => FieldKind::Instance,
             1 => FieldKind::Static,
-            tag => return Err(WireError::BadTag { tag, context: "fieldkind" }),
+            tag => {
+                return Err(WireError::BadTag {
+                    tag,
+                    context: "fieldkind",
+                })
+            }
         };
         fields.push(Field { name: fname, kind });
     }
@@ -852,7 +911,12 @@ fn read_entry_point(r: &mut Reader) -> Result<EntryPoint, WireError> {
                 ParamDomain::Choice(vs)
             }
             2 => ParamDomain::Text { max_len: r.u32()? },
-            tag => return Err(WireError::BadTag { tag, context: "paramdomain" }),
+            tag => {
+                return Err(WireError::BadTag {
+                    tag,
+                    context: "paramdomain",
+                })
+            }
         });
     }
     let user_weight = r.f64()?;

@@ -51,7 +51,10 @@ pub fn param_favorites(domain: &ParamDomain, event: &str, param_index: usize) ->
             let mut out = vec![Value::Int(*lo), Value::Int(*hi)];
             for k in 0..FAVORITE_COUNT {
                 let d = sha1::digest(format!("fav|{event}|{param_index}|{k}").as_bytes());
-                let x = u64::from_be_bytes(d[..8].try_into().expect("8 bytes")) as u128;
+                let x = d[..8]
+                    .iter()
+                    .fold(0u64, |acc, &b| (acc << 8) | u64::from(b))
+                    as u128;
                 out.push(Value::Int(lo + (x % span) as i64));
             }
             out
@@ -138,7 +141,11 @@ impl EventSource for UserEventSource {
         if dex.entry_points.is_empty() {
             return None;
         }
-        let total: f64 = dex.entry_points.iter().map(|e| e.user_weight.max(0.0)).sum();
+        let total: f64 = dex
+            .entry_points
+            .iter()
+            .map(|e| e.user_weight.max(0.0))
+            .sum();
         let entry_index = if total <= 0.0 {
             rng.gen_range(0..dex.entry_points.len())
         } else {
@@ -239,7 +246,9 @@ mod tests {
     fn text_favorites_are_pronounceable() {
         let d = ParamDomain::Text { max_len: 12 };
         for v in param_favorites(&d, "onSearch", 1) {
-            let Value::Str(s) = v else { panic!("not a string") };
+            let Value::Str(s) = v else {
+                panic!("not a string")
+            };
             assert!(s.chars().all(|c| c.is_ascii_lowercase()));
             assert!(!s.is_empty());
         }

@@ -63,9 +63,21 @@ const SDK_LEVELS: Table<i64> = &[
     (31, 6),
 ];
 
-const DENSITIES: Table<i64> = &[(120, 2), (160, 8), (240, 18), (320, 35), (480, 27), (640, 10)];
+const DENSITIES: Table<i64> = &[
+    (120, 2),
+    (160, 8),
+    (240, 18),
+    (320, 35),
+    (480, 27),
+    (640, 10),
+];
 
-const CPU_ABIS: Table<&str> = &[("arm64-v8a", 75), ("armeabi-v7a", 18), ("x86_64", 5), ("x86", 2)];
+const CPU_ABIS: Table<&str> = &[
+    ("arm64-v8a", 75),
+    ("armeabi-v7a", 18),
+    ("x86_64", 5),
+    ("x86", 2),
+];
 
 const FLASH_GB: Table<i64> = &[(8, 5), (16, 15), (32, 30), (64, 28), (128, 16), (256, 6)];
 
@@ -152,10 +164,9 @@ impl DeviceEnv {
         ints.insert(EnvKey::IpOctetD, rng.gen_range(1..255));
         ints.insert(
             EnvKey::TimezoneOffsetMin,
-            *[-480, -420, -300, -240, -180, 0, 60, 120, 180, 330, 420, 480, 540]
-                .iter()
-                .nth(rng.gen_range(0..13))
-                .expect("13 offsets"),
+            [
+                -480, -420, -300, -240, -180, 0, 60, 120, 180, 330, 420, 480, 540,
+            ][rng.gen_range(0..13usize)],
         );
         ints.insert(EnvKey::BatteryPct, rng.gen_range(5..101));
 
@@ -299,8 +310,10 @@ mod tests {
             })
             .collect();
         assert!(manufacturers.len() >= 8, "got {}", manufacturers.len());
-        let ip_c: std::collections::HashSet<i64> =
-            devices.iter().filter_map(|d| d.int(EnvKey::IpOctetC)).collect();
+        let ip_c: std::collections::HashSet<i64> = devices
+            .iter()
+            .filter_map(|d| d.int(EnvKey::IpOctetC))
+            .collect();
         assert!(ip_c.len() > 50);
     }
 

@@ -94,7 +94,10 @@ mod tests {
         assert_eq!(pkg.cert_public_key, dev.public.to_bytes().to_vec());
         assert!(pkg.manifest_digests.contains_key("classes.dex"));
         assert!(pkg.class_digests.contains_key("Main"));
-        assert_eq!(pkg.resources.get("app_name").map(String::as_str), Some("demo"));
+        assert_eq!(
+            pkg.resources.get("app_name").map(String::as_str),
+            Some("demo")
+        );
     }
 
     #[test]

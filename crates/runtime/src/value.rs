@@ -5,9 +5,10 @@ use std::fmt;
 use std::sync::Arc;
 
 /// A value held in a VM register, field, or array slot.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum RtValue {
     /// Null reference.
+    #[default]
     Null,
     /// Boolean.
     Bool(bool),
@@ -69,12 +70,6 @@ impl RtValue {
             RtValue::Obj(_) => "object",
             RtValue::Arr(_) => "array",
         }
-    }
-}
-
-impl Default for RtValue {
-    fn default() -> Self {
-        RtValue::Null
     }
 }
 

@@ -11,9 +11,7 @@ use crate::package::InstalledPackage;
 use crate::telemetry::{ResponseEvent, ResponseKind, Telemetry};
 use crate::value::RtValue;
 use bombdroid_crypto::{blob, kdf};
-use bombdroid_dex::{
-    wire, BinOp, CondOp, HostApi, Instr, MethodRef, Reg, RegOrConst, StrOp, UnOp,
-};
+use bombdroid_dex::{wire, BinOp, CondOp, HostApi, Instr, MethodRef, Reg, RegOrConst, StrOp, UnOp};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -297,7 +295,12 @@ impl Vm {
         Ok(())
     }
 
-    fn call(&mut self, mref: &MethodRef, args: Vec<RtValue>, depth: usize) -> Result<RtValue, Fault> {
+    fn call(
+        &mut self,
+        mref: &MethodRef,
+        args: Vec<RtValue>,
+        depth: usize,
+    ) -> Result<RtValue, Fault> {
         if depth >= self.opts.max_call_depth {
             return Err(Fault::StackOverflow);
         }
@@ -591,9 +594,7 @@ impl Vm {
                         f
                     } else {
                         let dex = self.pkg.dex.clone();
-                        let b = dex
-                            .blob(*blob)
-                            .ok_or(Fault::TypeError("dangling blob"))?;
+                        let b = dex.blob(*blob).ok_or(Fault::TypeError("dangling blob"))?;
                         self.charge(50 + b.sealed.len() as u64 / 16)?;
                         let cb = self
                             .reg(regs, *key_src)
@@ -688,8 +689,12 @@ impl Vm {
                 Ok(if cond == CondOp::Eq { equal } else { !equal })
             }
             _ => {
-                let x = a.as_int().ok_or(Fault::TypeError("ordered compare on non-int"))?;
-                let y = b.as_int().ok_or(Fault::TypeError("ordered compare on non-int"))?;
+                let x = a
+                    .as_int()
+                    .ok_or(Fault::TypeError("ordered compare on non-int"))?;
+                let y = b
+                    .as_int()
+                    .ok_or(Fault::TypeError("ordered compare on non-int"))?;
                 Ok(match cond {
                     CondOp::Lt => x < y,
                     CondOp::Le => x <= y,
@@ -709,7 +714,9 @@ impl Vm {
         rhs: Option<Reg>,
     ) -> Result<RtValue, Fault> {
         let a = self.reg(regs, lhs);
-        let s = a.as_str().ok_or(Fault::TypeError("strop receiver not string"))?;
+        let s = a
+            .as_str()
+            .ok_or(Fault::TypeError("strop receiver not string"))?;
         let rhs_val = rhs.map(|r| self.reg(regs, r));
         let b_str = |v: &Option<RtValue>| -> Result<String, Fault> {
             match v {
@@ -771,12 +778,7 @@ impl Vm {
         })
     }
 
-    fn array_slot(
-        &mut self,
-        regs: &[RtValue],
-        arr: Reg,
-        idx: Reg,
-    ) -> Result<&mut RtValue, Fault> {
+    fn array_slot(&mut self, regs: &[RtValue], arr: Reg, idx: Reg) -> Result<&mut RtValue, Fault> {
         let id = match self.reg(regs, arr) {
             RtValue::Arr(id) => id,
             RtValue::Null => return Err(Fault::NullDeref),
@@ -786,7 +788,10 @@ impl Vm {
             .reg(regs, idx)
             .as_int()
             .ok_or(Fault::TypeError("array index not int"))?;
-        let a = self.arrays.get_mut(id).ok_or(Fault::TypeError("dangling array"))?;
+        let a = self
+            .arrays
+            .get_mut(id)
+            .ok_or(Fault::TypeError("dangling array"))?;
         let i = usize::try_from(i).map_err(|_| Fault::IndexOutOfBounds)?;
         a.get_mut(i).ok_or(Fault::IndexOutOfBounds)
     }
@@ -851,8 +856,7 @@ impl Vm {
             }
             HostApi::TimeMillis => Ok(RtValue::Int(self.clock_ms as i64)),
             HostApi::WallClockMinute => {
-                let minute =
-                    (self.env.start_minute as u64 + self.clock_ms / 60_000) % 1_440;
+                let minute = (self.env.start_minute as u64 + self.clock_ms / 60_000) % 1_440;
                 Ok(RtValue::Int(minute as i64))
             }
             HostApi::Random => {

@@ -184,12 +184,7 @@ fn bomb_dex(payload: Vec<Instr>, secret: i64) -> DexFile {
     let h = b.fresh_reg();
     b.hash(h, Reg(0), salt);
     let skip = b.fresh_label();
-    b.if_not(
-        CondOp::Eq,
-        h,
-        RegOrConst::Const(Value::bytes(hc)),
-        skip,
-    );
+    b.if_not(CondOp::Eq, h, RegOrConst::Const(Value::bytes(hc)), skip);
     b.decrypt_exec(BlobId(0), Reg(0));
     b.place_label(skip);
     b.ret_void();
@@ -394,10 +389,7 @@ fn invoke_and_return_values() {
     let (vm, result) = run_one(dex, RtValue::Int(7));
     result.unwrap();
     assert_eq!(vm.telemetry().logs, vec!["\"eight\""]);
-    assert_eq!(
-        vm.telemetry().method_calls[&MethodRef::new("T", "add1")],
-        1
-    );
+    assert_eq!(vm.telemetry().method_calls[&MethodRef::new("T", "add1")], 1);
 }
 
 #[test]

@@ -127,7 +127,10 @@ impl SsnProtector {
         for (i, mref) in method_refs.iter().enumerate() {
             let method = dex.method_mut(mref).expect("method exists");
             if i < n_detect {
-                prepend(method, detection_node(method.registers, &pubkey, &self.config));
+                prepend(
+                    method,
+                    detection_node(method.registers, &pubkey, &self.config),
+                );
                 report.detection_nodes += 1;
                 report.node_methods.push(mref.clone());
             } else if i < n_detect + n_respond {
@@ -259,8 +262,8 @@ fn response_node(base: u16) -> Vec<Instr> {
 mod tests {
     use super::*;
     use bombdroid_apk::repackage;
-    use bombdroid_runtime::{DeviceEnv, InstalledPackage, RandomEventSource, Vm, VmOptions};
     use bombdroid_runtime::{run_session, ResponseKind};
+    use bombdroid_runtime::{DeviceEnv, InstalledPackage, RandomEventSource, Vm, VmOptions};
     use rand::SeedableRng;
 
     fn protected_apks() -> (ApkFile, ApkFile, DeveloperKey) {

@@ -11,7 +11,11 @@ use bombdroid::attacks::AttackKind;
 
 fn main() {
     let app = bombdroid::corpus::flagship::catlog();
-    println!("target app: {} ({} instructions)\n", app.name, app.dex.instruction_count());
+    println!(
+        "target app: {} ({} instructions)\n",
+        app.name,
+        app.dex.instruction_count()
+    );
     let report = resilience_matrix(&app, 2024);
 
     println!(

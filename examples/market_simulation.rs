@@ -6,6 +6,10 @@
 //! This example simulates that pipeline over a fleet of diverse devices
 //! downloading a pirated app over several (virtual) days.
 //!
+//! Each day's user sessions run on the deterministic fleet engine: the
+//! whole simulation is reproducible bit-for-bit no matter how many worker
+//! threads it gets (`BOMBDROID_THREADS=1` forces the serial schedule).
+//!
 //! ```sh
 //! cargo run --release --example market_simulation
 //! ```
@@ -17,6 +21,13 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 const TAKEDOWN_RATING: f64 = 2.5;
 /// Piracy reports that make the developer file a takedown request.
 const REPORT_THRESHOLD: u64 = 25;
+
+/// What one simulated user contributes to the day's aggregation.
+struct UserOutcome {
+    reports: u64,
+    detected: bool,
+    rating: f64,
+}
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(99);
@@ -39,33 +50,54 @@ fn main() {
     let pirated = repackage(&signed, &pirate, |_| {});
     let pkg = InstalledPackage::install(&pirated).expect("install");
 
+    let threads = std::env::var("BOMBDROID_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok());
+
     let mut total_reports = 0u64;
     let mut ratings: Vec<f64> = Vec::new();
     let mut taken_down_day = None;
 
     'days: for day in 1..=14u32 {
         // Each day a batch of new users installs the pirated copy and
-        // plays for a while on their own device.
-        let downloads = 20 + rng.gen_range(0..10);
-        let mut day_detections = 0u32;
-        for u in 0..downloads {
-            let seed = (day as u64) << 16 | u as u64;
-            let env = DeviceEnv::sample(&mut rng);
-            let mut vm = Vm::boot(pkg.clone(), env, seed);
+        // plays for a while on their own device. The sessions are
+        // independent, so they fan out over the fleet; each user's
+        // randomness comes only from (day seed, user index).
+        let downloads = 20 + rng.gen_range(0..10usize);
+        let mut day_fleet = FleetConfig::new(derive_seed(99, day as u64));
+        if let Some(n) = threads {
+            day_fleet = day_fleet.with_threads(n);
+        }
+        let outcomes = expect_all(run_indexed(day_fleet, downloads, |ctx| {
+            let mut urng = ctx.rng();
+            let env = DeviceEnv::sample(&mut urng);
+            let mut vm = Vm::boot(pkg.clone(), env, ctx.seed);
             let mut source = UserEventSource;
-            let minutes = rng.gen_range(10..60);
-            run_session(&mut vm, &mut source, &mut rng, minutes, 40);
+            let minutes = urng.gen_range(10..60);
+            run_session(&mut vm, &mut source, &mut urng, minutes, 40);
             let t = vm.telemetry();
-            total_reports += t.piracy_reports;
             // A user whose app crashed/froze/misbehaved leaves a bad
             // review; a happy user a good one.
-            let rating = if t.detection_fired() {
-                day_detections += 1;
-                rng.gen_range(1.0..2.5)
+            let detected = t.detection_fired();
+            let rating = if detected {
+                urng.gen_range(1.0..2.5)
             } else {
-                rng.gen_range(3.5..5.0)
+                urng.gen_range(3.5..5.0)
             };
-            ratings.push(rating);
+            Ok::<_, std::convert::Infallible>(UserOutcome {
+                reports: t.piracy_reports,
+                detected,
+                rating,
+            })
+        }));
+
+        let mut day_detections = 0u32;
+        for outcome in outcomes {
+            total_reports += outcome.reports;
+            if outcome.detected {
+                day_detections += 1;
+            }
+            ratings.push(outcome.rating);
         }
         let avg: f64 = ratings.iter().sum::<f64>() / ratings.len() as f64;
         println!(
@@ -81,9 +113,7 @@ fn main() {
         // Aggregation channel 2: the developer files a takedown with
         // evidence from the piracy reports.
         if total_reports >= REPORT_THRESHOLD {
-            println!(
-                "=> developer files takedown with {total_reports} device reports as evidence"
-            );
+            println!("=> developer files takedown with {total_reports} device reports as evidence");
             taken_down_day = Some(day);
             break 'days;
         }

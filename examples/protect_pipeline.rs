@@ -24,7 +24,10 @@ fn main() {
     println!("== Step 1: unpack the APK ==");
     println!(
         "entries: {:?}",
-        apk.entries().iter().map(|(n, b)| format!("{n} ({} B)", b.len())).collect::<Vec<_>>()
+        apk.entries()
+            .iter()
+            .map(|(n, b)| format!("{n} ({} B)", b.len()))
+            .collect::<Vec<_>>()
     );
     println!("developer public key Ko = {}", apk.cert.public_key);
 
@@ -67,7 +70,9 @@ fn main() {
 
     // ---- Step 3: instrumentation -------------------------------------
     println!("\n== Step 3: bomb construction & instrumentation ==");
-    let protected = Protector::new(config).protect(&apk, &mut rng).expect("protect");
+    let protected = Protector::new(config)
+        .protect(&apk, &mut rng)
+        .expect("protect");
     let r = &protected.report;
     println!(
         "{} bombs injected: {} on existing QCs, {} artificial, {} bogus; {} sites skipped",
@@ -110,7 +115,11 @@ fn main() {
     }
     println!(
         "(the original condition constant is gone; the payload is {} bytes of ciphertext)",
-        protected.dex.blob(armed.blob).map(|b| b.sealed.len()).unwrap_or(0)
+        protected
+            .dex
+            .blob(armed.blob)
+            .map(|b| b.sealed.len())
+            .unwrap_or(0)
     );
 
     // ---- Step 4: package ----------------------------------------------

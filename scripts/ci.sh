@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Offline-safe CI gate for BombDroid-rs.
+#
+#   scripts/ci.sh          # build + test + (if installed) clippy + fmt
+#
+# Everything runs with --offline: all external dependencies are vendored
+# path crates under vendor/, so no registry access is ever needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --workspace --offline
+run cargo test -q --workspace --offline
+
+# clippy/fmt are optional toolchain components; gate on availability so the
+# script works on minimal rust installs.
+if cargo clippy --version >/dev/null 2>&1; then
+    run cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "==> cargo clippy not installed; skipping lint"
+fi
+
+if cargo fmt --version >/dev/null 2>&1; then
+    run cargo fmt --all --check
+else
+    echo "==> cargo fmt not installed; skipping format check"
+fi
+
+echo "==> ci green"

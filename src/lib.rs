@@ -37,9 +37,11 @@ pub use bombdroid_ssn as ssn;
 /// Convenient glob-import surface for examples and integration tests.
 pub mod prelude {
     pub use bombdroid_apk::{package_app, repackage, ApkFile, AppMeta, DeveloperKey, StringsXml};
-    pub use bombdroid_core::{ProtectConfig, ProtectedApp, Protector};
+    pub use bombdroid_core::{
+        derive_seed, expect_all, run_fleet, run_indexed, FleetConfig, ProtectConfig, ProtectedApp,
+        Protector, TaskCtx,
+    };
     pub use bombdroid_runtime::{
-        run_session, DeviceEnv, InstalledPackage, RandomEventSource, UserEventSource, Vm,
-        VmOptions,
+        run_session, DeviceEnv, InstalledPackage, RandomEventSource, UserEventSource, Vm, VmOptions,
     };
 }

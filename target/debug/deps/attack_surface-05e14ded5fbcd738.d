@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_surface-05e14ded5fbcd738.d: tests/attack_surface.rs
+
+/root/repo/target/debug/deps/attack_surface-05e14ded5fbcd738: tests/attack_surface.rs
+
+tests/attack_surface.rs:

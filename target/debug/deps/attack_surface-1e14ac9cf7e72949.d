@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attack_surface-1e14ac9cf7e72949.d: tests/attack_surface.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattack_surface-1e14ac9cf7e72949.rmeta: tests/attack_surface.rs Cargo.toml
+
+tests/attack_surface.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

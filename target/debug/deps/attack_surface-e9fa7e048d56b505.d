@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_surface-e9fa7e048d56b505.d: tests/attack_surface.rs
+
+/root/repo/target/debug/deps/attack_surface-e9fa7e048d56b505: tests/attack_surface.rs
+
+tests/attack_surface.rs:

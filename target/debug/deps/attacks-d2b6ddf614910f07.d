@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attacks-d2b6ddf614910f07.d: crates/bench/benches/attacks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattacks-d2b6ddf614910f07.rmeta: crates/bench/benches/attacks.rs Cargo.toml
+
+crates/bench/benches/attacks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

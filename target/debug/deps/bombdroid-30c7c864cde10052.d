@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bombdroid-30c7c864cde10052.d: src/lib.rs
+
+/root/repo/target/debug/deps/bombdroid-30c7c864cde10052: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bombdroid-4e2f4fb163de2a89.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbombdroid-4e2f4fb163de2a89.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbombdroid-4e2f4fb163de2a89.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bombdroid-641b7c4abed37830.d: src/lib.rs
+
+/root/repo/target/debug/deps/bombdroid-641b7c4abed37830: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bombdroid-903ce0091bd11a60.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbombdroid-903ce0091bd11a60.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbombdroid-903ce0091bd11a60.rmeta: src/lib.rs
+
+src/lib.rs:

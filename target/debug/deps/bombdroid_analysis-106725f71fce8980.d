@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bombdroid_analysis-106725f71fce8980.d: crates/analysis/src/lib.rs crates/analysis/src/cfg.rs crates/analysis/src/dom.rs crates/analysis/src/entropy.rs crates/analysis/src/loops.rs crates/analysis/src/qc.rs crates/analysis/src/slice.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbombdroid_analysis-106725f71fce8980.rmeta: crates/analysis/src/lib.rs crates/analysis/src/cfg.rs crates/analysis/src/dom.rs crates/analysis/src/entropy.rs crates/analysis/src/loops.rs crates/analysis/src/qc.rs crates/analysis/src/slice.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/cfg.rs:
+crates/analysis/src/dom.rs:
+crates/analysis/src/entropy.rs:
+crates/analysis/src/loops.rs:
+crates/analysis/src/qc.rs:
+crates/analysis/src/slice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bombdroid_analysis-8de6b7d3cf29568b.d: crates/analysis/src/lib.rs crates/analysis/src/cfg.rs crates/analysis/src/dom.rs crates/analysis/src/entropy.rs crates/analysis/src/loops.rs crates/analysis/src/qc.rs crates/analysis/src/slice.rs
+
+/root/repo/target/debug/deps/libbombdroid_analysis-8de6b7d3cf29568b.rlib: crates/analysis/src/lib.rs crates/analysis/src/cfg.rs crates/analysis/src/dom.rs crates/analysis/src/entropy.rs crates/analysis/src/loops.rs crates/analysis/src/qc.rs crates/analysis/src/slice.rs
+
+/root/repo/target/debug/deps/libbombdroid_analysis-8de6b7d3cf29568b.rmeta: crates/analysis/src/lib.rs crates/analysis/src/cfg.rs crates/analysis/src/dom.rs crates/analysis/src/entropy.rs crates/analysis/src/loops.rs crates/analysis/src/qc.rs crates/analysis/src/slice.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/cfg.rs:
+crates/analysis/src/dom.rs:
+crates/analysis/src/entropy.rs:
+crates/analysis/src/loops.rs:
+crates/analysis/src/qc.rs:
+crates/analysis/src/slice.rs:

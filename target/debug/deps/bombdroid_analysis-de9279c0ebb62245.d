@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bombdroid_analysis-de9279c0ebb62245.d: crates/analysis/src/lib.rs crates/analysis/src/cfg.rs crates/analysis/src/dom.rs crates/analysis/src/entropy.rs crates/analysis/src/loops.rs crates/analysis/src/qc.rs crates/analysis/src/slice.rs
+
+/root/repo/target/debug/deps/bombdroid_analysis-de9279c0ebb62245: crates/analysis/src/lib.rs crates/analysis/src/cfg.rs crates/analysis/src/dom.rs crates/analysis/src/entropy.rs crates/analysis/src/loops.rs crates/analysis/src/qc.rs crates/analysis/src/slice.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/cfg.rs:
+crates/analysis/src/dom.rs:
+crates/analysis/src/entropy.rs:
+crates/analysis/src/loops.rs:
+crates/analysis/src/qc.rs:
+crates/analysis/src/slice.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bombdroid_apk-ac024644d0d4c524.d: crates/apk/src/lib.rs crates/apk/src/container.rs crates/apk/src/manifest.rs crates/apk/src/resources.rs crates/apk/src/rsa.rs crates/apk/src/stego.rs
+
+/root/repo/target/debug/deps/bombdroid_apk-ac024644d0d4c524: crates/apk/src/lib.rs crates/apk/src/container.rs crates/apk/src/manifest.rs crates/apk/src/resources.rs crates/apk/src/rsa.rs crates/apk/src/stego.rs
+
+crates/apk/src/lib.rs:
+crates/apk/src/container.rs:
+crates/apk/src/manifest.rs:
+crates/apk/src/resources.rs:
+crates/apk/src/rsa.rs:
+crates/apk/src/stego.rs:

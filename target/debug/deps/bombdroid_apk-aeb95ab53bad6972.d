@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bombdroid_apk-aeb95ab53bad6972.d: crates/apk/src/lib.rs crates/apk/src/container.rs crates/apk/src/manifest.rs crates/apk/src/resources.rs crates/apk/src/rsa.rs crates/apk/src/stego.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbombdroid_apk-aeb95ab53bad6972.rmeta: crates/apk/src/lib.rs crates/apk/src/container.rs crates/apk/src/manifest.rs crates/apk/src/resources.rs crates/apk/src/rsa.rs crates/apk/src/stego.rs Cargo.toml
+
+crates/apk/src/lib.rs:
+crates/apk/src/container.rs:
+crates/apk/src/manifest.rs:
+crates/apk/src/resources.rs:
+crates/apk/src/rsa.rs:
+crates/apk/src/stego.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bombdroid_apk-cc62e6011a995b29.d: crates/apk/src/lib.rs crates/apk/src/container.rs crates/apk/src/manifest.rs crates/apk/src/resources.rs crates/apk/src/rsa.rs crates/apk/src/stego.rs
+
+/root/repo/target/debug/deps/libbombdroid_apk-cc62e6011a995b29.rlib: crates/apk/src/lib.rs crates/apk/src/container.rs crates/apk/src/manifest.rs crates/apk/src/resources.rs crates/apk/src/rsa.rs crates/apk/src/stego.rs
+
+/root/repo/target/debug/deps/libbombdroid_apk-cc62e6011a995b29.rmeta: crates/apk/src/lib.rs crates/apk/src/container.rs crates/apk/src/manifest.rs crates/apk/src/resources.rs crates/apk/src/rsa.rs crates/apk/src/stego.rs
+
+crates/apk/src/lib.rs:
+crates/apk/src/container.rs:
+crates/apk/src/manifest.rs:
+crates/apk/src/resources.rs:
+crates/apk/src/rsa.rs:
+crates/apk/src/stego.rs:

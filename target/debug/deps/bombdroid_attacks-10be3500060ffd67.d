@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/bombdroid_attacks-10be3500060ffd67.d: crates/attacks/src/lib.rs crates/attacks/src/analyst.rs crates/attacks/src/brute.rs crates/attacks/src/deletion.rs crates/attacks/src/forced.rs crates/attacks/src/fuzz.rs crates/attacks/src/instrument.rs crates/attacks/src/resilience.rs crates/attacks/src/slicing.rs crates/attacks/src/symbolic.rs crates/attacks/src/textsearch.rs
+
+/root/repo/target/debug/deps/libbombdroid_attacks-10be3500060ffd67.rlib: crates/attacks/src/lib.rs crates/attacks/src/analyst.rs crates/attacks/src/brute.rs crates/attacks/src/deletion.rs crates/attacks/src/forced.rs crates/attacks/src/fuzz.rs crates/attacks/src/instrument.rs crates/attacks/src/resilience.rs crates/attacks/src/slicing.rs crates/attacks/src/symbolic.rs crates/attacks/src/textsearch.rs
+
+/root/repo/target/debug/deps/libbombdroid_attacks-10be3500060ffd67.rmeta: crates/attacks/src/lib.rs crates/attacks/src/analyst.rs crates/attacks/src/brute.rs crates/attacks/src/deletion.rs crates/attacks/src/forced.rs crates/attacks/src/fuzz.rs crates/attacks/src/instrument.rs crates/attacks/src/resilience.rs crates/attacks/src/slicing.rs crates/attacks/src/symbolic.rs crates/attacks/src/textsearch.rs
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/analyst.rs:
+crates/attacks/src/brute.rs:
+crates/attacks/src/deletion.rs:
+crates/attacks/src/forced.rs:
+crates/attacks/src/fuzz.rs:
+crates/attacks/src/instrument.rs:
+crates/attacks/src/resilience.rs:
+crates/attacks/src/slicing.rs:
+crates/attacks/src/symbolic.rs:
+crates/attacks/src/textsearch.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/bombdroid_attacks-3807cbda61dc2692.d: crates/attacks/src/lib.rs crates/attacks/src/analyst.rs crates/attacks/src/brute.rs crates/attacks/src/deletion.rs crates/attacks/src/forced.rs crates/attacks/src/fuzz.rs crates/attacks/src/instrument.rs crates/attacks/src/resilience.rs crates/attacks/src/slicing.rs crates/attacks/src/symbolic.rs crates/attacks/src/textsearch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbombdroid_attacks-3807cbda61dc2692.rmeta: crates/attacks/src/lib.rs crates/attacks/src/analyst.rs crates/attacks/src/brute.rs crates/attacks/src/deletion.rs crates/attacks/src/forced.rs crates/attacks/src/fuzz.rs crates/attacks/src/instrument.rs crates/attacks/src/resilience.rs crates/attacks/src/slicing.rs crates/attacks/src/symbolic.rs crates/attacks/src/textsearch.rs Cargo.toml
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/analyst.rs:
+crates/attacks/src/brute.rs:
+crates/attacks/src/deletion.rs:
+crates/attacks/src/forced.rs:
+crates/attacks/src/fuzz.rs:
+crates/attacks/src/instrument.rs:
+crates/attacks/src/resilience.rs:
+crates/attacks/src/slicing.rs:
+crates/attacks/src/symbolic.rs:
+crates/attacks/src/textsearch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/bombdroid_bench-41fe7765c95795fe.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/analysts.rs crates/bench/src/experiments/brute.rs crates/bench/src/experiments/codesize.rs crates/bench/src/experiments/falsepos.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/harness.rs crates/bench/src/experiments/resilience.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/experiments/table5.rs crates/bench/src/print.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbombdroid_bench-41fe7765c95795fe.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/analysts.rs crates/bench/src/experiments/brute.rs crates/bench/src/experiments/codesize.rs crates/bench/src/experiments/falsepos.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/harness.rs crates/bench/src/experiments/resilience.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/experiments/table5.rs crates/bench/src/print.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablation.rs:
+crates/bench/src/experiments/analysts.rs:
+crates/bench/src/experiments/brute.rs:
+crates/bench/src/experiments/codesize.rs:
+crates/bench/src/experiments/falsepos.rs:
+crates/bench/src/experiments/fig3.rs:
+crates/bench/src/experiments/fig4.rs:
+crates/bench/src/experiments/fig5.rs:
+crates/bench/src/experiments/harness.rs:
+crates/bench/src/experiments/resilience.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/experiments/table2.rs:
+crates/bench/src/experiments/table3.rs:
+crates/bench/src/experiments/table4.rs:
+crates/bench/src/experiments/table5.rs:
+crates/bench/src/print.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/bombdroid_bench-cbaa73b7b3a17954.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/analysts.rs crates/bench/src/experiments/brute.rs crates/bench/src/experiments/codesize.rs crates/bench/src/experiments/falsepos.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/harness.rs crates/bench/src/experiments/resilience.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/experiments/table5.rs crates/bench/src/print.rs
+
+/root/repo/target/debug/deps/libbombdroid_bench-cbaa73b7b3a17954.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/analysts.rs crates/bench/src/experiments/brute.rs crates/bench/src/experiments/codesize.rs crates/bench/src/experiments/falsepos.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/harness.rs crates/bench/src/experiments/resilience.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/experiments/table5.rs crates/bench/src/print.rs
+
+/root/repo/target/debug/deps/libbombdroid_bench-cbaa73b7b3a17954.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/analysts.rs crates/bench/src/experiments/brute.rs crates/bench/src/experiments/codesize.rs crates/bench/src/experiments/falsepos.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/harness.rs crates/bench/src/experiments/resilience.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/experiments/table5.rs crates/bench/src/print.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablation.rs:
+crates/bench/src/experiments/analysts.rs:
+crates/bench/src/experiments/brute.rs:
+crates/bench/src/experiments/codesize.rs:
+crates/bench/src/experiments/falsepos.rs:
+crates/bench/src/experiments/fig3.rs:
+crates/bench/src/experiments/fig4.rs:
+crates/bench/src/experiments/fig5.rs:
+crates/bench/src/experiments/harness.rs:
+crates/bench/src/experiments/resilience.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/experiments/table2.rs:
+crates/bench/src/experiments/table3.rs:
+crates/bench/src/experiments/table4.rs:
+crates/bench/src/experiments/table5.rs:
+crates/bench/src/print.rs:

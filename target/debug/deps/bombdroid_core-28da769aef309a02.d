@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/bombdroid_core-28da769aef309a02.d: crates/core/src/lib.rs crates/core/src/bomb.rs crates/core/src/config.rs crates/core/src/fleet.rs crates/core/src/fragment.rs crates/core/src/inner.rs crates/core/src/naive.rs crates/core/src/payload.rs crates/core/src/pipeline.rs crates/core/src/profiling.rs crates/core/src/report.rs crates/core/src/rewrite.rs crates/core/src/sites.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbombdroid_core-28da769aef309a02.rmeta: crates/core/src/lib.rs crates/core/src/bomb.rs crates/core/src/config.rs crates/core/src/fleet.rs crates/core/src/fragment.rs crates/core/src/inner.rs crates/core/src/naive.rs crates/core/src/payload.rs crates/core/src/pipeline.rs crates/core/src/profiling.rs crates/core/src/report.rs crates/core/src/rewrite.rs crates/core/src/sites.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bomb.rs:
+crates/core/src/config.rs:
+crates/core/src/fleet.rs:
+crates/core/src/fragment.rs:
+crates/core/src/inner.rs:
+crates/core/src/naive.rs:
+crates/core/src/payload.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/profiling.rs:
+crates/core/src/report.rs:
+crates/core/src/rewrite.rs:
+crates/core/src/sites.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/bombdroid_core-d2857864d3708332.d: crates/core/src/lib.rs crates/core/src/bomb.rs crates/core/src/config.rs crates/core/src/fleet.rs crates/core/src/fragment.rs crates/core/src/inner.rs crates/core/src/naive.rs crates/core/src/payload.rs crates/core/src/pipeline.rs crates/core/src/profiling.rs crates/core/src/report.rs crates/core/src/rewrite.rs crates/core/src/sites.rs
+
+/root/repo/target/debug/deps/bombdroid_core-d2857864d3708332: crates/core/src/lib.rs crates/core/src/bomb.rs crates/core/src/config.rs crates/core/src/fleet.rs crates/core/src/fragment.rs crates/core/src/inner.rs crates/core/src/naive.rs crates/core/src/payload.rs crates/core/src/pipeline.rs crates/core/src/profiling.rs crates/core/src/report.rs crates/core/src/rewrite.rs crates/core/src/sites.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bomb.rs:
+crates/core/src/config.rs:
+crates/core/src/fleet.rs:
+crates/core/src/fragment.rs:
+crates/core/src/inner.rs:
+crates/core/src/naive.rs:
+crates/core/src/payload.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/profiling.rs:
+crates/core/src/report.rs:
+crates/core/src/rewrite.rs:
+crates/core/src/sites.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bombdroid_corpus-240dfdbf3b4f74b8.d: crates/corpus/src/lib.rs crates/corpus/src/flagship.rs crates/corpus/src/gen.rs crates/corpus/src/profiles.rs crates/corpus/src/stats.rs
+
+/root/repo/target/debug/deps/bombdroid_corpus-240dfdbf3b4f74b8: crates/corpus/src/lib.rs crates/corpus/src/flagship.rs crates/corpus/src/gen.rs crates/corpus/src/profiles.rs crates/corpus/src/stats.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/flagship.rs:
+crates/corpus/src/gen.rs:
+crates/corpus/src/profiles.rs:
+crates/corpus/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bombdroid_corpus-30c67bca12370ee2.d: crates/corpus/src/lib.rs crates/corpus/src/flagship.rs crates/corpus/src/gen.rs crates/corpus/src/profiles.rs crates/corpus/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbombdroid_corpus-30c67bca12370ee2.rmeta: crates/corpus/src/lib.rs crates/corpus/src/flagship.rs crates/corpus/src/gen.rs crates/corpus/src/profiles.rs crates/corpus/src/stats.rs Cargo.toml
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/flagship.rs:
+crates/corpus/src/gen.rs:
+crates/corpus/src/profiles.rs:
+crates/corpus/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

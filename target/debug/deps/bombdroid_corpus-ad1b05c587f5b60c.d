@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bombdroid_corpus-ad1b05c587f5b60c.d: crates/corpus/src/lib.rs crates/corpus/src/flagship.rs crates/corpus/src/gen.rs crates/corpus/src/profiles.rs crates/corpus/src/stats.rs
+
+/root/repo/target/debug/deps/libbombdroid_corpus-ad1b05c587f5b60c.rlib: crates/corpus/src/lib.rs crates/corpus/src/flagship.rs crates/corpus/src/gen.rs crates/corpus/src/profiles.rs crates/corpus/src/stats.rs
+
+/root/repo/target/debug/deps/libbombdroid_corpus-ad1b05c587f5b60c.rmeta: crates/corpus/src/lib.rs crates/corpus/src/flagship.rs crates/corpus/src/gen.rs crates/corpus/src/profiles.rs crates/corpus/src/stats.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/flagship.rs:
+crates/corpus/src/gen.rs:
+crates/corpus/src/profiles.rs:
+crates/corpus/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bombdroid_crypto-766164a9ec615979.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/blob.rs crates/crypto/src/hex.rs crates/crypto/src/kdf.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/debug/deps/bombdroid_crypto-766164a9ec615979: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/blob.rs crates/crypto/src/hex.rs crates/crypto/src/kdf.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/blob.rs:
+crates/crypto/src/hex.rs:
+crates/crypto/src/kdf.rs:
+crates/crypto/src/sha1.rs:
+crates/crypto/src/sha256.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bombdroid_crypto-7aaeeb1df6645f0c.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/blob.rs crates/crypto/src/hex.rs crates/crypto/src/kdf.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbombdroid_crypto-7aaeeb1df6645f0c.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/blob.rs crates/crypto/src/hex.rs crates/crypto/src/kdf.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/blob.rs:
+crates/crypto/src/hex.rs:
+crates/crypto/src/kdf.rs:
+crates/crypto/src/sha1.rs:
+crates/crypto/src/sha256.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bombdroid_crypto-b28fc0df21aa9401.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/blob.rs crates/crypto/src/hex.rs crates/crypto/src/kdf.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/debug/deps/libbombdroid_crypto-b28fc0df21aa9401.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/blob.rs crates/crypto/src/hex.rs crates/crypto/src/kdf.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/debug/deps/libbombdroid_crypto-b28fc0df21aa9401.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/blob.rs crates/crypto/src/hex.rs crates/crypto/src/kdf.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/blob.rs:
+crates/crypto/src/hex.rs:
+crates/crypto/src/kdf.rs:
+crates/crypto/src/sha1.rs:
+crates/crypto/src/sha256.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bombdroid_dex-0eeb051ac2b10111.d: crates/dex/src/lib.rs crates/dex/src/asm.rs crates/dex/src/builder.rs crates/dex/src/class.rs crates/dex/src/dex_file.rs crates/dex/src/instr.rs crates/dex/src/validate.rs crates/dex/src/value.rs crates/dex/src/wire.rs
+
+/root/repo/target/debug/deps/libbombdroid_dex-0eeb051ac2b10111.rlib: crates/dex/src/lib.rs crates/dex/src/asm.rs crates/dex/src/builder.rs crates/dex/src/class.rs crates/dex/src/dex_file.rs crates/dex/src/instr.rs crates/dex/src/validate.rs crates/dex/src/value.rs crates/dex/src/wire.rs
+
+/root/repo/target/debug/deps/libbombdroid_dex-0eeb051ac2b10111.rmeta: crates/dex/src/lib.rs crates/dex/src/asm.rs crates/dex/src/builder.rs crates/dex/src/class.rs crates/dex/src/dex_file.rs crates/dex/src/instr.rs crates/dex/src/validate.rs crates/dex/src/value.rs crates/dex/src/wire.rs
+
+crates/dex/src/lib.rs:
+crates/dex/src/asm.rs:
+crates/dex/src/builder.rs:
+crates/dex/src/class.rs:
+crates/dex/src/dex_file.rs:
+crates/dex/src/instr.rs:
+crates/dex/src/validate.rs:
+crates/dex/src/value.rs:
+crates/dex/src/wire.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/bombdroid_dex-66f95c38c1d6b8f1.d: crates/dex/src/lib.rs crates/dex/src/asm.rs crates/dex/src/builder.rs crates/dex/src/class.rs crates/dex/src/dex_file.rs crates/dex/src/instr.rs crates/dex/src/validate.rs crates/dex/src/value.rs crates/dex/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbombdroid_dex-66f95c38c1d6b8f1.rmeta: crates/dex/src/lib.rs crates/dex/src/asm.rs crates/dex/src/builder.rs crates/dex/src/class.rs crates/dex/src/dex_file.rs crates/dex/src/instr.rs crates/dex/src/validate.rs crates/dex/src/value.rs crates/dex/src/wire.rs Cargo.toml
+
+crates/dex/src/lib.rs:
+crates/dex/src/asm.rs:
+crates/dex/src/builder.rs:
+crates/dex/src/class.rs:
+crates/dex/src/dex_file.rs:
+crates/dex/src/instr.rs:
+crates/dex/src/validate.rs:
+crates/dex/src/value.rs:
+crates/dex/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bombdroid_dex-8fc450efeded2099.d: crates/dex/src/lib.rs crates/dex/src/asm.rs crates/dex/src/builder.rs crates/dex/src/class.rs crates/dex/src/dex_file.rs crates/dex/src/instr.rs crates/dex/src/validate.rs crates/dex/src/value.rs crates/dex/src/wire.rs
+
+/root/repo/target/debug/deps/bombdroid_dex-8fc450efeded2099: crates/dex/src/lib.rs crates/dex/src/asm.rs crates/dex/src/builder.rs crates/dex/src/class.rs crates/dex/src/dex_file.rs crates/dex/src/instr.rs crates/dex/src/validate.rs crates/dex/src/value.rs crates/dex/src/wire.rs
+
+crates/dex/src/lib.rs:
+crates/dex/src/asm.rs:
+crates/dex/src/builder.rs:
+crates/dex/src/class.rs:
+crates/dex/src/dex_file.rs:
+crates/dex/src/instr.rs:
+crates/dex/src/validate.rs:
+crates/dex/src/value.rs:
+crates/dex/src/wire.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bombdroid_runtime-04f579813ab276b0.d: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/env.rs crates/runtime/src/package.rs crates/runtime/src/telemetry.rs crates/runtime/src/value.rs crates/runtime/src/vm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbombdroid_runtime-04f579813ab276b0.rmeta: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/env.rs crates/runtime/src/package.rs crates/runtime/src/telemetry.rs crates/runtime/src/value.rs crates/runtime/src/vm.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/driver.rs:
+crates/runtime/src/env.rs:
+crates/runtime/src/package.rs:
+crates/runtime/src/telemetry.rs:
+crates/runtime/src/value.rs:
+crates/runtime/src/vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

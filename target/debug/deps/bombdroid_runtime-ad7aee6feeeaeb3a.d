@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bombdroid_runtime-ad7aee6feeeaeb3a.d: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/env.rs crates/runtime/src/package.rs crates/runtime/src/telemetry.rs crates/runtime/src/value.rs crates/runtime/src/vm.rs
+
+/root/repo/target/debug/deps/bombdroid_runtime-ad7aee6feeeaeb3a: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/env.rs crates/runtime/src/package.rs crates/runtime/src/telemetry.rs crates/runtime/src/value.rs crates/runtime/src/vm.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/driver.rs:
+crates/runtime/src/env.rs:
+crates/runtime/src/package.rs:
+crates/runtime/src/telemetry.rs:
+crates/runtime/src/value.rs:
+crates/runtime/src/vm.rs:

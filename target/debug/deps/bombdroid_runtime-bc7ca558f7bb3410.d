@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bombdroid_runtime-bc7ca558f7bb3410.d: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/env.rs crates/runtime/src/package.rs crates/runtime/src/telemetry.rs crates/runtime/src/value.rs crates/runtime/src/vm.rs
+
+/root/repo/target/debug/deps/libbombdroid_runtime-bc7ca558f7bb3410.rlib: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/env.rs crates/runtime/src/package.rs crates/runtime/src/telemetry.rs crates/runtime/src/value.rs crates/runtime/src/vm.rs
+
+/root/repo/target/debug/deps/libbombdroid_runtime-bc7ca558f7bb3410.rmeta: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/env.rs crates/runtime/src/package.rs crates/runtime/src/telemetry.rs crates/runtime/src/value.rs crates/runtime/src/vm.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/driver.rs:
+crates/runtime/src/env.rs:
+crates/runtime/src/package.rs:
+crates/runtime/src/telemetry.rs:
+crates/runtime/src/value.rs:
+crates/runtime/src/vm.rs:

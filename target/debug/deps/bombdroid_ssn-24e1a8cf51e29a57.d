@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bombdroid_ssn-24e1a8cf51e29a57.d: crates/ssn/src/lib.rs
+
+/root/repo/target/debug/deps/libbombdroid_ssn-24e1a8cf51e29a57.rlib: crates/ssn/src/lib.rs
+
+/root/repo/target/debug/deps/libbombdroid_ssn-24e1a8cf51e29a57.rmeta: crates/ssn/src/lib.rs
+
+crates/ssn/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bombdroid_ssn-3615151d562bf168.d: crates/ssn/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbombdroid_ssn-3615151d562bf168.rmeta: crates/ssn/src/lib.rs Cargo.toml
+
+crates/ssn/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bombdroid_ssn-e22836a28ed36b04.d: crates/ssn/src/lib.rs
+
+/root/repo/target/debug/deps/bombdroid_ssn-e22836a28ed36b04: crates/ssn/src/lib.rs
+
+crates/ssn/src/lib.rs:

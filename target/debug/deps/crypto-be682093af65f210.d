@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crypto-be682093af65f210.d: crates/bench/benches/crypto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrypto-be682093af65f210.rmeta: crates/bench/benches/crypto.rs Cargo.toml
+
+crates/bench/benches/crypto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

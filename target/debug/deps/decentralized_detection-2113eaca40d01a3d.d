@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decentralized_detection-2113eaca40d01a3d.d: tests/decentralized_detection.rs
+
+/root/repo/target/debug/deps/decentralized_detection-2113eaca40d01a3d: tests/decentralized_detection.rs
+
+tests/decentralized_detection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decentralized_detection-753e67121691ec9b.d: tests/decentralized_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecentralized_detection-753e67121691ec9b.rmeta: tests/decentralized_detection.rs Cargo.toml
+
+tests/decentralized_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

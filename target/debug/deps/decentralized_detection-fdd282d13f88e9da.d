@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decentralized_detection-fdd282d13f88e9da.d: tests/decentralized_detection.rs
+
+/root/repo/target/debug/deps/decentralized_detection-fdd282d13f88e9da: tests/decentralized_detection.rs
+
+tests/decentralized_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-1f37f48e5ec38996.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-1f37f48e5ec38996: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9f236ea66783885d.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-9f236ea66783885d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

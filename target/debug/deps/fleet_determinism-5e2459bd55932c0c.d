@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_determinism-5e2459bd55932c0c.d: crates/bench/tests/fleet_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_determinism-5e2459bd55932c0c.rmeta: crates/bench/tests/fleet_determinism.rs Cargo.toml
+
+crates/bench/tests/fleet_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_determinism-8c427d9d05a1fc03.d: crates/bench/tests/fleet_determinism.rs
+
+/root/repo/target/debug/deps/fleet_determinism-8c427d9d05a1fc03: crates/bench/tests/fleet_determinism.rs
+
+crates/bench/tests/fleet_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property-e490e9669e989393.d: tests/property.rs
+
+/root/repo/target/debug/deps/property-e490e9669e989393: tests/property.rs
+
+tests/property.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property-ff4d159962a5074e.d: tests/property.rs
+
+/root/repo/target/debug/deps/property-ff4d159962a5074e: tests/property.rs
+
+tests/property.rs:

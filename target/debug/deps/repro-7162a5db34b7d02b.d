@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-7162a5db34b7d02b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-7162a5db34b7d02b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-c7ac2d9d1af2f7e8.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-c7ac2d9d1af2f7e8: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/static_analysis-74d5296d28215f69.d: crates/bench/benches/static_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstatic_analysis-74d5296d28215f69.rmeta: crates/bench/benches/static_analysis.rs Cargo.toml
+
+crates/bench/benches/static_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

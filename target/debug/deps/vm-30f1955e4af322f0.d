@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vm-30f1955e4af322f0.d: crates/bench/benches/vm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvm-30f1955e4af322f0.rmeta: crates/bench/benches/vm.rs Cargo.toml
+
+crates/bench/benches/vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vm_semantics-8fec1e1456b1feb6.d: crates/runtime/tests/vm_semantics.rs
+
+/root/repo/target/debug/deps/vm_semantics-8fec1e1456b1feb6: crates/runtime/tests/vm_semantics.rs
+
+crates/runtime/tests/vm_semantics.rs:

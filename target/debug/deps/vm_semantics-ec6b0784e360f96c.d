@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vm_semantics-ec6b0784e360f96c.d: crates/runtime/tests/vm_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvm_semantics-ec6b0784e360f96c.rmeta: crates/runtime/tests/vm_semantics.rs Cargo.toml
+
+crates/runtime/tests/vm_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_lab-4ceb4d23a6ecd522.d: examples/attack_lab.rs
+
+/root/repo/target/debug/examples/attack_lab-4ceb4d23a6ecd522: examples/attack_lab.rs
+
+examples/attack_lab.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_lab-7728fa5cd7b4fc0a.d: examples/attack_lab.rs
+
+/root/repo/target/debug/examples/attack_lab-7728fa5cd7b4fc0a: examples/attack_lab.rs
+
+examples/attack_lab.rs:

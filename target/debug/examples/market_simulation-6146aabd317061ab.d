@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/market_simulation-6146aabd317061ab.d: examples/market_simulation.rs
+
+/root/repo/target/debug/examples/market_simulation-6146aabd317061ab: examples/market_simulation.rs
+
+examples/market_simulation.rs:

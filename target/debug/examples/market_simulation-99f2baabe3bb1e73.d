@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/market_simulation-99f2baabe3bb1e73.d: examples/market_simulation.rs
+
+/root/repo/target/debug/examples/market_simulation-99f2baabe3bb1e73: examples/market_simulation.rs
+
+examples/market_simulation.rs:

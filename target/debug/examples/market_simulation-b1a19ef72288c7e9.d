@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/market_simulation-b1a19ef72288c7e9.d: examples/market_simulation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmarket_simulation-b1a19ef72288c7e9.rmeta: examples/market_simulation.rs Cargo.toml
+
+examples/market_simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protect_pipeline-02082fde8ee00a22.d: examples/protect_pipeline.rs
+
+/root/repo/target/debug/examples/protect_pipeline-02082fde8ee00a22: examples/protect_pipeline.rs
+
+examples/protect_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protect_pipeline-6b22a73ac59ae962.d: examples/protect_pipeline.rs
+
+/root/repo/target/debug/examples/protect_pipeline-6b22a73ac59ae962: examples/protect_pipeline.rs
+
+examples/protect_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/protect_pipeline-fe1c1b44d45dcc4a.d: examples/protect_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprotect_pipeline-fe1c1b44d45dcc4a.rmeta: examples/protect_pipeline.rs Cargo.toml
+
+examples/protect_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-206927b35eb3f27b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-206927b35eb3f27b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-677210032935866a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-677210032935866a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bombdroid-166530c3cfe5e884.d: src/lib.rs
+
+/root/repo/target/release/deps/libbombdroid-166530c3cfe5e884.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbombdroid-166530c3cfe5e884.rmeta: src/lib.rs
+
+src/lib.rs:

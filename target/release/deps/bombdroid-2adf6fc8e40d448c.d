@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bombdroid-2adf6fc8e40d448c.d: src/lib.rs
+
+/root/repo/target/release/deps/libbombdroid-2adf6fc8e40d448c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbombdroid-2adf6fc8e40d448c.rmeta: src/lib.rs
+
+src/lib.rs:

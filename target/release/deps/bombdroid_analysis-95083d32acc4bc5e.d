@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/bombdroid_analysis-95083d32acc4bc5e.d: crates/analysis/src/lib.rs crates/analysis/src/cfg.rs crates/analysis/src/dom.rs crates/analysis/src/entropy.rs crates/analysis/src/loops.rs crates/analysis/src/qc.rs crates/analysis/src/slice.rs
+
+/root/repo/target/release/deps/libbombdroid_analysis-95083d32acc4bc5e.rlib: crates/analysis/src/lib.rs crates/analysis/src/cfg.rs crates/analysis/src/dom.rs crates/analysis/src/entropy.rs crates/analysis/src/loops.rs crates/analysis/src/qc.rs crates/analysis/src/slice.rs
+
+/root/repo/target/release/deps/libbombdroid_analysis-95083d32acc4bc5e.rmeta: crates/analysis/src/lib.rs crates/analysis/src/cfg.rs crates/analysis/src/dom.rs crates/analysis/src/entropy.rs crates/analysis/src/loops.rs crates/analysis/src/qc.rs crates/analysis/src/slice.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/cfg.rs:
+crates/analysis/src/dom.rs:
+crates/analysis/src/entropy.rs:
+crates/analysis/src/loops.rs:
+crates/analysis/src/qc.rs:
+crates/analysis/src/slice.rs:

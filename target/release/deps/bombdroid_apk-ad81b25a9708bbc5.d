@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bombdroid_apk-ad81b25a9708bbc5.d: crates/apk/src/lib.rs crates/apk/src/container.rs crates/apk/src/manifest.rs crates/apk/src/resources.rs crates/apk/src/rsa.rs crates/apk/src/stego.rs
+
+/root/repo/target/release/deps/libbombdroid_apk-ad81b25a9708bbc5.rlib: crates/apk/src/lib.rs crates/apk/src/container.rs crates/apk/src/manifest.rs crates/apk/src/resources.rs crates/apk/src/rsa.rs crates/apk/src/stego.rs
+
+/root/repo/target/release/deps/libbombdroid_apk-ad81b25a9708bbc5.rmeta: crates/apk/src/lib.rs crates/apk/src/container.rs crates/apk/src/manifest.rs crates/apk/src/resources.rs crates/apk/src/rsa.rs crates/apk/src/stego.rs
+
+crates/apk/src/lib.rs:
+crates/apk/src/container.rs:
+crates/apk/src/manifest.rs:
+crates/apk/src/resources.rs:
+crates/apk/src/rsa.rs:
+crates/apk/src/stego.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/bombdroid_attacks-e70e7648626028b4.d: crates/attacks/src/lib.rs crates/attacks/src/analyst.rs crates/attacks/src/brute.rs crates/attacks/src/deletion.rs crates/attacks/src/forced.rs crates/attacks/src/fuzz.rs crates/attacks/src/instrument.rs crates/attacks/src/resilience.rs crates/attacks/src/slicing.rs crates/attacks/src/symbolic.rs crates/attacks/src/textsearch.rs
+
+/root/repo/target/release/deps/libbombdroid_attacks-e70e7648626028b4.rlib: crates/attacks/src/lib.rs crates/attacks/src/analyst.rs crates/attacks/src/brute.rs crates/attacks/src/deletion.rs crates/attacks/src/forced.rs crates/attacks/src/fuzz.rs crates/attacks/src/instrument.rs crates/attacks/src/resilience.rs crates/attacks/src/slicing.rs crates/attacks/src/symbolic.rs crates/attacks/src/textsearch.rs
+
+/root/repo/target/release/deps/libbombdroid_attacks-e70e7648626028b4.rmeta: crates/attacks/src/lib.rs crates/attacks/src/analyst.rs crates/attacks/src/brute.rs crates/attacks/src/deletion.rs crates/attacks/src/forced.rs crates/attacks/src/fuzz.rs crates/attacks/src/instrument.rs crates/attacks/src/resilience.rs crates/attacks/src/slicing.rs crates/attacks/src/symbolic.rs crates/attacks/src/textsearch.rs
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/analyst.rs:
+crates/attacks/src/brute.rs:
+crates/attacks/src/deletion.rs:
+crates/attacks/src/forced.rs:
+crates/attacks/src/fuzz.rs:
+crates/attacks/src/instrument.rs:
+crates/attacks/src/resilience.rs:
+crates/attacks/src/slicing.rs:
+crates/attacks/src/symbolic.rs:
+crates/attacks/src/textsearch.rs:

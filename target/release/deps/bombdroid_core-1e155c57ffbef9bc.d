@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/bombdroid_core-1e155c57ffbef9bc.d: crates/core/src/lib.rs crates/core/src/bomb.rs crates/core/src/config.rs crates/core/src/fragment.rs crates/core/src/inner.rs crates/core/src/naive.rs crates/core/src/payload.rs crates/core/src/pipeline.rs crates/core/src/profiling.rs crates/core/src/report.rs crates/core/src/rewrite.rs crates/core/src/sites.rs
+
+/root/repo/target/release/deps/libbombdroid_core-1e155c57ffbef9bc.rlib: crates/core/src/lib.rs crates/core/src/bomb.rs crates/core/src/config.rs crates/core/src/fragment.rs crates/core/src/inner.rs crates/core/src/naive.rs crates/core/src/payload.rs crates/core/src/pipeline.rs crates/core/src/profiling.rs crates/core/src/report.rs crates/core/src/rewrite.rs crates/core/src/sites.rs
+
+/root/repo/target/release/deps/libbombdroid_core-1e155c57ffbef9bc.rmeta: crates/core/src/lib.rs crates/core/src/bomb.rs crates/core/src/config.rs crates/core/src/fragment.rs crates/core/src/inner.rs crates/core/src/naive.rs crates/core/src/payload.rs crates/core/src/pipeline.rs crates/core/src/profiling.rs crates/core/src/report.rs crates/core/src/rewrite.rs crates/core/src/sites.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bomb.rs:
+crates/core/src/config.rs:
+crates/core/src/fragment.rs:
+crates/core/src/inner.rs:
+crates/core/src/naive.rs:
+crates/core/src/payload.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/profiling.rs:
+crates/core/src/report.rs:
+crates/core/src/rewrite.rs:
+crates/core/src/sites.rs:

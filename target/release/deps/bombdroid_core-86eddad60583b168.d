@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/bombdroid_core-86eddad60583b168.d: crates/core/src/lib.rs crates/core/src/bomb.rs crates/core/src/config.rs crates/core/src/fleet.rs crates/core/src/fragment.rs crates/core/src/inner.rs crates/core/src/naive.rs crates/core/src/payload.rs crates/core/src/pipeline.rs crates/core/src/profiling.rs crates/core/src/report.rs crates/core/src/rewrite.rs crates/core/src/sites.rs
+
+/root/repo/target/release/deps/libbombdroid_core-86eddad60583b168.rlib: crates/core/src/lib.rs crates/core/src/bomb.rs crates/core/src/config.rs crates/core/src/fleet.rs crates/core/src/fragment.rs crates/core/src/inner.rs crates/core/src/naive.rs crates/core/src/payload.rs crates/core/src/pipeline.rs crates/core/src/profiling.rs crates/core/src/report.rs crates/core/src/rewrite.rs crates/core/src/sites.rs
+
+/root/repo/target/release/deps/libbombdroid_core-86eddad60583b168.rmeta: crates/core/src/lib.rs crates/core/src/bomb.rs crates/core/src/config.rs crates/core/src/fleet.rs crates/core/src/fragment.rs crates/core/src/inner.rs crates/core/src/naive.rs crates/core/src/payload.rs crates/core/src/pipeline.rs crates/core/src/profiling.rs crates/core/src/report.rs crates/core/src/rewrite.rs crates/core/src/sites.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bomb.rs:
+crates/core/src/config.rs:
+crates/core/src/fleet.rs:
+crates/core/src/fragment.rs:
+crates/core/src/inner.rs:
+crates/core/src/naive.rs:
+crates/core/src/payload.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/profiling.rs:
+crates/core/src/report.rs:
+crates/core/src/rewrite.rs:
+crates/core/src/sites.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bombdroid_corpus-427307d859d33bb7.d: crates/corpus/src/lib.rs crates/corpus/src/flagship.rs crates/corpus/src/gen.rs crates/corpus/src/profiles.rs crates/corpus/src/stats.rs
+
+/root/repo/target/release/deps/libbombdroid_corpus-427307d859d33bb7.rlib: crates/corpus/src/lib.rs crates/corpus/src/flagship.rs crates/corpus/src/gen.rs crates/corpus/src/profiles.rs crates/corpus/src/stats.rs
+
+/root/repo/target/release/deps/libbombdroid_corpus-427307d859d33bb7.rmeta: crates/corpus/src/lib.rs crates/corpus/src/flagship.rs crates/corpus/src/gen.rs crates/corpus/src/profiles.rs crates/corpus/src/stats.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/flagship.rs:
+crates/corpus/src/gen.rs:
+crates/corpus/src/profiles.rs:
+crates/corpus/src/stats.rs:

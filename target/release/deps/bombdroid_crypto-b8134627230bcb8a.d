@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/bombdroid_crypto-b8134627230bcb8a.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/blob.rs crates/crypto/src/hex.rs crates/crypto/src/kdf.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/release/deps/libbombdroid_crypto-b8134627230bcb8a.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/blob.rs crates/crypto/src/hex.rs crates/crypto/src/kdf.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/release/deps/libbombdroid_crypto-b8134627230bcb8a.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/blob.rs crates/crypto/src/hex.rs crates/crypto/src/kdf.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/blob.rs:
+crates/crypto/src/hex.rs:
+crates/crypto/src/kdf.rs:
+crates/crypto/src/sha1.rs:
+crates/crypto/src/sha256.rs:

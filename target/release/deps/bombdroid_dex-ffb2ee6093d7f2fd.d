@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/bombdroid_dex-ffb2ee6093d7f2fd.d: crates/dex/src/lib.rs crates/dex/src/asm.rs crates/dex/src/builder.rs crates/dex/src/class.rs crates/dex/src/dex_file.rs crates/dex/src/instr.rs crates/dex/src/validate.rs crates/dex/src/value.rs crates/dex/src/wire.rs
+
+/root/repo/target/release/deps/libbombdroid_dex-ffb2ee6093d7f2fd.rlib: crates/dex/src/lib.rs crates/dex/src/asm.rs crates/dex/src/builder.rs crates/dex/src/class.rs crates/dex/src/dex_file.rs crates/dex/src/instr.rs crates/dex/src/validate.rs crates/dex/src/value.rs crates/dex/src/wire.rs
+
+/root/repo/target/release/deps/libbombdroid_dex-ffb2ee6093d7f2fd.rmeta: crates/dex/src/lib.rs crates/dex/src/asm.rs crates/dex/src/builder.rs crates/dex/src/class.rs crates/dex/src/dex_file.rs crates/dex/src/instr.rs crates/dex/src/validate.rs crates/dex/src/value.rs crates/dex/src/wire.rs
+
+crates/dex/src/lib.rs:
+crates/dex/src/asm.rs:
+crates/dex/src/builder.rs:
+crates/dex/src/class.rs:
+crates/dex/src/dex_file.rs:
+crates/dex/src/instr.rs:
+crates/dex/src/validate.rs:
+crates/dex/src/value.rs:
+crates/dex/src/wire.rs:

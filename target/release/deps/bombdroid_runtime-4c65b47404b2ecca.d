@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/bombdroid_runtime-4c65b47404b2ecca.d: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/env.rs crates/runtime/src/package.rs crates/runtime/src/telemetry.rs crates/runtime/src/value.rs crates/runtime/src/vm.rs
+
+/root/repo/target/release/deps/libbombdroid_runtime-4c65b47404b2ecca.rlib: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/env.rs crates/runtime/src/package.rs crates/runtime/src/telemetry.rs crates/runtime/src/value.rs crates/runtime/src/vm.rs
+
+/root/repo/target/release/deps/libbombdroid_runtime-4c65b47404b2ecca.rmeta: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/env.rs crates/runtime/src/package.rs crates/runtime/src/telemetry.rs crates/runtime/src/value.rs crates/runtime/src/vm.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/driver.rs:
+crates/runtime/src/env.rs:
+crates/runtime/src/package.rs:
+crates/runtime/src/telemetry.rs:
+crates/runtime/src/value.rs:
+crates/runtime/src/vm.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bombdroid_ssn-9bb3483676d471bc.d: crates/ssn/src/lib.rs
+
+/root/repo/target/release/deps/libbombdroid_ssn-9bb3483676d471bc.rlib: crates/ssn/src/lib.rs
+
+/root/repo/target/release/deps/libbombdroid_ssn-9bb3483676d471bc.rmeta: crates/ssn/src/lib.rs
+
+crates/ssn/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-5db8e8bbae01bb93.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-5db8e8bbae01bb93: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

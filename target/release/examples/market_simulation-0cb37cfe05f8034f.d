@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/market_simulation-0cb37cfe05f8034f.d: examples/market_simulation.rs
+
+/root/repo/target/release/examples/market_simulation-0cb37cfe05f8034f: examples/market_simulation.rs
+
+examples/market_simulation.rs:

@@ -44,7 +44,10 @@ fn symbolic_execution_blocked_exactly_at_hashes() {
     assert!(out_bomb.bombs.len() > 3, "explorer must reach bombs");
     assert_eq!(out_bomb.keys_recovered(), 0);
     assert!(out_bomb.hash_barriers() > 0);
-    assert!(out_bomb.exposed.is_empty(), "no payload reachable symbolically");
+    assert!(
+        out_bomb.exposed.is_empty(),
+        "no payload reachable symbolically"
+    );
 
     let out_naive = symbolic::analyze_dex(&naive.dex, symbolic::Limits::default());
     assert!(

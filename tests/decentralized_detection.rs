@@ -57,7 +57,10 @@ fn fleet_detects_pirated_copy_and_spares_legit_one() {
         pirated_detections as u64 >= devices * 6 / 10,
         "only {pirated_detections}/{devices} devices detected piracy"
     );
-    assert!(reports >= pirated_detections as u64, "each detection reports home");
+    assert!(
+        reports >= pirated_detections as u64,
+        "each detection reports home"
+    );
     assert_eq!(legit_detections, 0, "zero false positives across the fleet");
 }
 
@@ -81,8 +84,7 @@ fn different_devices_trigger_different_bombs() {
         distinct.len() > 1,
         "devices must not all trigger the identical bomb set"
     );
-    let union: std::collections::BTreeSet<u32> =
-        marker_sets.iter().flatten().copied().collect();
+    let union: std::collections::BTreeSet<u32> = marker_sets.iter().flatten().copied().collect();
     let max_single = marker_sets.iter().map(|s| s.len()).max().unwrap_or(0);
     assert!(
         union.len() > max_single,

@@ -40,8 +40,14 @@ fn protected_app_preserves_behaviour_on_legit_installs() {
         };
         let (logs_a, state_a, resp_a, rep_a) = run(&apk);
         let (logs_b, state_b, resp_b, rep_b) = run(&signed);
-        assert_eq!(logs_a, logs_b, "log streams must match (seed {session_seed})");
-        assert_eq!(state_a, state_b, "final state must match (seed {session_seed})");
+        assert_eq!(
+            logs_a, logs_b,
+            "log streams must match (seed {session_seed})"
+        );
+        assert_eq!(
+            state_a, state_b,
+            "final state must match (seed {session_seed})"
+        );
         assert_eq!((resp_a, rep_a), (0, 0));
         assert_eq!((resp_b, rep_b), (0, 0), "no false positives");
     }
@@ -155,7 +161,10 @@ fn strategic_muting_silences_later_bombs() {
     };
     let (markers_loud, observable_loud) = run_fleet(false);
     let (markers_muted, observable_muted) = run_fleet(true);
-    assert!(markers_loud > 0 && markers_muted > 0, "bombs must trigger in both modes");
+    assert!(
+        markers_loud > 0 && markers_muted > 0,
+        "bombs must trigger in both modes"
+    );
     assert!(
         observable_muted < observable_loud,
         "muting must reduce observable responses: {observable_muted} vs {observable_loud}"

@@ -40,7 +40,11 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
             lhs,
             rhs
         }),
-        (arb_reg(), arb_reg(), proptest::collection::vec(any::<u8>(), 0..24))
+        (
+            arb_reg(),
+            arb_reg(),
+            proptest::collection::vec(any::<u8>(), 0..24)
+        )
             .prop_map(|(dst, src, salt)| Instr::Hash { dst, src, salt }),
         Just(Instr::Nop),
         Just(Instr::Return { src: None }),

@@ -1,0 +1,198 @@
+//! Offline stand-in for the crates.io `criterion` 0.5 API surface this
+//! workspace's benches use: `Criterion` with `sample_size` / `warm_up_time` /
+//! `measurement_time`, `bench_function`, `benchmark_group` (+ `throughput`),
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical engine it runs each bench closure
+//! `sample_size` times inside a wall-clock window and prints the mean
+//! iteration time — enough to compare hot paths release-to-release offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group (printed, not analysed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Per-iteration timing state handed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over repeated calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+fn run_one(id: &str, samples: usize, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    let start = Instant::now();
+    for _ in 0..samples.max(1) {
+        f(&mut b);
+        if start.elapsed() > budget {
+            break;
+        }
+    }
+    if b.iters == 0 {
+        println!("bench {id:<40} (no iterations)");
+    } else {
+        let mean_ns = b.elapsed.as_nanos() / b.iters as u128;
+        println!(
+            "bench {id:<40} mean {mean_ns:>12} ns/iter over {} iters",
+            b.iters
+        );
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples to take per bench.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; this stub does not warm up.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Caps the wall-clock spent per bench.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into(), self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the group throughput (printed once for context).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        println!("group {} throughput {t:?}", self.name);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group: either `criterion_group!(name, target, ...)` or the
+/// struct form with an explicit `config =` constructor.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u32;
+        c.bench_function("stub/smoke", |b| b.iter(|| calls += 1));
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(64));
+        let mut calls = 0u32;
+        g.bench_function(format!("inner/{}", 1), |b| b.iter(|| calls += 1));
+        g.finish();
+        assert!(calls >= 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! Offline stand-in for the crates.io `crossbeam` 0.8 API surface this
+//! workspace uses: [`thread::scope`] with crossbeam's signature (closure
+//! receives a [`thread::Scope`]; `scope` returns `Result`), implemented over
+//! `std::thread::scope`. The fleet engine is written against this interface
+//! so a future swap to real crossbeam (or rayon) is a one-line change.
+
+#![warn(missing_docs)]
+
+pub mod thread;
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let mut results = vec![0u64; 4];
+        let out = crate::scope(|s| {
+            let mut handles = Vec::new();
+            for (i, slot) in results.iter_mut().enumerate() {
+                handles.push(s.spawn(move |_| {
+                    *slot = (i as u64 + 1) * 10;
+                    i
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum::<usize>()
+        })
+        .expect("scope");
+        assert_eq!(out, 1 + 2 + 3);
+        assert_eq!(results, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn panics_surface_through_join() {
+        let res = crate::scope(|s| {
+            let h = s.spawn(|_| panic!("worker died"));
+            h.join()
+        })
+        .expect("scope itself succeeds");
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! Scoped threads with the crossbeam 0.8 calling convention.
+
+/// Result of joining a scoped thread (Err carries the panic payload).
+pub type Result<T> = std::thread::Result<T>;
+
+/// A scope for spawning threads that may borrow from the caller's stack.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a thread spawned inside a [`Scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning its value or panic payload.
+    pub fn join(self) -> Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Creates a scope in which threads borrowing local data can be spawned.
+/// All spawned threads are joined before `scope` returns.
+///
+/// Unlike crossbeam, an unjoined panicking child aborts the calling thread
+/// via std's scope semantics instead of collecting into the outer `Err`;
+/// callers in this workspace always join explicitly, so the distinction is
+/// unobservable here. The `Result` return type is kept for drop-in
+/// compatibility with real crossbeam.
+///
+/// # Errors
+///
+/// Never returns `Err` in this stub (see above).
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope again so it
+    /// can spawn siblings, as in crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}

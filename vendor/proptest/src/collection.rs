@@ -1,0 +1,41 @@
+//! Collection strategies (`collection::vec`).
+
+use crate::{Strategy, TestRng};
+use std::ops::Range;
+
+/// Strategy for vectors with lengths drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.len.end - self.len.start).max(1) as u64;
+        let len = self.len.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `vec(strategy, lo..hi)` — vectors of `strategy` values with a length in
+/// `lo..hi`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn lengths_respect_range() {
+        let strat = vec(any::<u8>(), 2..5);
+        let mut rng = TestRng::for_case("vec", 0);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+}

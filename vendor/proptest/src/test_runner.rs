@@ -1,0 +1,59 @@
+//! Test-runner configuration and failure reporting.
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of deterministic cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the offline suite quick
+        // while still exercising the strategies broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Prints the failing case index if a property panics (no shrinking in this
+/// stub, but the index makes failures exactly reproducible).
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    passed: bool,
+}
+
+impl CaseGuard {
+    /// Arms the guard for one case.
+    pub fn new(name: &'static str, case: u32) -> Self {
+        CaseGuard {
+            name,
+            case,
+            passed: false,
+        }
+    }
+
+    /// Disarms the guard after the case body completed.
+    pub fn pass(mut self) {
+        self.passed = true;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if !self.passed && std::thread::panicking() {
+            eprintln!(
+                "proptest stub: property `{}` failed at deterministic case #{} \
+                 (cases are a pure function of the test name and index)",
+                self.name, self.case
+            );
+        }
+    }
+}

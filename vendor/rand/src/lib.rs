@@ -1,0 +1,231 @@
+//! Offline stand-in for the crates.io `rand` 0.8 API surface this workspace
+//! uses. The build environment has no registry access, so the workspace
+//! vendors the subset it needs: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! the [`Rng`] extension methods (`gen`, `gen_range`, `gen_bool`, `fill`) and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — *not* the ChaCha12
+//! stream of upstream `StdRng`. Everything in this repository only relies on
+//! seeded determinism and uniformity, never on a specific stream, so the
+//! substitution is behaviour-preserving for the reproduction. Streams are
+//! stable across platforms and releases of this stub.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level uniform word source. (Upstream has `next_u32`/`try_fill_bytes`
+/// too; the workspace only consumes 64-bit draws and byte fills.)
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable from the "standard" (full-domain uniform) distribution —
+/// the stub's analogue of `rand::distributions::Standard`.
+pub trait StandardSample: Sized {
+    /// Draws one full-domain uniform value.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+/// Maps 64 random bits to the unit interval `[0, 1)` with 53-bit precision.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges a uniform value can be drawn from (`lo..hi` and `lo..=hi`).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, matching upstream `gen_range`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Width fits in u64 for every primitive ≤ 64 bits; the
+                // multiply-shift trick keeps the draw unbiased to 2^-64.
+                let width = self.end.wrapping_sub(self.start) as u64;
+                let offset = ((rng.next_u64() as u128 * width as u128) >> 64) as u64;
+                self.start.wrapping_add(offset as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let width = end.wrapping_sub(start) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let offset = ((rng.next_u64() as u128 * (width as u128 + 1)) >> 64) as u64;
+                start.wrapping_add(offset as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * unit_f64(rng.next_u64())
+    }
+}
+
+/// Buffers fillable by [`Rng::fill`].
+pub trait Fill {
+    /// Overwrites `self` with random data.
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a full-domain uniform value.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+
+    /// Draws uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Fills `dest` with random data.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T)
+    where
+        Self: Sized,
+    {
+        dest.fill_from(self);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let v: i64 = rng.gen_range(-5..6);
+            assert!((-5..6).contains(&v));
+            let w: u8 = rng.gen_range(b'a'..=b'z');
+            assert!(w.is_ascii_lowercase());
+            let f: f64 = rng.gen_range(0.5..2.5);
+            assert!((0.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_endpoints_reachable() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "{hits}/10000 at p=0.25");
+    }
+
+    #[test]
+    fn fill_covers_every_byte() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut buf = [0u8; 33];
+        rng.fill(&mut buf[..]);
+        assert!(buf.iter().any(|b| *b != 0));
+    }
+}
