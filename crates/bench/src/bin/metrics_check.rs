@@ -1,0 +1,41 @@
+//! Validates a `metrics.json` artifact written by `repro`.
+//!
+//! ```text
+//! metrics_check <path> [required-metric]...
+//! ```
+//!
+//! Exits 0 if the file parses, matches the `bombdroid-obs` schema
+//! (version, section shapes, histogram bucket-sum consistency) and
+//! contains every named metric; exits 1 with a diagnostic otherwise. CI
+//! runs this after a `repro` smoke pass so a refactor that silently stops
+//! recording (or breaks the exporter) fails the pipeline.
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: metrics_check <metrics.json> [required-metric]...");
+        std::process::exit(2);
+    };
+    let required: Vec<String> = args.collect();
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("metrics_check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let required_refs: Vec<&str> = required.iter().map(String::as_str).collect();
+    match bombdroid_obs::validate_metrics(&text, &required_refs) {
+        Ok(()) => {
+            println!(
+                "metrics_check: {path} OK (schema v{}, {} required metrics present)",
+                bombdroid_obs::SCHEMA_VERSION,
+                required.len()
+            );
+        }
+        Err(e) => {
+            eprintln!("metrics_check: {path} INVALID: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -17,10 +17,19 @@
 //! Output is bit-identical for any `N`; protection artifacts are shared
 //! across experiments through the harness cache, so `all` protects each
 //! flagship once.
+//!
+//! `BOMBDROID_OBS` controls the observability layer (`bombdroid-obs`):
+//! `full` (default) prints a metrics summary and writes
+//! `target/repro_output/metrics.json`; `summary` prints the table only;
+//! `off` disables recording. Per-experiment progress and the metrics
+//! summary go to stderr: stdout carries only the experiment tables and
+//! stays bit-identical for any thread count.
 
 use bombdroid_bench::experiments as ex;
 use bombdroid_bench::print::{f1, pct, table};
 use bombdroid_core::ProtectConfig;
+use bombdroid_obs as obs;
+use std::time::Instant;
 
 struct Budgets {
     profiling_events: u64,
@@ -102,8 +111,12 @@ fn main() {
             "ablation",
         ];
     }
-    for w in wanted {
-        match w {
+    let total = wanted.len();
+    for (i, w) in wanted.iter().enumerate() {
+        eprintln!("[{}/{total}] {w} ...", i + 1);
+        let started = Instant::now();
+        let span = obs::span(format!("experiment.{w}"));
+        match *w {
             "table1" => table1(&budgets),
             "fig3" => fig3(),
             "table2" => table2(&budgets),
@@ -118,8 +131,51 @@ fn main() {
             "resilience" => resilience(&budgets),
             "brute" => brute(&budgets),
             "ablation" => ablation(),
-            other => eprintln!("unknown experiment: {other}"),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                span.end();
+                continue;
+            }
         }
+        span.end();
+        obs::counter_add("repro.experiments", 1);
+        eprintln!(
+            "[{}/{total}] {w} done in {}",
+            i + 1,
+            obs::fmt_ns(started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64)
+        );
+    }
+    export_metrics();
+}
+
+/// Prints the metrics summary (`summary`/`full` modes) and writes the
+/// schema-versioned `target/repro_output/metrics.json` artifact (`full`
+/// mode). The summary goes to **stderr**: it contains wall-clock timings,
+/// and stdout must stay bit-identical for any `BOMBDROID_THREADS` value
+/// (the fleet determinism contract). In the artifact the nondeterministic
+/// subset is confined to the `total_ns` fields.
+fn export_metrics() {
+    if !obs::enabled() {
+        return;
+    }
+    let rec = obs::global();
+    if rec.is_empty() {
+        return;
+    }
+    eprintln!("\n=== metrics (BOMBDROID_OBS) ===\n");
+    eprint!("{}", rec.summary());
+    if obs::mode() != obs::ObsMode::Full {
+        return;
+    }
+    let dir = std::path::Path::new("target/repro_output");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("metrics: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join("metrics.json");
+    match std::fs::write(&path, rec.to_json(true)) {
+        Ok(()) => eprintln!("metrics written to {}", path.display()),
+        Err(e) => eprintln!("metrics: cannot write {}: {e}", path.display()),
     }
 }
 

@@ -5,6 +5,7 @@ use crate::fixed_keys;
 use bombdroid_apk::{ApkFile, VerifyError};
 use bombdroid_core::{FleetConfig, ProtectConfig, ProtectError, ProtectedApp, Protector};
 use bombdroid_corpus::{flagship, GeneratedApp};
+use bombdroid_obs as obs;
 use bombdroid_runtime::{
     DeviceEnv, EventSource, InstalledPackage, RandomEventSource, UserEventSource, Vm,
 };
@@ -141,6 +142,7 @@ impl ProtectedAppCache {
             seed,
             config: format!("{config:?}"),
         };
+        obs::counter_add("cache.requests", 1);
         // Per-key slot: the outer map lock is held only for the lookup, so
         // distinct apps protect concurrently while a second request for the
         // same key blocks until the first finishes and then reuses it.
@@ -149,6 +151,7 @@ impl ProtectedAppCache {
         if let Some(artifact) = &*guard {
             return Ok(artifact.clone());
         }
+        obs::counter_add("cache.protects", 1);
         let artifact = Arc::new(try_protect_app(app, config.clone(), seed)?);
         self.protects.fetch_add(1, Ordering::Relaxed);
         *guard = Some(artifact.clone());
@@ -165,6 +168,7 @@ pub fn shared_cache() -> &'static ProtectedAppCache {
 /// Drives one user session until the first bomb triggers; `None` if the
 /// cap is reached first.
 pub fn time_to_first_bomb(pkg: &InstalledPackage, seed: u64, cap_minutes: u64) -> Option<u64> {
+    let _span = obs::span("vm.session");
     let mut rng = StdRng::seed_from_u64(seed);
     // Each run varies the emulator configuration (§8.2: testers varied
     // device types, SDK versions, CPU/ABI between runs).
@@ -174,25 +178,32 @@ pub fn time_to_first_bomb(pkg: &InstalledPackage, seed: u64, cap_minutes: u64) -
     let dex = vm.pkg.dex.clone();
     let deadline = cap_minutes * 60_000;
     // Engaged users: ~30 meaningful events per minute.
-    while vm.clock_ms() < deadline {
-        if let Some(at) = vm.telemetry().first_marker_ms {
-            return Some(at);
+    let first_marker = 'session: {
+        while vm.clock_ms() < deadline {
+            if let Some(at) = vm.telemetry().first_marker_ms {
+                break 'session Some(at);
+            }
+            if vm.is_killed() || vm.is_frozen() {
+                // The response itself proves a bomb fired.
+                break 'session vm.telemetry().first_marker_ms;
+            }
+            let Some(ev) = source.next_event(&dex, &mut rng) else {
+                break 'session None;
+            };
+            let _ = vm.fire_entry(ev.entry_index, ev.args);
+            vm.advance_ms(1_000);
         }
-        if vm.is_killed() || vm.is_frozen() {
-            // The response itself proves a bomb fired.
-            return vm.telemetry().first_marker_ms;
-        }
-        let ev = source.next_event(&dex, &mut rng)?;
-        let _ = vm.fire_entry(ev.entry_index, ev.args);
-        vm.advance_ms(1_000);
-    }
-    vm.telemetry().first_marker_ms
+        vm.telemetry().first_marker_ms
+    };
+    vm.publish_obs();
+    first_marker
 }
 
 /// Feeds `events` random events to an installed copy of `apk` and returns
 /// the executed-instruction count (the deterministic cost model's stand-in
 /// for wall-clock).
 pub fn drive_events(apk: &ApkFile, events: u64, seed: u64) -> Result<u64, ExperimentError> {
+    let _span = obs::span("vm.drive");
     let pkg = InstalledPackage::install(apk)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut vm = Vm::boot(pkg, DeviceEnv::sample(&mut rng), seed);
@@ -207,6 +218,7 @@ pub fn drive_events(apk: &ApkFile, events: u64, seed: u64) -> Result<u64, Experi
             break;
         }
     }
+    vm.publish_obs();
     Ok(vm.telemetry().instr_executed)
 }
 

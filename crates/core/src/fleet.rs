@@ -20,11 +20,27 @@
 //!
 //! Workers claim indices from a shared atomic counter, so the *assignment* of
 //! tasks to threads is racy — but nothing observable depends on it.
+//!
+//! # Observability
+//!
+//! Each task records into its own `bombdroid-obs` recorder (installed as
+//! the task's active recorder, so pipeline spans and VM counters inside
+//! the task land there too): `fleet.tasks` / `fleet.task_errors` /
+//! `fleet.task_panics` counters plus `fleet.queue_wait` and
+//! `fleet.task_run` timings. After the pool drains, the per-task
+//! recorders merge into the fleet caller's recorder **in task-index
+//! order** — every merged value is a sum, so the merged content is
+//! bit-identical for any thread count, extending the determinism contract
+//! to the metrics themselves (wall-clock nanoseconds are kept in a
+//! separate timing section that deterministic exports omit).
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use bombdroid_obs as obs;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -120,6 +136,10 @@ impl<E: fmt::Display> fmt::Display for FleetError<E> {
 
 impl<E: fmt::Debug + fmt::Display> std::error::Error for FleetError<E> {}
 
+fn elapsed_ns(since: &Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -155,6 +175,13 @@ where
     let result_slots: Vec<ResultSlot<R, E>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
 
+    // Worker-local recorders, one per task; merged into the caller's
+    // recorder in index order after the pool drains (see module docs).
+    let obs_parent = obs::current();
+    let task_recorders: Vec<Arc<obs::Recorder>> =
+        (0..n).map(|_| Arc::new(obs::Recorder::new())).collect();
+    let fleet_start = Instant::now();
+
     let run_one = |index: usize| {
         let task = task_slots[index]
             .lock()
@@ -165,11 +192,24 @@ where
             index,
             seed: derive_seed(config.base_seed, index as u64),
         };
-        let outcome = match catch_unwind(AssertUnwindSafe(|| f(ctx, task))) {
-            Ok(Ok(r)) => Ok(r),
-            Ok(Err(e)) => Err(FleetError::Task(e)),
-            Err(payload) => Err(FleetError::Panicked(panic_message(payload))),
-        };
+        let outcome = obs::with_recorder(task_recorders[index].clone(), || {
+            obs::counter_add("fleet.tasks", 1);
+            obs::timing_record("fleet.queue_wait", elapsed_ns(&fleet_start));
+            let run_start = Instant::now();
+            let outcome = match catch_unwind(AssertUnwindSafe(|| f(ctx, task))) {
+                Ok(Ok(r)) => Ok(r),
+                Ok(Err(e)) => {
+                    obs::counter_add("fleet.task_errors", 1);
+                    Err(FleetError::Task(e))
+                }
+                Err(payload) => {
+                    obs::counter_add("fleet.task_panics", 1);
+                    Err(FleetError::Panicked(panic_message(payload)))
+                }
+            };
+            obs::timing_record("fleet.task_run", elapsed_ns(&run_start));
+            outcome
+        });
         *result_slots[index]
             .lock()
             .unwrap_or_else(|e| e.into_inner()) = Some(outcome);
@@ -193,6 +233,10 @@ where
             }
         })
         .expect("fleet worker pool panicked outside a task");
+    }
+
+    for rec in &task_recorders {
+        obs_parent.merge_from(rec);
     }
 
     result_slots
@@ -291,6 +335,32 @@ mod tests {
             matches!(out[4], Err(FleetError::Panicked(ref m)) if m.contains("task 4 exploded"))
         );
         assert!(matches!(out[5], Ok(5)));
+    }
+
+    #[test]
+    fn fleet_metrics_merge_into_callers_recorder() {
+        if !obs::enabled() {
+            return; // BOMBDROID_OBS=off disables recording.
+        }
+        let rec = Arc::new(obs::Recorder::new());
+        obs::with_recorder(rec.clone(), || {
+            let out =
+                run_indexed::<u32, String, _>(FleetConfig::serial(1).with_threads(3), 6, |ctx| {
+                    match ctx.index {
+                        2 => Err("typed failure".to_string()),
+                        4 => panic!("metrics task exploded"),
+                        i => Ok(i as u32),
+                    }
+                });
+            assert_eq!(out.len(), 6);
+        });
+        assert_eq!(rec.counter_value("fleet.tasks"), 6);
+        assert_eq!(rec.counter_value("fleet.task_errors"), 1);
+        assert_eq!(rec.counter_value("fleet.task_panics"), 1);
+        assert_eq!(rec.timing_calls("fleet.queue_wait"), 6);
+        assert_eq!(rec.timing_calls("fleet.task_run"), 6);
+        // Nothing leaked into the global recorder's fleet counters from
+        // this scoped run beyond what other tests may add themselves.
     }
 
     #[test]

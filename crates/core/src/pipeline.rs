@@ -15,6 +15,7 @@ use bombdroid_analysis::Strength;
 use bombdroid_apk::container::entry;
 use bombdroid_apk::{package_app, stego, ApkFile, AppMeta, DeveloperKey, StringsXml, VerifyError};
 use bombdroid_dex::{wire, DexFile, MethodRef, Value};
+use bombdroid_obs as obs;
 use rand::{rngs::StdRng, Rng};
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
@@ -101,15 +102,22 @@ impl Protector {
     /// * [`ProtectError::Validate`] if instrumentation produced invalid
     ///   bytecode (internal invariant).
     pub fn protect(&self, apk: &ApkFile, rng: &mut StdRng) -> Result<ProtectedApp, ProtectError> {
+        let _protect_span = obs::span("pipeline.protect");
         let config = &self.config;
         // Step 1–2: unpack, extract the public key, profile, plan sites.
         let profile = profile_app(apk, config, rng.gen())?;
         let mut dex = apk.dex.clone();
-        let plan = sites::plan(&dex, &profile, config, rng);
+        let plan = {
+            let _span = obs::span("pipeline.plan");
+            sites::plan(&dex, &profile, config, rng)
+        };
 
         // Detection pool + steganographic resource strings.
         let mut strings = apk.strings.clone();
-        let detections = self.build_detections(apk, &plan, &mut strings);
+        let detections = {
+            let _span = obs::span("pipeline.detections");
+            self.build_detections(apk, &plan, &mut strings)
+        };
 
         // Step 3–4: instrument, encrypt. Group actions per method and apply
         // top-down (descending position) so indices stay valid.
@@ -161,6 +169,7 @@ impl Protector {
             ..ProtectReport::default()
         };
 
+        let instrument_span = obs::span("pipeline.instrument");
         let mut next_marker: u32 = 0;
         let mut payload_counter: usize = 0;
         let DexFile { classes, blobs, .. } = &mut dex;
@@ -260,8 +269,31 @@ impl Protector {
             }
         }
 
-        bombdroid_dex::validate(&dex).map_err(ProtectError::Validate)?;
-        report.protected_dex_size = wire::encode_dex(&dex).len();
+        instrument_span.end();
+
+        {
+            let _span = obs::span("pipeline.validate");
+            bombdroid_dex::validate(&dex).map_err(ProtectError::Validate)?;
+            report.protected_dex_size = wire::encode_dex(&dex).len();
+        }
+
+        let count_kind =
+            |kind: BombKind| report.bombs.iter().filter(|b| b.kind == kind).count() as u64;
+        obs::counter_add("pipeline.apps_protected", 1);
+        obs::counter_add("pipeline.bombs.existing", count_kind(BombKind::ExistingQc));
+        obs::counter_add(
+            "pipeline.bombs.artificial",
+            count_kind(BombKind::ArtificialQc),
+        );
+        obs::counter_add("pipeline.bombs.bogus", count_kind(BombKind::Bogus));
+        obs::counter_add("pipeline.sites_skipped", report.skipped_sites as u64);
+        obs::record("pipeline.bombs_per_app", report.bombs.len() as u64);
+        obs::record(
+            "pipeline.dex_growth_bytes",
+            report
+                .protected_dex_size
+                .saturating_sub(report.original_dex_size) as u64,
+        );
 
         Ok(ProtectedApp {
             dex,

@@ -31,6 +31,7 @@ pub fn profile_app(
     config: &ProtectConfig,
     seed: u64,
 ) -> Result<ProfileResult, bombdroid_apk::VerifyError> {
+    let _span = bombdroid_obs::span("pipeline.profile");
     let pkg = InstalledPackage::install(apk)?;
     let opts = VmOptions {
         record_field_values: true,
@@ -56,6 +57,9 @@ pub fn profile_app(
         .hot_methods(config.hot_method_ratio)
         .into_iter()
         .collect();
+    bombdroid_obs::counter_add("profile.events_run", telemetry.events_run);
+    bombdroid_obs::counter_add("profile.instr_executed", telemetry.instr_executed);
+    bombdroid_obs::record("profile.hot_methods", hot.len() as u64);
     Ok(ProfileResult { telemetry, hot })
 }
 

@@ -219,7 +219,7 @@ mod tests {
     }
 
     #[test]
-    fn fish_variables_have_expected_entropy_split() {
+    fn fish_variables_have_expected_entropy_split() -> Result<(), crate::CorpusError> {
         use bombdroid_apk::DeveloperKey;
         use bombdroid_runtime::{DeviceEnv, InstalledPackage, Vm, VmOptions};
         use rand::Rng;
@@ -227,7 +227,7 @@ mod tests {
         let app = androfish();
         let mut rng = StdRng::seed_from_u64(3);
         let dev = DeveloperKey::generate(&mut rng);
-        let pkg = InstalledPackage::install(&app.apk(&dev)).unwrap();
+        let pkg = InstalledPackage::install(&app.apk(&dev))?;
         let opts = VmOptions {
             record_field_values: true,
             ..VmOptions::default()
@@ -238,22 +238,21 @@ mod tests {
             .entry_points
             .iter()
             .position(|e| &*e.event == "onFrame")
-            .unwrap();
+            .expect("androfish exposes onFrame");
         let tap = app
             .dex
             .entry_points
             .iter()
             .position(|e| &*e.event == "onFishTapped")
-            .unwrap();
+            .expect("androfish exposes onFishTapped");
         for _ in 0..500 {
-            vm.fire_entry(frame, vec![]).result.unwrap();
+            vm.fire_entry(frame, vec![]).result?;
             if rng.gen_bool(0.3) {
                 vm.fire_entry(
                     tap,
                     vec![bombdroid_runtime::RtValue::Int(rng.gen_range(0..100_000))],
                 )
-                .result
-                .unwrap();
+                .result?;
             }
         }
         let fv = &vm.telemetry().field_values;
@@ -267,5 +266,6 @@ mod tests {
         assert!(uniques("width") <= 20, "width narrow");
         assert!(uniques("posX") > 50, "posX wanders widely");
         assert!(uniques("posY") > 50, "posY wanders widely");
+        Ok(())
     }
 }

@@ -601,12 +601,12 @@ mod tests {
     }
 
     #[test]
-    fn apps_run_without_faulting_much() {
+    fn apps_run_without_faulting_much() -> Result<(), crate::CorpusError> {
         use bombdroid_runtime::{run_session, DeviceEnv, InstalledPackage, UserEventSource, Vm};
         let app = generate_app("RunCheck", Category::Game, 13);
         let mut rng = StdRng::seed_from_u64(1);
         let dev = DeveloperKey::generate(&mut rng);
-        let pkg = InstalledPackage::install(&app.apk(&dev)).unwrap();
+        let pkg = InstalledPackage::install(&app.apk(&dev))?;
         let mut vm = Vm::boot(pkg, DeviceEnv::sample(&mut rng), 5);
         let mut source = UserEventSource;
         let report = run_session(&mut vm, &mut source, &mut rng, 5, 60);
@@ -617,5 +617,6 @@ mod tests {
         );
         // Users exercising the app satisfy some equality conditions.
         assert!(!vm.telemetry().eq_satisfied.is_empty());
+        Ok(())
     }
 }

@@ -38,6 +38,41 @@ pub use gen::{generate_app, generate_with_targets, GenTargets, GeneratedApp};
 pub use profiles::{corpus_size, profile_of, Category, CategoryProfile, CATEGORY_PROFILES};
 pub use stats::{app_stats, env_var_count, AppStats};
 
+/// Why exercising a generated app on the runtime failed: either the
+/// packaged APK did not verify at install time, or an event handler
+/// faulted mid-run. Corpus checks propagate this instead of unwrapping so
+/// a generator regression reports *which* stage rejected the app.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// The generated APK failed signature verification at install.
+    Install(bombdroid_apk::VerifyError),
+    /// An event handler faulted while driving the generated app.
+    Fault(bombdroid_runtime::Fault),
+}
+
+impl From<bombdroid_apk::VerifyError> for CorpusError {
+    fn from(e: bombdroid_apk::VerifyError) -> Self {
+        CorpusError::Install(e)
+    }
+}
+
+impl From<bombdroid_runtime::Fault> for CorpusError {
+    fn from(e: bombdroid_runtime::Fault) -> Self {
+        CorpusError::Fault(e)
+    }
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::Install(e) => write!(f, "generated app failed install: {e}"),
+            CorpusError::Fault(e) => write!(f, "generated app faulted: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
 /// Specs for the full 963-app corpus: `(name, category, seed)` triples,
 /// deterministic across runs.
 pub fn corpus_specs() -> Vec<(String, Category, u64)> {

@@ -1,0 +1,195 @@
+//! Fixed-size log-bucketed histograms.
+//!
+//! Bucket `0` holds the value `0`; bucket `b ≥ 1` holds values in
+//! `[2^(b-1), 2^b - 1]` — i.e. a value lands in the bucket matching its
+//! bit length. 65 buckets cover the whole `u64` range with no allocation
+//! and no per-record branching beyond `leading_zeros`, so recording stays
+//! cheap enough to leave on by default.
+//!
+//! All fields are atomics: concurrent recorders never lock, and merging
+//! histograms is a bucket-wise sum, which commutes — so the fleet engine's
+//! task-index-order merge produces identical content for any thread count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets (`0` plus one per possible bit length).
+pub const BUCKETS: usize = 65;
+
+/// Returns the bucket index for `value`: `0` for `0`, otherwise the value's
+/// bit length (`1` for `1`, `2` for `2..=3`, `3` for `4..=7`, …).
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The smallest value a bucket covers (its inclusive lower bound).
+pub fn bucket_floor(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        b => 1u64 << (b - 1),
+    }
+}
+
+/// A log-bucketed histogram of non-negative integer samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest sample, or `0` if the histogram is empty.
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Largest sample, or `0` if the histogram is empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or `0.0` if the histogram is empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// The non-empty buckets as `(bucket index, sample count)` pairs in
+    /// index order.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i, n))
+            })
+            .collect()
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise; commutative).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (i, b) in other.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                self.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let n = other.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return;
+        }
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every power of two opens a new bucket; its predecessor closes one.
+        for b in 1..64 {
+            let lo = 1u64 << (b - 1);
+            assert_eq!(bucket_index(lo), b, "floor of bucket {b}");
+            assert_eq!(bucket_index(lo * 2 - 1), b, "ceiling of bucket {b}");
+            assert_eq!(bucket_floor(b), lo);
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let h = Histogram::new();
+        assert_eq!((h.count(), h.sum(), h.min(), h.max()), (0, 0, 0, 0));
+        for v in [5u64, 9, 0, 1_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1_014);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1_000);
+        assert_eq!(h.mean(), 253.5);
+        // 0→bucket 0, 5→bucket 3, 9→bucket 4, 1000→bucket 10.
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (3, 1), (4, 1), (10, 1)]);
+    }
+
+    #[test]
+    fn merge_is_a_bucketwise_sum() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(3);
+        a.record(100);
+        b.record(2);
+        b.record(7);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 112);
+        assert_eq!(a.min(), 2);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.nonzero_buckets(), vec![(2, 2), (3, 1), (7, 1)]);
+        // Merging an empty histogram keeps min untouched.
+        a.merge_from(&Histogram::new());
+        assert_eq!(a.min(), 2);
+    }
+}

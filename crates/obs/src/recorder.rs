@@ -1,0 +1,439 @@
+//! The metrics registry: named counters, gauges, histograms, and timings.
+//!
+//! A [`Recorder`] is the unit of aggregation. The process has one global
+//! recorder; the fleet engine gives every task its own and merges them back
+//! in task-index order, which keeps the merged content bit-identical for
+//! any worker count (see the determinism contract in the crate docs).
+//!
+//! Name lookups take one short mutex on a `BTreeMap`; the returned handles
+//! are plain atomics, so hot paths that cache a handle pay one
+//! `fetch_add`. Everything is keyed and exported in sorted name order so
+//! two recorders with the same content serialize identically.
+
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Version stamped into every `metrics.json`; bump on breaking schema
+/// changes so downstream diffs fail loudly instead of silently.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Wall-clock statistics for one span or timing: how often it ran and for
+/// how long in total. `calls` is deterministic (it counts events); `ns` is
+/// wall-clock and therefore excluded from the deterministic export view.
+#[derive(Debug, Default)]
+pub struct TimingStat {
+    calls: AtomicU64,
+    ns: AtomicU64,
+}
+
+impl TimingStat {
+    /// Records one timed interval.
+    pub fn record(&self, ns: u64) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded intervals.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Total wall-clock nanoseconds across all intervals.
+    pub fn total_ns(&self) -> u64 {
+        self.ns.load(Ordering::Relaxed)
+    }
+}
+
+type Named<T> = Mutex<BTreeMap<String, Arc<T>>>;
+
+fn handle<T: Default>(map: &Named<T>, name: &str) -> Arc<T> {
+    let mut map = map.lock().unwrap_or_else(|e| e.into_inner());
+    match map.get(name) {
+        Some(h) => h.clone(),
+        None => {
+            let h = Arc::new(T::default());
+            map.insert(name.to_string(), h.clone());
+            h
+        }
+    }
+}
+
+fn sorted<T>(map: &Named<T>) -> Vec<(String, Arc<T>)> {
+    map.lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect()
+}
+
+/// A set of named metrics. Cheap to create, safe to share across threads,
+/// mergeable into another recorder.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    counters: Named<AtomicU64>,
+    gauges: Named<AtomicI64>,
+    histograms: Named<Histogram>,
+    timings: Named<TimingStat>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        handle(&self.counters, name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        handle(&self.gauges, name).store(value, Ordering::Relaxed);
+    }
+
+    /// Records `value` into the named log-bucketed histogram.
+    pub fn record(&self, name: &str, value: u64) {
+        handle(&self.histograms, name).record(value);
+    }
+
+    /// Records one timed interval of `ns` nanoseconds under `name`.
+    pub fn timing_record(&self, name: &str, ns: u64) {
+        handle(&self.timings, name).record(ns);
+    }
+
+    /// Current value of a counter (`0` if never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        handle(&self.counters, name).load(Ordering::Relaxed)
+    }
+
+    /// Current value of a gauge (`0` if never set).
+    pub fn gauge_value(&self, name: &str) -> i64 {
+        handle(&self.gauges, name).load(Ordering::Relaxed)
+    }
+
+    /// Call count of a timing (`0` if never recorded).
+    pub fn timing_calls(&self, name: &str) -> u64 {
+        handle(&self.timings, name).calls()
+    }
+
+    /// Total wall-clock nanoseconds of a timing.
+    pub fn timing_total_ns(&self, name: &str) -> u64 {
+        handle(&self.timings, name).total_ns()
+    }
+
+    /// The named histogram handle (created empty if absent).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        handle(&self.histograms, name)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        fn empty<T>(m: &Named<T>) -> bool {
+            m.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+        }
+        empty(&self.counters)
+            && empty(&self.gauges)
+            && empty(&self.histograms)
+            && empty(&self.timings)
+    }
+
+    /// Folds every metric of `other` into `self`: counters and timings add,
+    /// histograms merge bucket-wise, gauges overwrite (`other` wins). All
+    /// operations except the gauge overwrite commute; callers that need
+    /// determinism (the fleet engine) merge in task-index order.
+    pub fn merge_from(&self, other: &Recorder) {
+        for (name, c) in sorted(&other.counters) {
+            self.counter_add(&name, c.load(Ordering::Relaxed));
+        }
+        for (name, g) in sorted(&other.gauges) {
+            self.gauge_set(&name, g.load(Ordering::Relaxed));
+        }
+        for (name, h) in sorted(&other.histograms) {
+            handle(&self.histograms, &name).merge_from(&h);
+        }
+        for (name, t) in sorted(&other.timings) {
+            let mine = handle(&self.timings, &name);
+            mine.calls.fetch_add(t.calls(), Ordering::Relaxed);
+            mine.ns.fetch_add(t.total_ns(), Ordering::Relaxed);
+        }
+    }
+
+    /// Serializes the recorder as schema-versioned JSON (sorted keys, so
+    /// equal content means equal bytes).
+    ///
+    /// With `include_timings` false, wall-clock fields (`total_ns`) are
+    /// omitted and the output is fully deterministic for deterministic
+    /// workloads — this is the view `fleet_determinism` diffs across
+    /// thread counts, and the view future BENCH artifacts should diff.
+    pub fn to_json(&self, include_timings: bool) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+
+        out.push_str("  \"counters\": {");
+        let counters = sorted(&self.counters);
+        push_entries(&mut out, counters.len(), |out, i| {
+            let (name, c) = &counters[i];
+            out.push_str(&format!(
+                "\"{}\": {}",
+                escape(name),
+                c.load(Ordering::Relaxed)
+            ));
+        });
+        out.push_str("},\n");
+
+        out.push_str("  \"gauges\": {");
+        let gauges = sorted(&self.gauges);
+        push_entries(&mut out, gauges.len(), |out, i| {
+            let (name, g) = &gauges[i];
+            out.push_str(&format!(
+                "\"{}\": {}",
+                escape(name),
+                g.load(Ordering::Relaxed)
+            ));
+        });
+        out.push_str("},\n");
+
+        out.push_str("  \"histograms\": {");
+        let hists = sorted(&self.histograms);
+        push_entries(&mut out, hists.len(), |out, i| {
+            let (name, h) = &hists[i];
+            let buckets: Vec<String> = h
+                .nonzero_buckets()
+                .iter()
+                .map(|(b, n)| format!("[{b}, {n}]"))
+                .collect();
+            out.push_str(&format!(
+                "\"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [{}]}}",
+                escape(name),
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                buckets.join(", ")
+            ));
+        });
+        out.push_str("},\n");
+
+        out.push_str("  \"timings\": {");
+        let timings = sorted(&self.timings);
+        push_entries(&mut out, timings.len(), |out, i| {
+            let (name, t) = &timings[i];
+            if include_timings {
+                out.push_str(&format!(
+                    "\"{}\": {{\"calls\": {}, \"total_ns\": {}}}",
+                    escape(name),
+                    t.calls(),
+                    t.total_ns()
+                ));
+            } else {
+                out.push_str(&format!(
+                    "\"{}\": {{\"calls\": {}}}",
+                    escape(name),
+                    t.calls()
+                ));
+            }
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Renders a human-readable summary table (the block `repro` appends to
+    /// its output).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let counters = sorted(&self.counters);
+        if !counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, c) in &counters {
+                out.push_str(&format!("  {name:<36} {}\n", c.load(Ordering::Relaxed)));
+            }
+        }
+        let gauges = sorted(&self.gauges);
+        if !gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, g) in &gauges {
+                out.push_str(&format!("  {name:<36} {}\n", g.load(Ordering::Relaxed)));
+            }
+        }
+        let hists = sorted(&self.histograms);
+        if !hists.is_empty() {
+            out.push_str("histograms (count / min / mean / max):\n");
+            for (name, h) in &hists {
+                out.push_str(&format!(
+                    "  {name:<36} {} / {} / {:.1} / {}\n",
+                    h.count(),
+                    h.min(),
+                    h.mean(),
+                    h.max()
+                ));
+            }
+        }
+        let timings = sorted(&self.timings);
+        if !timings.is_empty() {
+            out.push_str("timings (calls / total / mean):\n");
+            for (name, t) in &timings {
+                let calls = t.calls();
+                let total = t.total_ns();
+                let mean = total.checked_div(calls).unwrap_or(0);
+                out.push_str(&format!(
+                    "  {name:<36} {calls} / {} / {}\n",
+                    fmt_ns(total),
+                    fmt_ns(mean)
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+fn push_entries(out: &mut String, n: usize, mut write: impl FnMut(&mut String, usize)) {
+    for i in 0..n {
+        if i == 0 {
+            out.push_str("\n    ");
+        } else {
+            out.push_str(",\n    ");
+        }
+        write(out, i);
+    }
+    if n > 0 {
+        out.push_str("\n  ");
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Formats nanoseconds with a human unit (ns/µs/ms/s).
+pub fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{}µs", ns / 1_000),
+        10_000_000..=999_999_999 => format!("{}ms", ns / 1_000_000),
+        _ => format!("{:.1}s", ns as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let r = Recorder::new();
+        r.counter_add("a.b", 3);
+        r.counter_add("a.b", 4);
+        r.gauge_set("g", -2);
+        r.gauge_set("g", 9);
+        assert_eq!(r.counter_value("a.b"), 7);
+        assert_eq!(r.gauge_value("g"), 9);
+    }
+
+    #[test]
+    fn merge_adds_counters_overwrites_gauges_and_merges_histograms() {
+        let parent = Recorder::new();
+        parent.counter_add("c", 1);
+        parent.gauge_set("g", 5);
+        parent.record("h", 10);
+        parent.timing_record("t", 100);
+
+        let child = Recorder::new();
+        child.counter_add("c", 2);
+        child.counter_add("only_child", 1);
+        child.gauge_set("g", 7);
+        child.record("h", 20);
+        child.timing_record("t", 50);
+
+        parent.merge_from(&child);
+        assert_eq!(parent.counter_value("c"), 3);
+        assert_eq!(parent.counter_value("only_child"), 1);
+        assert_eq!(parent.gauge_value("g"), 7);
+        assert_eq!(parent.histogram("h").count(), 2);
+        assert_eq!(parent.histogram("h").sum(), 30);
+        assert_eq!(parent.timing_calls("t"), 2);
+        assert_eq!(parent.timing_total_ns("t"), 150);
+    }
+
+    #[test]
+    fn merge_order_does_not_change_sums() {
+        let make = |vals: &[u64]| {
+            let r = Recorder::new();
+            for &v in vals {
+                r.counter_add("c", v);
+                r.record("h", v);
+            }
+            r
+        };
+        let a = make(&[1, 2]);
+        let b = make(&[10]);
+        let left = Recorder::new();
+        left.merge_from(&a);
+        left.merge_from(&b);
+        let right = Recorder::new();
+        right.merge_from(&b);
+        right.merge_from(&a);
+        assert_eq!(left.to_json(false), right.to_json(false));
+    }
+
+    #[test]
+    fn json_view_without_timings_hides_wall_clock() {
+        let r = Recorder::new();
+        r.counter_add("c", 1);
+        r.timing_record("t", 12345);
+        let with = r.to_json(true);
+        let without = r.to_json(false);
+        assert!(with.contains("total_ns"));
+        assert!(!without.contains("total_ns"));
+        assert!(without.contains("\"calls\": 1"));
+        assert!(with.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
+    }
+
+    #[test]
+    fn json_is_sorted_and_stable() {
+        let r = Recorder::new();
+        r.counter_add("zeta", 1);
+        r.counter_add("alpha", 1);
+        let json = r.to_json(false);
+        let a = json.find("alpha").unwrap();
+        let z = json.find("zeta").unwrap();
+        assert!(a < z, "keys must serialize in sorted order");
+        assert_eq!(json, r.to_json(false));
+    }
+
+    #[test]
+    fn summary_mentions_every_section() {
+        let r = Recorder::new();
+        assert!(r.summary().contains("no metrics"));
+        r.counter_add("c", 1);
+        r.gauge_set("g", 2);
+        r.record("h", 3);
+        r.timing_record("t", 4);
+        let s = r.summary();
+        for needle in ["counters:", "gauges:", "histograms", "timings"] {
+            assert!(s.contains(needle), "summary missing {needle}: {s}");
+        }
+    }
+
+    #[test]
+    fn fmt_ns_picks_sensible_units() {
+        assert_eq!(fmt_ns(500), "500ns");
+        assert_eq!(fmt_ns(50_000), "50µs");
+        assert_eq!(fmt_ns(50_000_000), "50ms");
+        assert_eq!(fmt_ns(2_500_000_000), "2.5s");
+    }
+}

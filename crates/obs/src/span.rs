@@ -1,0 +1,76 @@
+//! RAII scoped-span timing.
+
+use std::time::Instant;
+
+/// A scoped timing span. Created by [`crate::span`]; on drop it records
+/// one call and the elapsed wall-clock nanoseconds under its name in the
+/// active recorder. Spans nest freely (each guard is independent); a span
+/// held across a [`crate::with_recorder`] boundary records into whichever
+/// recorder is active *when it drops*.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+pub struct Span {
+    /// `None` when observability is off — drop becomes a no-op.
+    armed: Option<(String, Instant)>,
+}
+
+impl Span {
+    pub(crate) fn new(name: String) -> Self {
+        Span {
+            armed: crate::enabled().then(|| (name, Instant::now())),
+        }
+    }
+
+    pub(crate) fn disarmed() -> Self {
+        Span { armed: None }
+    }
+
+    /// Ends the span now instead of at end of scope.
+    pub fn end(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.armed.take() {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            crate::current().timing_record(&name, ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+    use std::sync::Arc;
+
+    #[test]
+    fn span_records_calls_and_time_on_drop() {
+        if !crate::enabled() {
+            return; // BOMBDROID_OBS=off disarms spans.
+        }
+        let rec = Arc::new(Recorder::new());
+        crate::with_recorder(rec.clone(), || {
+            for _ in 0..3 {
+                let _s = crate::span("unit.work");
+            }
+            // Nested spans record independently.
+            let outer = crate::span("unit.outer");
+            let inner = crate::span("unit.inner");
+            inner.end();
+            outer.end();
+        });
+        assert_eq!(rec.timing_calls("unit.work"), 3);
+        assert_eq!(rec.timing_calls("unit.outer"), 1);
+        assert_eq!(rec.timing_calls("unit.inner"), 1);
+    }
+
+    #[test]
+    fn disarmed_span_records_nothing() {
+        let rec = Arc::new(Recorder::new());
+        crate::with_recorder(rec.clone(), || {
+            let _s = Span::disarmed();
+        });
+        assert!(rec.is_empty());
+    }
+}

@@ -2,7 +2,7 @@
 //! Traceview-based profiling, §7.1) observes about a run.
 
 use bombdroid_dex::{MethodRef, Value};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Cap on recorded samples per field, to bound memory in long profiles.
 pub const FIELD_SAMPLE_CAP: usize = 8_192;
@@ -39,8 +39,10 @@ pub struct Telemetry {
     pub instr_executed: u64,
     /// Events fired through entry points.
     pub events_run: u64,
-    /// Per-method invocation counts (the Traceview analogue).
-    pub method_calls: HashMap<MethodRef, u64>,
+    /// Per-method invocation counts (the Traceview analogue). A `BTreeMap`
+    /// so profile reports and hot-method derivation iterate in a stable
+    /// order regardless of hasher state.
+    pub method_calls: BTreeMap<MethodRef, u64>,
     /// Obfuscated outer trigger conditions observed *satisfied*:
     /// `(method, pc)` of a hash-equality branch that evaluated true.
     pub outer_satisfied: BTreeSet<(MethodRef, usize)>,
@@ -127,6 +129,16 @@ mod tests {
         assert_eq!(&*hot[0].name, "a");
         let hot40 = t.hot_methods(0.4);
         assert_eq!(hot40.len(), 2);
+    }
+
+    #[test]
+    fn method_calls_iterate_deterministically_sorted() {
+        let mut t = Telemetry::new();
+        for name in ["zed", "alpha", "mid", "beta"] {
+            t.method_calls.insert(MethodRef::new("C", name), 1);
+        }
+        let names: Vec<String> = t.method_calls.keys().map(|m| m.name.to_string()).collect();
+        assert_eq!(names, vec!["alpha", "beta", "mid", "zed"]);
     }
 
     #[test]

@@ -194,6 +194,28 @@ impl Vm {
         self.telemetry
     }
 
+    /// Publishes this VM's telemetry-derived metrics (instruction volume,
+    /// decrypt success/failure, triggered bombs, responses) into the
+    /// active `bombdroid-obs` recorder. Harness code calls this once per
+    /// finished run; pairing `vm.instr_executed` with the harness's
+    /// `vm.drive`/`vm.session` span yields instructions-per-second, and
+    /// `vm.decrypt_failures` over `vm.decrypt_failures +
+    /// vm.blobs_decrypted` is the decrypt-failure rate.
+    pub fn publish_obs(&self) {
+        if !bombdroid_obs::enabled() {
+            return;
+        }
+        let t = &self.telemetry;
+        bombdroid_obs::counter_add("vm.runs", 1);
+        bombdroid_obs::counter_add("vm.instr_executed", t.instr_executed);
+        bombdroid_obs::counter_add("vm.events_run", t.events_run);
+        bombdroid_obs::counter_add("vm.blobs_decrypted", t.blobs_decrypted.len() as u64);
+        bombdroid_obs::counter_add("vm.decrypt_failures", t.decrypt_failures);
+        bombdroid_obs::counter_add("vm.bombs_triggered", t.markers.len() as u64);
+        bombdroid_obs::counter_add("vm.responses", t.responses.len() as u64);
+        bombdroid_obs::counter_add("vm.piracy_reports", t.piracy_reports);
+    }
+
     /// Current virtual time in milliseconds.
     pub fn clock_ms(&self) -> u64 {
         self.clock_ms

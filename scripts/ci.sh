@@ -30,4 +30,14 @@ else
     echo "==> cargo fmt not installed; skipping format check"
 fi
 
+# Observability smoke: one fast experiment must produce a metrics.json
+# artifact that parses, matches the bombdroid-obs schema, and contains the
+# core instrumentation points. Catches refactors that silently stop
+# recording or break the exporter.
+run env BOMBDROID_OBS=full BOMBDROID_THREADS=2 \
+    cargo run -q --release --offline -p bombdroid-bench --bin repro -- --fast table5
+run cargo run -q --release --offline -p bombdroid-bench --bin metrics_check -- \
+    target/repro_output/metrics.json \
+    fleet.tasks vm.instr_executed pipeline.apps_protected cache.requests
+
 echo "==> ci green"
