@@ -142,7 +142,7 @@ impl ApkFile {
 
     /// Size of the `classes.dex` entry alone.
     pub fn dex_size(&self) -> usize {
-        wire::encode_dex(&self.dex).len()
+        wire::encoded_dex_len(&self.dex)
     }
 
     /// Re-signs the APK in place with `key` (after content mutation).

@@ -1,0 +1,118 @@
+//! Criterion mirror of the `perf` harness suite: the same hot paths,
+//! interactively. Use `perf` (the bin) for the committed machine-readable
+//! artifact; use this for quick local iteration on one path.
+
+use bombdroid_bench::{experiments::protect_app, fixed_keys};
+use bombdroid_core::ProtectConfig;
+use bombdroid_crypto::{aes, blob, kdf};
+use bombdroid_dex::{wire, Value};
+use bombdroid_runtime::{DeviceEnv, EventSource, InstalledPackage, RandomEventSource, Vm};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_site_material(c: &mut Criterion) {
+    // The one-pass per-bomb derivation: condition hash + payload key.
+    let constant = Value::Int(0xfff000);
+    let salt = [9u8; 8];
+    c.bench_function("site_material/int", |b| {
+        b.iter(|| {
+            kdf::site_material(
+                &std::hint::black_box(&constant).canonical_bytes(),
+                std::hint::black_box(&salt),
+            )
+        })
+    });
+}
+
+fn bench_schedule_reuse(c: &mut Criterion) {
+    // Free-function CTR re-expands the key schedule per call; the method
+    // amortizes it. The gap is what blob::seal saves per bomb.
+    let key = [7u8; 16];
+    let mut data = vec![0u8; 1024];
+    let mut g = c.benchmark_group("ctr_schedule");
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("fresh_schedule", |b| {
+        b.iter(|| aes::ctr_xor(&key, 42, std::hint::black_box(&mut data)))
+    });
+    let aes = aes::Aes128::new(&key);
+    g.bench_function("reused_schedule", |b| {
+        b.iter(|| aes.ctr_xor(42, std::hint::black_box(&mut data)))
+    });
+    g.finish();
+}
+
+fn bench_seal(c: &mut Criterion) {
+    let key = kdf::derive_key(b"constant", b"salt");
+    let payload = vec![0x5Au8; 400];
+    let mut g = c.benchmark_group("blob");
+    g.throughput(Throughput::Bytes(400));
+    g.bench_function("seal/400", |b| {
+        b.iter(|| blob::seal(&key, std::hint::black_box(&payload)))
+    });
+    g.finish();
+}
+
+fn bench_dex_sizes(c: &mut Criterion) {
+    // encoded_dex_len vs a full encode: the size-reporting path the protect
+    // pipeline runs twice per APK.
+    let app = bombdroid_corpus::flagship::hash_droid();
+    let mut g = c.benchmark_group("dex_size");
+    g.bench_function("encode_then_len", |b| {
+        b.iter(|| wire::encode_dex(std::hint::black_box(&app.dex)).len())
+    });
+    g.bench_function("encoded_dex_len", |b| {
+        b.iter(|| wire::encoded_dex_len(std::hint::black_box(&app.dex)))
+    });
+    g.finish();
+}
+
+fn bench_protect(c: &mut Criterion) {
+    let (dev, _) = fixed_keys();
+    let app = bombdroid_corpus::flagship::hash_droid();
+    let apk = app.apk(&dev);
+    let protector = bombdroid_core::Protector::new(ProtectConfig::fast_profile());
+    c.bench_function("protect/hash_droid", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            protector
+                .protect(std::hint::black_box(&apk), &mut rng)
+                .unwrap()
+                .report
+                .bombs_injected()
+        })
+    });
+}
+
+fn bench_vm_drive(c: &mut Criterion) {
+    let app = bombdroid_corpus::flagship::hash_droid();
+    let (_, signed) = protect_app(&app, ProtectConfig::fast_profile(), 0xBE);
+    let pkg = InstalledPackage::install(&signed).expect("signed install");
+    c.bench_function("vm/drive_50ev", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut vm = Vm::boot(pkg.clone(), DeviceEnv::sample(&mut rng), 3);
+            let mut source = RandomEventSource;
+            let dex = vm.pkg.dex.clone();
+            for _ in 0..50 {
+                if let Some(ev) = source.next_event(&dex, &mut rng) {
+                    let _ = vm.fire_entry(ev.entry_index, ev.args);
+                }
+                if vm.is_killed() || vm.is_frozen() {
+                    break;
+                }
+            }
+            vm.telemetry().instr_executed
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_site_material,
+    bench_schedule_reuse,
+    bench_seal,
+    bench_dex_sizes,
+    bench_protect,
+    bench_vm_drive
+);
+criterion_main!(benches);

@@ -1,0 +1,204 @@
+//! Hot-path perf harness: measures the protection pipeline end to end and
+//! emits a machine-readable artifact.
+//!
+//! ```text
+//! perf [--fast] [--filter SUBSTR] [--out PATH]   # measure + write JSON
+//! perf --check PATH                              # validate an artifact
+//! ```
+//!
+//! Default output is `BENCH_pipeline.json` in the current directory (run
+//! from the repo root to refresh the committed artifact). `--fast` is the
+//! CI smoke profile: it validates the plumbing end to end but its numbers
+//! are not comparison-grade. See EXPERIMENTS.md § "Perf harness" for the
+//! schema and how to compare runs across PRs.
+
+use bombdroid_bench::perf::{run_bench, to_json, validate_bench_json, BenchResult, PerfConfig};
+use bombdroid_bench::{experiments::protect_app, fixed_keys};
+use bombdroid_core::ProtectConfig;
+use bombdroid_crypto::{aes, blob, kdf, sha1, sha256};
+use bombdroid_dex::{wire, Value};
+use bombdroid_runtime::{DeviceEnv, EventSource, InstalledPackage, RandomEventSource, Vm};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("usage: perf --check <path>");
+            std::process::exit(2);
+        };
+        return check(path);
+    }
+    let fast = args.iter().any(|a| a == "--fast");
+    let filter = flag_value(&args, "--filter");
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let (mode, config) = if fast {
+        ("fast", PerfConfig::fast())
+    } else {
+        ("full", PerfConfig::full())
+    };
+
+    let results = run_all(&config, filter.as_deref());
+    for r in &results {
+        let bps = match r.bytes_per_s() {
+            Some(v) => format!("{:>10.1} MB/s", v as f64 / 1e6),
+            None => String::new(),
+        };
+        eprintln!(
+            "perf {:<32} p50 {:>12} ns  p95 {:>12} ns  ({} iters) {}",
+            r.name, r.p50_ns, r.p95_ns, r.iters, bps
+        );
+    }
+    let json = to_json(mode, &results);
+    validate_bench_json(&json).expect("perf harness emitted invalid JSON");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!(
+        "perf: wrote {} benchmarks to {out} (mode: {mode})",
+        results.len()
+    );
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn check(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perf --check: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    match validate_bench_json(&text) {
+        Ok(n) => println!("perf --check: {path} OK ({n} benchmarks)"),
+        Err(e) => {
+            eprintln!("perf --check: {path} INVALID: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_all(config: &PerfConfig, filter: Option<&str>) -> Vec<BenchResult> {
+    let mut results = Vec::new();
+    let wanted = |name: &str| filter.map(|f| name.contains(f)).unwrap_or(true);
+    let mut push = |r: BenchResult| results.push(r);
+
+    // --- crypto: the per-bomb primitives (KDF, trigger hash, seal/open) ---
+    if wanted("crypto/sha256_4k") {
+        let data = vec![0xA5u8; 4096];
+        push(run_bench("crypto/sha256_4k", Some(4096), config, || {
+            std::hint::black_box(sha256::digest(std::hint::black_box(&data)));
+        }));
+    }
+    if wanted("crypto/sha1_4k") {
+        let data = vec![0x5Au8; 4096];
+        push(run_bench("crypto/sha1_4k", Some(4096), config, || {
+            std::hint::black_box(sha1::digest(std::hint::black_box(&data)));
+        }));
+    }
+    if wanted("crypto/aes_ctr_16k") {
+        let key = [7u8; 16];
+        let mut data = vec![0u8; 16_384];
+        push(run_bench(
+            "crypto/aes_ctr_16k",
+            Some(16_384),
+            config,
+            || {
+                aes::ctr_xor(&key, 42, std::hint::black_box(&mut data));
+            },
+        ));
+    }
+    if wanted("crypto/bomb_site_material") {
+        // Exactly the per-bomb derivation the instrument stage performs:
+        // condition hash + payload key from one trigger constant + salt.
+        let constant = Value::Int(0xfff000);
+        let salt = [9u8; 8];
+        push(run_bench("crypto/bomb_site_material", None, config, || {
+            let m = kdf::site_material(
+                &std::hint::black_box(&constant).canonical_bytes(),
+                std::hint::black_box(&salt),
+            );
+            std::hint::black_box((m.key, m.condition_hash));
+        }));
+    }
+    if wanted("crypto/blob_seal_400") {
+        let key = kdf::derive_key(b"constant", b"salt");
+        let payload = vec![0x5Au8; 400];
+        push(run_bench("crypto/blob_seal_400", Some(400), config, || {
+            std::hint::black_box(blob::seal(&key, std::hint::black_box(&payload)));
+        }));
+    }
+    if wanted("crypto/blob_open_400") {
+        let key = kdf::derive_key(b"constant", b"salt");
+        let sealed = blob::seal(&key, &vec![0x5Au8; 400]);
+        push(run_bench("crypto/blob_open_400", Some(400), config, || {
+            std::hint::black_box(blob::open(&key, std::hint::black_box(&sealed)).unwrap());
+        }));
+    }
+
+    // --- dex wire: serialization cost behind packaging + size reporting ---
+    let app = bombdroid_corpus::flagship::hash_droid();
+    let encoded = wire::encode_dex(&app.dex);
+    if wanted("dex/encode_dex") {
+        let bytes = encoded.len() as u64;
+        push(run_bench("dex/encode_dex", Some(bytes), config, || {
+            std::hint::black_box(wire::encode_dex(std::hint::black_box(&app.dex)));
+        }));
+    }
+    if wanted("dex/decode_dex") {
+        let bytes = encoded.len() as u64;
+        push(run_bench("dex/decode_dex", Some(bytes), config, || {
+            std::hint::black_box(wire::decode_dex(std::hint::black_box(&encoded)).unwrap());
+        }));
+    }
+
+    // --- analysis: QC scanning (site planning input) ---
+    if wanted("analysis/qc_scan_dex") {
+        push(run_bench("analysis/qc_scan_dex", None, config, || {
+            std::hint::black_box(bombdroid_analysis::qc::scan_dex(std::hint::black_box(
+                &app.dex,
+            )));
+        }));
+    }
+
+    // --- pipeline: the full protect pass (the service's per-APK cost) ---
+    let (dev, _) = fixed_keys();
+    let apk = app.apk(&dev);
+    let protect_config = ProtectConfig::fast_profile();
+    if wanted("pipeline/protect_flagship") {
+        let protector = bombdroid_core::Protector::new(protect_config.clone());
+        push(run_bench("pipeline/protect_flagship", None, config, || {
+            let mut rng = StdRng::seed_from_u64(1);
+            std::hint::black_box(
+                protector
+                    .protect(std::hint::black_box(&apk), &mut rng)
+                    .unwrap()
+                    .report
+                    .bombs_injected(),
+            );
+        }));
+    }
+
+    // --- runtime: protected-app event throughput (Table 5's kernel) ---
+    if wanted("vm/drive_protected_50ev") {
+        let (_, signed) = protect_app(&app, protect_config, 0xBE);
+        let pkg = InstalledPackage::install(&signed).expect("signed install");
+        push(run_bench("vm/drive_protected_50ev", None, config, || {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut vm = Vm::boot(pkg.clone(), DeviceEnv::sample(&mut rng), 3);
+            let mut source = RandomEventSource;
+            let dex = vm.pkg.dex.clone();
+            for _ in 0..50 {
+                if let Some(ev) = source.next_event(&dex, &mut rng) {
+                    let _ = vm.fire_entry(ev.entry_index, ev.args);
+                }
+                if vm.is_killed() || vm.is_frozen() {
+                    break;
+                }
+            }
+            std::hint::black_box(vm.telemetry().instr_executed);
+        }));
+    }
+
+    results
+}

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 pub mod print;
 
 /// Developer/pirate keypair fixture shared by all experiments so results

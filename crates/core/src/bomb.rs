@@ -131,15 +131,17 @@ fn emit_payload(f: &mut FragmentBuilder, spec: &PayloadSpec) {
     f.place_label(after);
 }
 
-/// Seals a fragment under the site constant and registers the blob.
+/// Seals a fragment under an already-derived site key and registers the
+/// blob. The key comes from the same [`kdf::site_material`] call that
+/// produced the stored condition hash, so each bomb serializes its trigger
+/// constant exactly once.
 fn seal_fragment(
     blobs: &mut Vec<EncryptedBlob>,
-    constant: &Value,
+    key: &bombdroid_crypto::Key128,
     salt: &[u8],
     fragment: Vec<Instr>,
 ) -> BlobId {
-    let key = kdf::derive_key(&constant.canonical_bytes(), salt);
-    let sealed = crypto_blob::seal(&key, &wire::encode_fragment(&fragment));
+    let sealed = crypto_blob::seal(key, &wire::encode_fragment(&fragment));
     let id = BlobId(blobs.len() as u32);
     blobs.push(EncryptedBlob {
         salt: salt.to_vec(),
@@ -184,7 +186,8 @@ pub fn arm_existing(
         fragment.extend(weave_body(&body, body_entry, skip, frag_base)?);
     }
 
-    let hc = kdf::condition_hash(&site.constant.canonical_bytes(), salt);
+    let material = kdf::site_material(&site.constant.canonical_bytes(), salt);
+    let hc = material.condition_hash;
     let blob_id_placeholder = blobs.len() as u32;
     let hreg = Reg(method.registers);
     // Without weaving the original body stays in plaintext inside the
@@ -216,7 +219,7 @@ pub fn arm_existing(
     }
     rewrite_region(method, planned.anchor, skip, replacement)?;
     method.registers = method.registers.max(max_frag_reg);
-    Ok(seal_fragment(blobs, &site.constant, salt, fragment))
+    Ok(seal_fragment(blobs, &material.key, salt, fragment))
 }
 
 /// Inserts and arms an artificial-QC bomb at the planned location.
@@ -237,7 +240,8 @@ pub fn arm_artificial(
     emit_payload(&mut f, spec);
     let fragment = f.finish()?;
 
-    let hc = kdf::condition_hash(&planned.constant.canonical_bytes(), salt);
+    let material = kdf::site_material(&planned.constant.canonical_bytes(), salt);
+    let hc = material.condition_hash;
     let sreg = Reg(method.registers);
     let hreg = Reg(method.registers + 1);
     let replacement_len = 4usize;
@@ -264,7 +268,7 @@ pub fn arm_artificial(
     ];
     rewrite_region(method, planned.at, planned.at, replacement)?;
     method.registers = method.registers.max(scratch_base + 16);
-    Ok(seal_fragment(blobs, &planned.constant, salt, fragment))
+    Ok(seal_fragment(blobs, &material.key, salt, fragment))
 }
 
 #[cfg(test)]

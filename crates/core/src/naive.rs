@@ -49,7 +49,7 @@ impl NaiveProtector {
             existing_qc_found: plan.existing_qc_found,
             candidate_methods: plan.candidate_methods,
             hot_methods: plan.hot_methods,
-            original_dex_size: wire::encode_dex(&apk.dex).len(),
+            original_dex_size: wire::encoded_dex_len(&apk.dex),
             ..ProtectReport::default()
         };
 
@@ -101,7 +101,7 @@ impl NaiveProtector {
             marker += 1;
         }
 
-        report.protected_dex_size = wire::encode_dex(&dex).len();
+        report.protected_dex_size = wire::encoded_dex_len(&dex);
         Ok(ProtectedApp {
             dex,
             strings: apk.strings.clone(),

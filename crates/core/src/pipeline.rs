@@ -165,7 +165,7 @@ impl Protector {
             candidate_methods: plan.candidate_methods,
             hot_methods: plan.hot_methods,
             skipped_sites: plan.skipped_sites,
-            original_dex_size: wire::encode_dex(&apk.dex).len(),
+            original_dex_size: wire::encoded_dex_len(&apk.dex),
             ..ProtectReport::default()
         };
 
@@ -274,7 +274,7 @@ impl Protector {
         {
             let _span = obs::span("pipeline.validate");
             bombdroid_dex::validate(&dex).map_err(ProtectError::Validate)?;
-            report.protected_dex_size = wire::encode_dex(&dex).len();
+            report.protected_dex_size = wire::encoded_dex_len(&dex);
         }
 
         let count_kind =

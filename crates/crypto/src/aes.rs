@@ -9,6 +9,21 @@ use crate::Key128;
 /// Forward S-box, generated from the AES finite-field inverse + affine map.
 const SBOX: [u8; 256] = build_sbox();
 
+/// `x·2` and `x·3` in GF(2^8), precomputed so MixColumns is four table
+/// lookups per byte instead of a bit-serial multiply.
+const MUL2: [u8; 256] = build_mul_table(2);
+const MUL3: [u8; 256] = build_mul_table(3);
+
+const fn build_mul_table(factor: u8) -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        table[i] = gf_mul(i as u8, factor);
+        i += 1;
+    }
+    table
+}
+
 const fn gf_mul(mut a: u8, mut b: u8) -> u8 {
     let mut p = 0u8;
     let mut i = 0;
@@ -126,6 +141,24 @@ impl Aes128 {
         add_round_key(&mut state, &self.round_keys[10]);
         state
     }
+
+    /// XORs `data` in place with this key's CTR keystream for `nonce`.
+    ///
+    /// Equivalent to the free [`ctr_xor`], but reuses the already-expanded
+    /// schedule — callers encrypting several buffers under one key (a
+    /// sealed blob's ciphertext, its re-derived plaintext) pay for key
+    /// expansion once.
+    pub fn ctr_xor(&self, nonce: u64, data: &mut [u8]) {
+        let mut counter_block = [0u8; 16];
+        counter_block[..8].copy_from_slice(&nonce.to_be_bytes());
+        for (i, chunk) in data.chunks_mut(16).enumerate() {
+            counter_block[8..].copy_from_slice(&(i as u64).to_be_bytes());
+            let ks = self.encrypt_block(&counter_block);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
 }
 
 fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
@@ -158,10 +191,10 @@ fn mix_columns(state: &mut [u8; 16]) {
             state[4 * c + 2],
             state[4 * c + 3],
         ];
-        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
-        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
-        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
-        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+        state[4 * c] = MUL2[col[0] as usize] ^ MUL3[col[1] as usize] ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ MUL2[col[1] as usize] ^ MUL3[col[2] as usize] ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ MUL2[col[2] as usize] ^ MUL3[col[3] as usize];
+        state[4 * c + 3] = MUL3[col[0] as usize] ^ col[1] ^ col[2] ^ MUL2[col[3] as usize];
     }
 }
 
@@ -180,16 +213,7 @@ fn mix_columns(state: &mut [u8; 16]) {
 /// assert_eq!(&data, b"logic bomb payload");
 /// ```
 pub fn ctr_xor(key: &Key128, nonce: u64, data: &mut [u8]) {
-    let aes = Aes128::new(key);
-    let mut counter_block = [0u8; 16];
-    counter_block[..8].copy_from_slice(&nonce.to_be_bytes());
-    for (i, chunk) in data.chunks_mut(16).enumerate() {
-        counter_block[8..].copy_from_slice(&(i as u64).to_be_bytes());
-        let ks = aes.encrypt_block(&counter_block);
-        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
-            *b ^= k;
-        }
-    }
+    Aes128::new(key).ctr_xor(nonce, data);
 }
 
 #[cfg(test)]

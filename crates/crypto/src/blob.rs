@@ -65,13 +65,14 @@ pub fn seal(key: &Key128, plaintext: &[u8]) -> Vec<u8> {
 
 /// Seals `plaintext` under `key` with an explicit CTR nonce.
 pub fn seal_with_nonce(key: &Key128, nonce: u64, plaintext: &[u8]) -> Vec<u8> {
-    let mut ct = plaintext.to_vec();
-    aes::ctr_xor(key, nonce, &mut ct);
     let nonce_bytes = nonce.to_be_bytes();
-    let tag = mac(key, &nonce_bytes, &ct);
-    let mut out = Vec::with_capacity(NONCE_LEN + ct.len() + TAG_LEN);
+    // One exact-size allocation: encrypt the payload in place inside the
+    // output frame rather than through an intermediate ciphertext buffer.
+    let mut out = Vec::with_capacity(NONCE_LEN + plaintext.len() + TAG_LEN);
     out.extend_from_slice(&nonce_bytes);
-    out.extend_from_slice(&ct);
+    out.extend_from_slice(plaintext);
+    aes::ctr_xor(key, nonce, &mut out[NONCE_LEN..]);
+    let tag = mac(key, &nonce_bytes, &out[NONCE_LEN..]);
     out.extend_from_slice(&tag);
     out
 }

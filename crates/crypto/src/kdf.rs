@@ -50,6 +50,26 @@ pub fn condition_hash(c: &[u8], salt: &[u8]) -> Digest160 {
     h.finalize()
 }
 
+/// Everything a bomb site derives from its `(c, salt)` pair: the stored
+/// condition hash and the payload-encryption key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteMaterial {
+    /// Payload-encryption key, as from [`derive_key`].
+    pub key: Key128,
+    /// Stored condition hash, as from [`condition_hash`].
+    pub condition_hash: Digest160,
+}
+
+/// Derives both per-site values in one call so arming a bomb serializes
+/// the trigger constant once instead of once per derivation. Identical
+/// output to calling [`derive_key`] and [`condition_hash`] separately.
+pub fn site_material(c: &[u8], salt: &[u8]) -> SiteMaterial {
+    SiteMaterial {
+        key: derive_key(c, salt),
+        condition_hash: condition_hash(c, salt),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,5 +91,15 @@ mod tests {
     #[test]
     fn deterministic() {
         assert_eq!(derive_key(b"x", b"y"), derive_key(b"x", b"y"));
+    }
+
+    #[test]
+    fn site_material_matches_individual_derivations() {
+        let m = site_material(b"trigger-const", b"salt8byt");
+        assert_eq!(m.key, derive_key(b"trigger-const", b"salt8byt"));
+        assert_eq!(
+            m.condition_hash,
+            condition_hash(b"trigger-const", b"salt8byt")
+        );
     }
 }

@@ -62,33 +62,67 @@ impl std::error::Error for WireError {}
 
 // ---------------------------------------------------------------- writer --
 
-#[derive(Default)]
-struct Writer {
-    buf: Vec<u8>,
+/// Where encoded bytes go: a real buffer, or a counter that only measures.
+/// Every `write_*` function is generic over the sink, so the byte format
+/// and the length computation can never drift apart.
+trait Sink {
+    fn put(&mut self, bytes: &[u8]);
+    fn put_byte(&mut self, b: u8);
 }
 
-impl Writer {
+impl Sink for Vec<u8> {
+    fn put(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+    fn put_byte(&mut self, b: u8) {
+        self.push(b);
+    }
+}
+
+/// Counts bytes without storing them — exact encoded lengths with no
+/// allocation or copying.
+#[derive(Default)]
+struct Counter(usize);
+
+impl Sink for Counter {
+    fn put(&mut self, bytes: &[u8]) {
+        self.0 += bytes.len();
+    }
+    fn put_byte(&mut self, _b: u8) {
+        self.0 += 1;
+    }
+}
+
+#[derive(Default)]
+struct Writer<S = Vec<u8>> {
+    buf: S,
+}
+
+impl<S: Sink> Writer<S> {
+    fn raw(&mut self, b: &[u8]) {
+        self.buf.put(b);
+    }
     fn u8(&mut self, v: u8) {
-        self.buf.push(v);
+        self.buf.put_byte(v);
     }
     fn u16(&mut self, v: u16) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.buf.put(&v.to_le_bytes());
     }
     fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.buf.put(&v.to_le_bytes());
     }
     fn i64(&mut self, v: i64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.buf.put(&v.to_le_bytes());
     }
     fn f64(&mut self, v: f64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.buf.put(&v.to_le_bytes());
     }
     fn usize32(&mut self, v: usize) {
         self.u32(u32::try_from(v).expect("construct too large for wire format"));
     }
     fn bytes(&mut self, b: &[u8]) {
         self.usize32(b.len());
-        self.buf.extend_from_slice(b);
+        self.buf.put(b);
     }
     fn str(&mut self, s: &str) {
         self.bytes(s.as_bytes());
@@ -174,7 +208,7 @@ impl<'a> Reader<'a> {
 
 // ---------------------------------------------------------------- values --
 
-fn write_value(w: &mut Writer, v: &Value) {
+fn write_value<S: Sink>(w: &mut Writer<S>, v: &Value) {
     match v {
         Value::Null => w.u8(0),
         Value::Bool(b) => {
@@ -212,7 +246,7 @@ fn read_value(r: &mut Reader) -> Result<Value, WireError> {
     })
 }
 
-fn write_method_ref(w: &mut Writer, m: &MethodRef) {
+fn write_method_ref<S: Sink>(w: &mut Writer<S>, m: &MethodRef) {
     w.str(m.class.as_str());
     w.str(&m.name);
 }
@@ -223,7 +257,7 @@ fn read_method_ref(r: &mut Reader) -> Result<MethodRef, WireError> {
     Ok(MethodRef::new(class.as_str(), name))
 }
 
-fn write_field_ref(w: &mut Writer, f: &FieldRef) {
+fn write_field_ref<S: Sink>(w: &mut Writer<S>, f: &FieldRef) {
     w.str(f.class.as_str());
     w.str(&f.name);
 }
@@ -393,7 +427,7 @@ fn sensor_from(tag: u8) -> Result<SensorKind, WireError> {
         })
 }
 
-fn write_host_api(w: &mut Writer, api: &HostApi) {
+fn write_host_api<S: Sink>(w: &mut Writer<S>, api: &HostApi) {
     match api {
         HostApi::GetPublicKey => w.u8(0),
         HostApi::GetManifestDigest => w.u8(1),
@@ -473,7 +507,7 @@ fn read_host_api(r: &mut Reader) -> Result<HostApi, WireError> {
 
 // ------------------------------------------------------------ instruction --
 
-fn write_instr(w: &mut Writer, i: &Instr) {
+fn write_instr<S: Sink>(w: &mut Writer<S>, i: &Instr) {
     match i {
         Instr::Const { dst, value } => {
             w.u8(0);
@@ -791,7 +825,7 @@ fn read_instr(r: &mut Reader) -> Result<Instr, WireError> {
 
 // ---------------------------------------------------------------- method --
 
-fn write_method(w: &mut Writer, m: &Method) {
+fn write_method<S: Sink>(w: &mut Writer<S>, m: &Method) {
     w.str(m.class.as_str());
     w.str(&m.name);
     w.u16(m.params);
@@ -821,7 +855,7 @@ fn read_method(r: &mut Reader) -> Result<Method, WireError> {
     })
 }
 
-fn write_class(w: &mut Writer, c: &Class) {
+fn write_class<S: Sink>(w: &mut Writer<S>, c: &Class) {
     w.str(c.name.as_str());
     w.usize32(c.fields.len());
     for f in &c.fields {
@@ -867,7 +901,7 @@ fn read_class(r: &mut Reader) -> Result<Class, WireError> {
     })
 }
 
-fn write_entry_point(w: &mut Writer, e: &EntryPoint) {
+fn write_entry_point<S: Sink>(w: &mut Writer<S>, e: &EntryPoint) {
     w.str(&e.event);
     write_method_ref(w, &e.method);
     w.usize32(e.params.len());
@@ -930,13 +964,11 @@ fn read_entry_point(r: &mut Reader) -> Result<EntryPoint, WireError> {
 
 // -------------------------------------------------------------- dex file --
 
-/// Encodes a complete DEX file.
-pub fn encode_dex(dex: &DexFile) -> Vec<u8> {
-    let mut w = Writer::default();
-    w.buf.extend_from_slice(MAGIC);
+fn write_dex<S: Sink>(w: &mut Writer<S>, dex: &DexFile) {
+    w.raw(MAGIC);
     w.usize32(dex.classes.len());
     for c in &dex.classes {
-        write_class(&mut w, c);
+        write_class(w, c);
     }
     w.usize32(dex.blobs.len());
     for b in &dex.blobs {
@@ -945,9 +977,32 @@ pub fn encode_dex(dex: &DexFile) -> Vec<u8> {
     }
     w.usize32(dex.entry_points.len());
     for e in &dex.entry_points {
-        write_entry_point(&mut w, e);
+        write_entry_point(w, e);
     }
+}
+
+/// Encodes a complete DEX file.
+pub fn encode_dex(dex: &DexFile) -> Vec<u8> {
+    // Measured: an exact-count pre-sizing pass costs a second full
+    // traversal, which is slower than amortized growth here; start from a
+    // page-sized buffer instead and let it double.
+    let mut w = Writer {
+        buf: Vec::with_capacity(4096),
+    };
+    write_dex(&mut w, dex);
     w.buf
+}
+
+/// Exact byte length of [`encode_dex`]'s output, without materializing it.
+///
+/// The protection pipeline records original/protected DEX sizes; counting
+/// through the same writers costs a traversal but no allocation or copying.
+pub fn encoded_dex_len(dex: &DexFile) -> usize {
+    let mut w = Writer {
+        buf: Counter::default(),
+    };
+    write_dex(&mut w, dex);
+    w.buf.0
 }
 
 /// Decodes a complete DEX file.
@@ -985,15 +1040,30 @@ pub fn decode_dex(bytes: &[u8]) -> Result<DexFile, WireError> {
     })
 }
 
-/// Encodes a standalone instruction fragment (the plaintext stored inside
-/// encrypted blobs).
-pub fn encode_fragment(body: &[Instr]) -> Vec<u8> {
-    let mut w = Writer::default();
+fn write_fragment<S: Sink>(w: &mut Writer<S>, body: &[Instr]) {
     w.usize32(body.len());
     for i in body {
-        write_instr(&mut w, i);
+        write_instr(w, i);
     }
+}
+
+/// Encodes a standalone instruction fragment (the plaintext stored inside
+/// encrypted blobs), pre-sized like [`encode_dex`].
+pub fn encode_fragment(body: &[Instr]) -> Vec<u8> {
+    let mut w = Writer {
+        buf: Vec::with_capacity(encoded_fragment_len(body)),
+    };
+    write_fragment(&mut w, body);
     w.buf
+}
+
+/// Exact byte length of [`encode_fragment`]'s output.
+pub fn encoded_fragment_len(body: &[Instr]) -> usize {
+    let mut w = Writer {
+        buf: Counter::default(),
+    };
+    write_fragment(&mut w, body);
+    w.buf.0
 }
 
 /// Decodes a standalone instruction fragment.
@@ -1014,7 +1084,7 @@ pub fn decode_fragment(bytes: &[u8]) -> Result<Vec<Instr>, WireError> {
 /// SHA-256 digest of a method's encoded body — the unit the code-snippet
 /// scanning detection method compares.
 pub fn method_digest(m: &Method) -> Digest256 {
-    let mut w = Writer::default();
+    let mut w: Writer = Writer::default();
     write_method(&mut w, m);
     sha256::digest(&w.buf)
 }
@@ -1022,7 +1092,7 @@ pub fn method_digest(m: &Method) -> Digest256 {
 /// SHA-256 digest of a class's encoded form (used for per-class install
 /// digests).
 pub fn class_digest(c: &Class) -> Digest256 {
-    let mut w = Writer::default();
+    let mut w: Writer = Writer::default();
     write_class(&mut w, c);
     sha256::digest(&w.buf)
 }
@@ -1122,5 +1192,18 @@ mod tests {
     fn encoding_is_deterministic() {
         let dex = rich_dex();
         assert_eq!(encode_dex(&dex), encode_dex(&dex));
+    }
+
+    #[test]
+    fn counted_lengths_match_encoded_lengths() {
+        let dex = rich_dex();
+        let bytes = encode_dex(&dex);
+        assert_eq!(encoded_dex_len(&dex), bytes.len());
+        let body = &dex.classes[0].methods[0].body;
+        assert_eq!(encoded_fragment_len(body), encode_fragment(body).len());
+        assert_eq!(
+            encoded_dex_len(&DexFile::new()),
+            encode_dex(&DexFile::new()).len()
+        );
     }
 }

@@ -165,7 +165,12 @@ impl<'a> Parser<'a> {
             self.eat(b':')?;
             self.skip_ws();
             let value = self.value()?;
-            map.insert(key, value);
+            if map.insert(key.clone(), value).is_some() {
+                // Duplicate keys would silently drop data (last-wins); the
+                // artifacts this parser validates never emit them, so treat
+                // any as corruption rather than guessing which value wins.
+                return Err(self.err(&format!("duplicate object key {key:?}")));
+            }
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
@@ -317,6 +322,16 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse("1 2").is_err());
         assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_object_keys() {
+        let err = parse(r#"{"a": 1, "a": 2}"#).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+        // Nested objects are checked too.
+        assert!(parse(r#"{"outer": {"x": 1, "x": 1}}"#).is_err());
+        // Same key at different depths is fine.
+        assert!(parse(r#"{"a": {"a": 1}}"#).is_ok());
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! `parse(export(recorder))` round-trip coverage for the obs JSON layer,
+//! plus malformed-input behaviour: every bad document must come back as a
+//! `ParseError`, never a panic.
+
+use bombdroid_obs::json::{self, JsonValue};
+use bombdroid_obs::Recorder;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    /// Whatever a recorder accumulates, its JSON export parses back to the
+    /// same counters, gauges, histogram summaries, and timing call counts.
+    #[test]
+    fn recorder_export_parses_back_to_recorded_values(
+        counters in proptest::collection::vec(("[a-z_]{1,10}", 0u64..1_000_000u64), 0..8),
+        gauges in proptest::collection::vec(("[a-z_]{1,10}", -500i64..500i64), 0..6),
+        hist_values in proptest::collection::vec(0u64..100_000u64, 0..16),
+        timing_calls in 0u64..12u64,
+        include_timings in any::<bool>(),
+    ) {
+        let r = Recorder::new();
+        // Repeated names are legal at the API level: counter adds
+        // accumulate, gauge sets overwrite (last wins).
+        let mut want_counters: BTreeMap<String, u64> = BTreeMap::new();
+        for (name, delta) in &counters {
+            r.counter_add(name, *delta);
+            *want_counters.entry(name.clone()).or_default() += *delta;
+        }
+        let mut want_gauges: BTreeMap<String, i64> = BTreeMap::new();
+        for (name, value) in &gauges {
+            r.gauge_set(name, *value);
+            want_gauges.insert(name.clone(), *value);
+        }
+        for v in &hist_values {
+            r.record("h", *v);
+        }
+        for _ in 0..timing_calls {
+            r.timing_record("t", 5);
+        }
+
+        let doc = json::parse(&r.to_json(include_timings)).expect("export must parse");
+        prop_assert!(doc.get("schema_version").and_then(JsonValue::as_int).is_some());
+        for (name, total) in &want_counters {
+            let got = doc.get("counters").and_then(|c| c.get(name)).and_then(JsonValue::as_int);
+            prop_assert_eq!(got, Some(*total as i128), "counter {}", name);
+        }
+        for (name, value) in &want_gauges {
+            let got = doc.get("gauges").and_then(|g| g.get(name)).and_then(JsonValue::as_int);
+            prop_assert_eq!(got, Some(*value as i128), "gauge {}", name);
+        }
+        if !hist_values.is_empty() {
+            let h = doc.get("histograms").and_then(|h| h.get("h")).expect("histogram present");
+            prop_assert_eq!(
+                h.get("count").and_then(JsonValue::as_int),
+                Some(hist_values.len() as i128)
+            );
+            prop_assert_eq!(
+                h.get("sum").and_then(JsonValue::as_int),
+                Some(hist_values.iter().map(|v| *v as i128).sum())
+            );
+        }
+        if timing_calls > 0 {
+            let t = doc.get("timings").and_then(|t| t.get("t")).expect("timing present");
+            prop_assert_eq!(t.get("calls").and_then(JsonValue::as_int), Some(timing_calls as i128));
+            prop_assert_eq!(
+                t.get("total_ns").is_some(),
+                include_timings,
+                "total_ns present iff timings included"
+            );
+        }
+    }
+
+    /// Truncating a valid export anywhere never parses and never panics.
+    #[test]
+    fn truncated_exports_error_cleanly(cut_permille in 0usize..1000usize) {
+        let r = Recorder::new();
+        r.counter_add("tasks_completed", 41);
+        r.gauge_set("pool_width", 8);
+        r.record("latency", 120);
+        let full = r.to_json(true);
+        let mut cut = full.len() * cut_permille / 1000;
+        while !full.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        if cut < full.trim_end().len() {
+            prop_assert!(json::parse(&full[..cut]).is_err());
+        }
+    }
+}
+
+#[test]
+fn malformed_documents_are_errors_not_panics() {
+    let cases = [
+        // Truncations.
+        r#"{"counters": {"#,
+        r#"{"counters": {"a": "#,
+        r#"["#,
+        // Bad escapes.
+        r#""\x""#,
+        r#""\u12""#,
+        r#""\u12zz""#,
+        r#""\ud800""#, // lone surrogate is not a char
+        // Duplicate keys (silent last-wins would drop data).
+        r#"{"k": 1, "k": 1}"#,
+        // Structural garbage.
+        r#"{"a" 1}"#,
+        r#"{"a": 1,}"#,
+        r#"{1: 2}"#,
+        "nul",
+        "--1",
+        "1e",
+    ];
+    for case in cases {
+        assert!(json::parse(case).is_err(), "must reject: {case}");
+    }
+}

@@ -40,4 +40,13 @@ run cargo run -q --release --offline -p bombdroid-bench --bin metrics_check -- \
     target/repro_output/metrics.json \
     fleet.tasks vm.instr_executed pipeline.apps_protected cache.requests
 
+# Perf smoke: the hot-path harness must run end to end and emit a valid
+# BENCH_pipeline.json document. --fast numbers are not comparison-grade;
+# this validates the plumbing, not the performance.
+run env BOMBDROID_OBS=off \
+    cargo run -q --release --offline -p bombdroid-bench --bin perf -- \
+    --fast --out target/perf_smoke.json
+run cargo run -q --release --offline -p bombdroid-bench --bin perf -- \
+    --check target/perf_smoke.json
+
 echo "==> ci green"
