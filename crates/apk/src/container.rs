@@ -7,6 +7,7 @@ use crate::rsa::{DeveloperKey, PublicKey};
 use bombdroid_crypto::sha256;
 use bombdroid_dex::{wire, DexFile};
 use std::fmt;
+use std::sync::Arc;
 
 /// App identity metadata (the `AndroidManifest.xml` analogue). Repackagers
 /// typically replace `author` and the icon while keeping the code
@@ -74,8 +75,10 @@ impl std::error::Error for VerifyError {}
 pub struct ApkFile {
     /// App identity.
     pub meta: AppMeta,
-    /// Code.
-    pub dex: DexFile,
+    /// Code. Shared behind an [`Arc`] so installs and VM boots never copy
+    /// the bytecode; mutation (tampering, instrumentation) clones it out
+    /// first, as a real repackager unpacks `classes.dex`.
+    pub dex: Arc<DexFile>,
     /// String resources.
     pub strings: StringsXml,
     /// Launcher icon bytes.
@@ -123,10 +126,22 @@ impl ApkFile {
     /// [`VerifyError::BadSignature`] when contents were modified without
     /// re-signing, or the signature was produced by a different key.
     pub fn verify(&self) -> Result<(), VerifyError> {
+        self.verify_with(&self.manifest())
+    }
+
+    /// [`verify`](Self::verify) against an already-computed manifest, for
+    /// callers that also need the manifest itself (installation computes it
+    /// once and uses it for both the signature check and the digest
+    /// snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`verify`](Self::verify).
+    pub fn verify_with(&self, manifest: &Manifest) -> Result<(), VerifyError> {
         if self
             .cert
             .public_key
-            .verify(&self.manifest().to_bytes(), self.signature)
+            .verify(&manifest.to_bytes(), self.signature)
         {
             Ok(())
         } else {
@@ -168,7 +183,7 @@ pub fn package_app(
     let owner = meta.author.clone();
     let mut apk = ApkFile {
         meta,
-        dex: dex.clone(),
+        dex: Arc::new(dex.clone()),
         strings,
         icon,
         cert: Certificate {
@@ -191,14 +206,14 @@ pub fn repackage(
     attacker_key: &DeveloperKey,
     tamper: impl FnOnce(&mut DexFile),
 ) -> ApkFile {
-    let mut dex = original.dex.clone();
+    let mut dex = (*original.dex).clone();
     tamper(&mut dex);
     let mut meta = original.meta.clone();
     meta.author = "repackager".to_string();
     let icon = sha256::digest(b"pirate icon").to_vec();
     let mut apk = ApkFile {
         meta,
-        dex,
+        dex: Arc::new(dex),
         strings: original.strings.clone(),
         icon,
         cert: Certificate {

@@ -43,7 +43,7 @@ pub struct ForcedReport {
 /// Panics if the APK does not verify at install.
 pub fn forced_execution(apk: &ApkFile, seed: u64) -> ForcedReport {
     // The attacker works on a patched copy: guards removed.
-    let mut dex = apk.dex.clone();
+    let mut dex = (*apk.dex).clone();
     force_hash_branches(&mut dex);
 
     let pkg = InstalledPackage::install(apk).expect("attacker installs the app");

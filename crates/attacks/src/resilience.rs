@@ -295,8 +295,9 @@ fn instrumentation_cell(
     // the patched app even still work? (Forcing BombDroid's guards drives
     // every execution into failed decryptions — a crash-machine no pirate
     // can sell.)
-    let ref_pkg = InstalledPackage::install(original).expect("install original");
-    let pkg = InstalledPackage::install(&patched).expect("install patched");
+    let ref_pkg =
+        std::sync::Arc::new(InstalledPackage::install(original).expect("install original"));
+    let pkg = std::sync::Arc::new(InstalledPackage::install(&patched).expect("install patched"));
     let mut detections = 0u64;
     let mut ref_faults = 0u64;
     let mut patched_faults = 0u64;

@@ -86,13 +86,13 @@ fn bench_protect(c: &mut Criterion) {
 fn bench_vm_drive(c: &mut Criterion) {
     let app = bombdroid_corpus::flagship::hash_droid();
     let (_, signed) = protect_app(&app, ProtectConfig::fast_profile(), 0xBE);
-    let pkg = InstalledPackage::install(&signed).expect("signed install");
+    let pkg = std::sync::Arc::new(InstalledPackage::install(&signed).expect("signed install"));
     c.bench_function("vm/drive_50ev", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(3);
-            let mut vm = Vm::boot(pkg.clone(), DeviceEnv::sample(&mut rng), 3);
+            let mut vm = Vm::boot(std::sync::Arc::clone(&pkg), DeviceEnv::sample(&mut rng), 3);
             let mut source = RandomEventSource;
-            let dex = vm.pkg.dex.clone();
+            let dex = std::sync::Arc::clone(&vm.pkg.dex);
             for _ in 0..50 {
                 if let Some(ev) = source.next_event(&dex, &mut rng) {
                     let _ = vm.fire_entry(ev.entry_index, ev.args);

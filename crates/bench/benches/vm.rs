@@ -6,12 +6,13 @@ use bombdroid_core::ProtectConfig;
 use bombdroid_runtime::{DeviceEnv, EventSource, InstalledPackage, RandomEventSource, Vm};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
 
-fn run_events(pkg: &InstalledPackage, n: u64, seed: u64) -> u64 {
+fn run_events(pkg: &Arc<InstalledPackage>, n: u64, seed: u64) -> u64 {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut vm = Vm::boot(pkg.clone(), DeviceEnv::sample(&mut rng), seed);
+    let mut vm = Vm::boot(Arc::clone(pkg), DeviceEnv::sample(&mut rng), seed);
     let mut source = RandomEventSource;
-    let dex = vm.pkg.dex.clone();
+    let dex = Arc::clone(&vm.pkg.dex);
     for _ in 0..n {
         if let Some(ev) = source.next_event(&dex, &mut rng) {
             let _ = vm.fire_entry(ev.entry_index, ev.args);
@@ -26,9 +27,9 @@ fn run_events(pkg: &InstalledPackage, n: u64, seed: u64) -> u64 {
 fn bench_event_throughput(c: &mut Criterion) {
     let (dev, _) = fixed_keys();
     let app = bombdroid_corpus::flagship::hash_droid();
-    let original = InstalledPackage::install(&app.apk(&dev)).unwrap();
+    let original = Arc::new(InstalledPackage::install(&app.apk(&dev)).unwrap());
     let (_, signed) = protect_app(&app, ProtectConfig::fast_profile(), 0xBE);
-    let protected = InstalledPackage::install(&signed).unwrap();
+    let protected = Arc::new(InstalledPackage::install(&signed).unwrap());
 
     c.bench_function("vm/100_events_original", |b| {
         b.iter(|| run_events(std::hint::black_box(&original), 100, 3))

@@ -4,21 +4,30 @@
 //! ```text
 //! perf [--fast] [--filter SUBSTR] [--out PATH]   # measure + write JSON
 //! perf --check PATH                              # validate an artifact
+//! perf --compare BASE CAND [--threshold PCT]     # p50 delta table
 //! ```
 //!
 //! Default output is `BENCH_pipeline.json` in the current directory (run
 //! from the repo root to refresh the committed artifact). `--fast` is the
 //! CI smoke profile: it validates the plumbing end to end but its numbers
-//! are not comparison-grade. See EXPERIMENTS.md § "Perf harness" for the
-//! schema and how to compare runs across PRs.
+//! are not comparison-grade. `--compare` prints the per-benchmark median
+//! deltas between two artifacts and exits nonzero if any benchmark
+//! regressed past the threshold (default 10%). See EXPERIMENTS.md § "Perf
+//! harness" for the schema and how to compare runs across PRs.
 
-use bombdroid_bench::perf::{run_bench, to_json, validate_bench_json, BenchResult, PerfConfig};
-use bombdroid_bench::{experiments::protect_app, fixed_keys};
-use bombdroid_core::ProtectConfig;
+use bombdroid_bench::perf::{
+    compare_bench_json, run_bench, to_json, validate_bench_json, BenchResult, PerfConfig,
+};
+use bombdroid_bench::{
+    experiments::{flagships, protect_app, table3_with},
+    fixed_keys,
+};
+use bombdroid_core::{profile_app, FleetConfig, ProtectConfig};
 use bombdroid_crypto::{aes, blob, kdf, sha1, sha256};
 use bombdroid_dex::{wire, Value};
 use bombdroid_runtime::{DeviceEnv, EventSource, InstalledPackage, RandomEventSource, Vm};
 use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +37,20 @@ fn main() {
             std::process::exit(2);
         };
         return check(path);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--compare") {
+        let (Some(base), Some(cand)) = (args.get(i + 1), args.get(i + 2)) else {
+            eprintln!("usage: perf --compare <baseline.json> <candidate.json> [--threshold PCT]");
+            std::process::exit(2);
+        };
+        let threshold = match flag_value(&args, "--threshold") {
+            Some(t) => t.parse().unwrap_or_else(|_| {
+                eprintln!("perf --compare: --threshold must be a number, got {t:?}");
+                std::process::exit(2);
+            }),
+            None => 10.0,
+        };
+        return compare(base, cand, threshold);
     }
     let fast = args.iter().any(|a| a == "--fast");
     let filter = flag_value(&args, "--filter");
@@ -62,6 +85,34 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn compare(base_path: &str, cand_path: &str, threshold_pct: f64) {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perf --compare: cannot read {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let report = match compare_bench_json(&read(base_path), &read(cand_path), threshold_pct) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf --compare: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render());
+    let regressions = report.regressions();
+    if regressions.is_empty() {
+        println!("perf --compare: OK (no benchmark regressed more than {threshold_pct}%)");
+    } else {
+        eprintln!(
+            "perf --compare: {} benchmark(s) regressed more than {threshold_pct}%: {}",
+            regressions.len(),
+            regressions.join(", ")
+        );
+        std::process::exit(1);
+    }
 }
 
 fn check(path: &str) {
@@ -179,24 +230,73 @@ fn run_all(config: &PerfConfig, filter: Option<&str>) -> Vec<BenchResult> {
         }));
     }
 
-    // --- runtime: protected-app event throughput (Table 5's kernel) ---
-    if wanted("vm/drive_protected_50ev") {
-        let (_, signed) = protect_app(&app, protect_config, 0xBE);
-        let pkg = InstalledPackage::install(&signed).expect("signed install");
-        push(run_bench("vm/drive_protected_50ev", None, config, || {
-            let mut rng = StdRng::seed_from_u64(3);
-            let mut vm = Vm::boot(pkg.clone(), DeviceEnv::sample(&mut rng), 3);
-            let mut source = RandomEventSource;
-            let dex = vm.pkg.dex.clone();
-            for _ in 0..50 {
-                if let Some(ev) = source.next_event(&dex, &mut rng) {
-                    let _ = vm.fire_entry(ev.entry_index, ev.args);
-                }
-                if vm.is_killed() || vm.is_frozen() {
-                    break;
-                }
+    if wanted("pipeline/protect_batch8") {
+        // The whole-fleet cost: protect every flagship once per iteration
+        // (what a store-side protection service pays per corpus sweep).
+        let apks: Vec<_> = flagships().iter().map(|a| a.apk(&dev)).collect();
+        let protector = bombdroid_core::Protector::new(protect_config.clone());
+        push(run_bench("pipeline/protect_batch8", None, config, || {
+            let mut bombs = 0usize;
+            for (i, apk) in apks.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(0x7AB0 + i as u64);
+                bombs += protector
+                    .protect(std::hint::black_box(apk), &mut rng)
+                    .unwrap()
+                    .report
+                    .bombs_injected();
             }
-            std::hint::black_box(vm.telemetry().instr_executed);
+            std::hint::black_box(bombs);
+        }));
+    }
+
+    // --- runtime: protected-app event throughput (Table 5's kernel) ---
+    if wanted("vm/drive_protected_50ev") || wanted("vm/profile_2k_events") {
+        let (_, signed) = protect_app(&app, protect_config.clone(), 0xBE);
+        let pkg = Arc::new(InstalledPackage::install(&signed).expect("signed install"));
+        if wanted("vm/drive_protected_50ev") {
+            push(run_bench("vm/drive_protected_50ev", None, config, || {
+                let mut rng = StdRng::seed_from_u64(3);
+                let mut vm = Vm::boot(Arc::clone(&pkg), DeviceEnv::sample(&mut rng), 3);
+                let mut source = RandomEventSource;
+                let dex = Arc::clone(&vm.pkg.dex);
+                for _ in 0..50 {
+                    if let Some(ev) = source.next_event(&dex, &mut rng) {
+                        let _ = vm.fire_entry(ev.entry_index, ev.args);
+                    }
+                    if vm.is_killed() || vm.is_frozen() {
+                        break;
+                    }
+                }
+                std::hint::black_box(vm.telemetry().instr_executed);
+            }));
+        }
+        if wanted("vm/profile_2k_events") {
+            // The protect prologue's dominant stage: install + boot + 2 000
+            // random events. Sensitive to per-boot dex copies.
+            let profile_config = ProtectConfig {
+                profiling_events: 2_000,
+                ..protect_config.clone()
+            };
+            let apk = app.apk(&dev);
+            push(run_bench("vm/profile_2k_events", None, config, || {
+                let hot = profile_app(std::hint::black_box(&apk), &profile_config, 11)
+                    .expect("signed apk profiles")
+                    .hot;
+                std::hint::black_box(hot.len());
+            }));
+        }
+    }
+
+    // --- fleet: a miniature Table 3 (protect-cache + sessions + merge) ---
+    if wanted("fleet/table3_smoke") {
+        push(run_bench("fleet/table3_smoke", None, config, || {
+            let rows = table3_with(
+                FleetConfig::new(0x7AB3),
+                ProtectConfig::fast_profile(),
+                1,
+                5,
+            );
+            std::hint::black_box(rows.len());
         }));
     }
 

@@ -7,7 +7,7 @@ use bombdroid_core::{FleetConfig, ProtectConfig, ProtectError, ProtectedApp, Pro
 use bombdroid_corpus::{flagship, GeneratedApp};
 use bombdroid_obs as obs;
 use bombdroid_runtime::{
-    DeviceEnv, EventSource, InstalledPackage, RandomEventSource, UserEventSource, Vm,
+    DeviceEnv, EventSource, InstalledPackage, RandomEventSource, UserEventSource, Vm, VmOptions,
 };
 use parking_lot::Mutex;
 use rand::{rngs::StdRng, SeedableRng};
@@ -165,17 +165,27 @@ pub fn shared_cache() -> &'static ProtectedAppCache {
     CACHE.get_or_init(ProtectedAppCache::new)
 }
 
+/// [`VmOptions`] for fleet sessions: many devices run the same protected
+/// package, so decrypted fragments are shared process-wide (per-VM
+/// telemetry and cost charging are unchanged by the cache).
+fn fleet_vm_options() -> VmOptions {
+    VmOptions {
+        shared_fragment_cache: true,
+        ..VmOptions::default()
+    }
+}
+
 /// Drives one user session until the first bomb triggers; `None` if the
 /// cap is reached first.
-pub fn time_to_first_bomb(pkg: &InstalledPackage, seed: u64, cap_minutes: u64) -> Option<u64> {
+pub fn time_to_first_bomb(pkg: &Arc<InstalledPackage>, seed: u64, cap_minutes: u64) -> Option<u64> {
     let _span = obs::span("vm.session");
     let mut rng = StdRng::seed_from_u64(seed);
     // Each run varies the emulator configuration (§8.2: testers varied
     // device types, SDK versions, CPU/ABI between runs).
     let env = DeviceEnv::sample(&mut rng);
-    let mut vm = Vm::boot(pkg.clone(), env, seed ^ 0x7E57);
+    let mut vm = Vm::new(Arc::clone(pkg), env, seed ^ 0x7E57, fleet_vm_options());
     let mut source = UserEventSource;
-    let dex = vm.pkg.dex.clone();
+    let dex = Arc::clone(&vm.pkg.dex);
     let deadline = cap_minutes * 60_000;
     // Engaged users: ~30 meaningful events per minute.
     let first_marker = 'session: {
@@ -206,9 +216,9 @@ pub fn drive_events(apk: &ApkFile, events: u64, seed: u64) -> Result<u64, Experi
     let _span = obs::span("vm.drive");
     let pkg = InstalledPackage::install(apk)?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut vm = Vm::boot(pkg, DeviceEnv::sample(&mut rng), seed);
+    let mut vm = Vm::new(pkg, DeviceEnv::sample(&mut rng), seed, fleet_vm_options());
     let mut source = RandomEventSource;
-    let dex = vm.pkg.dex.clone();
+    let dex = Arc::clone(&vm.pkg.dex);
     for _ in 0..events {
         let Some(ev) = source.next_event(&dex, &mut rng) else {
             break;

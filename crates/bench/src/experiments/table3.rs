@@ -50,7 +50,7 @@ pub fn table3_with(
                 shared_cache().get_or_protect(&app, &config, PROTECT_BASE + ctx.index as u64)?;
             // Users play the *repackaged* app (the detection scenario).
             let pirated = repackage(&artifact.1, &pirate, |_| {});
-            let pkg = InstalledPackage::install(&pirated)?;
+            let pkg = std::sync::Arc::new(InstalledPackage::install(&pirated)?);
             let mut times = Vec::new();
             for run in 0..runs {
                 let seed = derive_seed(ctx.seed, run as u64);

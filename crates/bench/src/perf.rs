@@ -242,6 +242,155 @@ pub fn validate_bench_json(text: &str) -> Result<usize, String> {
     Ok(benches.len())
 }
 
+/// One row of a [`CompareReport`]: a benchmark present in the baseline
+/// artifact, the candidate artifact, or both.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDelta {
+    /// Benchmark name (`area/case`).
+    pub name: String,
+    /// Baseline median, when the baseline has this benchmark.
+    pub base_p50_ns: Option<u64>,
+    /// Candidate median, when the candidate has this benchmark.
+    pub cand_p50_ns: Option<u64>,
+}
+
+impl BenchDelta {
+    /// Median change in percent (positive = slower); `None` unless both
+    /// sides measured the benchmark and the baseline median is nonzero.
+    pub fn delta_pct(&self) -> Option<f64> {
+        let base = self.base_p50_ns?;
+        let cand = self.cand_p50_ns?;
+        if base == 0 {
+            return None;
+        }
+        Some((cand as f64 - base as f64) / base as f64 * 100.0)
+    }
+}
+
+/// Result of comparing two perf artifacts (see [`compare_bench_json`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// Per-benchmark deltas, in baseline order with candidate-only
+    /// benchmarks appended.
+    pub rows: Vec<BenchDelta>,
+    /// Regression threshold in percent: a benchmark slower than this is a
+    /// breach.
+    pub threshold_pct: f64,
+}
+
+impl CompareReport {
+    /// Names of benchmarks whose median regressed past the threshold.
+    pub fn regressions(&self) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter(|r| r.delta_pct().is_some_and(|d| d > self.threshold_pct))
+            .map(|r| r.name.as_str())
+            .collect()
+    }
+
+    /// The human-readable delta table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<32} {:>14} {:>14} {:>9}\n",
+            "benchmark", "base p50", "cand p50", "delta"
+        ));
+        for r in &self.rows {
+            let fmt_ns = |v: Option<u64>| match v {
+                Some(n) => format!("{n} ns"),
+                None => "-".to_string(),
+            };
+            let delta = match r.delta_pct() {
+                Some(d) => format!("{d:+.1}%"),
+                None => "-".to_string(),
+            };
+            let flag = match r.delta_pct() {
+                Some(d) if d > self.threshold_pct => "  REGRESSION",
+                _ => "",
+            };
+            out.push_str(&format!(
+                "{:<32} {:>14} {:>14} {:>9}{}\n",
+                r.name,
+                fmt_ns(r.base_p50_ns),
+                fmt_ns(r.cand_p50_ns),
+                delta,
+                flag,
+            ));
+        }
+        out
+    }
+}
+
+/// Extracts `name -> p50_ns` from a validated perf artifact, preserving
+/// document order.
+fn bench_medians(text: &str) -> Result<Vec<(String, u64)>, String> {
+    validate_bench_json(text)?;
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let benches = doc
+        .get("benches")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing benches array")?;
+    benches
+        .iter()
+        .map(|b| {
+            let name = match b.get("name") {
+                Some(JsonValue::Str(s)) => s.clone(),
+                _ => return Err("missing name".to_string()),
+            };
+            let p50 = b
+                .get("p50_ns")
+                .and_then(JsonValue::as_int)
+                .ok_or("missing p50_ns")? as u64;
+            Ok((name, p50))
+        })
+        .collect()
+}
+
+/// Compares two `BENCH_pipeline.json` documents by median (`p50_ns`).
+///
+/// Both documents must validate against the schema. Rows keep the
+/// baseline's order (candidate-only benchmarks are appended); a benchmark
+/// missing on either side gets a dash instead of a delta. A candidate
+/// median more than `threshold_pct` percent above the baseline counts as
+/// a regression.
+///
+/// # Errors
+///
+/// Returns the validation or parse error of the offending document.
+pub fn compare_bench_json(
+    base: &str,
+    cand: &str,
+    threshold_pct: f64,
+) -> Result<CompareReport, String> {
+    let base = bench_medians(base).map_err(|e| format!("baseline: {e}"))?;
+    let cand = bench_medians(cand).map_err(|e| format!("candidate: {e}"))?;
+    let cand_map: std::collections::HashMap<&str, u64> =
+        cand.iter().map(|(n, p)| (n.as_str(), *p)).collect();
+    let base_names: std::collections::HashSet<&str> =
+        base.iter().map(|(n, _)| n.as_str()).collect();
+    let mut rows: Vec<BenchDelta> = base
+        .iter()
+        .map(|(name, p50)| BenchDelta {
+            name: name.clone(),
+            base_p50_ns: Some(*p50),
+            cand_p50_ns: cand_map.get(name.as_str()).copied(),
+        })
+        .collect();
+    for (name, p50) in &cand {
+        if !base_names.contains(name.as_str()) {
+            rows.push(BenchDelta {
+                name: name.clone(),
+                base_p50_ns: None,
+                cand_p50_ns: Some(*p50),
+            });
+        }
+    }
+    Ok(CompareReport {
+        rows,
+        threshold_pct,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +459,62 @@ mod tests {
         let bad_order = r#"{"schema_version": 1, "mode": "full", "benches": [
             {"name": "x", "iters": 1, "p50_ns": 9, "p95_ns": 3, "mean_ns": 2, "bytes_per_s": null}]}"#;
         assert!(validate_bench_json(bad_order).is_err());
+    }
+
+    fn doc(benches: &[(&str, u64)]) -> String {
+        let results: Vec<BenchResult> = benches
+            .iter()
+            .map(|(name, p50)| BenchResult {
+                name: (*name).into(),
+                iters: 10,
+                p50_ns: *p50,
+                p95_ns: *p50 * 2,
+                mean_ns: *p50,
+                bytes_per_iter: None,
+            })
+            .collect();
+        to_json("full", &results)
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_past_threshold() {
+        let base = doc(&[("a/fast", 100), ("b/slow", 1_000), ("c/same", 50)]);
+        let cand = doc(&[("a/fast", 130), ("b/slow", 800), ("c/same", 52)]);
+        let report = compare_bench_json(&base, &cand, 10.0).unwrap();
+        assert_eq!(report.regressions(), vec!["a/fast"]);
+        let a = &report.rows[0];
+        assert_eq!(a.delta_pct().map(|d| d.round()), Some(30.0));
+        // 4% noise on c/same stays under the 10% bar.
+        assert!(report.render().contains("REGRESSION"));
+
+        // A looser threshold clears it.
+        let lax = compare_bench_json(&base, &cand, 35.0).unwrap();
+        assert!(lax.regressions().is_empty());
+    }
+
+    #[test]
+    fn compare_tolerates_asymmetric_bench_sets() {
+        let base = doc(&[("a/x", 100), ("old/gone", 10)]);
+        let cand = doc(&[("a/x", 90), ("new/added", 20)]);
+        let report = compare_bench_json(&base, &cand, 10.0).unwrap();
+        assert_eq!(report.rows.len(), 3);
+        assert!(report.regressions().is_empty(), "missing rows never breach");
+        let gone = report.rows.iter().find(|r| r.name == "old/gone").unwrap();
+        assert_eq!(gone.cand_p50_ns, None);
+        assert_eq!(gone.delta_pct(), None);
+        let added = report.rows.iter().find(|r| r.name == "new/added").unwrap();
+        assert_eq!(added.base_p50_ns, None);
+    }
+
+    #[test]
+    fn compare_rejects_invalid_documents() {
+        let good = doc(&[("a/x", 100)]);
+        assert!(compare_bench_json("{}", &good, 10.0)
+            .unwrap_err()
+            .starts_with("baseline:"));
+        assert!(compare_bench_json(&good, "nope", 10.0)
+            .unwrap_err()
+            .starts_with("candidate:"));
     }
 
     #[test]

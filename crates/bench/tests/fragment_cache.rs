@@ -1,0 +1,138 @@
+//! The shared decrypted-fragment cache's contract
+//! ([`VmOptions::shared_fragment_cache`]): a process-wide cache keyed by
+//! (blob id, blob content fingerprint, derived key) that must be
+//! *semantically invisible* — per-VM telemetry and cost charging identical
+//! with the cache on or off, per-device failure accounting intact, and no
+//! bleed between differently-salted protections.
+
+use bombdroid_apk::repackage;
+use bombdroid_bench::experiments::protect_app;
+use bombdroid_bench::fixed_keys;
+use bombdroid_core::ProtectConfig;
+use bombdroid_runtime::{
+    DeviceEnv, EventSource, InstalledPackage, RandomEventSource, Telemetry, Vm, VmOptions,
+};
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+
+fn opts(shared: bool) -> VmOptions {
+    VmOptions {
+        shared_fragment_cache: shared,
+        ..VmOptions::default()
+    }
+}
+
+/// Boots a fresh VM on `pkg` and fires `events` random events; returns the
+/// final telemetry.
+fn drive(pkg: &Arc<InstalledPackage>, seed: u64, events: u64, shared: bool) -> Telemetry {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vm = Vm::new(
+        Arc::clone(pkg),
+        DeviceEnv::sample(&mut rng),
+        seed,
+        opts(shared),
+    );
+    let mut source = RandomEventSource;
+    let dex = Arc::clone(&vm.pkg.dex);
+    for _ in 0..events {
+        let Some(ev) = source.next_event(&dex, &mut rng) else {
+            break;
+        };
+        let _ = vm.fire_entry(ev.entry_index, ev.args);
+        if vm.is_killed() || vm.is_frozen() {
+            break;
+        }
+    }
+    vm.into_telemetry()
+}
+
+fn protected_install(seed: u64) -> Arc<InstalledPackage> {
+    let app = bombdroid_corpus::flagship::hash_droid();
+    let (_, signed) = protect_app(&app, ProtectConfig::fast_profile(), seed);
+    Arc::new(InstalledPackage::install(&signed).expect("signed install"))
+}
+
+/// `Telemetry` holds `f64`-free structured data, but compares via `Debug`
+/// because it doesn't derive `PartialEq`.
+fn fmt(t: &Telemetry) -> String {
+    format!("{t:?}")
+}
+
+#[test]
+fn telemetry_identical_with_cache_on_and_off() {
+    let pkg = protected_install(0xBE);
+    for seed in [3, 7, 19] {
+        let cold = drive(&pkg, seed, 80, false);
+        let warm = drive(&pkg, seed, 80, true);
+        assert!(
+            !cold.blobs_decrypted.is_empty(),
+            "seed {seed}: the session must actually open blobs"
+        );
+        assert_eq!(
+            fmt(&cold),
+            fmt(&warm),
+            "seed {seed}: the shared cache changed observable telemetry"
+        );
+    }
+    // Second device, same package, cache warm from the runs above: a hit
+    // path end to end — still identical to its own cold run.
+    let cold = drive(&pkg, 23, 80, false);
+    let warm = drive(&pkg, 23, 80, true);
+    assert_eq!(fmt(&cold), fmt(&warm), "warm-cache device diverged");
+}
+
+#[test]
+fn tampered_blobs_fail_on_every_device_despite_cache() {
+    let app = bombdroid_corpus::flagship::hash_droid();
+    let (_, signed) = protect_app(&app, ProtectConfig::fast_profile(), 0xBE);
+    let (_, pirate) = fixed_keys();
+    // Corrupt every sealed blob — decryption must fail wherever a bomb's
+    // outer condition is satisfied.
+    let pirated = repackage(&signed, &pirate, |dex| {
+        for blob in &mut dex.blobs {
+            for b in &mut blob.sealed {
+                *b ^= 0xA5;
+            }
+        }
+    });
+    let pkg = Arc::new(InstalledPackage::install(&pirated).expect("pirate install"));
+    let first = drive(&pkg, 3, 120, true);
+    let second = drive(&pkg, 3, 120, true);
+    assert!(
+        first.decrypt_failures > 0,
+        "tampered blobs must fail to decrypt"
+    );
+    // Failures are never cached: the second device pays (and records) every
+    // failure itself instead of inheriting a verdict from the first.
+    assert_eq!(
+        first.decrypt_failures, second.decrypt_failures,
+        "per-device failure accounting must not be absorbed by the cache"
+    );
+    assert!(first.blobs_decrypted.is_empty(), "nothing decrypts");
+}
+
+#[test]
+fn no_bleed_between_differently_salted_protections() {
+    // The same app protected twice with different seeds: same blob ids,
+    // different salts/keys. With both packages driven in one process and
+    // the shared cache on, each must behave exactly as it does cache-off.
+    let pkg_a = protected_install(0xBE);
+    let pkg_b = protected_install(0x5EED);
+    let cold_a = drive(&pkg_a, 5, 80, false);
+    let cold_b = drive(&pkg_b, 5, 80, false);
+    // Interleave cache-on runs so any id-only keying would cross-hit.
+    let warm_a1 = drive(&pkg_a, 5, 80, true);
+    let warm_b = drive(&pkg_b, 5, 80, true);
+    let warm_a2 = drive(&pkg_a, 5, 80, true);
+    assert!(
+        !cold_a.blobs_decrypted.is_empty() && !cold_b.blobs_decrypted.is_empty(),
+        "both protections must open blobs"
+    );
+    assert_eq!(fmt(&cold_a), fmt(&warm_a1), "protection A diverged");
+    assert_eq!(fmt(&cold_a), fmt(&warm_a2), "protection A diverged after B");
+    assert_eq!(fmt(&cold_b), fmt(&warm_b), "protection B diverged");
+    assert_eq!(
+        cold_a.decrypt_failures, warm_a2.decrypt_failures,
+        "cross-protection contamination in failure counts"
+    );
+}

@@ -135,14 +135,20 @@ fn emit_payload(f: &mut FragmentBuilder, spec: &PayloadSpec) {
 /// blob. The key comes from the same [`kdf::site_material`] call that
 /// produced the stored condition hash, so each bomb serializes its trigger
 /// constant exactly once.
+///
+/// The returned id is `blob_base +` the blob's position in `blobs`. Serial
+/// callers arming straight into a dex pass `0`; the parallel protect pass
+/// arms each method into a local vector under a marked base and relocates
+/// the ids when merging (see `pipeline`).
 fn seal_fragment(
     blobs: &mut Vec<EncryptedBlob>,
+    blob_base: u32,
     key: &bombdroid_crypto::Key128,
     salt: &[u8],
     fragment: Vec<Instr>,
 ) -> BlobId {
     let sealed = crypto_blob::seal(key, &wire::encode_fragment(&fragment));
-    let id = BlobId(blobs.len() as u32);
+    let id = BlobId(blob_base + blobs.len() as u32);
     blobs.push(EncryptedBlob {
         salt: salt.to_vec(),
         sealed,
@@ -164,6 +170,7 @@ fn seal_fragment(
 pub fn arm_existing(
     method: &mut Method,
     blobs: &mut Vec<EncryptedBlob>,
+    blob_base: u32,
     planned: &PlannedExisting,
     spec: &PayloadSpec,
     salt: &[u8],
@@ -188,7 +195,7 @@ pub fn arm_existing(
 
     let material = kdf::site_material(&site.constant.canonical_bytes(), salt);
     let hc = material.condition_hash;
-    let blob_id_placeholder = blobs.len() as u32;
+    let blob_id_placeholder = blob_base + blobs.len() as u32;
     let hreg = Reg(method.registers);
     // Without weaving the original body stays in plaintext inside the
     // replacement, right after the DecryptExec; the hash-miss branch skips
@@ -219,7 +226,13 @@ pub fn arm_existing(
     }
     rewrite_region(method, planned.anchor, skip, replacement)?;
     method.registers = method.registers.max(max_frag_reg);
-    Ok(seal_fragment(blobs, &material.key, salt, fragment))
+    Ok(seal_fragment(
+        blobs,
+        blob_base,
+        &material.key,
+        salt,
+        fragment,
+    ))
 }
 
 /// Inserts and arms an artificial-QC bomb at the planned location.
@@ -231,6 +244,7 @@ pub fn arm_existing(
 pub fn arm_artificial(
     method: &mut Method,
     blobs: &mut Vec<EncryptedBlob>,
+    blob_base: u32,
     planned: &PlannedArtificial,
     spec: &PayloadSpec,
     salt: &[u8],
@@ -262,13 +276,19 @@ pub fn arm_artificial(
             target: replacement_len,
         },
         Instr::DecryptExec {
-            blob: BlobId(blobs.len() as u32),
+            blob: BlobId(blob_base + blobs.len() as u32),
             key_src: sreg,
         },
     ];
     rewrite_region(method, planned.at, planned.at, replacement)?;
     method.registers = method.registers.max(scratch_base + 16);
-    Ok(seal_fragment(blobs, &material.key, salt, fragment))
+    Ok(seal_fragment(
+        blobs,
+        blob_base,
+        &material.key,
+        salt,
+        fragment,
+    ))
 }
 
 #[cfg(test)]
@@ -317,8 +337,16 @@ mod tests {
         let mut method = site_method();
         let p = planned(&method);
         let mut blobs = Vec::new();
-        let blob =
-            arm_existing(&mut method, &mut blobs, &p, &simple_spec(0), b"salt", true).expect("arm");
+        let blob = arm_existing(
+            &mut method,
+            &mut blobs,
+            0,
+            &p,
+            &simple_spec(0),
+            b"salt",
+            true,
+        )
+        .expect("arm");
         assert_eq!(blob, BlobId(0));
         assert_eq!(blobs.len(), 1);
         // The constant 99 is gone from the bytecode.
@@ -336,7 +364,16 @@ mod tests {
         let mut method = site_method();
         let p = planned(&method);
         let mut blobs = Vec::new();
-        arm_existing(&mut method, &mut blobs, &p, &simple_spec(0), b"salt", true).unwrap();
+        arm_existing(
+            &mut method,
+            &mut blobs,
+            0,
+            &p,
+            &simple_spec(0),
+            b"salt",
+            true,
+        )
+        .unwrap();
         let mut dex = bombdroid_dex::DexFile::new();
         let mut class = bombdroid_dex::Class::new("T");
         class.methods.push(method);
@@ -350,7 +387,16 @@ mod tests {
         let mut method = site_method();
         let p = planned(&method);
         let mut blobs = Vec::new();
-        arm_existing(&mut method, &mut blobs, &p, &simple_spec(0), b"salt", false).unwrap();
+        arm_existing(
+            &mut method,
+            &mut blobs,
+            0,
+            &p,
+            &simple_spec(0),
+            b"salt",
+            false,
+        )
+        .unwrap();
         let text = bombdroid_dex::asm::disasm_method(&method);
         assert!(text.contains("hit"), "body stays in plaintext:\n{text}");
     }
@@ -366,7 +412,7 @@ mod tests {
             field: FieldRef::new("T", "state"),
             constant: Value::Int(5),
         };
-        arm_artificial(&mut method, &mut blobs, &planned, &simple_spec(1), b"s").unwrap();
+        arm_artificial(&mut method, &mut blobs, 0, &planned, &simple_spec(1), b"s").unwrap();
         assert_eq!(method.body.len(), before_len + 4);
         let text = bombdroid_dex::asm::disasm_method(&method);
         assert!(text.contains("sget"));
@@ -382,6 +428,7 @@ mod tests {
         arm_existing(
             &mut method,
             &mut blobs,
+            0,
             &p,
             &simple_spec(3),
             b"pepper",

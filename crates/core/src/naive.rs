@@ -41,7 +41,7 @@ impl NaiveProtector {
     /// Returns the install-verification error for an unsigned input.
     pub fn protect(&self, apk: &ApkFile, rng: &mut StdRng) -> Result<ProtectedApp, VerifyError> {
         let profile = profile_app(apk, &self.config, rng.gen())?;
-        let mut dex = apk.dex.clone();
+        let mut dex = (*apk.dex).clone();
         let plan = sites::plan(&dex, &profile, &self.config, rng);
         let ko = apk.cert.public_key.to_bytes().to_vec();
 

@@ -6,22 +6,26 @@
 
 use bombdroid_apk::{ApkFile, VerifyError};
 use bombdroid_crypto::Digest256;
-use bombdroid_dex::{wire, DexFile};
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use bombdroid_dex::{wire, DexFile, MethodRef};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::{Arc, OnceLock};
 
 /// A package as installed on a device.
 #[derive(Debug, Clone)]
 pub struct InstalledPackage {
-    /// The app's code, as installed.
+    /// The app's code, as installed. Shared with the source [`ApkFile`]
+    /// (installation never copies the bytecode).
     pub dex: Arc<DexFile>,
     /// Public key bytes from the verified certificate (`Kr` in §4.1).
     pub cert_public_key: Vec<u8>,
     /// `MANIFEST.MF` digests, system-managed.
     pub manifest_digests: BTreeMap<String, Digest256>,
-    /// Per-class code digests of the installed bytecode (for code-snippet
-    /// scanning).
-    pub class_digests: BTreeMap<String, Digest256>,
+    /// Per-class code digests of the installed bytecode, computed on first
+    /// query (the system hashes lazily; most installs never scan code).
+    class_digests: OnceLock<BTreeMap<String, Digest256>>,
+    /// `MethodRef -> (class index, method index)` dispatch table, built on
+    /// first query and shared by every VM booting this package.
+    method_index: OnceLock<HashMap<MethodRef, (usize, usize)>>,
     /// String resources (`strings.xml`), readable by the app.
     pub resources: BTreeMap<String, String>,
     /// Package name.
@@ -30,25 +34,22 @@ pub struct InstalledPackage {
 
 impl InstalledPackage {
     /// Installs an APK: verifies the signature (the system rejects
-    /// unsigned/tampered APKs), then snapshots certificate, manifest and
-    /// code digests.
+    /// unsigned/tampered APKs), then snapshots certificate and manifest
+    /// digests. Per-class code digests are materialized lazily on first
+    /// [`class_digest`](Self::class_digest) query.
     ///
     /// # Errors
     ///
     /// Returns [`VerifyError`] when the APK's signature does not verify —
     /// such an APK never reaches a device.
     pub fn install(apk: &ApkFile) -> Result<Self, VerifyError> {
-        apk.verify()?;
+        // One manifest computation serves both the signature check and the
+        // digest snapshot.
         let manifest = apk.manifest();
+        apk.verify_with(&manifest)?;
         let manifest_digests = manifest
             .iter()
             .map(|(name, digest)| (name.to_string(), *digest))
-            .collect();
-        let class_digests = apk
-            .dex
-            .classes
-            .iter()
-            .map(|c| (c.name.as_str().to_string(), wire::class_digest(c)))
             .collect();
         let resources = apk
             .strings
@@ -56,13 +57,52 @@ impl InstalledPackage {
             .map(|(k, v)| (k.to_string(), v.to_string()))
             .collect();
         Ok(InstalledPackage {
-            dex: Arc::new(apk.dex.clone()),
+            dex: Arc::clone(&apk.dex),
             cert_public_key: apk.cert.public_key.to_bytes().to_vec(),
             manifest_digests,
-            class_digests,
+            class_digests: OnceLock::new(),
+            method_index: OnceLock::new(),
             resources,
             package_name: apk.meta.package.clone(),
         })
+    }
+
+    /// Per-class code digests of the installed bytecode (for code-snippet
+    /// scanning), computed once on first access.
+    pub fn class_digests(&self) -> &BTreeMap<String, Digest256> {
+        self.class_digests.get_or_init(|| {
+            self.dex
+                .classes
+                .iter()
+                .map(|c| (c.name.as_str().to_string(), wire::class_digest(c)))
+                .collect()
+        })
+    }
+
+    /// The installed code digest of one class, if it exists.
+    pub fn class_digest(&self, class: &str) -> Option<&Digest256> {
+        self.class_digests().get(class)
+    }
+
+    /// O(1) method lookup, resolving exactly like the linear
+    /// [`DexFile::method`] scan: a duplicate class name shadows later
+    /// declarations entirely; within a class the first method of a name
+    /// wins. Built once, shared by every VM booting this package.
+    pub fn resolve_method(&self, mref: &MethodRef) -> Option<(usize, usize)> {
+        let index = self.method_index.get_or_init(|| {
+            let mut index = HashMap::new();
+            let mut seen_classes = HashSet::new();
+            for (ci, class) in self.dex.classes.iter().enumerate() {
+                if !seen_classes.insert(class.name.clone()) {
+                    continue;
+                }
+                for (mi, method) in class.methods.iter().enumerate() {
+                    index.entry(method.method_ref()).or_insert((ci, mi));
+                }
+            }
+            index
+        });
+        index.get(mref).copied()
     }
 }
 
@@ -93,11 +133,25 @@ mod tests {
         let pkg = InstalledPackage::install(&apk).unwrap();
         assert_eq!(pkg.cert_public_key, dev.public.to_bytes().to_vec());
         assert!(pkg.manifest_digests.contains_key("classes.dex"));
-        assert!(pkg.class_digests.contains_key("Main"));
+        assert!(pkg.class_digests().contains_key("Main"));
         assert_eq!(
             pkg.resources.get("app_name").map(String::as_str),
             Some("demo")
         );
+    }
+
+    #[test]
+    fn lazy_class_digests_match_eager_computation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dev = DeveloperKey::generate(&mut rng);
+        let apk = package_app(&dex(), StringsXml::new(), AppMeta::named("demo"), &dev);
+        let pkg = InstalledPackage::install(&apk).unwrap();
+        let expected = wire::class_digest(&apk.dex.classes[0]);
+        assert_eq!(pkg.class_digest("Main"), Some(&expected));
+        assert_eq!(pkg.class_digest("NoSuchClass"), None);
+        // A clone taken before first access computes the same digests.
+        let clone = pkg.clone();
+        assert_eq!(clone.class_digest("Main"), Some(&expected));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use bombdroid_dex::{wire, BinOp, CondOp, HostApi, Instr, MethodRef, Reg, RegOrCo
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Attacker-side hooks: an analyst may "hack and modify their own Android
 /// systems arbitrarily" (paper §2.2), so the VM can be instrumented when it
@@ -43,6 +43,12 @@ pub struct VmOptions {
     pub record_field_values: bool,
     /// Maximum call depth.
     pub max_call_depth: usize,
+    /// Share decrypted fragments across VMs in this process (fleet
+    /// simulations where many devices run the same protected app). Keyed by
+    /// (blob id, blob content fingerprint, derived key), so a hit proves the
+    /// same ciphertext was opened with the same key — per-VM cost charging
+    /// and [`Telemetry`] are identical with the cache on or off.
+    pub shared_fragment_cache: bool,
     /// Attacker instrumentation.
     pub hooks: AttackerHooks,
 }
@@ -54,9 +60,21 @@ impl Default for VmOptions {
             instr_per_ms: 2_000,
             record_field_values: false,
             max_call_depth: 64,
+            shared_fragment_cache: false,
             hooks: AttackerHooks::default(),
         }
     }
+}
+
+/// Process-wide decrypted-fragment cache (see
+/// [`VmOptions::shared_fragment_cache`]). The fingerprint covers salt and
+/// ciphertext, so a tampered blob or a differently-salted protection of the
+/// same app can never collide with a cached entry.
+type SharedFragmentKey = (u32, bombdroid_crypto::Digest256, bombdroid_crypto::Key128);
+
+fn shared_fragments() -> &'static Mutex<HashMap<SharedFragmentKey, Arc<Vec<Instr>>>> {
+    static CACHE: OnceLock<Mutex<HashMap<SharedFragmentKey, Arc<Vec<Instr>>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 /// A runtime fault. Responses deliberately inject some of these into
@@ -140,8 +158,9 @@ enum Flow {
 /// The virtual machine for one app process on one device.
 #[derive(Debug)]
 pub struct Vm {
-    /// Installed package being executed.
-    pub pkg: InstalledPackage,
+    /// Installed package being executed. Shared: booting a second device
+    /// for the same package is an [`Arc`] clone, not a bytecode copy.
+    pub pkg: Arc<InstalledPackage>,
     /// Device environment.
     pub env: DeviceEnv,
     opts: VmOptions,
@@ -160,7 +179,16 @@ pub struct Vm {
 
 impl Vm {
     /// Boots an app process for `pkg` on a device with environment `env`.
-    pub fn new(pkg: InstalledPackage, env: DeviceEnv, seed: u64, opts: VmOptions) -> Self {
+    ///
+    /// Accepts the package by value or as an [`Arc`]; fleet callers booting
+    /// many devices for one package should pass `Arc` clones.
+    pub fn new(
+        pkg: impl Into<Arc<InstalledPackage>>,
+        env: DeviceEnv,
+        seed: u64,
+        opts: VmOptions,
+    ) -> Self {
+        let pkg = pkg.into();
         Vm {
             pkg,
             env,
@@ -180,7 +208,7 @@ impl Vm {
     }
 
     /// Convenience constructor with default options.
-    pub fn boot(pkg: InstalledPackage, env: DeviceEnv, seed: u64) -> Self {
+    pub fn boot(pkg: impl Into<Arc<InstalledPackage>>, env: DeviceEnv, seed: u64) -> Self {
         Vm::new(pkg, env, seed, VmOptions::default())
     }
 
@@ -327,8 +355,10 @@ impl Vm {
             return Err(Fault::StackOverflow);
         }
         let dex = self.pkg.dex.clone();
-        let method = dex
-            .method(mref)
+        let method = self
+            .pkg
+            .resolve_method(mref)
+            .map(|(ci, mi)| &dex.classes[ci].methods[mi])
             .ok_or_else(|| Fault::UnknownMethod(mref.clone()))?;
         if args.len() != method.params as usize {
             return Err(Fault::BadEvent(format!(
@@ -623,13 +653,44 @@ impl Vm {
                             .canonical_bytes()
                             .ok_or(Fault::TypeError("key source is a reference"))?;
                         let key = kdf::derive_key(&cb, &b.salt);
-                        let plaintext = blob::open(&key, &b.sealed).map_err(|_| {
-                            self.telemetry.decrypt_failures += 1;
-                            Fault::DecryptFailed
-                        })?;
-                        let instrs =
-                            wire::decode_fragment(&plaintext).map_err(|_| Fault::FragmentDecode)?;
-                        let f = Arc::new(instrs);
+                        // With the process-wide cache on, look up (id,
+                        // fingerprint, key) before doing the real open: a
+                        // hit proves an identical decryption already
+                        // succeeded, so only the redundant crypto is
+                        // skipped — the cost was charged above and the
+                        // telemetry below records the decrypt either way.
+                        let shared_key = self.opts.shared_fragment_cache.then(|| {
+                            let mut fp = bombdroid_crypto::sha256::Sha256::new();
+                            fp.update(&b.salt);
+                            fp.update(&b.sealed);
+                            (blob.0, fp.finalize(), key)
+                        });
+                        let shared_hit = shared_key.as_ref().and_then(|k| {
+                            shared_fragments()
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .get(k)
+                                .cloned()
+                        });
+                        let f = match shared_hit {
+                            Some(f) => f,
+                            None => {
+                                let plaintext = blob::open(&key, &b.sealed).map_err(|_| {
+                                    self.telemetry.decrypt_failures += 1;
+                                    Fault::DecryptFailed
+                                })?;
+                                let instrs = wire::decode_fragment(&plaintext)
+                                    .map_err(|_| Fault::FragmentDecode)?;
+                                let f = Arc::new(instrs);
+                                if let Some(k) = shared_key {
+                                    shared_fragments()
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .insert(k, f.clone());
+                                }
+                                f
+                            }
+                        };
                         self.blob_cache.insert(blob.0, f.clone());
                         self.telemetry.blobs_decrypted.insert(blob.0);
                         f
@@ -863,7 +924,7 @@ impl Vm {
                     .first()
                     .and_then(|v| v.as_str())
                     .ok_or(Fault::TypeError("class name not string"))?;
-                Ok(match self.pkg.class_digests.get(class) {
+                Ok(match self.pkg.class_digest(class) {
                     Some(d) => RtValue::Bytes(Arc::from(&d[..])),
                     None => RtValue::Null,
                 })

@@ -111,7 +111,7 @@ impl SsnProtector {
 
     /// Protects `apk` with SSN-style detection and response nodes.
     pub fn protect(&self, apk: &ApkFile, rng: &mut StdRng) -> SsnProtectedApp {
-        let mut dex = apk.dex.clone();
+        let mut dex = (*apk.dex).clone();
         let pubkey = apk.cert.public_key.to_bytes().to_vec();
         let mut report = SsnReport::default();
 

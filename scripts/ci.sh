@@ -49,4 +49,15 @@ run env BOMBDROID_OBS=off \
 run cargo run -q --release --offline -p bombdroid-bench --bin perf -- \
     --check target/perf_smoke.json
 
+# Advisory perf comparison against the committed full-mode baseline.
+# --fast numbers are noisy smoke measurements on shared CI hardware, so a
+# breach only warns (never fails CI); regenerate BENCH_pipeline.json with a
+# full-mode run on quiet hardware before trusting a delta.
+if cargo run -q --release --offline -p bombdroid-bench --bin perf -- \
+    --compare BENCH_pipeline.json target/perf_smoke.json --threshold 50; then
+    echo "==> perf compare: within threshold (advisory)"
+else
+    echo "==> perf compare: WARNING regression vs committed baseline (advisory only)"
+fi
+
 echo "==> ci green"
