@@ -1,0 +1,95 @@
+//! Fuzz-style smoke test for copy-on-write session forking: a thousand
+//! sessions forked from one warmed snapshot must be mutually isolated.
+//!
+//! A pirated install mutates heavily — bombs fire, statics flip, memory
+//! leaks — so any state bleed through the snapshot's shared `Arc` heap
+//! would make a fork's outcome depend on which forks ran before it.
+//! The test runs a 1,000-fork storm, then replays a sample of seeds and
+//! the parent session itself, asserting bit-identical results.
+
+use bombdroid_apk::{repackage, DeveloperKey};
+use bombdroid_core::{ProtectConfig, Protector};
+use bombdroid_corpus::flagship;
+use bombdroid_runtime::{
+    run_session, DeviceEnv, InstalledPackage, RandomEventSource, Vm, VmSnapshot,
+};
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+
+/// Everything a session leaves behind, condensed for equality checks.
+type Outcome = (Vec<(String, String)>, u64, usize, Vec<String>, u64, u64);
+
+fn run_fork(snap: &VmSnapshot, seed: u64) -> Outcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let env = DeviceEnv::sample(&mut rng);
+    let mut vm = snap.fork(env, seed);
+    let mut source = RandomEventSource;
+    run_session(&mut vm, &mut source, &mut rng, 6, 60);
+    let t = vm.telemetry();
+    (
+        vm.statics_snapshot(),
+        t.instr_executed,
+        t.bombs_triggered(),
+        t.logs.clone(),
+        t.decrypt_failures,
+        t.piracy_reports,
+    )
+}
+
+#[test]
+fn thousand_forks_from_one_snapshot_do_not_bleed_state() {
+    let dev = DeveloperKey::generate(&mut StdRng::seed_from_u64(7));
+    let pirate = DeveloperKey::generate(&mut StdRng::seed_from_u64(11));
+    let app = flagship::hash_droid();
+    let protected = Protector::new(ProtectConfig::fast_profile())
+        .protect(&app.apk(&dev), &mut StdRng::seed_from_u64(0xF0))
+        .expect("protect");
+    let pirated = repackage(&protected.package(&dev), &pirate, |_| {});
+    let pkg = Arc::new(InstalledPackage::install(&pirated).expect("install"));
+
+    // Warm a parent session past boot so the snapshot carries real heap
+    // state (statics written, blobs cached), then freeze it.
+    let mut warm_rng = StdRng::seed_from_u64(3);
+    let mut parent = Vm::boot(Arc::clone(&pkg), DeviceEnv::sample(&mut warm_rng), 3);
+    let mut source = RandomEventSource;
+    run_session(&mut parent, &mut source, &mut warm_rng, 8, 60);
+    let snap = parent.snapshot();
+
+    // First pass: 1,000 forks, each with its own seed. Record every
+    // outcome, and make sure the storm actually exercised mutation.
+    let first: Vec<Outcome> = (0..1_000).map(|seed| run_fork(&snap, seed)).collect();
+    assert!(
+        first.iter().any(|o| o.2 > 0 || o.4 > 0),
+        "storm never triggered a bomb or decrypt failure — fixture too tame to detect bleed"
+    );
+    let distinct_statics = first
+        .iter()
+        .map(|o| &o.0)
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+    assert!(
+        distinct_statics > 1,
+        "all forks converged to one statics state — storm isn't mutating the heap"
+    );
+
+    // Replay a spread of seeds after the storm. If any fork's writes had
+    // leaked into the shared snapshot, these would diverge from pass one.
+    for seed in (0..1_000).step_by(97).chain([1, 999]) {
+        assert_eq!(
+            run_fork(&snap, seed),
+            first[seed as usize],
+            "fork seed {seed} changed outcome after the storm — state bled between forks"
+        );
+    }
+
+    // The parent itself must also be untouched: resuming the snapshot
+    // twice (after the storm) yields bit-identical continuations.
+    let resume = |seed: u64| {
+        let mut vm = snap.resume();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut source = RandomEventSource;
+        run_session(&mut vm, &mut source, &mut rng, 6, 60);
+        (vm.statics_snapshot(), vm.into_telemetry())
+    };
+    assert_eq!(resume(13), resume(13), "snapshot resume is not repeatable");
+}

@@ -4,7 +4,8 @@
 //! ```text
 //! perf [--fast] [--filter SUBSTR] [--out PATH]   # measure + write JSON
 //! perf --check PATH                              # validate an artifact
-//! perf --compare BASE CAND [--threshold PCT]     # p50 delta table
+//! perf --compare BASE CAND [--threshold PCT] [--filter SUBSTR]
+//!                                                # p50 delta table
 //! ```
 //!
 //! Default output is `BENCH_pipeline.json` in the current directory (run
@@ -12,7 +13,10 @@
 //! CI smoke profile: it validates the plumbing end to end but its numbers
 //! are not comparison-grade. `--compare` prints the per-benchmark median
 //! deltas between two artifacts and exits nonzero if any benchmark
-//! regressed past the threshold (default 10%). See EXPERIMENTS.md § "Perf
+//! regressed past the threshold (default 10%); `--filter` restricts the
+//! comparison to benchmarks whose name contains the substring, which is
+//! how CI hard-gates the `vm/` family while keeping the rest advisory.
+//! See EXPERIMENTS.md § "Perf
 //! harness" for the schema and how to compare runs across PRs.
 
 use bombdroid_bench::perf::{
@@ -40,7 +44,10 @@ fn main() {
     }
     if let Some(i) = args.iter().position(|a| a == "--compare") {
         let (Some(base), Some(cand)) = (args.get(i + 1), args.get(i + 2)) else {
-            eprintln!("usage: perf --compare <baseline.json> <candidate.json> [--threshold PCT]");
+            eprintln!(
+                "usage: perf --compare <baseline.json> <candidate.json> \
+                 [--threshold PCT] [--filter SUBSTR]"
+            );
             std::process::exit(2);
         };
         let threshold = match flag_value(&args, "--threshold") {
@@ -50,7 +57,12 @@ fn main() {
             }),
             None => 10.0,
         };
-        return compare(base, cand, threshold);
+        return compare(
+            base,
+            cand,
+            threshold,
+            flag_value(&args, "--filter").as_deref(),
+        );
     }
     let fast = args.iter().any(|a| a == "--fast");
     let filter = flag_value(&args, "--filter");
@@ -87,20 +99,27 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn compare(base_path: &str, cand_path: &str, threshold_pct: f64) {
+fn compare(base_path: &str, cand_path: &str, threshold_pct: f64, filter: Option<&str>) {
     let read = |path: &str| {
         std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("perf --compare: cannot read {path}: {e}");
             std::process::exit(1);
         })
     };
-    let report = match compare_bench_json(&read(base_path), &read(cand_path), threshold_pct) {
+    let mut report = match compare_bench_json(&read(base_path), &read(cand_path), threshold_pct) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("perf --compare: {e}");
             std::process::exit(1);
         }
     };
+    if let Some(f) = filter {
+        report.rows.retain(|r| r.name.contains(f));
+        if report.rows.is_empty() {
+            eprintln!("perf --compare: no benchmark matches --filter {f:?}");
+            std::process::exit(1);
+        }
+    }
     print!("{}", report.render());
     let regressions = report.regressions();
     if regressions.is_empty() {
@@ -250,9 +269,45 @@ fn run_all(config: &PerfConfig, filter: Option<&str>) -> Vec<BenchResult> {
     }
 
     // --- runtime: protected-app event throughput (Table 5's kernel) ---
-    if wanted("vm/drive_protected_50ev") || wanted("vm/profile_2k_events") {
+    if wanted("vm/drive_protected_50ev")
+        || wanted("vm/profile_2k_events")
+        || wanted("vm/boot_session")
+        || wanted("vm/fork_session")
+    {
         let (_, signed) = protect_app(&app, protect_config.clone(), 0xBE);
         let pkg = Arc::new(InstalledPackage::install(&signed).expect("signed install"));
+        // Cold path: boot a fresh VM and run 10 deterministic warm-up
+        // events (the per-device cost the market simulator used to pay).
+        let warm_boot = |pkg: &Arc<InstalledPackage>| -> Vm {
+            let mut rng = StdRng::seed_from_u64(17);
+            let mut vm = Vm::boot(Arc::clone(pkg), DeviceEnv::sample(&mut rng), 17);
+            let mut source = RandomEventSource;
+            let dex = Arc::clone(&vm.pkg.dex);
+            for _ in 0..10 {
+                if let Some(ev) = source.next_event(&dex, &mut rng) {
+                    let _ = vm.fire_entry(ev.entry_index, ev.args);
+                }
+                if vm.is_killed() || vm.is_frozen() {
+                    break;
+                }
+            }
+            vm
+        };
+        if wanted("vm/boot_session") {
+            push(run_bench("vm/boot_session", None, config, || {
+                std::hint::black_box(warm_boot(&pkg).telemetry().instr_executed);
+            }));
+        }
+        if wanted("vm/fork_session") {
+            // Warm path: mint a ready session by forking the post-warm-up
+            // snapshot — O(changed-state) instead of a full re-boot+replay.
+            let snap = warm_boot(&pkg).snapshot();
+            let env = DeviceEnv::sample(&mut StdRng::seed_from_u64(21));
+            push(run_bench("vm/fork_session", None, config, || {
+                let vm = snap.fork(std::hint::black_box(env.clone()), 21);
+                std::hint::black_box(vm.telemetry().instr_executed);
+            }));
+        }
         if wanted("vm/drive_protected_50ev") {
             push(run_bench("vm/drive_protected_50ev", None, config, || {
                 let mut rng = StdRng::seed_from_u64(3);

@@ -7,7 +7,8 @@ use bombdroid_core::{FleetConfig, ProtectConfig, ProtectError, ProtectedApp, Pro
 use bombdroid_corpus::{flagship, GeneratedApp};
 use bombdroid_obs as obs;
 use bombdroid_runtime::{
-    DeviceEnv, EventSource, InstalledPackage, RandomEventSource, UserEventSource, Vm, VmOptions,
+    DeviceEnv, EventSource, InstalledPackage, RandomEventSource, SessionPool, UserEventSource, Vm,
+    VmOptions,
 };
 use parking_lot::Mutex;
 use rand::{rngs::StdRng, SeedableRng};
@@ -175,15 +176,23 @@ fn fleet_vm_options() -> VmOptions {
     }
 }
 
+/// A pristine [`SessionPool`] over `pkg` with the fleet options. Sessions
+/// minted from it are bit-identical to direct `Vm::new` boots, but share
+/// the package's decoded program, so the per-method lowering pass runs
+/// once per package instead of once per device.
+pub fn session_pool(pkg: Arc<InstalledPackage>) -> SessionPool {
+    SessionPool::new(pkg, fleet_vm_options())
+}
+
 /// Drives one user session until the first bomb triggers; `None` if the
 /// cap is reached first.
-pub fn time_to_first_bomb(pkg: &Arc<InstalledPackage>, seed: u64, cap_minutes: u64) -> Option<u64> {
+pub fn time_to_first_bomb(pool: &SessionPool, seed: u64, cap_minutes: u64) -> Option<u64> {
     let _span = obs::span("vm.session");
     let mut rng = StdRng::seed_from_u64(seed);
     // Each run varies the emulator configuration (§8.2: testers varied
     // device types, SDK versions, CPU/ABI between runs).
     let env = DeviceEnv::sample(&mut rng);
-    let mut vm = Vm::new(Arc::clone(pkg), env, seed ^ 0x7E57, fleet_vm_options());
+    let mut vm = pool.session(env, seed ^ 0x7E57);
     let mut source = UserEventSource;
     let dex = Arc::clone(&vm.pkg.dex);
     let deadline = cap_minutes * 60_000;

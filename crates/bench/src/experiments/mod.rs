@@ -39,8 +39,8 @@ pub use fig3::{fig3, Fig3Data};
 pub use fig4::{fig4, fig4_with, Fig4Row};
 pub use fig5::{fig5, fig5_with, Fig5Series};
 pub use harness::{
-    default_fleet, drive_events, flagships, protect_app, shared_cache, time_to_first_bomb,
-    ExperimentError, ProtectedAppCache, PROTECT_BASE,
+    default_fleet, drive_events, flagships, protect_app, session_pool, shared_cache,
+    time_to_first_bomb, ExperimentError, ProtectedAppCache, PROTECT_BASE,
 };
 pub use resilience::{resilience_reports, resilience_reports_with};
 pub use table1::{table1, table1_with, Table1Row};

@@ -1,7 +1,8 @@
 //! Table 3 — time to the first triggered bomb in user sessions.
 
 use super::harness::{
-    default_fleet, flagships, shared_cache, time_to_first_bomb, ExperimentError, PROTECT_BASE,
+    default_fleet, flagships, session_pool, shared_cache, time_to_first_bomb, ExperimentError,
+    PROTECT_BASE,
 };
 use crate::fixed_keys;
 use bombdroid_apk::repackage;
@@ -50,11 +51,13 @@ pub fn table3_with(
                 shared_cache().get_or_protect(&app, &config, PROTECT_BASE + ctx.index as u64)?;
             // Users play the *repackaged* app (the detection scenario).
             let pirated = repackage(&artifact.1, &pirate, |_| {});
-            let pkg = std::sync::Arc::new(InstalledPackage::install(&pirated)?);
+            // All of this task's sessions mint from one pristine pool:
+            // bit-identical to cold boots, but the package is decoded once.
+            let pool = session_pool(std::sync::Arc::new(InstalledPackage::install(&pirated)?));
             let mut times = Vec::new();
             for run in 0..runs {
                 let seed = derive_seed(ctx.seed, run as u64);
-                if let Some(ms) = time_to_first_bomb(&pkg, seed, cap_minutes) {
+                if let Some(ms) = time_to_first_bomb(&pool, seed, cap_minutes) {
                     times.push(ms as f64 / 1_000.0);
                 }
             }

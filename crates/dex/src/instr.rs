@@ -702,6 +702,22 @@ impl Instr {
         }
     }
 
+    /// Visits every branch target without allocating — the stable decode
+    /// hook used by runtime pre-decoding, which scans whole method bodies
+    /// (where a per-instruction `Vec` would dominate the pass).
+    pub fn for_each_branch_target(&self, mut f: impl FnMut(usize)) {
+        match self {
+            Instr::If { target, .. } | Instr::Goto { target } => f(*target),
+            Instr::Switch { arms, default, .. } => {
+                for (_, tgt) in arms {
+                    f(*tgt);
+                }
+                f(*default);
+            }
+            _ => {}
+        }
+    }
+
     /// Whether control can fall through to the next instruction.
     pub fn falls_through(&self) -> bool {
         !matches!(

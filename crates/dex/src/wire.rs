@@ -19,6 +19,7 @@ use crate::instr::{
 };
 use crate::value::{ClassName, FieldRef, MethodRef, Value};
 use bombdroid_crypto::{sha256, Digest256};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -152,11 +153,22 @@ impl<S: Sink> Writer<S> {
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// Decode-side string interner, keyed on borrowed input slices. Class,
+    /// method, and field names repeat throughout a DEX image; interning
+    /// collapses each distinct name to one `Arc<str>` allocation and makes
+    /// every later occurrence a hash lookup plus a refcount bump — the
+    /// single-pass string-table read that pays for most of the decode
+    /// speedup (decoded structures also end up sharing name storage).
+    strings: HashMap<&'a [u8], Arc<str>>,
 }
 
 impl<'a> Reader<'a> {
     fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
+        Reader {
+            buf,
+            pos: 0,
+            strings: HashMap::new(),
+        }
     }
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.pos + n > self.buf.len() {
@@ -190,6 +202,17 @@ impl<'a> Reader<'a> {
     }
     fn str(&mut self) -> Result<String, WireError> {
         String::from_utf8(self.bytes()?).map_err(|_| WireError::BadUtf8)
+    }
+    fn arc_str(&mut self) -> Result<Arc<str>, WireError> {
+        let n = self.len()?;
+        let raw = self.take(n)?;
+        if let Some(s) = self.strings.get(raw) {
+            return Ok(Arc::clone(s));
+        }
+        let s = std::str::from_utf8(raw).map_err(|_| WireError::BadUtf8)?;
+        let arc: Arc<str> = Arc::from(s);
+        self.strings.insert(raw, Arc::clone(&arc));
+        Ok(arc)
     }
     fn reg(&mut self) -> Result<Reg, WireError> {
         Ok(Reg(self.u16()?))
@@ -235,7 +258,7 @@ fn read_value(r: &mut Reader) -> Result<Value, WireError> {
         0 => Value::Null,
         1 => Value::Bool(r.u8()? != 0),
         2 => Value::Int(r.i64()?),
-        3 => Value::str(r.str()?),
+        3 => Value::Str(r.arc_str()?),
         4 => Value::Bytes(Arc::from(r.bytes()?)),
         tag => {
             return Err(WireError::BadTag {
@@ -252,9 +275,9 @@ fn write_method_ref<S: Sink>(w: &mut Writer<S>, m: &MethodRef) {
 }
 
 fn read_method_ref(r: &mut Reader) -> Result<MethodRef, WireError> {
-    let class = r.str()?;
-    let name = r.str()?;
-    Ok(MethodRef::new(class.as_str(), name))
+    let class = ClassName(r.arc_str()?);
+    let name = r.arc_str()?;
+    Ok(MethodRef { class, name })
 }
 
 fn write_field_ref<S: Sink>(w: &mut Writer<S>, f: &FieldRef) {
@@ -263,9 +286,9 @@ fn write_field_ref<S: Sink>(w: &mut Writer<S>, f: &FieldRef) {
 }
 
 fn read_field_ref(r: &mut Reader) -> Result<FieldRef, WireError> {
-    let class = r.str()?;
-    let name = r.str()?;
-    Ok(FieldRef::new(class.as_str(), name))
+    let class = ClassName(r.arc_str()?);
+    let name = r.arc_str()?;
+    Ok(FieldRef { class, name })
 }
 
 fn bin_op_tag(op: BinOp) -> u8 {
@@ -778,7 +801,7 @@ fn read_instr(r: &mut Reader) -> Result<Instr, WireError> {
         },
         16 => Instr::NewInstance {
             dst: r.reg()?,
-            class: ClassName::new(r.str()?),
+            class: ClassName(r.arc_str()?),
         },
         17 => Instr::NewArray {
             dst: r.reg()?,
@@ -837,8 +860,8 @@ fn write_method<S: Sink>(w: &mut Writer<S>, m: &Method) {
 }
 
 fn read_method(r: &mut Reader) -> Result<Method, WireError> {
-    let class = ClassName::new(r.str()?);
-    let name: Arc<str> = Arc::from(r.str()?);
+    let class = ClassName(r.arc_str()?);
+    let name = r.arc_str()?;
     let params = r.u16()?;
     let registers = r.u16()?;
     let n = r.len()?;
@@ -872,11 +895,11 @@ fn write_class<S: Sink>(w: &mut Writer<S>, c: &Class) {
 }
 
 fn read_class(r: &mut Reader) -> Result<Class, WireError> {
-    let name = ClassName::new(r.str()?);
+    let name = ClassName(r.arc_str()?);
     let nf = r.len()?;
     let mut fields = Vec::with_capacity(nf.min(1 << 12));
     for _ in 0..nf {
-        let fname: Arc<str> = Arc::from(r.str()?);
+        let fname = r.arc_str()?;
         let kind = match r.u8()? {
             0 => FieldKind::Instance,
             1 => FieldKind::Static,
@@ -929,7 +952,7 @@ fn write_entry_point<S: Sink>(w: &mut Writer<S>, e: &EntryPoint) {
 }
 
 fn read_entry_point(r: &mut Reader) -> Result<EntryPoint, WireError> {
-    let event: Arc<str> = Arc::from(r.str()?);
+    let event = r.arc_str()?;
     let method = read_method_ref(r)?;
     let n = r.len()?;
     let mut params = Vec::with_capacity(n.min(64));

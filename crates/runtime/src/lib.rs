@@ -52,9 +52,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod decode;
 pub mod driver;
 pub mod env;
+mod exec;
 pub mod package;
+pub mod snapshot;
 pub mod telemetry;
 pub mod value;
 pub mod vm;
@@ -65,6 +68,7 @@ pub use driver::{
 };
 pub use env::{DeviceEnv, EnvValue};
 pub use package::InstalledPackage;
+pub use snapshot::{SessionPool, VmSnapshot};
 pub use telemetry::{ResponseEvent, ResponseKind, Telemetry};
 pub use value::RtValue;
-pub use vm::{AttackerHooks, EventOutcome, Fault, Vm, VmOptions};
+pub use vm::{AttackerHooks, EventOutcome, Fault, Vm, VmEngine, VmOptions};

@@ -26,6 +26,10 @@ pub struct InstalledPackage {
     /// `MethodRef -> (class index, method index)` dispatch table, built on
     /// first query and shared by every VM booting this package.
     method_index: OnceLock<HashMap<MethodRef, (usize, usize)>>,
+    /// Pre-decoded execution program (flat `DecodedOp` bodies), built on
+    /// first boot of a decoded-engine VM and shared by every session and
+    /// fork of this package.
+    decoded: OnceLock<Arc<crate::decode::DecodedProgram>>,
     /// String resources (`strings.xml`), readable by the app.
     pub resources: BTreeMap<String, String>,
     /// Package name.
@@ -62,6 +66,7 @@ impl InstalledPackage {
             manifest_digests,
             class_digests: OnceLock::new(),
             method_index: OnceLock::new(),
+            decoded: OnceLock::new(),
             resources,
             package_name: apk.meta.package.clone(),
         })
@@ -103,6 +108,15 @@ impl InstalledPackage {
             index
         });
         index.get(mref).copied()
+    }
+
+    /// The package's pre-decoded program, lowered once on first access and
+    /// shared (method bodies themselves decode lazily inside it).
+    pub(crate) fn decoded_program(&self) -> Arc<crate::decode::DecodedProgram> {
+        Arc::clone(
+            self.decoded
+                .get_or_init(|| Arc::new(crate::decode::DecodedProgram::build(self))),
+        )
     }
 }
 

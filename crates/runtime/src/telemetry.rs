@@ -33,7 +33,11 @@ pub struct ResponseEvent {
 }
 
 /// Everything recorded while a VM runs.
-#[derive(Debug, Clone, Default)]
+///
+/// Derives `PartialEq`/`Eq` so suites can assert *bit-identity* between
+/// runs — the telemetry-identity mode of `tests/behavior_preservation.rs`
+/// diffs whole `Telemetry` values across execution engines.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Telemetry {
     /// Instructions executed (the cost model's cycle count).
     pub instr_executed: u64,
@@ -96,6 +100,23 @@ impl Telemetry {
         let samples = self.field_values.entry(field).or_default();
         if samples.len() < FIELD_SAMPLE_CAP {
             samples.push((at_ms, value));
+        }
+    }
+
+    /// [`Self::record_field`] by reference: the key is only materialized on
+    /// a field's first sample, so steady-state profiling (thousands of
+    /// writes to a handful of fields) never allocates for the lookup.
+    pub(crate) fn record_field_ref(&mut self, field: &str, at_ms: u64, value: Value) {
+        match self.field_values.get_mut(field) {
+            Some(samples) => {
+                if samples.len() < FIELD_SAMPLE_CAP {
+                    samples.push((at_ms, value));
+                }
+            }
+            None => {
+                self.field_values
+                    .insert(field.to_string(), vec![(at_ms, value)]);
+            }
         }
     }
 

@@ -1,17 +1,28 @@
-//! The bytecode interpreter — our stand-in for the ART runtime.
+//! The virtual machine core — our stand-in for the ART runtime.
 //!
 //! Executes installed packages event-by-event with a deterministic cost
 //! model (instructions ↦ virtual milliseconds), dispatches framework shims,
 //! and implements the two bomb instructions: salted hashing and
 //! decrypt-and-execute with fragment caching ("the code decryption is
 //! one-time effort by caching it in memory", paper §8.4).
+//!
+//! The execution engine is layered across three sibling modules:
+//! [`crate::decode`] lowers method bodies once into flat [`DecodedOp`]
+//! arrays, [`crate::exec`] holds both dispatch loops (the pre-decoded
+//! engine and the legacy tree-walker it must stay bit-identical to), and
+//! [`crate::snapshot`] provides copy-on-write session snapshots and
+//! `Vm::fork`. This module owns the VM state, the cost model, and the
+//! framework shims shared by both engines.
+//!
+//! [`DecodedOp`]: crate::decode::DecodedOp
 
+use crate::decode::{self, DecodedBody, DecodedProgram};
 use crate::env::{DeviceEnv, EnvValue};
 use crate::package::InstalledPackage;
 use crate::telemetry::{ResponseEvent, ResponseKind, Telemetry};
 use crate::value::RtValue;
 use bombdroid_crypto::{blob, kdf};
-use bombdroid_dex::{wire, BinOp, CondOp, HostApi, Instr, MethodRef, Reg, RegOrConst, StrOp, UnOp};
+use bombdroid_dex::{wire, BinOp, BlobId, CondOp, HostApi, Instr, MethodRef, Reg, StrOp};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -32,6 +43,38 @@ pub struct AttackerHooks {
     pub trace_reflection: bool,
 }
 
+/// Which execution engine a VM runs its bytecode on. Both engines are
+/// bit-identical in telemetry, cost charging, and observable behavior
+/// (proven by the behavior-preservation suite's telemetry-identity mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VmEngine {
+    /// Resolve from the `BOMBDROID_VM` environment variable at boot:
+    /// `legacy` selects the tree-walker, anything else (or unset) the
+    /// pre-decoded engine. Read once per process.
+    #[default]
+    Auto,
+    /// The pre-decoded engine (default): flat ops, fused superinstructions.
+    Decoded,
+    /// The legacy tree-walking interpreter over `dex::Instr`. Kept as a
+    /// release-level fallback for one release; scheduled for removal.
+    Legacy,
+}
+
+impl VmEngine {
+    /// Whether this selection resolves to the decoded engine.
+    pub fn is_decoded(self) -> bool {
+        match self {
+            VmEngine::Decoded => true,
+            VmEngine::Legacy => false,
+            VmEngine::Auto => {
+                static ENV_LEGACY: OnceLock<bool> = OnceLock::new();
+                !*ENV_LEGACY
+                    .get_or_init(|| std::env::var("BOMBDROID_VM").is_ok_and(|v| v == "legacy"))
+            }
+        }
+    }
+}
+
 /// VM configuration.
 #[derive(Debug, Clone)]
 pub struct VmOptions {
@@ -49,6 +92,9 @@ pub struct VmOptions {
     /// same ciphertext was opened with the same key — per-VM cost charging
     /// and [`Telemetry`] are identical with the cache on or off.
     pub shared_fragment_cache: bool,
+    /// Execution engine selection (tests pin this explicitly; everything
+    /// else uses [`VmEngine::Auto`] and the `BOMBDROID_VM` variable).
+    pub engine: VmEngine,
     /// Attacker instrumentation.
     pub hooks: AttackerHooks,
 }
@@ -61,6 +107,7 @@ impl Default for VmOptions {
             record_field_values: false,
             max_call_depth: 64,
             shared_fragment_cache: false,
+            engine: VmEngine::Auto,
             hooks: AttackerHooks::default(),
         }
     }
@@ -69,12 +116,38 @@ impl Default for VmOptions {
 /// Process-wide decrypted-fragment cache (see
 /// [`VmOptions::shared_fragment_cache`]). The fingerprint covers salt and
 /// ciphertext, so a tampered blob or a differently-salted protection of the
-/// same app can never collide with a cached entry.
+/// same app can never collide with a cached entry. The cache stores *raw*
+/// fragments: decoded forms hold package-specific resolved call targets, so
+/// they live in the per-VM [`Fragment`] wrapper (shared across forks of one
+/// snapshot, which by construction run the same package).
 type SharedFragmentKey = (u32, bombdroid_crypto::Digest256, bombdroid_crypto::Key128);
 
 fn shared_fragments() -> &'static Mutex<HashMap<SharedFragmentKey, Arc<Vec<Instr>>>> {
     static CACHE: OnceLock<Mutex<HashMap<SharedFragmentKey, Arc<Vec<Instr>>>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// A decrypted fragment as cached by one VM: the raw instruction form (fed
+/// to the legacy engine and the process-wide cache) plus its lazily decoded
+/// form.
+#[derive(Debug)]
+pub(crate) struct Fragment {
+    pub raw: Arc<Vec<Instr>>,
+    decoded: OnceLock<Arc<DecodedBody>>,
+}
+
+impl Fragment {
+    /// The decoded form, lowered on first use with this package's resolved
+    /// call targets.
+    pub fn decoded_body(&self, pkg: &InstalledPackage, prog: &DecodedProgram) -> &Arc<DecodedBody> {
+        self.decoded.get_or_init(|| {
+            let body = decode::decode_body(pkg, prog, &self.raw);
+            if bombdroid_obs::enabled() {
+                bombdroid_obs::counter_add("vm.decode.fragments", 1);
+            }
+            Arc::new(body)
+        })
+    }
 }
 
 /// A runtime fault. Responses deliberately inject some of these into
@@ -150,12 +223,17 @@ impl EventOutcome {
     }
 }
 
-enum Flow {
+pub(crate) enum Flow {
     Done,
     Returned(RtValue),
 }
 
 /// The virtual machine for one app process on one device.
+///
+/// Heap state (`statics`, `objects`, `arrays`) lives behind [`Arc`]s with
+/// copy-on-write mutation, so [`Vm::snapshot`] and [`Vm::fork`] capture and
+/// resume sessions in O(changed-state) instead of deep-copying; a VM that
+/// never forks pays only an uncontended refcount check per mutation.
 #[derive(Debug)]
 pub struct Vm {
     /// Installed package being executed. Shared: booting a second device
@@ -163,25 +241,29 @@ pub struct Vm {
     pub pkg: Arc<InstalledPackage>,
     /// Device environment.
     pub env: DeviceEnv,
-    opts: VmOptions,
-    rng: StdRng,
-    statics: HashMap<String, RtValue>,
-    objects: Vec<BTreeMap<Arc<str>, RtValue>>,
-    arrays: Vec<Vec<RtValue>>,
-    telemetry: Telemetry,
-    blob_cache: HashMap<u32, Arc<Vec<Instr>>>,
-    clock_ms: u64,
-    instr_accum: u64,
-    fuel: u64,
-    killed: bool,
-    frozen: bool,
+    pub(crate) opts: VmOptions,
+    pub(crate) rng: StdRng,
+    pub(crate) statics: Arc<HashMap<String, RtValue>>,
+    pub(crate) objects: Arc<Vec<BTreeMap<Arc<str>, RtValue>>>,
+    pub(crate) arrays: Arc<Vec<Vec<RtValue>>>,
+    pub(crate) telemetry: Telemetry,
+    pub(crate) blob_cache: HashMap<u32, Arc<Fragment>>,
+    pub(crate) clock_ms: u64,
+    pub(crate) instr_accum: u64,
+    pub(crate) fuel: u64,
+    pub(crate) killed: bool,
+    pub(crate) frozen: bool,
+    /// Engine selection resolved at boot (so a mid-run env change can never
+    /// switch engines under a session).
+    pub(crate) decoded_engine: bool,
 }
 
 impl Vm {
     /// Boots an app process for `pkg` on a device with environment `env`.
     ///
     /// Accepts the package by value or as an [`Arc`]; fleet callers booting
-    /// many devices for one package should pass `Arc` clones.
+    /// many devices for one package should pass `Arc` clones (or better,
+    /// fork sessions from a [`crate::snapshot::SessionPool`]).
     pub fn new(
         pkg: impl Into<Arc<InstalledPackage>>,
         env: DeviceEnv,
@@ -189,14 +271,15 @@ impl Vm {
         opts: VmOptions,
     ) -> Self {
         let pkg = pkg.into();
+        let decoded_engine = opts.engine.is_decoded();
         Vm {
             pkg,
             env,
             opts,
             rng: StdRng::seed_from_u64(seed),
-            statics: HashMap::new(),
-            objects: Vec::new(),
-            arrays: Vec::new(),
+            statics: Arc::new(HashMap::new()),
+            objects: Arc::new(Vec::new()),
+            arrays: Arc::new(Vec::new()),
             telemetry: Telemetry::new(),
             blob_cache: HashMap::new(),
             clock_ms: 0,
@@ -204,6 +287,7 @@ impl Vm {
             fuel: 0,
             killed: false,
             frozen: false,
+            decoded_engine,
         }
     }
 
@@ -279,7 +363,9 @@ impl Vm {
     /// Executes a detached instruction fragment with a caller-supplied
     /// register file — the primitive behind *forced execution* and
     /// *slice execution* attacks (paper §2.1), where an analyst runs
-    /// extracted code outside its original control flow.
+    /// extracted code outside its original control flow. Detached fragments
+    /// always run on the tree-walker: they are attacker-side one-shots, so
+    /// pre-decoding would cost more than it saves.
     pub fn run_detached_fragment(
         &mut self,
         body: &[Instr],
@@ -330,7 +416,8 @@ impl Vm {
         }
     }
 
-    fn charge(&mut self, cost: u64) -> Result<(), Fault> {
+    #[inline]
+    pub(crate) fn charge(&mut self, cost: u64) -> Result<(), Fault> {
         self.telemetry.instr_executed += cost;
         self.instr_accum += cost;
         while self.instr_accum >= self.opts.instr_per_ms {
@@ -345,12 +432,25 @@ impl Vm {
         Ok(())
     }
 
-    fn call(
+    /// Calls `mref` on whichever engine this VM runs. The depth check comes
+    /// first on both paths (a too-deep call to a missing method is a
+    /// `StackOverflow`, not `UnknownMethod`).
+    pub(crate) fn call(
         &mut self,
         mref: &MethodRef,
         args: Vec<RtValue>,
         depth: usize,
     ) -> Result<RtValue, Fault> {
+        if self.decoded_engine {
+            if depth >= self.opts.max_call_depth {
+                return Err(Fault::StackOverflow);
+            }
+            let prog = self.pkg.decoded_program();
+            return match prog.resolve(&self.pkg, mref) {
+                Some(id) => self.call_decoded(&prog, id, args, depth),
+                None => Err(Fault::UnknownMethod(mref.clone())),
+            };
+        }
         if depth >= self.opts.max_call_depth {
             return Err(Fault::StackOverflow);
         }
@@ -379,11 +479,13 @@ impl Vm {
         }
     }
 
-    fn reg(&self, regs: &[RtValue], r: Reg) -> RtValue {
+    #[inline]
+    pub(crate) fn reg(&self, regs: &[RtValue], r: Reg) -> RtValue {
         regs.get(r.0 as usize).cloned().unwrap_or(RtValue::Null)
     }
 
-    fn set_reg(regs: &mut Vec<RtValue>, r: Reg, v: RtValue) {
+    #[inline]
+    pub(crate) fn set_reg(regs: &mut Vec<RtValue>, r: Reg, v: RtValue) {
         let idx = r.0 as usize;
         if idx >= regs.len() {
             regs.resize(idx + 1, RtValue::Null);
@@ -391,344 +493,76 @@ impl Vm {
         regs[idx] = v;
     }
 
-    fn exec_body(
+    /// Fetches (decrypting and caching if needed) the fragment behind
+    /// `blob`, charging exactly like the historical inline sequence: cache
+    /// hits charge 2, misses charge `50 + sealed/16` before key derivation.
+    /// Shared by both engines.
+    pub(crate) fn fragment_for(
         &mut self,
-        mref: &MethodRef,
-        body: &[Instr],
-        regs: &mut Vec<RtValue>,
-        depth: usize,
-    ) -> Result<Flow, Fault> {
-        let mut pc = 0usize;
-        while pc < body.len() {
-            let instr = &body[pc];
-            let mut next = pc + 1;
-            match instr {
-                Instr::Const { dst, value } => {
-                    self.charge(1)?;
-                    Self::set_reg(regs, *dst, value.clone().into());
-                }
-                Instr::Move { dst, src } => {
-                    self.charge(1)?;
-                    let v = self.reg(regs, *src);
-                    Self::set_reg(regs, *dst, v);
-                }
-                Instr::BinOp { op, dst, lhs, rhs } => {
-                    self.charge(1)?;
-                    let a = self
-                        .reg(regs, *lhs)
-                        .as_int()
-                        .ok_or(Fault::TypeError("binop lhs not int"))?;
-                    let b = self
-                        .reg(regs, *rhs)
-                        .as_int()
-                        .ok_or(Fault::TypeError("binop rhs not int"))?;
-                    Self::set_reg(regs, *dst, RtValue::Int(Self::arith(*op, a, b)?));
-                }
-                Instr::BinOpConst { op, dst, lhs, rhs } => {
-                    self.charge(1)?;
-                    let a = self
-                        .reg(regs, *lhs)
-                        .as_int()
-                        .ok_or(Fault::TypeError("binop lhs not int"))?;
-                    Self::set_reg(regs, *dst, RtValue::Int(Self::arith(*op, a, *rhs)?));
-                }
-                Instr::UnOp { op, dst, src } => {
-                    self.charge(1)?;
-                    let a = self
-                        .reg(regs, *src)
-                        .as_int()
-                        .ok_or(Fault::TypeError("unop operand not int"))?;
-                    let v = match op {
-                        UnOp::Neg => a.wrapping_neg(),
-                        UnOp::Not => !a,
-                        UnOp::Abs => a.wrapping_abs(),
-                    };
-                    Self::set_reg(regs, *dst, RtValue::Int(v));
-                }
-                Instr::StrOp { op, dst, lhs, rhs } => {
-                    self.charge(2)?;
-                    let v = self.str_op(*op, regs, *lhs, *rhs)?;
-                    Self::set_reg(regs, *dst, v);
-                }
-                Instr::If {
-                    cond,
-                    lhs,
-                    rhs,
-                    target,
-                } => {
-                    self.charge(1)?;
-                    let a = self.reg(regs, *lhs);
-                    let b = match rhs {
-                        RegOrConst::Reg(r) => self.reg(regs, *r),
-                        RegOrConst::Const(v) => v.clone().into(),
-                    };
-                    let taken = Self::compare(*cond, &a, &b)?;
-                    // QC-coverage telemetry: an equality on a constant that
-                    // held. (`Eq` taken, or `Ne` fall-through.)
-                    let eq_held = match cond {
-                        CondOp::Eq => taken,
-                        CondOp::Ne => !taken,
-                        _ => false,
-                    };
-                    if eq_held && matches!(rhs, RegOrConst::Const(_)) {
-                        self.telemetry.eq_satisfied.insert((mref.clone(), pc));
-                        if matches!(a, RtValue::Bytes(_)) {
-                            self.telemetry.outer_satisfied.insert((mref.clone(), pc));
-                        }
-                    }
-                    if taken {
-                        next = *target;
-                    }
-                }
-                Instr::Switch { src, arms, default } => {
-                    self.charge(1)?;
-                    let v = self
-                        .reg(regs, *src)
-                        .as_int()
-                        .ok_or(Fault::TypeError("switch operand not int"))?;
-                    next = arms
-                        .iter()
-                        .find(|(case, _)| *case == v)
-                        .map(|(_, t)| *t)
-                        .unwrap_or(*default);
-                }
-                Instr::Goto { target } => {
-                    self.charge(1)?;
-                    next = *target;
-                }
-                Instr::Invoke { method, args, dst } => {
-                    let argv: Vec<RtValue> = args.iter().map(|r| self.reg(regs, *r)).collect();
-                    let ret = self.call(method, argv, depth + 1)?;
-                    if let Some(d) = dst {
-                        Self::set_reg(regs, *d, ret);
-                    }
-                }
-                Instr::InvokeReflect { name, args, dst } => {
-                    self.charge(10)?;
-                    let target = self
-                        .reg(regs, *name)
-                        .as_str()
-                        .ok_or(Fault::TypeError("reflect name not string"))?
-                        .to_string();
-                    if self.opts.hooks.trace_reflection {
-                        let at = self.clock_ms;
-                        self.telemetry.reflection_trace.push((target.clone(), at));
-                    }
-                    let argv: Vec<RtValue> = args.iter().map(|r| self.reg(regs, *r)).collect();
-                    let ret = self.reflect_call(&target, &argv)?;
-                    if let Some(d) = dst {
-                        Self::set_reg(regs, *d, ret);
-                    }
-                }
-                Instr::HostCall { api, args, dst } => {
-                    self.charge(10)?;
-                    let argv: Vec<RtValue> = args.iter().map(|r| self.reg(regs, *r)).collect();
-                    let ret = self.host_call(api, &argv)?;
-                    if let Some(d) = dst {
-                        Self::set_reg(regs, *d, ret);
-                    }
-                }
-                Instr::GetField { dst, obj, field } => {
-                    self.charge(1)?;
-                    let v = match self.reg(regs, *obj) {
-                        RtValue::Obj(id) => self
-                            .objects
-                            .get(id)
-                            .and_then(|o| o.get(&field.name).cloned())
-                            .unwrap_or(RtValue::Null),
-                        RtValue::Null => return Err(Fault::NullDeref),
-                        _ => return Err(Fault::TypeError("iget on non-object")),
-                    };
-                    Self::set_reg(regs, *dst, v);
-                }
-                Instr::PutField { obj, field, src } => {
-                    self.charge(1)?;
-                    let v = self.reg(regs, *src);
-                    if self.opts.record_field_values {
-                        if let Some(c) = v.to_const() {
-                            let at = self.clock_ms;
-                            self.telemetry.record_field(field.to_string(), at, c);
-                        }
-                    }
-                    match self.reg(regs, *obj) {
-                        RtValue::Obj(id) => {
-                            let o = self
-                                .objects
-                                .get_mut(id)
-                                .ok_or(Fault::TypeError("dangling object"))?;
-                            o.insert(field.name.clone(), v);
-                        }
-                        RtValue::Null => return Err(Fault::NullDeref),
-                        _ => return Err(Fault::TypeError("iput on non-object")),
-                    }
-                }
-                Instr::GetStatic { dst, field } => {
-                    self.charge(1)?;
-                    // Unwritten statics read as 0, matching Java's default
-                    // initialization of numeric static fields.
-                    let v = self
-                        .statics
-                        .get(&field.to_string())
-                        .cloned()
-                        .unwrap_or(RtValue::Int(0));
-                    Self::set_reg(regs, *dst, v);
-                }
-                Instr::PutStatic { field, src } => {
-                    self.charge(1)?;
-                    let v = self.reg(regs, *src);
-                    if self.opts.record_field_values {
-                        if let Some(c) = v.to_const() {
-                            let at = self.clock_ms;
-                            self.telemetry.record_field(field.to_string(), at, c);
-                        }
-                    }
-                    self.statics.insert(field.to_string(), v);
-                }
-                Instr::NewInstance { dst, class: _ } => {
-                    self.charge(2)?;
-                    let id = self.objects.len();
-                    self.objects.push(BTreeMap::new());
-                    Self::set_reg(regs, *dst, RtValue::Obj(id));
-                }
-                Instr::NewArray { dst, len } => {
-                    self.charge(2)?;
-                    let n = self
-                        .reg(regs, *len)
-                        .as_int()
-                        .ok_or(Fault::TypeError("array length not int"))?;
-                    if !(0..=1_000_000).contains(&n) {
-                        return Err(Fault::IndexOutOfBounds);
-                    }
-                    let id = self.arrays.len();
-                    self.arrays.push(vec![RtValue::Int(0); n as usize]);
-                    Self::set_reg(regs, *dst, RtValue::Arr(id));
-                }
-                Instr::ArrayGet { dst, arr, idx } => {
-                    self.charge(1)?;
-                    let v = self.array_slot(regs, *arr, *idx)?.clone();
-                    Self::set_reg(regs, *dst, v);
-                }
-                Instr::ArrayPut { arr, idx, src } => {
-                    self.charge(1)?;
-                    let v = self.reg(regs, *src);
-                    *self.array_slot(regs, *arr, *idx)? = v;
-                }
-                Instr::ArrayLen { dst, arr } => {
-                    self.charge(1)?;
-                    let n = match self.reg(regs, *arr) {
-                        RtValue::Arr(id) => self
-                            .arrays
-                            .get(id)
-                            .ok_or(Fault::TypeError("dangling array"))?
-                            .len(),
-                        RtValue::Null => return Err(Fault::NullDeref),
-                        _ => return Err(Fault::TypeError("array-length on non-array")),
-                    };
-                    Self::set_reg(regs, *dst, RtValue::Int(n as i64));
-                }
-                Instr::Hash { dst, src, salt } => {
-                    // Hashing ≤ 16 input bytes is a handful of SHA-1
-                    // compressions — cheap next to interpreter dispatch.
-                    self.charge(4)?;
-                    let cb = self
-                        .reg(regs, *src)
-                        .canonical_bytes()
-                        .ok_or(Fault::TypeError("hash of reference value"))?;
-                    let digest = kdf::condition_hash(&cb, salt);
-                    Self::set_reg(regs, *dst, RtValue::Bytes(Arc::from(&digest[..])));
-                }
-                Instr::DecryptExec { blob, key_src } => {
-                    let cached = self.blob_cache.get(&blob.0).cloned();
-                    let fragment = if let Some(f) = cached {
-                        // "the code decryption is one-time effort by
-                        // caching it in memory" (§8.4).
-                        self.charge(2)?;
-                        f
-                    } else {
-                        let dex = self.pkg.dex.clone();
-                        let b = dex.blob(*blob).ok_or(Fault::TypeError("dangling blob"))?;
-                        self.charge(50 + b.sealed.len() as u64 / 16)?;
-                        let cb = self
-                            .reg(regs, *key_src)
-                            .canonical_bytes()
-                            .ok_or(Fault::TypeError("key source is a reference"))?;
-                        let key = kdf::derive_key(&cb, &b.salt);
-                        // With the process-wide cache on, look up (id,
-                        // fingerprint, key) before doing the real open: a
-                        // hit proves an identical decryption already
-                        // succeeded, so only the redundant crypto is
-                        // skipped — the cost was charged above and the
-                        // telemetry below records the decrypt either way.
-                        let shared_key = self.opts.shared_fragment_cache.then(|| {
-                            let mut fp = bombdroid_crypto::sha256::Sha256::new();
-                            fp.update(&b.salt);
-                            fp.update(&b.sealed);
-                            (blob.0, fp.finalize(), key)
-                        });
-                        let shared_hit = shared_key.as_ref().and_then(|k| {
-                            shared_fragments()
-                                .lock()
-                                .unwrap_or_else(|e| e.into_inner())
-                                .get(k)
-                                .cloned()
-                        });
-                        let f = match shared_hit {
-                            Some(f) => f,
-                            None => {
-                                let plaintext = blob::open(&key, &b.sealed).map_err(|_| {
-                                    self.telemetry.decrypt_failures += 1;
-                                    Fault::DecryptFailed
-                                })?;
-                                let instrs = wire::decode_fragment(&plaintext)
-                                    .map_err(|_| Fault::FragmentDecode)?;
-                                let f = Arc::new(instrs);
-                                if let Some(k) = shared_key {
-                                    shared_fragments()
-                                        .lock()
-                                        .unwrap_or_else(|e| e.into_inner())
-                                        .insert(k, f.clone());
-                                }
-                                f
-                            }
-                        };
-                        self.blob_cache.insert(blob.0, f.clone());
-                        self.telemetry.blobs_decrypted.insert(blob.0);
-                        f
-                    };
-                    if let Flow::Returned(v) = self.exec_body(mref, &fragment, regs, depth)? {
-                        return Ok(Flow::Returned(v));
-                    }
-                }
-                Instr::StegoExtract { dst, src } => {
-                    self.charge(5)?;
-                    let v = match self.reg(regs, *src).as_str() {
-                        Some(cover) => match bombdroid_apk::stego::extract(cover) {
-                            Some(bytes) => RtValue::Bytes(Arc::from(bytes.as_slice())),
-                            None => RtValue::Null,
-                        },
-                        None => RtValue::Null,
-                    };
-                    Self::set_reg(regs, *dst, v);
-                }
-                Instr::Return { src } => {
-                    self.charge(1)?;
-                    let v = src.map(|r| self.reg(regs, r)).unwrap_or(RtValue::Null);
-                    return Ok(Flow::Returned(v));
-                }
-                Instr::Throw { msg } => {
-                    self.charge(1)?;
-                    return Err(Fault::Thrown(msg.clone()));
-                }
-                Instr::Nop => {
-                    self.charge(1)?;
-                }
-            }
-            pc = next;
+        blob: BlobId,
+        key_val: RtValue,
+    ) -> Result<Arc<Fragment>, Fault> {
+        if let Some(f) = self.blob_cache.get(&blob.0).cloned() {
+            // "the code decryption is one-time effort by caching it in
+            // memory" (§8.4).
+            self.charge(2)?;
+            return Ok(f);
         }
-        Ok(Flow::Done)
+        let dex = self.pkg.dex.clone();
+        let b = dex.blob(blob).ok_or(Fault::TypeError("dangling blob"))?;
+        self.charge(50 + b.sealed.len() as u64 / 16)?;
+        let cb = key_val
+            .canonical_bytes()
+            .ok_or(Fault::TypeError("key source is a reference"))?;
+        let key = kdf::derive_key(&cb, &b.salt);
+        // With the process-wide cache on, look up (id, fingerprint, key)
+        // before doing the real open: a hit proves an identical decryption
+        // already succeeded, so only the redundant crypto is skipped — the
+        // cost was charged above and the telemetry below records the
+        // decrypt either way.
+        let shared_key = self.opts.shared_fragment_cache.then(|| {
+            let mut fp = bombdroid_crypto::sha256::Sha256::new();
+            fp.update(&b.salt);
+            fp.update(&b.sealed);
+            (blob.0, fp.finalize(), key)
+        });
+        let shared_hit = shared_key.as_ref().and_then(|k| {
+            shared_fragments()
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(k)
+                .cloned()
+        });
+        let raw = match shared_hit {
+            Some(raw) => raw,
+            None => {
+                let plaintext = blob::open(&key, &b.sealed).map_err(|_| {
+                    self.telemetry.decrypt_failures += 1;
+                    Fault::DecryptFailed
+                })?;
+                let instrs =
+                    wire::decode_fragment(&plaintext).map_err(|_| Fault::FragmentDecode)?;
+                let raw = Arc::new(instrs);
+                if let Some(k) = shared_key {
+                    shared_fragments()
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(k, raw.clone());
+                }
+                raw
+            }
+        };
+        let f = Arc::new(Fragment {
+            raw,
+            decoded: OnceLock::new(),
+        });
+        self.blob_cache.insert(blob.0, f.clone());
+        self.telemetry.blobs_decrypted.insert(blob.0);
+        Ok(f)
     }
 
-    fn arith(op: BinOp, a: i64, b: i64) -> Result<i64, Fault> {
+    #[inline]
+    pub(crate) fn arith(op: BinOp, a: i64, b: i64) -> Result<i64, Fault> {
         Ok(match op {
             BinOp::Add => a.wrapping_add(b),
             BinOp::Sub => a.wrapping_sub(b),
@@ -755,7 +589,8 @@ impl Vm {
         })
     }
 
-    fn compare(cond: CondOp, a: &RtValue, b: &RtValue) -> Result<bool, Fault> {
+    #[inline]
+    pub(crate) fn compare(cond: CondOp, a: &RtValue, b: &RtValue) -> Result<bool, Fault> {
         match cond {
             CondOp::Eq | CondOp::Ne => {
                 let equal = match (a, b) {
@@ -789,18 +624,17 @@ impl Vm {
         }
     }
 
-    fn str_op(
+    /// String-operation core over already-fetched values; both engines'
+    /// `StrOp` arms delegate here.
+    pub(crate) fn str_op_vals(
         &mut self,
         op: StrOp,
-        regs: &[RtValue],
-        lhs: Reg,
-        rhs: Option<Reg>,
+        a: RtValue,
+        rhs_val: Option<RtValue>,
     ) -> Result<RtValue, Fault> {
-        let a = self.reg(regs, lhs);
         let s = a
             .as_str()
             .ok_or(Fault::TypeError("strop receiver not string"))?;
-        let rhs_val = rhs.map(|r| self.reg(regs, r));
         let b_str = |v: &Option<RtValue>| -> Result<String, Fault> {
             match v {
                 Some(RtValue::Str(s)) => Ok(s.to_string()),
@@ -861,25 +695,30 @@ impl Vm {
         })
     }
 
-    fn array_slot(&mut self, regs: &[RtValue], arr: Reg, idx: Reg) -> Result<&mut RtValue, Fault> {
-        let id = match self.reg(regs, arr) {
-            RtValue::Arr(id) => id,
+    /// Resolves an array element for read or write; `arr_val`/`idx_val`
+    /// were fetched by the caller (fault order: array type, index type,
+    /// dangling array, bounds).
+    pub(crate) fn array_slot_vals(
+        &mut self,
+        arr_val: &RtValue,
+        idx_val: &RtValue,
+    ) -> Result<&mut RtValue, Fault> {
+        let id = match arr_val {
+            RtValue::Arr(id) => *id,
             RtValue::Null => return Err(Fault::NullDeref),
             _ => return Err(Fault::TypeError("array op on non-array")),
         };
-        let i = self
-            .reg(regs, idx)
+        let i = idx_val
             .as_int()
             .ok_or(Fault::TypeError("array index not int"))?;
-        let a = self
-            .arrays
+        let a = Arc::make_mut(&mut self.arrays)
             .get_mut(id)
             .ok_or(Fault::TypeError("dangling array"))?;
         let i = usize::try_from(i).map_err(|_| Fault::IndexOutOfBounds)?;
         a.get_mut(i).ok_or(Fault::IndexOutOfBounds)
     }
 
-    fn reflect_call(&mut self, name: &str, args: &[RtValue]) -> Result<RtValue, Fault> {
+    pub(crate) fn reflect_call(&mut self, name: &str, args: &[RtValue]) -> Result<RtValue, Fault> {
         match name {
             "getPublicKey" => self.host_call(&HostApi::GetPublicKey, args),
             "getManifestDigest" => self.host_call(&HostApi::GetManifestDigest, args),
@@ -889,7 +728,7 @@ impl Vm {
         }
     }
 
-    fn host_call(&mut self, api: &HostApi, args: &[RtValue]) -> Result<RtValue, Fault> {
+    pub(crate) fn host_call(&mut self, api: &HostApi, args: &[RtValue]) -> Result<RtValue, Fault> {
         match api {
             HostApi::GetPublicKey => {
                 if let Some(fake) = &self.opts.hooks.fake_public_key {
@@ -1001,7 +840,7 @@ impl Vm {
                 Err(Fault::Frozen)
             }
             HostApi::NullOutField => {
-                for v in self.statics.values_mut() {
+                for v in Arc::make_mut(&mut self.statics).values_mut() {
                     *v = RtValue::Null;
                 }
                 let at = self.clock_ms;

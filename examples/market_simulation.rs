@@ -49,6 +49,10 @@ fn main() {
     let pirate = DeveloperKey::generate(&mut rng);
     let pirated = repackage(&signed, &pirate, |_| {});
     let pkg = InstalledPackage::install(&pirated).expect("install");
+    // Every simulated device boots from one pristine session pool: sessions
+    // are bit-identical to direct `Vm::boot` calls, but the package body is
+    // pre-decoded once and shared across the whole fleet.
+    let pool = SessionPool::new(pkg, VmOptions::default());
 
     let threads = std::env::var("BOMBDROID_THREADS")
         .ok()
@@ -71,7 +75,7 @@ fn main() {
         let outcomes = expect_all(run_indexed(day_fleet, downloads, |ctx| {
             let mut urng = ctx.rng();
             let env = DeviceEnv::sample(&mut urng);
-            let mut vm = Vm::boot(pkg.clone(), env, ctx.seed);
+            let mut vm = pool.session(env, ctx.seed);
             let mut source = UserEventSource;
             let minutes = urng.gen_range(10..60);
             run_session(&mut vm, &mut source, &mut urng, minutes, 40);

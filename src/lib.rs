@@ -42,6 +42,7 @@ pub mod prelude {
         Protector, TaskCtx,
     };
     pub use bombdroid_runtime::{
-        run_session, DeviceEnv, InstalledPackage, RandomEventSource, UserEventSource, Vm, VmOptions,
+        run_session, DeviceEnv, InstalledPackage, RandomEventSource, SessionPool, UserEventSource,
+        Vm, VmEngine, VmOptions, VmSnapshot,
     };
 }

@@ -88,6 +88,83 @@ fn protected_corpus_is_observationally_identical_on_legit_installs() {
     }
 }
 
+/// Telemetry-identity mode: the pre-decoded execution engine must be
+/// *bit-identical* to the legacy tree-walker — not just in logs and
+/// statics, but in every telemetry field: instruction counts, per-method
+/// call counts, satisfied-condition sets, bomb counters, response lists,
+/// clocks. Runs the 7-app corpus × 3 seeds on *pirated* installs so
+/// decrypt-and-execute paths and bomb responses are exercised, and
+/// compares the full [`bombdroid::runtime::Telemetry`] structs.
+///
+/// Engines are selected with explicit [`VmOptions`] rather than the
+/// `BOMBDROID_VM=legacy` environment fallback: the env var is resolved
+/// once per process, which would race with the other tests in this binary.
+#[test]
+fn decoded_and_legacy_engines_produce_identical_telemetry() {
+    let dev = DeveloperKey::generate(&mut StdRng::seed_from_u64(7));
+    let pirate = DeveloperKey::generate(&mut StdRng::seed_from_u64(9));
+    let corpus = [
+        flagship::androfish(),
+        flagship::hash_droid(),
+        flagship::catlog(),
+        generate_app("ti-game", Category::Game, 0xB11),
+        generate_app("ti-writing", Category::Writing, 0xB12),
+        generate_app("ti-nav", Category::Navigation, 0xB13),
+        generate_app("ti-sec", Category::Security, 0xB14),
+    ];
+    for (i, app) in corpus.iter().enumerate() {
+        let apk = app.apk(&dev);
+        let mut prng = StdRng::seed_from_u64(0xE0 + i as u64);
+        let protected = Protector::new(ProtectConfig::fast_profile())
+            .protect(&apk, &mut prng)
+            .unwrap_or_else(|e| panic!("{}: protect failed: {e}", app.name));
+        let signed = protected.package(&dev);
+        let pirated = repackage(&signed, &pirate, |_| {});
+
+        for session_seed in [1u64, 42, 7777] {
+            let run = |engine: VmEngine| {
+                let pkg = InstalledPackage::install(&pirated).expect("pirated install");
+                let mut rng = StdRng::seed_from_u64(session_seed);
+                let env = DeviceEnv::sample(&mut rng);
+                let opts = VmOptions {
+                    engine,
+                    ..VmOptions::default()
+                };
+                let mut vm = Vm::new(pkg, env, session_seed ^ 0xBEEF, opts);
+                let mut source = RandomEventSource;
+                run_session(&mut vm, &mut source, &mut rng, 40, 60);
+                (vm.statics_snapshot(), vm.clock_ms(), vm.into_telemetry())
+            };
+            let (d_statics, d_clock, d_tel) = run(VmEngine::Decoded);
+            let (l_statics, l_clock, l_tel) = run(VmEngine::Legacy);
+            // The named counters first, for a readable failure...
+            assert_eq!(
+                d_tel.instr_executed, l_tel.instr_executed,
+                "{} seed {session_seed}: instruction counts diverged",
+                app.name
+            );
+            assert_eq!(
+                d_tel.method_calls, l_tel.method_calls,
+                "{} seed {session_seed}: method_calls diverged",
+                app.name
+            );
+            assert_eq!(
+                (d_tel.bombs_triggered(), d_tel.decrypt_failures),
+                (l_tel.bombs_triggered(), l_tel.decrypt_failures),
+                "{} seed {session_seed}: bomb counters diverged",
+                app.name
+            );
+            // ...then the whole struct, bit for bit.
+            assert_eq!(
+                d_tel, l_tel,
+                "{} seed {session_seed}: telemetry diverged",
+                app.name
+            );
+            assert_eq!((d_statics, d_clock), (l_statics, l_clock));
+        }
+    }
+}
+
 #[test]
 fn user_event_streams_are_also_preserved() {
     // Random events exercise breadth; the weighted user model exercises
