@@ -1,29 +1,56 @@
-//! Validates a `metrics.json` artifact written by `repro`.
+//! Validates `metrics.json` (and optionally `flight.json`) artifacts
+//! written by `repro`.
 //!
 //! ```text
-//! metrics_check <path> [required-metric]...
+//! metrics_check <path> [--flight <flight.json>] [required-metric]...
 //! ```
 //!
-//! Exits 0 if the file parses, matches the `bombdroid-obs` schema
+//! Exits 0 if the metrics file parses, matches the `bombdroid-obs` schema
 //! (version, section shapes, histogram bucket-sum consistency) and
-//! contains every named metric; exits 1 with a diagnostic otherwise. CI
-//! runs this after a `repro` smoke pass so a refactor that silently stops
-//! recording (or breaks the exporter) fails the pipeline.
+//! contains every named metric — and, when `--flight` is given, if the
+//! flight-recorder dump matches its schema too (version, capacity bound,
+//! monotone event sequence). Exits 1 with a diagnostic otherwise. CI runs
+//! this after a `repro` smoke pass so a refactor that silently stops
+//! recording (or breaks either exporter) fails the pipeline.
 
 fn main() {
+    let mut path: Option<String> = None;
+    let mut flight_path: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: metrics_check <metrics.json> [required-metric]...");
+    while let Some(arg) = args.next() {
+        if arg == "--flight" {
+            match args.next() {
+                Some(p) => flight_path = Some(p),
+                None => {
+                    eprintln!("metrics_check: --flight needs a path");
+                    std::process::exit(2);
+                }
+            }
+        } else if path.is_none() {
+            path = Some(arg);
+        } else {
+            required.push(arg);
+        }
+    }
+    let Some(path) = path else {
+        eprintln!(
+            "usage: metrics_check <metrics.json> [--flight <flight.json>] [required-metric]..."
+        );
         std::process::exit(2);
     };
-    let required: Vec<String> = args.collect();
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("metrics_check: cannot read {path}: {e}");
-            std::process::exit(1);
+
+    let read = |p: &str| -> String {
+        match std::fs::read_to_string(p) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("metrics_check: cannot read {p}: {e}");
+                std::process::exit(1);
+            }
         }
     };
+
+    let text = read(&path);
     let required_refs: Vec<&str> = required.iter().map(String::as_str).collect();
     match bombdroid_obs::validate_metrics(&text, &required_refs) {
         Ok(()) => {
@@ -36,6 +63,20 @@ fn main() {
         Err(e) => {
             eprintln!("metrics_check: {path} INVALID: {e}");
             std::process::exit(1);
+        }
+    }
+
+    if let Some(fp) = flight_path {
+        let text = read(&fp);
+        match bombdroid_obs::validate_flight(&text) {
+            Ok(()) => println!(
+                "metrics_check: {fp} OK (flight schema v{})",
+                bombdroid_obs::flight::FLIGHT_SCHEMA_VERSION
+            ),
+            Err(e) => {
+                eprintln!("metrics_check: {fp} INVALID: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -1,0 +1,65 @@
+//! Compares two schema-v1 `metrics.json` artifacts and reports drift.
+//!
+//! ```text
+//! metrics_diff <base.json> <candidate.json> [--threshold <pct>]
+//! ```
+//!
+//! Prints a table of changed/added/removed metrics: counter deltas with
+//! relative change, histogram count/sum deltas with approximate p50
+//! drift, and timing call/p95 drift (wall-clock, informational only).
+//! Exits 1 when any deterministic quantity (a counter value or histogram
+//! count) drifts more than `--threshold` percent (default 10), or when
+//! such a key appears/disappears; exits 2 on usage or parse errors;
+//! exits 0 otherwise. CI runs this advisory between a committed reference
+//! artifact and each fresh smoke run so metric drift is visible in the
+//! log before anyone has to bisect for it.
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = 10.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threshold" {
+            threshold = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("metrics_diff: --threshold needs a number");
+                std::process::exit(2);
+            });
+        } else {
+            paths.push(arg);
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: metrics_diff <base.json> <candidate.json> [--threshold <pct>]");
+        std::process::exit(2);
+    }
+
+    let read = |p: &str| -> String {
+        match std::fs::read_to_string(p) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("metrics_diff: cannot read {p}: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let base = read(&paths[0]);
+    let cand = read(&paths[1]);
+
+    match bombdroid_obs::diff::diff_metrics(&base, &cand, threshold) {
+        Ok(report) => {
+            println!("metrics_diff: {} vs {}", paths[0], paths[1]);
+            print!("{}", report.table());
+            if report.has_breach() {
+                eprintln!(
+                    "metrics_diff: {} breach(es) beyond ±{threshold}%",
+                    report.breaches()
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("metrics_diff: {e}");
+            std::process::exit(2);
+        }
+    }
+}

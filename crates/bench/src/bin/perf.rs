@@ -29,6 +29,7 @@ use bombdroid_bench::{
 use bombdroid_core::{profile_app, FleetConfig, ProtectConfig};
 use bombdroid_crypto::{aes, blob, kdf, sha1, sha256};
 use bombdroid_dex::{wire, Value};
+use bombdroid_obs::{self as obs, ObsMode, Recorder, ShardAggregator};
 use bombdroid_runtime::{DeviceEnv, EventSource, InstalledPackage, RandomEventSource, Vm};
 use rand::{rngs::StdRng, SeedableRng};
 use std::sync::Arc;
@@ -340,6 +341,94 @@ fn run_all(config: &PerfConfig, filter: Option<&str>) -> Vec<BenchResult> {
                 std::hint::black_box(hot.len());
             }));
         }
+    }
+
+    // --- obs: facade + streaming-aggregation cost ---
+    // The observability contract is "off is near-free, full is cheap":
+    // these lines pin the facade hot path (existing-key lookups must not
+    // allocate) and the end-to-end overhead of full recording on the
+    // profile workload. `set_mode` forces the mode per bench so one
+    // process measures both sides; the prior mode is restored after.
+    if wanted("obs/facade_counter_hot_1k")
+        || wanted("obs/facade_timing_hot_1k")
+        || wanted("obs/aggregator_absorb")
+        || wanted("obs/profile_2k_off")
+        || wanted("obs/profile_2k_full")
+    {
+        let prior = obs::mode();
+        if wanted("obs/facade_counter_hot_1k") {
+            obs::set_mode(ObsMode::Full);
+            let scratch = Arc::new(Recorder::new());
+            scratch.counter_add("bench.hot", 0);
+            push(run_bench("obs/facade_counter_hot_1k", None, config, || {
+                obs::with_recorder(Arc::clone(&scratch), || {
+                    for i in 0..1024u64 {
+                        obs::counter_add("bench.hot", std::hint::black_box(i) & 1);
+                    }
+                });
+            }));
+        }
+        if wanted("obs/facade_timing_hot_1k") {
+            obs::set_mode(ObsMode::Full);
+            let scratch = Arc::new(Recorder::new());
+            scratch.timing_record("bench.timing", 1);
+            push(run_bench("obs/facade_timing_hot_1k", None, config, || {
+                obs::with_recorder(Arc::clone(&scratch), || {
+                    for i in 0..1024u64 {
+                        obs::timing_record("bench.timing", std::hint::black_box(i) | 1);
+                    }
+                });
+            }));
+        }
+        if wanted("obs/aggregator_absorb") {
+            obs::set_mode(ObsMode::Full);
+            // One synthetic per-task delta, absorbed repeatedly: the
+            // fleet engine's per-task streaming fold cost. Sealed windows
+            // are drained so memory stays bounded over the run.
+            let delta = Recorder::new();
+            delta.counter_add("task.events", 31);
+            delta.counter_add("task.instr", 1733);
+            delta.counter_add("task.reports", 1);
+            delta.gauge_set("task.last", 7);
+            delta.record("task.latency", 52_000);
+            delta.timing_record("task.run", 40_000);
+            let agg = ShardAggregator::new(64);
+            push(run_bench("obs/aggregator_absorb", None, config, || {
+                if agg.absorb_next(std::hint::black_box(&delta)).is_some() {
+                    agg.drain_windows();
+                }
+            }));
+        }
+        // The off-vs-full pair on the protect prologue's dominant stage
+        // (same workload as vm/profile_2k_events): full recording —
+        // spans, op-mix counters, flight notes — must stay within a few
+        // percent of off.
+        let profile_config = ProtectConfig {
+            profiling_events: 2_000,
+            ..protect_config.clone()
+        };
+        if wanted("obs/profile_2k_off") {
+            obs::set_mode(ObsMode::Off);
+            push(run_bench("obs/profile_2k_off", None, config, || {
+                let hot = profile_app(std::hint::black_box(&apk), &profile_config, 11)
+                    .expect("signed apk profiles")
+                    .hot;
+                std::hint::black_box(hot.len());
+            }));
+        }
+        if wanted("obs/profile_2k_full") {
+            obs::set_mode(ObsMode::Full);
+            let scratch = Arc::new(Recorder::new());
+            push(run_bench("obs/profile_2k_full", None, config, || {
+                obs::with_recorder(Arc::clone(&scratch), || {
+                    let hot = profile_app(std::hint::black_box(&apk), &profile_config, 11)
+                        .expect("signed apk profiles")
+                        .hot;
+                    std::hint::black_box(hot.len());
+                });
+            }));
+        }
+        obs::set_mode(prior);
     }
 
     // --- fleet: a miniature Table 3 (protect-cache + sessions + merge) ---

@@ -81,6 +81,9 @@ impl Budgets {
 }
 
 fn main() {
+    // A crash mid-run still leaves the flight recorder's last events on
+    // disk (target/repro_output/flight.json) for post-mortem triage.
+    obs::flight::install_panic_hook();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let budgets = if fast {
@@ -176,6 +179,13 @@ fn export_metrics() {
     match std::fs::write(&path, rec.to_json(true)) {
         Ok(()) => eprintln!("metrics written to {}", path.display()),
         Err(e) => eprintln!("metrics: cannot write {}: {e}", path.display()),
+    }
+    // Also dump the flight ring on clean exits so CI can validate its
+    // schema without having to crash the process.
+    let flight_path = dir.join("flight.json");
+    match obs::flight::dump(&flight_path) {
+        Ok(()) => eprintln!("flight events written to {}", flight_path.display()),
+        Err(e) => eprintln!("flight: cannot write {}: {e}", flight_path.display()),
     }
 }
 

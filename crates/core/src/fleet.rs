@@ -27,13 +27,20 @@
 //! the task's active recorder, so pipeline spans and VM counters inside
 //! the task land there too): `fleet.tasks` / `fleet.task_errors` /
 //! `fleet.task_panics` counters plus `fleet.queue_wait` and
-//! `fleet.task_run` timings. After the pool drains, the per-task
-//! recorders merge into the fleet caller's recorder **in task-index
-//! order** — every merged value is a sum, so the merged content is
+//! `fleet.task_run` timings. Per-task recorders are allocated at claim
+//! time and folded **streamingly, in task-index order**, into the fleet
+//! caller's recorder (or, via [`run_fleet_windowed`], into an
+//! [`obs::ShardAggregator`]): a completed task whose index is not yet
+//! next parks its recorder in a reorder buffer until the gap closes, so
+//! live recorder memory is O(workers + reorder depth), not O(tasks).
+//! Because the fold order is the task index order, the merged content is
 //! bit-identical for any thread count, extending the determinism contract
 //! to the metrics themselves (wall-clock nanoseconds are kept in a
-//! separate timing section that deterministic exports omit).
+//! separate timing section that deterministic exports omit). The
+//! scheduling-dependent reorder-buffer peak depth goes to the flight
+//! recorder as a diagnostic, never into the deterministic sections.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -182,6 +189,55 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Where the streaming fold sends each task's recorder delta.
+enum FoldSink<'a> {
+    /// Merge straight into the fleet caller's recorder ([`run_fleet`]).
+    Parent(Arc<obs::Recorder>),
+    /// Absorb into a windowed aggregator ([`run_fleet_windowed`]).
+    Windowed(&'a obs::ShardAggregator),
+}
+
+impl FoldSink<'_> {
+    fn absorb(&self, rec: &obs::Recorder) {
+        match self {
+            FoldSink::Parent(parent) => parent.merge_from(rec),
+            FoldSink::Windowed(agg) => {
+                agg.absorb_next(rec);
+            }
+        }
+    }
+}
+
+/// Reorder buffer for the streaming obs fold: completed task recorders
+/// wait here until every lower index has been folded, so the sink always
+/// sees deltas in task-index order no matter how workers interleave.
+struct ObsFold {
+    next: usize,
+    pending: BTreeMap<usize, Arc<obs::Recorder>>,
+    peak_pending: usize,
+}
+
+impl ObsFold {
+    fn new() -> Self {
+        ObsFold {
+            next: 0,
+            pending: BTreeMap::new(),
+            peak_pending: 0,
+        }
+    }
+
+    /// Parks `rec` as task `index`'s delta, then drains every consecutive
+    /// delta starting at `next` into the sink.
+    fn complete(&mut self, index: usize, rec: Arc<obs::Recorder>, sink: &FoldSink<'_>) {
+        self.pending.insert(index, rec);
+        self.peak_pending = self.peak_pending.max(self.pending.len());
+        while let Some(rec) = self.pending.remove(&self.next) {
+            sink.absorb(&rec);
+            self.next += 1;
+        }
+    }
+}
+
 /// Runs `tasks` on `config.threads` workers and returns per-task results in
 /// task order. Each task sees only its [`TaskCtx`]; a panicking or failing
 /// task occupies its slot with a [`FleetError`] without taking down the rest
@@ -189,6 +245,45 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 pub fn run_fleet<T, R, E, F>(
     config: FleetConfig,
     tasks: Vec<T>,
+    f: F,
+) -> Vec<Result<R, FleetError<E>>>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(TaskCtx, T) -> Result<R, E> + Sync,
+{
+    let sink = FoldSink::Parent(obs::current());
+    run_fleet_inner(config, tasks, sink, f)
+}
+
+/// [`run_fleet`] with per-task metrics folded into `aggregator` instead of
+/// the caller's recorder — the streaming shape for fleet-scale runs. The
+/// aggregator seals a [`obs::WindowSummary`] every N tasks (its window
+/// size) and keeps a running total, so live metric memory stays
+/// O(windows), not O(tasks); repeated calls (e.g. one per simulated day)
+/// keep absorbing into the same aggregator in order. The aggregator's
+/// total is bit-identical to what [`run_fleet`] would have merged into the
+/// caller's recorder for the same tasks.
+pub fn run_fleet_windowed<T, R, E, F>(
+    config: FleetConfig,
+    tasks: Vec<T>,
+    aggregator: &obs::ShardAggregator,
+    f: F,
+) -> Vec<Result<R, FleetError<E>>>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(TaskCtx, T) -> Result<R, E> + Sync,
+{
+    run_fleet_inner(config, tasks, FoldSink::Windowed(aggregator), f)
+}
+
+fn run_fleet_inner<T, R, E, F>(
+    config: FleetConfig,
+    tasks: Vec<T>,
+    sink: FoldSink<'_>,
     f: F,
 ) -> Vec<Result<R, FleetError<E>>>
 where
@@ -207,11 +302,11 @@ where
     let result_slots: Vec<ResultSlot<R, E>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
 
-    // Worker-local recorders, one per task; merged into the caller's
-    // recorder in index order after the pool drains (see module docs).
-    let obs_parent = obs::current();
-    let task_recorders: Vec<Arc<obs::Recorder>> =
-        (0..n).map(|_| Arc::new(obs::Recorder::new())).collect();
+    // Streaming obs fold (see module docs): recorders are created when a
+    // task is claimed and folded into the sink as soon as their index is
+    // next, so live recorder count is bounded by workers + reorder depth.
+    let recording = obs::enabled();
+    let fold = Mutex::new(ObsFold::new());
     let fleet_start = Instant::now();
 
     let run_one = |index: usize| {
@@ -225,7 +320,7 @@ where
             index,
             seed: derive_seed(config.base_seed, index as u64),
         };
-        let outcome = obs::with_recorder(task_recorders[index].clone(), || {
+        let run_task = |task: T| {
             obs::counter_add("fleet.tasks", 1);
             obs::timing_record("fleet.queue_wait", elapsed_ns(&fleet_start));
             let run_start = Instant::now();
@@ -233,16 +328,29 @@ where
                 Ok(Ok(r)) => Ok(r),
                 Ok(Err(e)) => {
                     obs::counter_add("fleet.task_errors", 1);
+                    obs::flight::note("fleet.task_error", || format!("task #{index}"));
                     Err(FleetError::Task(e))
                 }
                 Err(payload) => {
+                    let msg = panic_message(payload);
                     obs::counter_add("fleet.task_panics", 1);
-                    Err(FleetError::Panicked(panic_message(payload)))
+                    obs::flight::note("fleet.task_panic", || format!("task #{index}: {msg}"));
+                    Err(FleetError::Panicked(msg))
                 }
             };
             obs::timing_record("fleet.task_run", elapsed_ns(&run_start));
             outcome
-        });
+        };
+        let outcome = if recording {
+            let rec = Arc::new(obs::Recorder::new());
+            let outcome = obs::with_recorder(rec.clone(), || run_task(task));
+            fold.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .complete(index, rec, &sink);
+            outcome
+        } else {
+            run_task(task)
+        };
         *result_slots[index]
             .lock()
             .unwrap_or_else(|e| e.into_inner()) = Some(outcome);
@@ -268,8 +376,17 @@ where
         .expect("fleet worker pool panicked outside a task");
     }
 
-    for rec in &task_recorders {
-        obs_parent.merge_from(rec);
+    if recording {
+        let fold = fold.into_inner().unwrap_or_else(|e| e.into_inner());
+        debug_assert_eq!(fold.next, n, "streaming fold must drain every task");
+        // Peak reorder depth is scheduling-dependent: a diagnostic for the
+        // flight recorder, never a deterministic metric.
+        obs::flight::note("fleet.fold", || {
+            format!(
+                "tasks={n} workers={workers} peak_pending={}",
+                fold.peak_pending
+            )
+        });
     }
 
     result_slots
@@ -351,6 +468,26 @@ where
     F: Fn(TaskCtx) -> Result<R, E> + Sync,
 {
     run_fleet(config, (0..count).collect(), |ctx, _i: usize| f(ctx))
+}
+
+/// [`run_fleet_windowed`] over `0..count` index-only tasks.
+pub fn run_indexed_windowed<R, E, F>(
+    config: FleetConfig,
+    count: usize,
+    aggregator: &obs::ShardAggregator,
+    f: F,
+) -> Vec<Result<R, FleetError<E>>>
+where
+    R: Send,
+    E: Send,
+    F: Fn(TaskCtx) -> Result<R, E> + Sync,
+{
+    run_fleet_windowed(
+        config,
+        (0..count).collect(),
+        aggregator,
+        |ctx, _i: usize| f(ctx),
+    )
 }
 
 /// Unwraps a fleet's results, panicking with the index and error of the
@@ -450,6 +587,55 @@ mod tests {
         assert_eq!(rec.timing_calls("fleet.task_run"), 6);
         // Nothing leaked into the global recorder's fleet counters from
         // this scoped run beyond what other tests may add themselves.
+    }
+
+    #[test]
+    fn windowed_fold_matches_direct_merge_and_seals_windows() {
+        if !obs::enabled() {
+            return; // BOMBDROID_OBS=off disables recording.
+        }
+        let work = |ctx: TaskCtx| {
+            obs::counter_add("test.windowed.work", 1 + ctx.index as u64 % 3);
+            obs::record("test.windowed.h", ctx.seed % 100);
+            Ok::<_, std::convert::Infallible>(ctx.index)
+        };
+
+        // Legacy shape: everything merges into the caller's recorder.
+        let direct = Arc::new(obs::Recorder::new());
+        obs::with_recorder(direct.clone(), || {
+            expect_all(run_indexed(
+                FleetConfig::serial(42).with_threads(3),
+                20,
+                work,
+            ));
+        });
+
+        // Streaming shape: same tasks through a windowed aggregator.
+        let agg = obs::ShardAggregator::new(8);
+        let caller = Arc::new(obs::Recorder::new());
+        obs::with_recorder(caller.clone(), || {
+            expect_all(run_indexed_windowed(
+                FleetConfig::serial(42).with_threads(3),
+                20,
+                &agg,
+                work,
+            ));
+        });
+        agg.finish();
+
+        assert_eq!(agg.tasks_absorbed(), 20);
+        assert_eq!(
+            agg.windows_sealed(),
+            3,
+            "20 tasks / window of 8 → 2 full + 1 tail"
+        );
+        assert_eq!(
+            agg.total().to_json(false),
+            direct.to_json(false),
+            "aggregator total must be bit-identical to the direct merge"
+        );
+        // Windowed runs bypass the caller's recorder entirely.
+        assert_eq!(caller.counter_value("fleet.tasks"), 0);
     }
 
     #[test]

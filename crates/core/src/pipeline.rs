@@ -313,6 +313,7 @@ impl Protector {
         };
 
         let instrument_span = obs::span("pipeline.instrument");
+        let prologue_span = obs::span("pipeline.instrument.prologue");
 
         // Phase 1 — serial plan prologue. Walk methods in dex order (the
         // order the old single-pass loop armed them in) and pre-draw every
@@ -356,6 +357,9 @@ impl Protector {
                 planned_methods.push((ci, mi, prepared));
             }
         }
+
+        prologue_span.end();
+        let arm_span = obs::span("pipeline.instrument.arm");
 
         // Phase 2 — fan per-method arming over the fleet pool. Methods are
         // disjoint, so each task gets `&mut` access to its own method and
@@ -401,6 +405,7 @@ impl Protector {
             report.skipped_sites += outcome.skipped;
         }
 
+        arm_span.end();
         instrument_span.end();
 
         {

@@ -1,0 +1,494 @@
+//! Run-report diffing: compares two schema-v1 `metrics.json` artifacts.
+//!
+//! The paper's evaluation tables are comparisons — protected vs baseline,
+//! run vs run. This module gives the reproduction the same move for its
+//! own artifacts: parse two exports, walk every section, and report what
+//! changed (deltas and percentages for counters and histogram volumes,
+//! approximate p50/p95 drift for histograms and timings, added/removed
+//! keys). The `metrics_diff` binary in `bombdroid-bench` renders the
+//! report as a table and exits nonzero on a threshold breach; CI runs it
+//! advisory between a committed reference and the fresh smoke artifact.
+//!
+//! Breaches are only raised for *deterministic* quantities — counter
+//! values and histogram counts. Wall-clock numbers (timing `total_ns`,
+//! percentile estimates) vary run to run and are reported for context,
+//! never failed on.
+
+use crate::hist::bucket_floor;
+use crate::json::{parse, JsonValue};
+
+/// What happened to one metric between the two artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffKind {
+    /// Present only in the candidate.
+    Added,
+    /// Present only in the base.
+    Removed,
+    /// Present in both with a different value.
+    Changed,
+}
+
+/// One row of the diff report.
+#[derive(Debug, Clone)]
+pub struct DiffEntry {
+    /// Section the metric lives in (`counters`, `gauges`, …).
+    pub section: &'static str,
+    /// Metric name.
+    pub name: String,
+    /// Added / removed / changed.
+    pub kind: DiffKind,
+    /// Rendered base value (`-` when absent).
+    pub base: String,
+    /// Rendered candidate value (`-` when absent).
+    pub cand: String,
+    /// Relative change in percent, when both sides are numeric and the
+    /// base is nonzero.
+    pub pct: Option<f64>,
+    /// Whether this row breaches the threshold (deterministic sections
+    /// only).
+    pub breach: bool,
+}
+
+/// The full comparison of two artifacts.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Threshold (percent) breaches were judged against.
+    pub threshold_pct: f64,
+    /// All rows with a difference, in section/name order.
+    pub entries: Vec<DiffEntry>,
+    /// Metrics compared (changed or not) — a sanity denominator.
+    pub compared: usize,
+}
+
+impl DiffReport {
+    /// Whether any row breached the threshold.
+    pub fn has_breach(&self) -> bool {
+        self.entries.iter().any(|e| e.breach)
+    }
+
+    /// Number of breaching rows.
+    pub fn breaches(&self) -> usize {
+        self.entries.iter().filter(|e| e.breach).count()
+    }
+
+    /// Renders the report as an aligned, human-readable table.
+    pub fn table(&self) -> String {
+        if self.entries.is_empty() {
+            return format!("no differences across {} metrics\n", self.compared);
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:<42} {:>16} {:>16} {:>9}  {}\n",
+            "section", "metric", "base", "candidate", "delta%", "flag"
+        ));
+        for e in &self.entries {
+            let pct = match e.pct {
+                Some(p) if p.is_finite() => format!("{p:+.1}%"),
+                Some(_) => "new".to_string(),
+                None => "-".to_string(),
+            };
+            let flag = match (&e.kind, e.breach) {
+                (_, true) => "BREACH",
+                (DiffKind::Added, _) => "added",
+                (DiffKind::Removed, _) => "removed",
+                (DiffKind::Changed, _) => "",
+            };
+            out.push_str(&format!(
+                "{:<10} {:<42} {:>16} {:>16} {:>9}  {}\n",
+                e.section, e.name, e.base, e.cand, pct, flag
+            ));
+        }
+        out.push_str(&format!(
+            "{} difference(s) across {} metrics, {} breach(es) at ±{}%\n",
+            self.entries.len(),
+            self.compared,
+            self.breaches(),
+            self.threshold_pct
+        ));
+        out
+    }
+}
+
+fn pct_change(base: i128, cand: i128) -> Option<f64> {
+    if base == cand {
+        return None;
+    }
+    if base == 0 {
+        return Some(f64::INFINITY);
+    }
+    Some((cand - base) as f64 / base.unsigned_abs() as f64 * 100.0)
+}
+
+/// Approximate nearest-rank percentile from exported `[index, count]`
+/// bucket pairs (bucket floor, like the live recorder).
+fn bucket_percentile(buckets: &[JsonValue], p: f64) -> Option<u64> {
+    let pairs: Vec<(usize, u64)> = buckets
+        .iter()
+        .filter_map(|b| {
+            let pair = b.as_array()?;
+            Some((
+                usize::try_from(pair.first()?.as_int()?).ok()?,
+                u64::try_from(pair.get(1)?.as_int()?).ok()?,
+            ))
+        })
+        .collect();
+    let count: u64 = pairs.iter().map(|(_, n)| n).sum();
+    if count == 0 {
+        return None;
+    }
+    let rank = ((p / 100.0 * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (i, n) in pairs {
+        cum += n;
+        if cum >= rank {
+            return Some(bucket_floor(i));
+        }
+    }
+    None
+}
+
+fn int_field(v: &JsonValue, key: &str) -> i128 {
+    v.get(key).and_then(JsonValue::as_int).unwrap_or(0)
+}
+
+/// Parses and compares two `metrics.json` texts. `threshold_pct` bounds
+/// the tolerated relative drift of counters and histogram counts; an
+/// added or removed key in those sections also counts as a breach (the
+/// vocabulary itself changed).
+pub fn diff_metrics(base: &str, cand: &str, threshold_pct: f64) -> Result<DiffReport, String> {
+    let base = parse(base).map_err(|e| format!("base: {e}"))?;
+    let cand = parse(cand).map_err(|e| format!("candidate: {e}"))?;
+    for (label, v) in [("base", &base), ("candidate", &cand)] {
+        if v.as_object().is_none() {
+            return Err(format!("{label}: top level is not an object"));
+        }
+    }
+
+    let mut entries = Vec::new();
+    let mut compared = 0usize;
+
+    let empty = std::collections::BTreeMap::new();
+    let section = |root: &JsonValue, name: &str| -> std::collections::BTreeMap<String, JsonValue> {
+        root.get(name)
+            .and_then(JsonValue::as_object)
+            .unwrap_or(&empty)
+            .clone()
+    };
+
+    // Scalar sections: counters breach, gauges are informational.
+    for (sec, deterministic) in [("counters", true), ("gauges", false)] {
+        let b = section(&base, sec);
+        let c = section(&cand, sec);
+        for name in b.keys().chain(c.keys().filter(|k| !b.contains_key(*k))) {
+            match (b.get(name), c.get(name)) {
+                (Some(bv), Some(cv)) => {
+                    compared += 1;
+                    let (bi, ci) = (bv.as_int().unwrap_or(0), cv.as_int().unwrap_or(0));
+                    if let Some(p) = pct_change(bi, ci) {
+                        entries.push(DiffEntry {
+                            section: sec,
+                            name: name.clone(),
+                            kind: DiffKind::Changed,
+                            base: bi.to_string(),
+                            cand: ci.to_string(),
+                            pct: Some(p),
+                            breach: deterministic && p.abs() > threshold_pct,
+                        });
+                    }
+                }
+                (Some(bv), None) => {
+                    compared += 1;
+                    entries.push(DiffEntry {
+                        section: sec,
+                        name: name.clone(),
+                        kind: DiffKind::Removed,
+                        base: bv.as_int().map(|i| i.to_string()).unwrap_or_default(),
+                        cand: "-".to_string(),
+                        pct: None,
+                        breach: deterministic,
+                    });
+                }
+                (None, Some(cv)) => {
+                    compared += 1;
+                    entries.push(DiffEntry {
+                        section: sec,
+                        name: name.clone(),
+                        kind: DiffKind::Added,
+                        base: "-".to_string(),
+                        cand: cv.as_int().map(|i| i.to_string()).unwrap_or_default(),
+                        pct: None,
+                        breach: deterministic,
+                    });
+                }
+                (None, None) => {}
+            }
+        }
+    }
+
+    Ok(finish_diff(base, cand, threshold_pct, entries, compared))
+}
+
+fn finish_diff(
+    base: JsonValue,
+    cand: JsonValue,
+    threshold_pct: f64,
+    mut entries: Vec<DiffEntry>,
+    mut compared: usize,
+) -> DiffReport {
+    let empty = std::collections::BTreeMap::new();
+    let section = |root: &JsonValue, name: &str| -> std::collections::BTreeMap<String, JsonValue> {
+        root.get(name)
+            .and_then(JsonValue::as_object)
+            .unwrap_or(&empty)
+            .clone()
+    };
+
+    // Histograms: breach on count drift; report sum and percentile drift.
+    let b = section(&base, "histograms");
+    let c = section(&cand, "histograms");
+    for name in b.keys().chain(c.keys().filter(|k| !b.contains_key(*k))) {
+        compared += 1;
+        match (b.get(name), c.get(name)) {
+            (Some(bh), Some(ch)) => {
+                let (bc, cc) = (int_field(bh, "count"), int_field(ch, "count"));
+                let (bs, cs) = (int_field(bh, "sum"), int_field(ch, "sum"));
+                if bc == cc && bs == cs {
+                    continue;
+                }
+                let p50 = |h: &JsonValue| {
+                    h.get("buckets")
+                        .and_then(JsonValue::as_array)
+                        .and_then(|bk| bucket_percentile(bk, 50.0))
+                        .unwrap_or(0)
+                };
+                let pct = pct_change(bc, cc);
+                entries.push(DiffEntry {
+                    section: "histograms",
+                    name: name.clone(),
+                    kind: DiffKind::Changed,
+                    base: format!("n={bc} Σ={bs} p50={}", p50(bh)),
+                    cand: format!("n={cc} Σ={cs} p50={}", p50(ch)),
+                    pct,
+                    breach: pct.map(|p| p.abs() > threshold_pct).unwrap_or(false),
+                });
+            }
+            (Some(bh), None) => entries.push(DiffEntry {
+                section: "histograms",
+                name: name.clone(),
+                kind: DiffKind::Removed,
+                base: format!("n={}", int_field(bh, "count")),
+                cand: "-".to_string(),
+                pct: None,
+                breach: true,
+            }),
+            (None, Some(ch)) => entries.push(DiffEntry {
+                section: "histograms",
+                name: name.clone(),
+                kind: DiffKind::Added,
+                base: "-".to_string(),
+                cand: format!("n={}", int_field(ch, "count")),
+                pct: None,
+                breach: true,
+            }),
+            (None, None) => {}
+        }
+    }
+
+    // Timings: wall-clock, purely informational — report call-count and
+    // percentile drift, never breach.
+    let b = section(&base, "timings");
+    let c = section(&cand, "timings");
+    for name in b.keys().chain(c.keys().filter(|k| !b.contains_key(*k))) {
+        compared += 1;
+        match (b.get(name), c.get(name)) {
+            (Some(bt), Some(ct)) => {
+                let (bc, cc) = (int_field(bt, "calls"), int_field(ct, "calls"));
+                let (bp, cp) = (int_field(bt, "p95_ns"), int_field(ct, "p95_ns"));
+                if bc == cc && bp == cp {
+                    continue;
+                }
+                entries.push(DiffEntry {
+                    section: "timings",
+                    name: name.clone(),
+                    kind: DiffKind::Changed,
+                    base: format!("calls={bc} p95={}", crate::fmt_ns(bp.max(0) as u64)),
+                    cand: format!("calls={cc} p95={}", crate::fmt_ns(cp.max(0) as u64)),
+                    pct: pct_change(bc, cc),
+                    breach: false,
+                });
+            }
+            (Some(_), None) => entries.push(DiffEntry {
+                section: "timings",
+                name: name.clone(),
+                kind: DiffKind::Removed,
+                base: "present".to_string(),
+                cand: "-".to_string(),
+                pct: None,
+                breach: false,
+            }),
+            (None, Some(_)) => entries.push(DiffEntry {
+                section: "timings",
+                name: name.clone(),
+                kind: DiffKind::Added,
+                base: "-".to_string(),
+                cand: "present".to_string(),
+                pct: None,
+                breach: false,
+            }),
+            (None, None) => {}
+        }
+    }
+
+    entries.sort_by(|a, b| (a.section, &a.name).cmp(&(b.section, &b.name)));
+    DiffReport {
+        threshold_pct,
+        entries,
+        compared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn artifact(counter: u64, hist: &[u64], timing_ns: u64) -> String {
+        let r = Recorder::new();
+        r.counter_add("c.stable", 100);
+        r.counter_add("c.moving", counter);
+        r.gauge_set("g", 5);
+        for &v in hist {
+            r.record("h", v);
+        }
+        r.timing_record("t", timing_ns);
+        r.to_json(true)
+    }
+
+    #[test]
+    fn identical_artifacts_produce_no_differences() {
+        let a = artifact(10, &[1, 2, 3], 1000);
+        let report = diff_metrics(&a, &a, 5.0).unwrap();
+        assert!(report.entries.is_empty(), "{}", report.table());
+        assert!(!report.has_breach());
+        assert!(report.compared >= 4);
+        assert!(report.table().contains("no differences"));
+    }
+
+    #[test]
+    fn counter_drift_breaches_threshold() {
+        let base = artifact(100, &[1], 1000);
+        let cand = artifact(120, &[1], 1000);
+        let report = diff_metrics(&base, &cand, 10.0).unwrap();
+        assert!(report.has_breach());
+        let row = report
+            .entries
+            .iter()
+            .find(|e| e.name == "c.moving")
+            .expect("moving counter reported");
+        assert_eq!(row.kind, DiffKind::Changed);
+        assert!((row.pct.unwrap() - 20.0).abs() < 1e-9);
+        assert!(report.table().contains("BREACH"));
+        // Same drift under a looser threshold: reported but not a breach.
+        let loose = diff_metrics(&base, &cand, 50.0).unwrap();
+        assert!(!loose.has_breach());
+        assert_eq!(
+            loose
+                .entries
+                .iter()
+                .filter(|e| e.name == "c.moving")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn added_and_removed_counters_are_breaches() {
+        let base = artifact(10, &[1], 1000);
+        let cand = {
+            let r = Recorder::new();
+            r.counter_add("c.stable", 100);
+            // c.moving gone, c.brand_new appears.
+            r.counter_add("c.brand_new", 1);
+            r.gauge_set("g", 5);
+            r.record("h", 1);
+            r.timing_record("t", 1000);
+            r.to_json(true)
+        };
+        let report = diff_metrics(&base, &cand, 99.0).unwrap();
+        let kinds: Vec<_> = report
+            .entries
+            .iter()
+            .filter(|e| e.section == "counters")
+            .map(|e| (e.name.clone(), e.kind.clone(), e.breach))
+            .collect();
+        assert!(kinds.contains(&("c.brand_new".to_string(), DiffKind::Added, true)));
+        assert!(kinds.contains(&("c.moving".to_string(), DiffKind::Removed, true)));
+    }
+
+    #[test]
+    fn histogram_count_drift_breaches_but_timing_drift_never_does() {
+        let base = artifact(10, &[5, 5], 1_000);
+        let cand = artifact(10, &[5, 5, 5, 5], 9_999_999);
+        let report = diff_metrics(&base, &cand, 10.0).unwrap();
+        let hist = report
+            .entries
+            .iter()
+            .find(|e| e.section == "histograms")
+            .expect("histogram reported");
+        assert!(hist.breach, "count doubled → breach");
+        let timing = report
+            .entries
+            .iter()
+            .find(|e| e.section == "timings")
+            .expect("timing drift reported");
+        assert!(!timing.breach, "wall-clock drift must stay advisory");
+    }
+
+    #[test]
+    fn gauges_report_without_breaching() {
+        let base = artifact(10, &[1], 1000);
+        let cand = base.replace("\"g\": 5", "\"g\": 50");
+        let report = diff_metrics(&base, &cand, 1.0).unwrap();
+        let g = report
+            .entries
+            .iter()
+            .find(|e| e.section == "gauges")
+            .expect("gauge change reported");
+        assert!(!g.breach);
+    }
+
+    #[test]
+    fn malformed_inputs_error_with_side_labels() {
+        assert!(diff_metrics("not json", "{}", 5.0)
+            .unwrap_err()
+            .contains("base"));
+        assert!(diff_metrics("{}", "not json", 5.0)
+            .unwrap_err()
+            .contains("candidate"));
+        assert!(diff_metrics("[]", "{}", 5.0).unwrap_err().contains("base"));
+    }
+
+    #[test]
+    fn bucket_percentile_matches_live_recorder() {
+        let r = Recorder::new();
+        for _ in 0..90 {
+            r.record("h", 1_024);
+        }
+        for _ in 0..10 {
+            r.record("h", 1_048_576);
+        }
+        let json = r.to_json(true);
+        let parsed = parse(&json).unwrap();
+        let buckets = parsed
+            .get("histograms")
+            .unwrap()
+            .get("h")
+            .unwrap()
+            .get("buckets")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(bucket_percentile(buckets, 50.0), Some(1_024));
+        assert_eq!(bucket_percentile(buckets, 95.0), Some(1_048_576));
+    }
+}

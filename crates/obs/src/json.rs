@@ -54,6 +54,14 @@ impl JsonValue {
         }
     }
 
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// Looks up `key`, if this is an object.
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         self.as_object().and_then(|m| m.get(key))

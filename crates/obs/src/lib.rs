@@ -43,18 +43,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
+pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod recorder;
 pub mod schema;
 mod span;
+pub mod stream;
 
 pub use hist::Histogram;
 pub use recorder::{fmt_ns, Recorder, TimingStat, SCHEMA_VERSION};
-pub use schema::validate_metrics;
+pub use schema::{validate_flight, validate_metrics};
 pub use span::Span;
+pub use stream::{ShardAggregator, WindowSummary};
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// How much the observability layer does, per `BOMBDROID_OBS`.
@@ -80,14 +85,42 @@ impl ObsMode {
     }
 }
 
-/// The process-wide mode, read once from `BOMBDROID_OBS`.
+// 0 = uninitialised, 1 = Off, 2 = Summary, 3 = Full. An AtomicU8 rather
+// than a OnceLock so bench harnesses can flip modes inside one process to
+// measure off-vs-full overhead ([`set_mode`]).
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+fn encode_mode(m: ObsMode) -> u8 {
+    match m {
+        ObsMode::Off => 1,
+        ObsMode::Summary => 2,
+        ObsMode::Full => 3,
+    }
+}
+
+/// The process-wide mode: read from `BOMBDROID_OBS` on first use, but
+/// overridable at runtime via [`set_mode`].
 pub fn mode() -> ObsMode {
-    static MODE: OnceLock<ObsMode> = OnceLock::new();
-    *MODE.get_or_init(|| {
-        std::env::var("BOMBDROID_OBS")
-            .map(|s| ObsMode::parse(&s))
-            .unwrap_or(ObsMode::Full)
-    })
+    match MODE.load(Ordering::Relaxed) {
+        1 => ObsMode::Off,
+        2 => ObsMode::Summary,
+        3 => ObsMode::Full,
+        _ => {
+            let m = std::env::var("BOMBDROID_OBS")
+                .map(|s| ObsMode::parse(&s))
+                .unwrap_or(ObsMode::Full);
+            // First writer wins against a concurrent set_mode.
+            let _ = MODE.compare_exchange(0, encode_mode(m), Ordering::Relaxed, Ordering::Relaxed);
+            mode()
+        }
+    }
+}
+
+/// Forces the process-wide mode, overriding `BOMBDROID_OBS`. Intended for
+/// harnesses (the perf bin benches `off` vs `full` facade cost in one
+/// process); production code should let the environment decide.
+pub fn set_mode(m: ObsMode) {
+    MODE.store(encode_mode(m), Ordering::Relaxed);
 }
 
 /// Whether recording is enabled at all.

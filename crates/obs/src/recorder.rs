@@ -1,31 +1,46 @@
 //! The metrics registry: named counters, gauges, histograms, and timings.
 //!
 //! A [`Recorder`] is the unit of aggregation. The process has one global
-//! recorder; the fleet engine gives every task its own and merges them back
-//! in task-index order, which keeps the merged content bit-identical for
-//! any worker count (see the determinism contract in the crate docs).
+//! recorder; the fleet engine gives every task its own and folds them into
+//! the caller's recorder (or a [`crate::stream::ShardAggregator`]) in
+//! task-index order, which keeps the merged content bit-identical for any
+//! worker count (see the determinism contract in the crate docs).
 //!
-//! Name lookups take one short mutex on a `BTreeMap`; the returned handles
-//! are plain atomics, so hot paths that cache a handle pay one
-//! `fetch_add`. Everything is keyed and exported in sorted name order so
+//! Name lookups take a read lock on a `BTreeMap` and operate on the handle
+//! in place — the hot facade path (`counter_add`/`record`/`timing_record`
+//! on an existing name) performs no allocation and no `Arc` clone; the
+//! name's `String` key is allocated once, on first insertion, under the
+//! write lock. Everything is keyed and exported in sorted name order so
 //! two recorders with the same content serialize identically.
 
-use crate::hist::Histogram;
+use crate::hist::{bucket_floor, bucket_index, Histogram, BUCKETS};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, RwLock};
 
 /// Version stamped into every `metrics.json`; bump on breaking schema
 /// changes so downstream diffs fail loudly instead of silently.
 pub const SCHEMA_VERSION: u64 = 1;
 
-/// Wall-clock statistics for one span or timing: how often it ran and for
-/// how long in total. `calls` is deterministic (it counts events); `ns` is
-/// wall-clock and therefore excluded from the deterministic export view.
-#[derive(Debug, Default)]
+/// Wall-clock statistics for one span or timing: how often it ran, for how
+/// long in total, and a log-bucketed latency distribution. `calls` is
+/// deterministic (it counts events); the nanosecond fields are wall-clock
+/// and therefore excluded from the deterministic export view.
+#[derive(Debug)]
 pub struct TimingStat {
     calls: AtomicU64,
     ns: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for TimingStat {
+    fn default() -> Self {
+        TimingStat {
+            calls: AtomicU64::new(0),
+            ns: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
 }
 
 impl TimingStat {
@@ -33,6 +48,7 @@ impl TimingStat {
     pub fn record(&self, ns: u64) {
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.ns.fetch_add(ns, Ordering::Relaxed);
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of recorded intervals.
@@ -44,24 +60,74 @@ impl TimingStat {
     pub fn total_ns(&self) -> u64 {
         self.ns.load(Ordering::Relaxed)
     }
-}
 
-type Named<T> = Mutex<BTreeMap<String, Arc<T>>>;
+    /// Approximate nearest-rank percentile of the per-call latency, reported
+    /// as the floor of the log bucket the rank lands in (`0` when empty).
+    /// `p` is in percent (e.g. `50.0`, `95.0`).
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        let count = self.calls();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0 * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                return bucket_floor(i);
+            }
+        }
+        bucket_floor(BUCKETS - 1)
+    }
 
-fn handle<T: Default>(map: &Named<T>, name: &str) -> Arc<T> {
-    let mut map = map.lock().unwrap_or_else(|e| e.into_inner());
-    match map.get(name) {
-        Some(h) => h.clone(),
-        None => {
-            let h = Arc::new(T::default());
-            map.insert(name.to_string(), h.clone());
-            h
+    /// Adds every interval of `other` into `self` (commutative).
+    pub fn merge_from(&self, other: &TimingStat) {
+        self.calls.fetch_add(other.calls(), Ordering::Relaxed);
+        self.ns.fetch_add(other.total_ns(), Ordering::Relaxed);
+        for (i, b) in other.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                self.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
         }
     }
 }
 
+type Named<T> = RwLock<BTreeMap<String, Arc<T>>>;
+
+/// Runs `f` on the named handle. The fast path (name already present) takes
+/// only the read lock and never allocates; the slow path allocates the
+/// `String` key once under the write lock.
+fn with_handle<T: Default, R>(map: &Named<T>, name: &str, f: impl FnOnce(&T) -> R) -> R {
+    {
+        let read = map.read().unwrap_or_else(|e| e.into_inner());
+        if let Some(h) = read.get(name) {
+            return f(h);
+        }
+    }
+    let mut write = map.write().unwrap_or_else(|e| e.into_inner());
+    let h = write
+        .entry(name.to_string())
+        .or_insert_with(|| Arc::new(T::default()));
+    f(h)
+}
+
+fn handle<T: Default>(map: &Named<T>, name: &str) -> Arc<T> {
+    {
+        let read = map.read().unwrap_or_else(|e| e.into_inner());
+        if let Some(h) = read.get(name) {
+            return h.clone();
+        }
+    }
+    let mut write = map.write().unwrap_or_else(|e| e.into_inner());
+    write
+        .entry(name.to_string())
+        .or_insert_with(|| Arc::new(T::default()))
+        .clone()
+}
+
 fn sorted<T>(map: &Named<T>) -> Vec<(String, Arc<T>)> {
-    map.lock()
+    map.read()
         .unwrap_or_else(|e| e.into_inner())
         .iter()
         .map(|(k, v)| (k.clone(), v.clone()))
@@ -86,42 +152,51 @@ impl Recorder {
 
     /// Adds `delta` to the named monotonic counter.
     pub fn counter_add(&self, name: &str, delta: u64) {
-        handle(&self.counters, name).fetch_add(delta, Ordering::Relaxed);
+        with_handle(&self.counters, name, |c| {
+            c.fetch_add(delta, Ordering::Relaxed);
+        });
     }
 
     /// Sets the named gauge to `value` (last write wins).
     pub fn gauge_set(&self, name: &str, value: i64) {
-        handle(&self.gauges, name).store(value, Ordering::Relaxed);
+        with_handle(&self.gauges, name, |g| {
+            g.store(value, Ordering::Relaxed);
+        });
     }
 
     /// Records `value` into the named log-bucketed histogram.
     pub fn record(&self, name: &str, value: u64) {
-        handle(&self.histograms, name).record(value);
+        with_handle(&self.histograms, name, |h| h.record(value));
     }
 
     /// Records one timed interval of `ns` nanoseconds under `name`.
     pub fn timing_record(&self, name: &str, ns: u64) {
-        handle(&self.timings, name).record(ns);
+        with_handle(&self.timings, name, |t| t.record(ns));
     }
 
     /// Current value of a counter (`0` if never touched).
     pub fn counter_value(&self, name: &str) -> u64 {
-        handle(&self.counters, name).load(Ordering::Relaxed)
+        with_handle(&self.counters, name, |c| c.load(Ordering::Relaxed))
     }
 
     /// Current value of a gauge (`0` if never set).
     pub fn gauge_value(&self, name: &str) -> i64 {
-        handle(&self.gauges, name).load(Ordering::Relaxed)
+        with_handle(&self.gauges, name, |g| g.load(Ordering::Relaxed))
     }
 
     /// Call count of a timing (`0` if never recorded).
     pub fn timing_calls(&self, name: &str) -> u64 {
-        handle(&self.timings, name).calls()
+        with_handle(&self.timings, name, |t| t.calls())
     }
 
     /// Total wall-clock nanoseconds of a timing.
     pub fn timing_total_ns(&self, name: &str) -> u64 {
-        handle(&self.timings, name).total_ns()
+        with_handle(&self.timings, name, |t| t.total_ns())
+    }
+
+    /// Approximate per-call latency percentile of a timing (bucket floor).
+    pub fn timing_percentile_ns(&self, name: &str, p: f64) -> u64 {
+        with_handle(&self.timings, name, |t| t.percentile_ns(p))
     }
 
     /// The named histogram handle (created empty if absent).
@@ -129,15 +204,20 @@ impl Recorder {
         handle(&self.histograms, name)
     }
 
+    /// Number of distinct metric names across every section. The streaming
+    /// aggregation tests use this as the memory-footprint proxy: a bounded
+    /// workload vocabulary must keep this bounded no matter how many
+    /// sessions fold in.
+    pub fn metric_names(&self) -> usize {
+        fn len<T>(m: &Named<T>) -> usize {
+            m.read().unwrap_or_else(|e| e.into_inner()).len()
+        }
+        len(&self.counters) + len(&self.gauges) + len(&self.histograms) + len(&self.timings)
+    }
+
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        fn empty<T>(m: &Named<T>) -> bool {
-            m.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
-        }
-        empty(&self.counters)
-            && empty(&self.gauges)
-            && empty(&self.histograms)
-            && empty(&self.timings)
+        self.metric_names() == 0
     }
 
     /// Folds every metric of `other` into `self`: counters and timings add,
@@ -152,22 +232,21 @@ impl Recorder {
             self.gauge_set(&name, g.load(Ordering::Relaxed));
         }
         for (name, h) in sorted(&other.histograms) {
-            handle(&self.histograms, &name).merge_from(&h);
+            with_handle(&self.histograms, &name, |mine| mine.merge_from(&h));
         }
         for (name, t) in sorted(&other.timings) {
-            let mine = handle(&self.timings, &name);
-            mine.calls.fetch_add(t.calls(), Ordering::Relaxed);
-            mine.ns.fetch_add(t.total_ns(), Ordering::Relaxed);
+            with_handle(&self.timings, &name, |mine| mine.merge_from(&t));
         }
     }
 
     /// Serializes the recorder as schema-versioned JSON (sorted keys, so
     /// equal content means equal bytes).
     ///
-    /// With `include_timings` false, wall-clock fields (`total_ns`) are
-    /// omitted and the output is fully deterministic for deterministic
-    /// workloads — this is the view `fleet_determinism` diffs across
-    /// thread counts, and the view future BENCH artifacts should diff.
+    /// With `include_timings` false, wall-clock fields (`total_ns`,
+    /// `p50_ns`, `p95_ns`) are omitted and the output is fully
+    /// deterministic for deterministic workloads — this is the view
+    /// `fleet_determinism` diffs across thread counts, and the view the
+    /// streaming-aggregation tests compare across window sizes.
     pub fn to_json(&self, include_timings: bool) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str("{\n");
@@ -179,7 +258,7 @@ impl Recorder {
             let (name, c) = &counters[i];
             out.push_str(&format!(
                 "\"{}\": {}",
-                escape(name),
+                escape_json(name),
                 c.load(Ordering::Relaxed)
             ));
         });
@@ -191,7 +270,7 @@ impl Recorder {
             let (name, g) = &gauges[i];
             out.push_str(&format!(
                 "\"{}\": {}",
-                escape(name),
+                escape_json(name),
                 g.load(Ordering::Relaxed)
             ));
         });
@@ -208,7 +287,7 @@ impl Recorder {
                 .collect();
             out.push_str(&format!(
                 "\"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [{}]}}",
-                escape(name),
+                escape_json(name),
                 h.count(),
                 h.sum(),
                 h.min(),
@@ -224,15 +303,17 @@ impl Recorder {
             let (name, t) = &timings[i];
             if include_timings {
                 out.push_str(&format!(
-                    "\"{}\": {{\"calls\": {}, \"total_ns\": {}}}",
-                    escape(name),
+                    "\"{}\": {{\"calls\": {}, \"total_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}}}",
+                    escape_json(name),
                     t.calls(),
-                    t.total_ns()
+                    t.total_ns(),
+                    t.percentile_ns(50.0),
+                    t.percentile_ns(95.0)
                 ));
             } else {
                 out.push_str(&format!(
                     "\"{}\": {{\"calls\": {}}}",
-                    escape(name),
+                    escape_json(name),
                     t.calls()
                 ));
             }
@@ -274,15 +355,16 @@ impl Recorder {
         }
         let timings = sorted(&self.timings);
         if !timings.is_empty() {
-            out.push_str("timings (calls / total / mean):\n");
+            out.push_str("timings (calls / total / mean / ~p95):\n");
             for (name, t) in &timings {
                 let calls = t.calls();
                 let total = t.total_ns();
                 let mean = total.checked_div(calls).unwrap_or(0);
                 out.push_str(&format!(
-                    "  {name:<36} {calls} / {} / {}\n",
+                    "  {name:<36} {calls} / {} / {} / {}\n",
                     fmt_ns(total),
-                    fmt_ns(mean)
+                    fmt_ns(mean),
+                    fmt_ns(t.percentile_ns(95.0))
                 ));
             }
         }
@@ -307,7 +389,7 @@ fn push_entries(out: &mut String, n: usize, mut write: impl FnMut(&mut String, u
     }
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' => "\\\"".chars().collect::<Vec<_>>(),
@@ -342,6 +424,7 @@ mod tests {
         r.gauge_set("g", 9);
         assert_eq!(r.counter_value("a.b"), 7);
         assert_eq!(r.gauge_value("g"), 9);
+        assert_eq!(r.metric_names(), 2);
     }
 
     #[test]
@@ -391,6 +474,26 @@ mod tests {
     }
 
     #[test]
+    fn timing_percentiles_track_the_latency_distribution() {
+        let t = TimingStat::default();
+        assert_eq!(t.percentile_ns(50.0), 0);
+        // 90 fast calls (~1µs bucket) and 10 slow ones (~1ms bucket).
+        for _ in 0..90 {
+            t.record(1_024);
+        }
+        for _ in 0..10 {
+            t.record(1_048_576);
+        }
+        assert_eq!(t.percentile_ns(50.0), 1_024);
+        assert_eq!(t.percentile_ns(95.0), 1_048_576);
+        // Merging keeps the distribution.
+        let other = TimingStat::default();
+        other.merge_from(&t);
+        assert_eq!(other.percentile_ns(95.0), 1_048_576);
+        assert_eq!(other.calls(), 100);
+    }
+
+    #[test]
     fn json_view_without_timings_hides_wall_clock() {
         let r = Recorder::new();
         r.counter_add("c", 1);
@@ -398,7 +501,9 @@ mod tests {
         let with = r.to_json(true);
         let without = r.to_json(false);
         assert!(with.contains("total_ns"));
+        assert!(with.contains("p95_ns"));
         assert!(!without.contains("total_ns"));
+        assert!(!without.contains("p95_ns"));
         assert!(without.contains("\"calls\": 1"));
         assert!(with.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
     }

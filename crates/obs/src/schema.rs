@@ -92,9 +92,11 @@ pub fn validate_metrics(text: &str, required: &[&str]) -> Result<(), String> {
             Some(n) if n >= 0 => {}
             _ => return Err(format!("timing {name:?} missing non-negative calls")),
         }
-        if let Some(ns) = t.get("total_ns") {
-            if ns.as_int().filter(|n| *n >= 0).is_none() {
-                return Err(format!("timing {name:?} total_ns invalid"));
+        for key in ["total_ns", "p50_ns", "p95_ns"] {
+            if let Some(ns) = t.get(key) {
+                if ns.as_int().filter(|n| *n >= 0).is_none() {
+                    return Err(format!("timing {name:?} {key} invalid"));
+                }
             }
         }
     }
@@ -110,6 +112,79 @@ pub fn validate_metrics(text: &str, required: &[&str]) -> Result<(), String> {
         }
     }
 
+    Ok(())
+}
+
+/// Validates `text` as a `flight.json` artifact (see [`crate::flight`]).
+///
+/// Checks: parses as an object; `schema_version` equals
+/// [`crate::flight::FLIGHT_SCHEMA_VERSION`]; `capacity` is a positive
+/// integer and `dropped` non-negative; `events` is an array of objects
+/// whose `seq`/`at_ns` are non-negative integers in non-decreasing order
+/// and whose `kind`/`detail` are strings; the event count never exceeds
+/// `capacity`.
+pub fn validate_flight(text: &str) -> Result<(), String> {
+    let root = parse(text).map_err(|e| e.to_string())?;
+    let root = root
+        .as_object()
+        .ok_or_else(|| "top level is not an object".to_string())?;
+
+    match root.get("schema_version").and_then(JsonValue::as_int) {
+        Some(v) if v == crate::flight::FLIGHT_SCHEMA_VERSION as i128 => {}
+        Some(v) => {
+            return Err(format!(
+                "flight schema_version {v} != expected {}",
+                crate::flight::FLIGHT_SCHEMA_VERSION
+            ))
+        }
+        None => return Err("missing integer schema_version".to_string()),
+    }
+
+    let capacity = root
+        .get("capacity")
+        .and_then(JsonValue::as_int)
+        .filter(|n| *n > 0)
+        .ok_or_else(|| "capacity must be a positive integer".to_string())?;
+    root.get("dropped")
+        .and_then(JsonValue::as_int)
+        .filter(|n| *n >= 0)
+        .ok_or_else(|| "dropped must be a non-negative integer".to_string())?;
+
+    let events = root
+        .get("events")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "missing events array".to_string())?;
+    if events.len() as i128 > capacity {
+        return Err(format!(
+            "{} events exceed capacity {capacity}",
+            events.len()
+        ));
+    }
+    let mut prev_seq = -1i128;
+    let mut prev_at = -1i128;
+    for (i, ev) in events.iter().enumerate() {
+        let field = |key: &str| -> Result<i128, String> {
+            ev.get(key)
+                .and_then(JsonValue::as_int)
+                .filter(|n| *n >= 0)
+                .ok_or_else(|| format!("event {i} field {key:?} invalid"))
+        };
+        let seq = field("seq")?;
+        let at = field("at_ns")?;
+        if seq <= prev_seq {
+            return Err(format!("event {i}: seq {seq} not increasing"));
+        }
+        if at < prev_at {
+            return Err(format!("event {i}: at_ns {at} went backwards"));
+        }
+        prev_seq = seq;
+        prev_at = at;
+        for key in ["kind", "detail"] {
+            if ev.get(key).and_then(JsonValue::as_str).is_none() {
+                return Err(format!("event {i} field {key:?} is not a string"));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -176,5 +251,49 @@ mod tests {
         assert!(validate_metrics("[]", &[]).is_err());
         assert!(validate_metrics("{\"schema_version\": 1}", &[]).is_err());
         assert!(validate_metrics("not json", &[]).is_err());
+    }
+
+    #[test]
+    fn flight_validation_accepts_good_and_rejects_bad() {
+        let good = r#"{
+          "schema_version": 1,
+          "capacity": 4,
+          "dropped": 2,
+          "events": [
+            {"seq": 5, "at_ns": 10, "kind": "a", "detail": "x"},
+            {"seq": 6, "at_ns": 10, "kind": "b", "detail": "y"}
+          ]
+        }"#;
+        validate_flight(good).expect("well-formed flight log validates");
+
+        let empty = r#"{"schema_version": 1, "capacity": 8, "dropped": 0, "events": []}"#;
+        validate_flight(empty).expect("empty ring validates");
+
+        assert!(validate_flight("[]").is_err());
+        assert!(
+            validate_flight(&good.replace("\"schema_version\": 1", "\"schema_version\": 9"))
+                .unwrap_err()
+                .contains("schema_version")
+        );
+        assert!(validate_flight(&good.replace("\"capacity\": 4", "\"capacity\": 0")).is_err());
+        // Too many events for the declared capacity.
+        assert!(
+            validate_flight(&good.replace("\"capacity\": 4", "\"capacity\": 1"))
+                .unwrap_err()
+                .contains("exceed")
+        );
+        // Non-increasing sequence numbers.
+        assert!(validate_flight(&good.replace("\"seq\": 6", "\"seq\": 5"))
+            .unwrap_err()
+            .contains("not increasing"));
+        // at_ns must be monotone.
+        assert!(validate_flight(&good.replace(
+            "\"at_ns\": 10, \"kind\": \"b\"",
+            "\"at_ns\": 3, \"kind\": \"b\""
+        ))
+        .unwrap_err()
+        .contains("backwards"));
+        // kind/detail must be strings.
+        assert!(validate_flight(&good.replace("\"detail\": \"y\"", "\"detail\": 7")).is_err());
     }
 }

@@ -34,6 +34,7 @@ impl Drop for Span {
         if let Some((name, start)) = self.armed.take() {
             let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             crate::current().timing_record(&name, ns);
+            crate::flight::note("span.close", || format!("{name} {}", crate::fmt_ns(ns)));
         }
     }
 }

@@ -1,0 +1,275 @@
+//! Windowed hierarchical aggregation for fleet-scale runs.
+//!
+//! The post-hoc model (hold one `Recorder` per task, merge all of them
+//! when the run finishes) costs O(devices) memory — a non-starter for the
+//! million-device market simulation in the roadmap. A [`ShardAggregator`]
+//! instead accepts per-task recorder *deltas* one at a time, folds each
+//! into the current window and the running total, and seals a
+//! [`WindowSummary`] every `tasks_per_window` tasks. Live memory is the
+//! open window plus the running total plus any un-drained summaries:
+//! O(shards × windows), independent of how many tasks ever flowed through.
+//!
+//! # Determinism
+//!
+//! [`ShardAggregator::absorb_next`] must be called in task-index order —
+//! the fleet engine's streaming fold guarantees this regardless of
+//! `BOMBDROID_THREADS` (completed tasks park in a reorder buffer until
+//! their index is next). Because counter sums, histogram buckets, and
+//! timing call counts commute and the one order-sensitive operation
+//! (gauge overwrite) happens in a fixed order, the running total is
+//! bit-identical to a legacy whole-recorder merge of the same deltas —
+//! for any worker count *and any window size*. The tests below and
+//! `crates/bench/tests/streaming_obs.rs` pin this down.
+
+use crate::recorder::Recorder;
+use std::sync::{Arc, Mutex};
+
+/// One sealed aggregation window: the merged metrics of a contiguous,
+/// in-order run of task deltas.
+#[derive(Debug, Clone)]
+pub struct WindowSummary {
+    /// Zero-based window sequence number.
+    pub index: usize,
+    /// Task index of the first delta folded into this window.
+    pub start_task: usize,
+    /// How many task deltas the window covers.
+    pub tasks: usize,
+    /// The merged metrics for the window.
+    pub recorder: Arc<Recorder>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    open: Arc<Recorder>,
+    open_start: usize,
+    open_tasks: usize,
+    absorbed: usize,
+    sealed: Vec<WindowSummary>,
+    windows_sealed: usize,
+    total: Arc<Recorder>,
+}
+
+/// Streaming, windowed merge of per-task recorder deltas.
+///
+/// `tasks_per_window = 0` means "one window for the whole run" (sealed by
+/// [`finish`](ShardAggregator::finish)); any other N seals a window every
+/// N absorbed deltas.
+#[derive(Debug)]
+pub struct ShardAggregator {
+    tasks_per_window: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ShardAggregator {
+    /// A fresh aggregator sealing a window every `tasks_per_window` deltas
+    /// (`0` = never, until [`finish`](ShardAggregator::finish)).
+    pub fn new(tasks_per_window: usize) -> Self {
+        ShardAggregator {
+            tasks_per_window,
+            inner: Mutex::new(Inner {
+                open: Arc::new(Recorder::new()),
+                open_start: 0,
+                open_tasks: 0,
+                absorbed: 0,
+                sealed: Vec::new(),
+                windows_sealed: 0,
+                total: Arc::new(Recorder::new()),
+            }),
+        }
+    }
+
+    /// Folds the next task's delta into the open window and the running
+    /// total. Deltas must arrive in task-index order (see module docs).
+    /// Returns the freshly sealed window when this delta completed one.
+    pub fn absorb_next(&self, delta: &Recorder) -> Option<WindowSummary> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.open.merge_from(delta);
+        inner.total.merge_from(delta);
+        inner.open_tasks += 1;
+        inner.absorbed += 1;
+        if self.tasks_per_window > 0 && inner.open_tasks >= self.tasks_per_window {
+            Some(Self::seal(&mut inner))
+        } else {
+            None
+        }
+    }
+
+    /// Seals the partial window still open, if it holds anything. Call
+    /// once when the run ends so trailing tasks are not lost.
+    pub fn finish(&self) -> Option<WindowSummary> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.open_tasks == 0 {
+            return None;
+        }
+        Some(Self::seal(&mut inner))
+    }
+
+    fn seal(inner: &mut Inner) -> WindowSummary {
+        let recorder = std::mem::replace(&mut inner.open, Arc::new(Recorder::new()));
+        let summary = WindowSummary {
+            index: inner.windows_sealed,
+            start_task: inner.open_start,
+            tasks: inner.open_tasks,
+            recorder,
+        };
+        inner.windows_sealed += 1;
+        inner.open_start = inner.absorbed;
+        inner.open_tasks = 0;
+        inner.sealed.push(summary.clone());
+        summary
+    }
+
+    /// The running total across every absorbed delta (live handle — it
+    /// keeps updating as more deltas arrive).
+    pub fn total(&self) -> Arc<Recorder> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .total
+            .clone()
+    }
+
+    /// Sealed windows retained so far (cleared by
+    /// [`drain_windows`](ShardAggregator::drain_windows)).
+    pub fn windows(&self) -> Vec<WindowSummary> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .sealed
+            .clone()
+    }
+
+    /// Takes the retained sealed windows, leaving none behind. Streaming
+    /// consumers (the market simulation) drain after each seal so retained
+    /// memory stays O(1) windows rather than O(run length).
+    pub fn drain_windows(&self) -> Vec<WindowSummary> {
+        std::mem::take(&mut self.inner.lock().unwrap_or_else(|e| e.into_inner()).sealed)
+    }
+
+    /// Total deltas absorbed.
+    pub fn tasks_absorbed(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .absorbed
+    }
+
+    /// Windows sealed so far (drained or not).
+    pub fn windows_sealed(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .windows_sealed
+    }
+
+    /// Distinct metric names held live (running total + open window). The
+    /// memory-bound tests assert this stays flat as task count grows.
+    pub fn live_metric_names(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.total.metric_names() + inner.open.metric_names()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(i: u64) -> Recorder {
+        let r = Recorder::new();
+        r.counter_add("sessions", 1);
+        r.counter_add("events", 3 + i % 5);
+        r.record("latency", 10 + i % 7);
+        r.gauge_set("last_task", i as i64);
+        r.timing_record("run", 100 + i);
+        r
+    }
+
+    #[test]
+    fn windows_seal_on_boundary_and_finish_flushes_the_tail() {
+        let agg = ShardAggregator::new(4);
+        let mut sealed = Vec::new();
+        for i in 0..10 {
+            if let Some(w) = agg.absorb_next(&delta(i)) {
+                sealed.push(w);
+            }
+        }
+        assert_eq!(sealed.len(), 2);
+        assert_eq!(sealed[0].index, 0);
+        assert_eq!(sealed[0].start_task, 0);
+        assert_eq!(sealed[0].tasks, 4);
+        assert_eq!(sealed[1].start_task, 4);
+        let tail = agg.finish().expect("partial window");
+        assert_eq!(tail.index, 2);
+        assert_eq!(tail.start_task, 8);
+        assert_eq!(tail.tasks, 2);
+        assert!(agg.finish().is_none(), "finish is idempotent when empty");
+        assert_eq!(agg.tasks_absorbed(), 10);
+        assert_eq!(agg.windows_sealed(), 3);
+        assert_eq!(agg.windows().len(), 3);
+        // Window counters partition the total.
+        let windowed: u64 = agg
+            .windows()
+            .iter()
+            .map(|w| w.recorder.counter_value("sessions"))
+            .sum();
+        assert_eq!(windowed, 10);
+        assert_eq!(agg.total().counter_value("sessions"), 10);
+    }
+
+    #[test]
+    fn total_is_bit_identical_across_window_sizes_and_to_legacy_merge() {
+        let legacy = Recorder::new();
+        for i in 0..57 {
+            legacy.merge_from(&delta(i));
+        }
+        let expect = legacy.to_json(false);
+        for window in [0, 1, 7, 16, 57, 1000] {
+            let agg = ShardAggregator::new(window);
+            for i in 0..57 {
+                agg.absorb_next(&delta(i));
+            }
+            agg.finish();
+            assert_eq!(
+                agg.total().to_json(false),
+                expect,
+                "window size {window} diverged from legacy merge"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_window_size_seals_only_on_finish() {
+        let agg = ShardAggregator::new(0);
+        for i in 0..5 {
+            assert!(agg.absorb_next(&delta(i)).is_none());
+        }
+        let w = agg.finish().expect("one big window");
+        assert_eq!(w.tasks, 5);
+        assert_eq!(agg.windows_sealed(), 1);
+    }
+
+    #[test]
+    fn drain_windows_bounds_retention() {
+        let agg = ShardAggregator::new(2);
+        for i in 0..8 {
+            if agg.absorb_next(&delta(i)).is_some() {
+                let drained = agg.drain_windows();
+                assert_eq!(drained.len(), 1);
+            }
+        }
+        assert!(agg.windows().is_empty());
+        assert_eq!(agg.windows_sealed(), 4);
+        assert_eq!(agg.total().counter_value("sessions"), 8);
+    }
+
+    #[test]
+    fn live_metric_names_stay_bounded() {
+        let agg = ShardAggregator::new(16);
+        for i in 0..1_000 {
+            agg.absorb_next(&delta(i));
+            agg.drain_windows();
+        }
+        // 5 distinct names in total + at most 5 in the open window.
+        assert!(agg.live_metric_names() <= 10);
+    }
+}

@@ -38,6 +38,7 @@ impl Vm {
         let mref = entry.mref.clone();
         let registers = entry.registers as usize;
         *self.telemetry.method_calls.entry(mref.clone()).or_insert(0) += 1;
+        self.op_mix.decode_body_fetches += 1;
         let body = Arc::clone(prog.body(&self.pkg, id));
         let mut regs = vec![RtValue::Null; body.frame.max(registers).max(args.len())];
         for (i, a) in args.into_iter().enumerate() {
@@ -394,6 +395,7 @@ impl Vm {
                     target,
                     pc: src_pc,
                 } => {
+                    self.op_mix.hash_if += 1;
                     // Hash micro-op.
                     self.charge(4)?;
                     let cb = regs[*src]
@@ -418,6 +420,7 @@ impl Vm {
                     target,
                     pc: src_pc,
                 } => {
+                    self.op_mix.binop_const_if += 1;
                     self.charge(1)?;
                     let a = regs[*lhs]
                         .as_int()
@@ -438,6 +441,7 @@ impl Vm {
                     target,
                     pc: src_pc,
                 } => {
+                    self.op_mix.const_if += 1;
                     self.charge(1)?;
                     regs[*dst] = value.clone();
                     self.charge(1)?;
@@ -448,6 +452,7 @@ impl Vm {
                     }
                 }
                 DecodedOp::ArithChain { steps } => {
+                    self.op_mix.arith_chain += 1;
                     // Each step replays its legacy micro-ops exactly:
                     // charge, lhs read, rhs read, compute, write — so fuel
                     // exhaustion and type/div faults land mid-chain at the
@@ -472,6 +477,7 @@ impl Vm {
                     dst,
                     arr,
                 } => {
+                    self.op_mix.const_array_get += 1;
                     self.charge(1)?;
                     regs[*idx_dst] = RtValue::Int(*idx_val);
                     self.charge(1)?;

@@ -18,7 +18,7 @@ use crate::env::DeviceEnv;
 use crate::package::InstalledPackage;
 use crate::telemetry::Telemetry;
 use crate::value::RtValue;
-use crate::vm::{Fragment, Vm, VmOptions};
+use crate::vm::{Fragment, OpMix, Vm, VmOptions};
 use rand::{rngs::StdRng, SeedableRng};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -43,6 +43,7 @@ pub struct VmSnapshot {
     killed: bool,
     frozen: bool,
     decoded_engine: bool,
+    op_mix: OpMix,
 }
 
 impl Vm {
@@ -69,6 +70,7 @@ impl Vm {
             killed: self.killed,
             frozen: self.frozen,
             decoded_engine: self.decoded_engine,
+            op_mix: self.op_mix,
         }
     }
 
@@ -103,6 +105,7 @@ impl VmSnapshot {
             killed: self.killed,
             frozen: self.frozen,
             decoded_engine: self.decoded_engine,
+            op_mix: self.op_mix,
         }
     }
 
@@ -132,6 +135,9 @@ impl VmSnapshot {
             killed: false,
             frozen: false,
             decoded_engine: self.decoded_engine,
+            // Like telemetry: a fork is a new session, so its execution
+            // mix starts from zero.
+            op_mix: OpMix::default(),
         }
     }
 
@@ -177,8 +183,22 @@ impl SessionPool {
         &self.pkg
     }
 
-    /// Mints a session for one device.
+    /// Mints a session for one device. Records pool reuse stats:
+    /// `vm.pool.sessions` counts every mint, split into
+    /// `vm.pool.forked` (warmed snapshot reused) vs `vm.pool.cold`
+    /// (full boot) — the reuse ratio is forked/sessions.
     pub fn session(&self, env: DeviceEnv, seed: u64) -> Vm {
+        if bombdroid_obs::enabled() {
+            bombdroid_obs::counter_add("vm.pool.sessions", 1);
+            bombdroid_obs::counter_add(
+                if self.snap.is_some() {
+                    "vm.pool.forked"
+                } else {
+                    "vm.pool.cold"
+                },
+                1,
+            );
+        }
         match &self.snap {
             Some(snap) => snap.fork(env, seed),
             None => Vm::new(Arc::clone(&self.pkg), env, seed, self.opts.clone()),

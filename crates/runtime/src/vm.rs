@@ -228,6 +228,25 @@ pub(crate) enum Flow {
     Returned(RtValue),
 }
 
+/// Deterministic execution-mix counters for one session: how often each
+/// fused superinstruction dispatched, how the per-session fragment cache
+/// behaved, and how many decoded method bodies were fetched. Plain `u64`
+/// fields (not facade calls) so the dispatch hot loop pays one increment;
+/// [`Vm::publish_obs`] folds them into the active recorder at session end.
+/// Every field depends only on the session's event sequence — never on
+/// scheduling — so the counters honor the fleet determinism contract.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct OpMix {
+    pub(crate) hash_if: u64,
+    pub(crate) binop_const_if: u64,
+    pub(crate) const_if: u64,
+    pub(crate) arith_chain: u64,
+    pub(crate) const_array_get: u64,
+    pub(crate) frag_cache_hits: u64,
+    pub(crate) frag_cache_misses: u64,
+    pub(crate) decode_body_fetches: u64,
+}
+
 /// The virtual machine for one app process on one device.
 ///
 /// Heap state (`statics`, `objects`, `arrays`) lives behind [`Arc`]s with
@@ -256,6 +275,8 @@ pub struct Vm {
     /// Engine selection resolved at boot (so a mid-run env change can never
     /// switch engines under a session).
     pub(crate) decoded_engine: bool,
+    /// Deterministic per-session execution-mix counters (see [`OpMix`]).
+    pub(crate) op_mix: OpMix,
 }
 
 impl Vm {
@@ -288,6 +309,7 @@ impl Vm {
             killed: false,
             frozen: false,
             decoded_engine,
+            op_mix: OpMix::default(),
         }
     }
 
@@ -326,6 +348,24 @@ impl Vm {
         bombdroid_obs::counter_add("vm.bombs_triggered", t.markers.len() as u64);
         bombdroid_obs::counter_add("vm.responses", t.responses.len() as u64);
         bombdroid_obs::counter_add("vm.piracy_reports", t.piracy_reports);
+        // Execution-mix counters, skipped when zero to keep recorders
+        // sparse (the skip depends only on the deterministic values, so
+        // merged totals stay thread-count-independent).
+        let m = &self.op_mix;
+        for (name, v) in [
+            ("vm.ops.hash_if", m.hash_if),
+            ("vm.ops.binop_const_if", m.binop_const_if),
+            ("vm.ops.const_if", m.const_if),
+            ("vm.ops.arith_chain", m.arith_chain),
+            ("vm.ops.const_array_get", m.const_array_get),
+            ("vm.frag_cache.hits", m.frag_cache_hits),
+            ("vm.frag_cache.misses", m.frag_cache_misses),
+            ("vm.decode.body_fetches", m.decode_body_fetches),
+        ] {
+            if v > 0 {
+                bombdroid_obs::counter_add(name, v);
+            }
+        }
     }
 
     /// Current virtual time in milliseconds.
@@ -505,9 +545,12 @@ impl Vm {
         if let Some(f) = self.blob_cache.get(&blob.0).cloned() {
             // "the code decryption is one-time effort by caching it in
             // memory" (§8.4).
+            self.op_mix.frag_cache_hits += 1;
             self.charge(2)?;
             return Ok(f);
         }
+        self.op_mix.frag_cache_misses += 1;
+        bombdroid_obs::flight::note("vm.frag_cache.miss", || format!("blob {}", blob.0));
         let dex = self.pkg.dex.clone();
         let b = dex.blob(blob).ok_or(Fault::TypeError("dangling blob"))?;
         self.charge(50 + b.sealed.len() as u64 / 16)?;
@@ -538,10 +581,17 @@ impl Vm {
             None => {
                 let plaintext = blob::open(&key, &b.sealed).map_err(|_| {
                     self.telemetry.decrypt_failures += 1;
+                    bombdroid_obs::flight::note("vm.fault.decrypt", || {
+                        format!("blob {} (wrong key or tampered ciphertext)", blob.0)
+                    });
                     Fault::DecryptFailed
                 })?;
-                let instrs =
-                    wire::decode_fragment(&plaintext).map_err(|_| Fault::FragmentDecode)?;
+                let instrs = wire::decode_fragment(&plaintext).map_err(|_| {
+                    bombdroid_obs::flight::note("vm.fault.fragment_decode", || {
+                        format!("blob {}", blob.0)
+                    });
+                    Fault::FragmentDecode
+                })?;
                 let raw = Arc::new(instrs);
                 if let Some(k) = shared_key {
                     shared_fragments()

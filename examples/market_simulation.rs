@@ -10,12 +10,22 @@
 //! whole simulation is reproducible bit-for-bit no matter how many worker
 //! threads it gets (`BOMBDROID_THREADS=1` forces the serial schedule).
 //!
+//! Per-session metrics stream through a windowed `ShardAggregator`
+//! instead of piling up one recorder per device: every 16 sessions the
+//! open window seals, a progress line goes to stderr, and the window is
+//! dropped — so metric memory stays O(windows), not O(devices), while
+//! the running total stays bit-identical to a whole-recorder merge.
+//!
 //! ```sh
 //! cargo run --release --example market_simulation
 //! ```
 
+use bombdroid::obs::{self, ShardAggregator};
 use bombdroid::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Sessions per observability window.
+const SESSIONS_PER_WINDOW: usize = 16;
 
 /// Review threshold below which the market pulls a listing.
 const TAKEDOWN_RATING: f64 = 2.5;
@@ -58,6 +68,10 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok());
 
+    // One aggregator for the whole simulation: each day's fleet absorbs
+    // its per-session recorder deltas here in task-index order.
+    let agg = ShardAggregator::new(SESSIONS_PER_WINDOW);
+
     let mut total_reports = 0u64;
     let mut ratings: Vec<f64> = Vec::new();
     let mut taken_down_day = None;
@@ -72,13 +86,14 @@ fn main() {
         if let Some(n) = threads {
             day_fleet = day_fleet.with_threads(n);
         }
-        let outcomes = expect_all(run_indexed(day_fleet, downloads, |ctx| {
+        let outcomes = expect_all(run_indexed_windowed(day_fleet, downloads, &agg, |ctx| {
             let mut urng = ctx.rng();
             let env = DeviceEnv::sample(&mut urng);
             let mut vm = pool.session(env, ctx.seed);
             let mut source = UserEventSource;
             let minutes = urng.gen_range(10..60);
             run_session(&mut vm, &mut source, &mut urng, minutes, 40);
+            vm.publish_obs();
             let t = vm.telemetry();
             // A user whose app crashed/froze/misbehaved leaves a bad
             // review; a happy user a good one.
@@ -94,6 +109,21 @@ fn main() {
                 rating,
             })
         }));
+
+        // Publish the windows this day's sessions completed, then drop
+        // them — only the running total and the open window stay live.
+        for w in agg.drain_windows() {
+            let r = &w.recorder;
+            eprintln!(
+                "[obs] window {:>3} (sessions {}..{}): {} events, {} instr, {} bombs triggered",
+                w.index,
+                w.start_task,
+                w.start_task + w.tasks,
+                r.counter_value("vm.events_run"),
+                r.counter_value("vm.instr_executed"),
+                r.counter_value("vm.bombs_triggered"),
+            );
+        }
 
         let mut day_detections = 0u32;
         for outcome in outcomes {
@@ -121,6 +151,24 @@ fn main() {
             taken_down_day = Some(day);
             break 'days;
         }
+    }
+
+    // Seal the trailing partial window and report the streaming totals.
+    agg.finish();
+    agg.drain_windows();
+    let total = agg.total();
+    eprintln!(
+        "[obs] {} sessions in {} windows; totals: {} events, {} instr, {} piracy reports \
+         ({} live metric names)",
+        agg.tasks_absorbed(),
+        agg.windows_sealed(),
+        total.counter_value("vm.events_run"),
+        total.counter_value("vm.instr_executed"),
+        total.counter_value("vm.piracy_reports"),
+        agg.live_metric_names(),
+    );
+    if obs::mode() == obs::ObsMode::Off {
+        eprintln!("[obs] BOMBDROID_OBS=off: windowed metrics disabled");
     }
 
     match taken_down_day {

@@ -30,15 +30,31 @@ else
     echo "==> cargo fmt not installed; skipping format check"
 fi
 
-# Observability smoke: one fast experiment must produce a metrics.json
-# artifact that parses, matches the bombdroid-obs schema, and contains the
-# core instrumentation points. Catches refactors that silently stop
-# recording or break the exporter.
+# Observability smoke: one fast experiment must produce metrics.json and
+# flight.json artifacts that parse, match the bombdroid-obs schemas, and
+# contain the core instrumentation points. Catches refactors that silently
+# stop recording or break either exporter.
 run env BOMBDROID_OBS=full BOMBDROID_THREADS=2 \
     cargo run -q --release --offline -p bombdroid-bench --bin repro -- --fast table5
 run cargo run -q --release --offline -p bombdroid-bench --bin metrics_check -- \
     target/repro_output/metrics.json \
+    --flight target/repro_output/flight.json \
     fleet.tasks vm.instr_executed pipeline.apps_protected cache.requests
+
+# Metrics drift, advisory: diff the fresh artifact against the committed
+# reference (scripts/metrics_reference.json, produced by the exact command
+# above). Deterministic quantities — counter values, histogram counts —
+# should be bit-identical run to run; a delta here means behavior changed,
+# which is fine when intentional (regenerate the reference) but worth a
+# line in the log either way. Wall-clock timings are informational only.
+if cargo run -q --release --offline -p bombdroid-bench --bin metrics_diff -- \
+    scripts/metrics_reference.json target/repro_output/metrics.json --threshold 10; then
+    echo "==> metrics_diff: no deterministic drift vs reference (advisory)"
+else
+    echo "==> metrics_diff: WARNING deterministic metrics drifted vs" \
+         "scripts/metrics_reference.json (advisory only; regenerate the" \
+         "reference if the change is intentional)"
+fi
 
 # Perf smoke: the hot-path harness must run end to end and emit a valid
 # BENCH_pipeline.json document. --fast numbers are not comparison-grade;

@@ -31,6 +31,7 @@ pub use bombdroid_core as core;
 pub use bombdroid_corpus as corpus;
 pub use bombdroid_crypto as crypto;
 pub use bombdroid_dex as dex;
+pub use bombdroid_obs as obs;
 pub use bombdroid_runtime as runtime;
 pub use bombdroid_ssn as ssn;
 
@@ -38,8 +39,8 @@ pub use bombdroid_ssn as ssn;
 pub mod prelude {
     pub use bombdroid_apk::{package_app, repackage, ApkFile, AppMeta, DeveloperKey, StringsXml};
     pub use bombdroid_core::{
-        derive_seed, expect_all, run_fleet, run_indexed, FleetConfig, ProtectConfig, ProtectedApp,
-        Protector, TaskCtx,
+        derive_seed, expect_all, run_fleet, run_fleet_windowed, run_indexed, run_indexed_windowed,
+        FleetConfig, ProtectConfig, ProtectedApp, Protector, TaskCtx,
     };
     pub use bombdroid_runtime::{
         run_session, DeviceEnv, InstalledPackage, RandomEventSource, SessionPool, UserEventSource,
