@@ -1,0 +1,326 @@
+//! Fuzzing corpus: seed construction, deduplicated storage, deterministic
+//! minimization, and the havoc/splice mutators.
+//!
+//! A [`FuzzInput`] is an event sequence; the [`Corpus`] keeps each input
+//! together with the edge set it covered, deduplicated by a canonical key,
+//! so shard merging in task-index order is reproducible byte-for-byte.
+//! Seeds come from two deterministic sources: the salient per-parameter
+//! "user favourite" values ([`bombdroid_runtime::param_favorites`]) and a
+//! Redqueen-style dictionary of constants recovered from `Hash(X|salt) ==
+//! Hc` guards by [`crate::brute`] (input-to-state solving: the cracked
+//! compare operand is injected directly into argument slots).
+
+use crate::coverage::{minset, CoverageMap};
+use bombdroid_dex::{DexFile, Value};
+use bombdroid_runtime::{driver, CovEdge, EventInvocation, RtValue};
+use rand::{rngs::StdRng, Rng};
+use std::collections::BTreeSet;
+
+/// Hard cap on events per input: keeps mutated inputs short enough that a
+/// single exec stays cheap, like AFL's input-length ceiling.
+pub const MAX_EVENTS: usize = 8;
+
+/// One fuzzing input: a sequence of entry-point invocations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzInput {
+    /// The events to fire, in order.
+    pub events: Vec<EventInvocation>,
+}
+
+impl FuzzInput {
+    /// A canonical dedup/comparison key. `RtValue`'s `Debug` form is
+    /// value-complete for every scalar an input can hold, so equal keys
+    /// mean equal inputs.
+    pub fn key(&self) -> String {
+        format!("{:?}", self.events)
+    }
+}
+
+/// A corpus entry: the input plus the edges its execution covered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusEntry {
+    /// The input.
+    pub input: FuzzInput,
+    /// Edges covered when it ran (sorted, as exported by the VM).
+    pub cover: Vec<CovEdge>,
+}
+
+/// A deduplicated, insertion-ordered corpus.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    entries: Vec<CorpusEntry>,
+    keys: BTreeSet<String>,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Corpus::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries in insertion order.
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// Adds an input with the edges it covered; returns `false` if an
+    /// identical input was already present.
+    pub fn add(&mut self, input: FuzzInput, cover: Vec<CovEdge>) -> bool {
+        if !self.keys.insert(input.key()) {
+            return false;
+        }
+        self.entries.push(CorpusEntry { input, cover });
+        true
+    }
+
+    /// Appends every entry of `other` not already present, in `other`'s
+    /// insertion order. The campaign calls this shard-by-shard in
+    /// task-index order, which makes the merged corpus independent of the
+    /// worker count.
+    pub fn merge_from(&mut self, other: &Corpus) {
+        for e in &other.entries {
+            self.add(e.input.clone(), e.cover.clone());
+        }
+    }
+
+    /// Union coverage of every entry.
+    pub fn union_coverage(&self) -> CoverageMap {
+        let mut map = CoverageMap::new();
+        for e in &self.entries {
+            map.absorb(&e.cover);
+        }
+        map
+    }
+
+    /// The entry keys in insertion order (the determinism suite compares
+    /// these across thread counts).
+    pub fn keys(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.input.key()).collect()
+    }
+
+    /// Deterministic greedy minimization: a sub-corpus whose union
+    /// coverage equals [`Corpus::union_coverage`] (see
+    /// [`crate::coverage::minset`]).
+    pub fn minimized(&self) -> Corpus {
+        let covers: Vec<Vec<CovEdge>> = self.entries.iter().map(|e| e.cover.clone()).collect();
+        let mut out = Corpus::new();
+        for i in minset(&covers) {
+            out.add(self.entries[i].input.clone(), self.entries[i].cover.clone());
+        }
+        out
+    }
+}
+
+/// Harvests the input-to-state dictionary: every constant recovered by
+/// brute-forcing the app's `Hash(X|salt) == Hc` guards within `budget`
+/// tries per condition. Deduplicated, in condition-scan order.
+pub fn harvest_dictionary(dex: &DexFile, budget: u64) -> Vec<Value> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for cond in crate::brute::find_conditions(dex) {
+        if let Some(v) = crate::brute::crack(&cond, budget).recovered {
+            if seen.insert(format!("{v:?}")) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Builds the deterministic seed inputs: per entry point a favourite-value
+/// invocation, plus dictionary injections substituting each recovered
+/// constant into each argument slot (capped to keep the seed round small).
+pub fn seed_inputs(dex: &DexFile, dictionary: &[Value]) -> Vec<FuzzInput> {
+    const MAX_SEEDS: usize = 48;
+    let mut out = Vec::new();
+    for (entry_index, ep) in dex.entry_points.iter().enumerate() {
+        let args: Vec<RtValue> = ep
+            .params
+            .iter()
+            .enumerate()
+            .map(|(pi, d)| {
+                let favs = driver::param_favorites(d, &ep.event, pi);
+                favs.first().cloned().unwrap_or(Value::Int(0)).into()
+            })
+            .collect();
+        out.push(FuzzInput {
+            events: vec![EventInvocation { entry_index, args }],
+        });
+    }
+    'inject: for (entry_index, ep) in dex.entry_points.iter().enumerate() {
+        for pi in 0..ep.params.len() {
+            for v in dictionary {
+                if out.len() >= MAX_SEEDS {
+                    break 'inject;
+                }
+                let base = &out[entry_index].events[0].args;
+                let mut args = base.clone();
+                args[pi] = v.clone().into();
+                out.push(FuzzInput {
+                    events: vec![EventInvocation { entry_index, args }],
+                });
+            }
+        }
+    }
+    out
+}
+
+fn random_event(dex: &DexFile, dictionary: &[Value], rng: &mut StdRng) -> EventInvocation {
+    let entry_index = rng.gen_range(0..dex.entry_points.len());
+    let ep = &dex.entry_points[entry_index];
+    let args = ep
+        .params
+        .iter()
+        .enumerate()
+        .map(|(pi, d)| mutated_arg(d, &ep.event, pi, dictionary, rng))
+        .collect();
+    EventInvocation { entry_index, args }
+}
+
+fn mutated_arg(
+    domain: &bombdroid_dex::ParamDomain,
+    event: &str,
+    param_index: usize,
+    dictionary: &[Value],
+    rng: &mut StdRng,
+) -> RtValue {
+    match rng.gen_range(0..3u8) {
+        0 if !dictionary.is_empty() => dictionary[rng.gen_range(0..dictionary.len())]
+            .clone()
+            .into(),
+        1 => {
+            let favs = driver::param_favorites(domain, event, param_index);
+            if favs.is_empty() {
+                driver::uniform_arg(domain, rng)
+            } else {
+                favs[rng.gen_range(0..favs.len())].clone().into()
+            }
+        }
+        _ => driver::uniform_arg(domain, rng),
+    }
+}
+
+/// AFL-style havoc: applies 1–3 random mutations (argument rewrite via
+/// dictionary/favourite/uniform draw, event append, drop, duplicate, or
+/// swap) to a copy of `input`. Fully determined by `rng`.
+pub fn havoc(
+    input: &FuzzInput,
+    dex: &DexFile,
+    dictionary: &[Value],
+    rng: &mut StdRng,
+) -> FuzzInput {
+    let mut events = input.events.clone();
+    if dex.entry_points.is_empty() {
+        return FuzzInput { events };
+    }
+    let rounds = rng.gen_range(1..=3);
+    for _ in 0..rounds {
+        if events.is_empty() {
+            events.push(random_event(dex, dictionary, rng));
+            continue;
+        }
+        match rng.gen_range(0..6u8) {
+            0 | 1 => {
+                // Rewrite one argument of one event.
+                let ei = rng.gen_range(0..events.len());
+                let ev = &mut events[ei];
+                let ep = &dex.entry_points[ev.entry_index];
+                if ep.params.is_empty() {
+                    *ev = random_event(dex, dictionary, rng);
+                } else {
+                    let pi = rng.gen_range(0..ep.params.len());
+                    ev.args[pi] = mutated_arg(&ep.params[pi], &ep.event, pi, dictionary, rng);
+                }
+            }
+            2 => {
+                if events.len() < MAX_EVENTS {
+                    events.push(random_event(dex, dictionary, rng));
+                }
+            }
+            3 => {
+                if events.len() > 1 {
+                    let ei = rng.gen_range(0..events.len());
+                    events.remove(ei);
+                }
+            }
+            4 => {
+                if events.len() < MAX_EVENTS {
+                    let ei = rng.gen_range(0..events.len());
+                    let dup = events[ei].clone();
+                    events.insert(ei, dup);
+                }
+            }
+            _ => {
+                let a = rng.gen_range(0..events.len());
+                let b = rng.gen_range(0..events.len());
+                events.swap(a, b);
+            }
+        }
+    }
+    FuzzInput { events }
+}
+
+/// Splice crossover: a prefix of `a` followed by a suffix of `b`, capped
+/// at [`MAX_EVENTS`].
+pub fn splice(a: &FuzzInput, b: &FuzzInput, rng: &mut StdRng) -> FuzzInput {
+    if a.events.is_empty() {
+        return b.clone();
+    }
+    if b.events.is_empty() {
+        return a.clone();
+    }
+    let cut_a = rng.gen_range(1..=a.events.len());
+    let cut_b = rng.gen_range(0..b.events.len());
+    let mut events: Vec<EventInvocation> = a.events[..cut_a].to_vec();
+    events.extend(b.events[cut_b..].iter().cloned());
+    events.truncate(MAX_EVENTS);
+    FuzzInput { events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(entry_index: usize, arg: i64) -> FuzzInput {
+        FuzzInput {
+            events: vec![EventInvocation {
+                entry_index,
+                args: vec![RtValue::Int(arg)],
+            }],
+        }
+    }
+
+    #[test]
+    fn corpus_dedups_by_key_and_merges_in_order() {
+        let mut a = Corpus::new();
+        assert!(a.add(input(0, 1), vec![(0, 0, 1)]));
+        assert!(!a.add(input(0, 1), vec![(0, 0, 1)]));
+        let mut b = Corpus::new();
+        b.add(input(0, 1), vec![(0, 0, 1)]);
+        b.add(input(1, 2), vec![(0, 1, 2)]);
+        a.merge_from(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.keys()[1], input(1, 2).key());
+    }
+
+    #[test]
+    fn minimized_corpus_preserves_union_coverage() {
+        let mut c = Corpus::new();
+        c.add(input(0, 1), vec![(0, 0, 1), (0, 1, 2)]);
+        c.add(input(0, 2), vec![(0, 0, 1)]);
+        c.add(input(0, 3), vec![(0, 9, 10)]);
+        let min = c.minimized();
+        assert!(min.len() < c.len());
+        assert_eq!(min.union_coverage(), c.union_coverage());
+    }
+}

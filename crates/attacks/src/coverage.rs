@@ -1,0 +1,171 @@
+//! Edge-coverage maps for the guided fuzzer.
+//!
+//! The runtime's decoded dispatch loop records every taken control-flow
+//! transfer as a [`CovEdge`] `(unit, from_pc, to_pc)` when
+//! `VmOptions::collect_coverage` is on. A [`CoverageMap`] accumulates those
+//! edges as a sorted set, which buys the three properties the campaign's
+//! determinism proofs rest on:
+//!
+//! * **monotone** — absorbing more executions never shrinks the map;
+//! * **merge is a set union** — commutative, associative, idempotent, so
+//!   task-index-ordered shard merging is order-insensitive by construction;
+//! * **deterministic export** — [`CoverageMap::edges`] and
+//!   [`CoverageMap::fingerprint`] iterate in sorted order, so two maps with
+//!   equal contents serialize identically.
+//!
+//! [`minset`] is the deterministic greedy corpus minimizer: it keeps the
+//! classical "most new edges first" guarantee that the selected subset
+//! covers exactly the union of all inputs.
+
+use bombdroid_runtime::CovEdge;
+use std::collections::BTreeSet;
+
+/// A set of observed control-flow edges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageMap {
+    edges: BTreeSet<CovEdge>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        CoverageMap::default()
+    }
+
+    /// A map holding exactly `edges`.
+    pub fn from_edges(edges: impl IntoIterator<Item = CovEdge>) -> Self {
+        CoverageMap {
+            edges: edges.into_iter().collect(),
+        }
+    }
+
+    /// Distinct edges covered.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether nothing is covered yet.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Whether `edge` is covered.
+    pub fn contains(&self, edge: &CovEdge) -> bool {
+        self.edges.contains(edge)
+    }
+
+    /// Folds one execution's edges in; returns how many were new. A
+    /// nonzero return is the fuzzer's "interesting input" signal.
+    pub fn absorb(&mut self, edges: &[CovEdge]) -> usize {
+        let before = self.edges.len();
+        self.edges.extend(edges.iter().copied());
+        self.edges.len() - before
+    }
+
+    /// Set-union merge with another map; returns how many edges were new.
+    /// Commutative and idempotent (see the property suite in
+    /// `tests/property.rs`).
+    pub fn merge(&mut self, other: &CoverageMap) -> usize {
+        let before = self.edges.len();
+        self.edges.extend(other.edges.iter().copied());
+        self.edges.len() - before
+    }
+
+    /// Whether every edge of `other` is also covered here.
+    pub fn is_superset(&self, other: &CoverageMap) -> bool {
+        self.edges.is_superset(&other.edges)
+    }
+
+    /// All covered edges in sorted order.
+    pub fn edges(&self) -> Vec<CovEdge> {
+        self.edges.iter().copied().collect()
+    }
+
+    /// An order-independent FNV-1a digest of the contents — cheap to
+    /// compare across thread-count runs in the determinism suite.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for (unit, from, to) in &self.edges {
+            for part in [*unit, *from, *to] {
+                for byte in part.to_le_bytes() {
+                    h ^= u64::from(byte);
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+        }
+        h
+    }
+}
+
+/// Greedy deterministic minset: given one edge list per corpus input,
+/// selects a subset of input indices whose union coverage equals the union
+/// of all inputs. Each round keeps the input contributing the most
+/// still-uncovered edges, breaking ties toward the lowest index; inputs
+/// contributing nothing new are dropped. Returns the kept indices in
+/// ascending order.
+pub fn minset(covers: &[Vec<CovEdge>]) -> Vec<usize> {
+    let sets: Vec<BTreeSet<CovEdge>> = covers.iter().map(|c| c.iter().copied().collect()).collect();
+    let mut covered: BTreeSet<CovEdge> = BTreeSet::new();
+    let mut kept = Vec::new();
+    let mut remaining: Vec<usize> = (0..sets.len()).collect();
+    loop {
+        let mut best: Option<(usize, usize)> = None; // (gain, index)
+        for &i in &remaining {
+            let gain = sets[i].difference(&covered).count();
+            // Strict `>` keeps the lowest index on ties.
+            if gain > 0 && best.map(|(g, _)| gain > g).unwrap_or(true) {
+                best = Some((gain, i));
+            }
+        }
+        let Some((_, i)) = best else { break };
+        covered.extend(sets[i].iter().copied());
+        kept.push(i);
+        remaining.retain(|&r| r != i);
+    }
+    kept.sort_unstable();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_counts_new_edges_only() {
+        let mut m = CoverageMap::new();
+        assert_eq!(m.absorb(&[(0, 1, 2), (0, 2, 3)]), 2);
+        assert_eq!(m.absorb(&[(0, 2, 3), (1, 0, 1)]), 1);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn fingerprint_tracks_contents_not_insertion_order() {
+        let a = CoverageMap::from_edges([(0, 1, 2), (3, 4, 5)]);
+        let b = CoverageMap::from_edges([(3, 4, 5), (0, 1, 2)]);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = CoverageMap::from_edges([(0, 1, 2)]);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn minset_covers_the_union_and_drops_redundant_inputs() {
+        let covers = vec![
+            vec![(0, 0, 1), (0, 1, 2)],
+            vec![(0, 0, 1)], // subset of input 0 — dropped
+            vec![(0, 5, 6), (0, 6, 7)],
+            vec![(0, 1, 2), (0, 5, 6)], // union of others — dropped
+        ];
+        let kept = minset(&covers);
+        assert_eq!(kept, vec![0, 2]);
+        let mut union = CoverageMap::new();
+        for c in &covers {
+            union.absorb(c);
+        }
+        let mut minimized = CoverageMap::new();
+        for &i in &kept {
+            minimized.absorb(&covers[i]);
+        }
+        assert_eq!(minimized, union);
+    }
+}

@@ -171,6 +171,23 @@ impl FuzzState {
     }
 }
 
+/// Runs the coverage-guided greybox campaign (the modern, Difuzer-class
+/// attacker) — see [`crate::campaign`] for the machinery: edge-coverage
+/// feedback from the decoded exec loop, a seeded+minimized corpus with
+/// havoc/splice mutation, Redqueen-style dictionary solving of
+/// `Hash(X|salt) == Hc` guards, snapshot-fork resets, and a fleet-parallel
+/// deterministic shard merge.
+///
+/// # Panics
+///
+/// Panics if `apk` does not verify (attacker installs it as-is).
+pub fn guided(
+    apk: &ApkFile,
+    config: &crate::campaign::GuidedConfig,
+) -> crate::campaign::GuidedReport {
+    crate::campaign::run(apk, config)
+}
+
 /// Runs a fuzzing campaign of `minutes` virtual minutes at 60 events per
 /// minute against an installed copy of `apk` on the attacker's emulator.
 ///

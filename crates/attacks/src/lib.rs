@@ -9,6 +9,7 @@
 //! | [`textsearch`] | grep for `getPublicKey` and friends |
 //! | [`instrument`] | force `rand()`, check reflection targets, flip/strip suspicious code |
 //! | [`fuzz`] | blackbox fuzzing with Monkey / PUMA / AndroidHooker / Dynodroid (Table 4, Fig. 5) |
+//! | [`campaign`] (+ [`coverage`], [`corpus`]) | coverage-guided greybox fuzzing, the Difuzer-class attacker the paper predates |
 //! | [`symbolic`] | symbolic execution & path exploration (TriggerScope et al.) |
 //! | [`slicing`] | HARVESTER backward slicing + slice execution |
 //! | [`forced`] | forced (sampled) execution of suspected payloads |
@@ -33,6 +34,9 @@
 
 pub mod analyst;
 pub mod brute;
+pub mod campaign;
+pub mod corpus;
+pub mod coverage;
 pub mod deletion;
 pub mod forced;
 pub mod fuzz;
@@ -44,6 +48,9 @@ pub mod textsearch;
 
 pub use analyst::{analyst_campaign, AnalystReport};
 pub use brute::{brute_force_campaign, BruteReport};
+pub use campaign::{Finding, GuidedConfig, GuidedReport, ResetMode};
+pub use corpus::{harvest_dictionary, havoc, seed_inputs, splice, Corpus, CorpusEntry, FuzzInput};
+pub use coverage::{minset, CoverageMap};
 pub use deletion::{deletion_attack, CorruptionReport};
 pub use forced::{forced_execution, ForcedReport};
 pub use fuzz::{count_outer_conditions, run_fuzzer, FuzzReport, FuzzerKind};

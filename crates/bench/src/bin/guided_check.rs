@@ -1,0 +1,66 @@
+//! Validates the `guided_resilience.json` artifact written by
+//! `repro guided`.
+//!
+//! ```text
+//! guided_check <guided_resilience.json>
+//! ```
+//!
+//! Exits 0 if the document parses, matches the guided-curve schema
+//! (version, per-config count consistency, strictly increasing exec axis,
+//! monotone bomb counts), every reported bomb replay-validated, and the
+//! `control` config — single-trigger, no bogus bombs — found at least one
+//! bomb. Exits 1 with a diagnostic otherwise. CI runs this after the
+//! `repro --fast guided` smoke so a refactor that silently lobotomizes the
+//! fuzzer (or breaks the exporter) fails the pipeline.
+
+use bombdroid_bench::experiments::validate_guided_json;
+use bombdroid_obs::json::{self, JsonValue};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("guided_check: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: guided_check <guided_resilience.json>");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    if let Err(e) = validate_guided_json(&text) {
+        fail(&format!("{path} INVALID: {e}"));
+    }
+    // Schema is valid; now the CI-level acceptance checks.
+    let doc = json::parse(&text).expect("validated text parses");
+    let configs = doc
+        .get("configs")
+        .and_then(JsonValue::as_array)
+        .expect("validated doc has configs");
+    let mut control_found: Option<i128> = None;
+    for c in configs {
+        let name = c.get("name").and_then(JsonValue::as_str).unwrap_or("?");
+        let found = c.get("found").and_then(JsonValue::as_int).unwrap_or(0);
+        let validated = c.get("validated").and_then(JsonValue::as_int).unwrap_or(0);
+        if validated != found {
+            fail(&format!(
+                "{path}: config {name:?} reported {found} bombs but only {validated} replay-validated"
+            ));
+        }
+        if name == "control" {
+            control_found = Some(found);
+        }
+    }
+    match control_found {
+        Some(n) if n >= 1 => {}
+        Some(n) => fail(&format!(
+            "{path}: control config found {n} bombs — a working guided fuzzer must crack the unprotected control app"
+        )),
+        None => fail(&format!("{path}: no \"control\" config in artifact")),
+    }
+    println!(
+        "guided_check: {path} OK ({} configs, control found {} bomb(s))",
+        configs.len(),
+        control_found.unwrap_or(0)
+    );
+}

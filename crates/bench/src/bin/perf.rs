@@ -30,7 +30,9 @@ use bombdroid_core::{profile_app, FleetConfig, ProtectConfig};
 use bombdroid_crypto::{aes, blob, kdf, sha1, sha256};
 use bombdroid_dex::{wire, Value};
 use bombdroid_obs::{self as obs, ObsMode, Recorder, ShardAggregator};
-use bombdroid_runtime::{DeviceEnv, EventSource, InstalledPackage, RandomEventSource, Vm};
+use bombdroid_runtime::{
+    DeviceEnv, EventSource, InstalledPackage, RandomEventSource, Vm, VmEngine, VmOptions,
+};
 use rand::{rngs::StdRng, SeedableRng};
 use std::sync::Arc;
 
@@ -271,9 +273,11 @@ fn run_all(config: &PerfConfig, filter: Option<&str>) -> Vec<BenchResult> {
 
     // --- runtime: protected-app event throughput (Table 5's kernel) ---
     if wanted("vm/drive_protected_50ev")
+        || wanted("vm/drive_coverage_on")
         || wanted("vm/profile_2k_events")
         || wanted("vm/boot_session")
         || wanted("vm/fork_session")
+        || wanted("attacks/guided_smoke")
     {
         let (_, signed) = protect_app(&app, protect_config.clone(), 0xBE);
         let pkg = Arc::new(InstalledPackage::install(&signed).expect("signed install"));
@@ -324,6 +328,58 @@ fn run_all(config: &PerfConfig, filter: Option<&str>) -> Vec<BenchResult> {
                     }
                 }
                 std::hint::black_box(vm.telemetry().instr_executed);
+            }));
+        }
+        if wanted("vm/drive_coverage_on") {
+            // The same 50-event drive with the edge-coverage hook armed
+            // (decoded engine): the fuzzer's per-exec cost. Paired with
+            // vm/drive_protected_50ev it bounds the hook's overhead; the
+            // disabled-hook side is pinned exactly (telemetry-identical)
+            // by the attacks determinism suite.
+            let cov_opts = VmOptions {
+                engine: VmEngine::Decoded,
+                collect_coverage: true,
+                ..VmOptions::default()
+            };
+            push(run_bench("vm/drive_coverage_on", None, config, || {
+                let mut rng = StdRng::seed_from_u64(3);
+                let mut vm = Vm::new(
+                    Arc::clone(&pkg),
+                    DeviceEnv::sample(&mut rng),
+                    3,
+                    cov_opts.clone(),
+                );
+                let mut source = RandomEventSource;
+                let dex = Arc::clone(&vm.pkg.dex);
+                for _ in 0..50 {
+                    if let Some(ev) = source.next_event(&dex, &mut rng) {
+                        let _ = vm.fire_entry(ev.entry_index, ev.args);
+                    }
+                    if vm.is_killed() || vm.is_frozen() {
+                        break;
+                    }
+                }
+                std::hint::black_box((vm.telemetry().instr_executed, vm.coverage_edges().len()));
+            }));
+        }
+        if wanted("attacks/guided_smoke") {
+            // One tiny serial guided campaign end to end (dictionary
+            // harvest + seeds + snapshot-fork exec loop + merge): the
+            // fuzzing subsystem's fixed cost per campaign.
+            let campaign = bombdroid_attacks::GuidedConfig {
+                seed: 0xF5,
+                shards: 1,
+                execs_per_shard: 10,
+                threads: Some(1),
+                reset: bombdroid_attacks::ResetMode::SnapshotFork,
+                crack_budget: 500,
+                checkpoints: 2,
+                window: 1,
+            };
+            push(run_bench("attacks/guided_smoke", None, config, || {
+                let report =
+                    bombdroid_attacks::fuzz::guided(std::hint::black_box(&signed), &campaign);
+                std::hint::black_box((report.coverage.len(), report.findings.len()));
             }));
         }
         if wanted("vm/profile_2k_events") {

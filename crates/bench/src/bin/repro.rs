@@ -4,7 +4,7 @@
 //! repro [--fast] <experiment>...
 //! repro all            # everything
 //! repro table1 fig3 table2 table3 fig4 table4 fig5 analysts table5 \
-//!       falsepos codesize resilience brute ablation
+//!       falsepos codesize resilience guided brute ablation
 //! ```
 //!
 //! `--fast` scales budgets down (~10×) for a quick end-to-end pass; the
@@ -41,6 +41,9 @@ struct Budgets {
     falsepos_minutes: u64,
     resilience_apps: usize,
     brute_budget: u64,
+    guided_shards: usize,
+    guided_execs_per_shard: u64,
+    guided_crack_budget: u64,
 }
 
 impl Budgets {
@@ -55,6 +58,9 @@ impl Budgets {
             falsepos_minutes: 600, // ten hours
             resilience_apps: 2,
             brute_budget: 1_000_000,
+            guided_shards: 8,
+            guided_execs_per_shard: 240,
+            guided_crack_budget: 20_000,
         }
     }
 
@@ -69,6 +75,9 @@ impl Budgets {
             falsepos_minutes: 30,
             resilience_apps: 1,
             brute_budget: 100_000,
+            guided_shards: 4,
+            guided_execs_per_shard: 60,
+            guided_crack_budget: 5_000,
         }
     }
 
@@ -110,6 +119,7 @@ fn main() {
             "falsepos",
             "codesize",
             "resilience",
+            "guided",
             "brute",
             "ablation",
         ];
@@ -132,6 +142,7 @@ fn main() {
             "falsepos" => falsepos(&budgets),
             "codesize" => codesize(&budgets),
             "resilience" => resilience(&budgets),
+            "guided" => guided(&budgets),
             "brute" => brute(&budgets),
             "ablation" => ablation(),
             other => {
@@ -499,6 +510,65 @@ fn resilience(b: &Budgets) {
             "brute force: {}/{} conditions cracked in {} hash evaluations\n",
             brute.cracked, brute.total, brute.tries
         );
+    }
+}
+
+fn guided(b: &Budgets) {
+    banner(
+        "§5/§8.3 extension — coverage-guided greybox fuzzing",
+        "bombs found vs exec budget, per protection config (control / default / bogus-dense)",
+    );
+    let campaign = bombdroid_attacks::GuidedConfig {
+        seed: ex::PROTECT_BASE,
+        shards: b.guided_shards,
+        execs_per_shard: b.guided_execs_per_shard,
+        threads: None,
+        reset: bombdroid_attacks::ResetMode::SnapshotFork,
+        crack_budget: b.guided_crack_budget,
+        checkpoints: 6,
+        window: 2,
+    };
+    let rows = ex::guided_curves(&campaign, &ProtectConfig::fast_profile());
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                r.total_bombs.to_string(),
+                format!("{}/{}", r.found, r.validated),
+                r.execs.to_string(),
+                r.curve
+                    .iter()
+                    .map(|(e, n)| format!("{e}:{n}"))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            &[
+                "Config",
+                "Bombs",
+                "Found/Valid",
+                "Execs",
+                "Curve (execs:bombs)"
+            ],
+            &printable
+        )
+    );
+    let json = ex::guided_json(ex::guided::GUIDED_APP, ex::PROTECT_BASE, &rows);
+    ex::validate_guided_json(&json).expect("guided experiment emitted an invalid artifact");
+    let dir = std::path::Path::new("target/repro_output");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("guided: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join("guided_resilience.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("guided curves written to {}", path.display()),
+        Err(e) => eprintln!("guided: cannot write {}: {e}", path.display()),
     }
 }
 

@@ -60,14 +60,7 @@ impl std::error::Error for ExperimentError {}
 /// `BOMBDROID_THREADS` environment variable (`1` reproduces the old serial
 /// driver exactly — results are identical either way).
 pub fn default_fleet(base_seed: u64) -> FleetConfig {
-    let cfg = FleetConfig::new(base_seed);
-    match std::env::var("BOMBDROID_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-    {
-        Some(n) => cfg.with_threads(n),
-        None => cfg,
-    }
+    FleetConfig::from_env(base_seed)
 }
 
 /// Protects a generated app with the given config; returns the protected

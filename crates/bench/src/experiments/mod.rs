@@ -22,6 +22,7 @@ pub mod falsepos;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod guided;
 pub mod harness;
 pub mod resilience;
 pub mod table1;
@@ -38,6 +39,10 @@ pub use falsepos::{false_positives, false_positives_with, FalsePositiveRow};
 pub use fig3::{fig3, Fig3Data};
 pub use fig4::{fig4, fig4_with, Fig4Row};
 pub use fig5::{fig5, fig5_with, Fig5Series};
+pub use guided::{
+    guided_configs, guided_curves, guided_json, validate_guided_json, GuidedCurveRow,
+    GUIDED_SCHEMA_VERSION,
+};
 pub use harness::{
     default_fleet, drive_events, flagships, protect_app, session_pool, shared_cache,
     time_to_first_bomb, ExperimentError, ProtectedAppCache, PROTECT_BASE,

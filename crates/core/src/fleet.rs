@@ -85,6 +85,27 @@ impl FleetConfig {
             ..self
         }
     }
+
+    /// Like [`FleetConfig::new`], but honoring the `BOMBDROID_THREADS`
+    /// environment variable when set (see [`env_threads`]). The standard
+    /// constructor for campaign-style entry points — experiments and the
+    /// guided fuzzer — whose results must not depend on the worker count.
+    pub fn from_env(base_seed: u64) -> Self {
+        let cfg = FleetConfig::new(base_seed);
+        match env_threads() {
+            Some(n) => cfg.with_threads(n),
+            None => cfg,
+        }
+    }
+}
+
+/// The worker count requested via `BOMBDROID_THREADS`, if the variable is
+/// set and parses. `1` reproduces a serial driver exactly — the fleet
+/// determinism contract makes results identical for every value.
+pub fn env_threads() -> Option<usize> {
+    std::env::var("BOMBDROID_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
 }
 
 /// SplitMix64 finalizer: mixes `base` and `index` into an independent

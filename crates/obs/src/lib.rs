@@ -170,6 +170,18 @@ pub fn counter_add(name: &str, delta: u64) {
     }
 }
 
+/// Adds `delta` to a counter only when it is nonzero — the sparse-counter
+/// idiom used by per-session and per-campaign publishers (the VM's op-mix
+/// counters, the guided fuzzer's `fuzz.*` family). Skipping zeros keeps
+/// recorders small without breaking merge determinism: the skip depends
+/// only on the deterministic value, never on scheduling, so merged totals
+/// stay identical for any worker count.
+pub fn counter_add_nz(name: &str, delta: u64) {
+    if delta > 0 {
+        counter_add(name, delta);
+    }
+}
+
 /// Sets a gauge in the active recorder.
 pub fn gauge_set(name: &str, value: i64) {
     if enabled() {

@@ -45,7 +45,7 @@ impl Vm {
             regs[i] = a;
         }
         self.charge(5)?;
-        match self.exec_decoded(prog, &body, &mut regs, &mref, depth)? {
+        match self.exec_decoded(prog, &body, &mut regs, &mref, depth, id as u32)? {
             Flow::Returned(v) => Ok(v),
             Flow::Done => Ok(RtValue::Null),
         }
@@ -94,6 +94,12 @@ impl Vm {
     /// on entry (fragments execute in their caller's frame), so every slot
     /// index is in-bounds and reads of never-written slots yield `Null`
     /// exactly like the legacy engine's out-of-range register reads.
+    ///
+    /// `cov_unit` names the body for coverage edges: the flat decoded
+    /// method id for method bodies, `0x8000_0000 | blob id` for decrypted
+    /// fragments (whose decoded pcs restart at zero). Only the control-flow
+    /// arms record edges, and only when [`crate::VmOptions::collect_coverage`]
+    /// is on; coverage never charges, so the cost model is unaffected.
     pub(crate) fn exec_decoded(
         &mut self,
         prog: &Arc<DecodedProgram>,
@@ -101,6 +107,7 @@ impl Vm {
         regs: &mut Vec<RtValue>,
         mref: &MethodRef,
         depth: usize,
+        cov_unit: u32,
     ) -> Result<Flow, Fault> {
         if regs.len() < body.frame {
             regs.resize(body.frame, RtValue::Null);
@@ -167,6 +174,7 @@ impl Vm {
                     if self.cond_branch(a, b, is_const, *cond, *src_pc as usize, mref)? {
                         next = *target;
                     }
+                    self.cov_edge(cov_unit, pc as u32, next as u32);
                 }
                 DecodedOp::Switch { src, arms, default } => {
                     self.charge(1)?;
@@ -178,10 +186,12 @@ impl Vm {
                         .find(|(case, _)| *case == v)
                         .map(|(_, t)| *t)
                         .unwrap_or(*default);
+                    self.cov_edge(cov_unit, pc as u32, next as u32);
                 }
                 DecodedOp::Goto { target } => {
                     self.charge(1)?;
                     next = *target;
+                    self.cov_edge(cov_unit, pc as u32, next as u32);
                 }
                 DecodedOp::Invoke {
                     target,
@@ -359,7 +369,12 @@ impl Vm {
                     let key_val = regs[*key_src].clone();
                     let fragment = self.fragment_for(BlobId(*blob), key_val)?;
                     let fbody = Arc::clone(fragment.decoded_body(&self.pkg, prog));
-                    if let Flow::Returned(v) = self.exec_decoded(prog, &fbody, regs, mref, depth)? {
+                    // Fragment pcs restart at zero; tag their coverage unit
+                    // with the blob id so they never alias method edges.
+                    let funit = 0x8000_0000 | *blob;
+                    if let Flow::Returned(v) =
+                        self.exec_decoded(prog, &fbody, regs, mref, depth, funit)?
+                    {
                         return Ok(Flow::Returned(v));
                     }
                 }
@@ -409,6 +424,7 @@ impl Vm {
                     if self.cond_branch(a, rhs.clone(), true, *cond, *src_pc as usize, mref)? {
                         next = *target;
                     }
+                    self.cov_edge(cov_unit, pc as u32, next as u32);
                 }
                 DecodedOp::BinOpConstIf {
                     op,
@@ -432,6 +448,7 @@ impl Vm {
                     if self.cond_branch(a, b, is_const, *cond, *src_pc as usize, mref)? {
                         next = *target;
                     }
+                    self.cov_edge(cov_unit, pc as u32, next as u32);
                 }
                 DecodedOp::ConstIf {
                     dst,
@@ -450,6 +467,7 @@ impl Vm {
                     if self.cond_branch(a, b, is_const, *cond, *src_pc as usize, mref)? {
                         next = *target;
                     }
+                    self.cov_edge(cov_unit, pc as u32, next as u32);
                 }
                 DecodedOp::ArithChain { steps } => {
                     self.op_mix.arith_chain += 1;

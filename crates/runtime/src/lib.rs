@@ -71,4 +71,4 @@ pub use package::InstalledPackage;
 pub use snapshot::{SessionPool, VmSnapshot};
 pub use telemetry::{ResponseEvent, ResponseKind, Telemetry};
 pub use value::RtValue;
-pub use vm::{AttackerHooks, EventOutcome, Fault, Vm, VmEngine, VmOptions};
+pub use vm::{AttackerHooks, CovEdge, EventOutcome, Fault, Vm, VmEngine, VmOptions};

@@ -18,9 +18,9 @@ use crate::env::DeviceEnv;
 use crate::package::InstalledPackage;
 use crate::telemetry::Telemetry;
 use crate::value::RtValue;
-use crate::vm::{Fragment, OpMix, Vm, VmOptions};
+use crate::vm::{CovEdge, Fragment, OpMix, Vm, VmOptions};
 use rand::{rngs::StdRng, SeedableRng};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// A captured session state. Cheap to clone and [`Send`]/[`Sync`]: heap
@@ -44,6 +44,7 @@ pub struct VmSnapshot {
     frozen: bool,
     decoded_engine: bool,
     op_mix: OpMix,
+    coverage: Option<BTreeSet<CovEdge>>,
 }
 
 impl Vm {
@@ -71,6 +72,7 @@ impl Vm {
             frozen: self.frozen,
             decoded_engine: self.decoded_engine,
             op_mix: self.op_mix,
+            coverage: self.coverage.clone(),
         }
     }
 
@@ -106,6 +108,7 @@ impl VmSnapshot {
             frozen: self.frozen,
             decoded_engine: self.decoded_engine,
             op_mix: self.op_mix,
+            coverage: self.coverage.clone(),
         }
     }
 
@@ -138,6 +141,9 @@ impl VmSnapshot {
             // Like telemetry: a fork is a new session, so its execution
             // mix starts from zero.
             op_mix: OpMix::default(),
+            // Coverage is per-session feedback: a fork starts empty (but
+            // keeps collection enabled iff the snapshot had it on).
+            coverage: self.opts.collect_coverage.then(BTreeSet::new),
         }
     }
 

@@ -24,9 +24,19 @@ use crate::value::RtValue;
 use bombdroid_crypto::{blob, kdf};
 use bombdroid_dex::{wire, BinOp, BlobId, CondOp, HostApi, Instr, MethodRef, Reg, StrOp};
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// One observed control-flow edge on the decoded engine:
+/// `(coverage unit, from decoded pc, to decoded pc)`.
+///
+/// The unit is the decoded program's flat method id for method bodies and
+/// `0x8000_0000 | blob id` for decrypted fragments (fragment ops are
+/// numbered from zero in their own body, so without the unit tag a
+/// fragment edge could alias a host-method edge). Plain tuples keep the
+/// set `Ord`-sorted, so exports are deterministic.
+pub type CovEdge = (u32, u32, u32);
 
 /// Attacker-side hooks: an analyst may "hack and modify their own Android
 /// systems arbitrarily" (paper §2.2), so the VM can be instrumented when it
@@ -95,6 +105,12 @@ pub struct VmOptions {
     /// Execution engine selection (tests pin this explicitly; everything
     /// else uses [`VmEngine::Auto`] and the `BOMBDROID_VM` variable).
     pub engine: VmEngine,
+    /// Record control-flow edges ([`CovEdge`]) from the decoded dispatch
+    /// loop — the greybox fuzzer's feedback signal. Off by default: the
+    /// plain dispatch path pays a single branch on an always-`None` option,
+    /// and coverage recording never charges cost-model instructions, so
+    /// telemetry is bit-identical with the flag on or off.
+    pub collect_coverage: bool,
     /// Attacker instrumentation.
     pub hooks: AttackerHooks,
 }
@@ -108,6 +124,7 @@ impl Default for VmOptions {
             max_call_depth: 64,
             shared_fragment_cache: false,
             engine: VmEngine::Auto,
+            collect_coverage: false,
             hooks: AttackerHooks::default(),
         }
     }
@@ -277,6 +294,10 @@ pub struct Vm {
     pub(crate) decoded_engine: bool,
     /// Deterministic per-session execution-mix counters (see [`OpMix`]).
     pub(crate) op_mix: OpMix,
+    /// Observed control-flow edges, `Some` iff
+    /// [`VmOptions::collect_coverage`] is set (an empty `BTreeSet` is
+    /// allocation-free, so the disabled case costs nothing at runtime).
+    pub(crate) coverage: Option<BTreeSet<CovEdge>>,
 }
 
 impl Vm {
@@ -293,6 +314,7 @@ impl Vm {
     ) -> Self {
         let pkg = pkg.into();
         let decoded_engine = opts.engine.is_decoded();
+        let coverage = opts.collect_coverage.then(BTreeSet::new);
         Vm {
             pkg,
             env,
@@ -310,6 +332,7 @@ impl Vm {
             frozen: false,
             decoded_engine,
             op_mix: OpMix::default(),
+            coverage,
         }
     }
 
@@ -365,6 +388,40 @@ impl Vm {
             if v > 0 {
                 bombdroid_obs::counter_add(name, v);
             }
+        }
+    }
+
+    /// Records one taken control-flow edge. A no-op (single `None` branch)
+    /// unless [`VmOptions::collect_coverage`] was set at boot. Deliberately
+    /// does **not** [`charge`](Vm::charge): the cost model, fuel, and
+    /// telemetry must be bit-identical with coverage on or off, so the
+    /// perf guard can assert zero overhead from the deterministic side.
+    #[inline]
+    pub(crate) fn cov_edge(&mut self, unit: u32, from: u32, to: u32) {
+        if let Some(cov) = &mut self.coverage {
+            cov.insert((unit, from, to));
+        }
+    }
+
+    /// Whether this VM records coverage.
+    pub fn coverage_enabled(&self) -> bool {
+        self.coverage.is_some()
+    }
+
+    /// The control-flow edges observed so far, in sorted order (empty when
+    /// [`VmOptions::collect_coverage`] is off).
+    pub fn coverage_edges(&self) -> Vec<CovEdge> {
+        match &self.coverage {
+            Some(cov) => cov.iter().copied().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Takes and clears the observed edges, leaving collection enabled.
+    pub fn take_coverage(&mut self) -> Vec<CovEdge> {
+        match &mut self.coverage {
+            Some(cov) => std::mem::take(cov).into_iter().collect(),
+            None => Vec::new(),
         }
     }
 

@@ -56,6 +56,18 @@ else
          "reference if the change is intentional)"
 fi
 
+# Guided-fuzzer smoke: a fixed-seed fast campaign (4 shards × 60 execs,
+# seed PROTECT_BASE) must find at least one bomb on the single-trigger
+# no-bogus control app, replay-validate every reported bomb, and emit a
+# guided_resilience.json artifact matching its schema. The curves are
+# bit-identical for any BOMBDROID_THREADS value (pinned by the attacks
+# determinism suite); guided_check fails CI if the fuzzer or the exporter
+# silently breaks.
+run env BOMBDROID_OBS=full BOMBDROID_THREADS=2 \
+    cargo run -q --release --offline -p bombdroid-bench --bin repro -- --fast guided
+run cargo run -q --release --offline -p bombdroid-bench --bin guided_check -- \
+    target/repro_output/guided_resilience.json
+
 # Perf smoke: the hot-path harness must run end to end and emit a valid
 # BENCH_pipeline.json document. --fast numbers are not comparison-grade;
 # this validates the plumbing, not the performance.

@@ -3,8 +3,10 @@
 //! steganography, RSA signatures, and generator/validator coherence.
 
 use bombdroid::apk::{stego, DeveloperKey};
+use bombdroid::attacks::{minset, CoverageMap};
 use bombdroid::crypto::{blob, hex, kdf};
 use bombdroid::dex::{wire, BinOp, CondOp, Instr, Reg, RegOrConst, Value};
+use bombdroid::runtime::CovEdge;
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -20,6 +22,12 @@ fn arb_value() -> impl Strategy<Value = Value> {
 
 fn arb_reg() -> impl Strategy<Value = Reg> {
     (0u16..32).prop_map(Reg)
+}
+
+/// Edges over a small universe so random lists overlap (exercising dedup,
+/// merge, and minset tie-breaking instead of trivially disjoint sets).
+fn arb_edges() -> impl Strategy<Value = Vec<CovEdge>> {
+    proptest::collection::vec((0u32..4, 0u32..12, 0u32..12), 0..24)
 }
 
 /// A straight-line instruction (branch-free so any sequence is a valid
@@ -148,6 +156,72 @@ proptest! {
                 other => prop_assert!(false, "unexpected favourite {other:?}"),
             }
         }
+    }
+
+    /// Coverage only grows: absorbing more edges never loses one, the gain
+    /// count is exact, and a grown map is always a superset of its past.
+    #[test]
+    fn coverage_absorb_is_monotone(batches in proptest::collection::vec(arb_edges(), 0..6)) {
+        let mut map = CoverageMap::new();
+        for batch in &batches {
+            let before = map.clone();
+            let gained = map.absorb(batch);
+            prop_assert_eq!(map.len(), before.len() + gained);
+            prop_assert!(map.is_superset(&before), "absorb dropped an edge");
+            for e in batch {
+                prop_assert!(map.contains(e));
+            }
+            // Re-absorbing the same batch is a no-op (set semantics).
+            prop_assert_eq!(map.absorb(batch), 0);
+        }
+    }
+
+    /// Merge is commutative and idempotent, and fingerprints agree iff the
+    /// edge sets do — the campaign's shard-merge order cannot matter.
+    #[test]
+    fn coverage_merge_commutes_and_is_idempotent(a in arb_edges(), b in arb_edges()) {
+        let ma = CoverageMap::from_edges(a.iter().copied());
+        let mb = CoverageMap::from_edges(b.iter().copied());
+        let mut ab = ma.clone();
+        ab.merge(&mb);
+        let mut ba = mb.clone();
+        ba.merge(&ma);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.fingerprint(), ba.fingerprint());
+        prop_assert_eq!(ab.edges(), ba.edges());
+        let mut again = ab.clone();
+        prop_assert_eq!(again.merge(&mb), 0, "second merge must add nothing");
+        prop_assert_eq!(&again, &ab);
+        // Self-merge is the identity.
+        let mut selfed = ma.clone();
+        prop_assert_eq!(selfed.merge(&ma), 0);
+        prop_assert_eq!(&selfed, &ma);
+    }
+
+    /// The greedy minset keeps a subset of the corpus (ascending, in-range,
+    /// duplicate-free) whose union coverage equals the full corpus's.
+    #[test]
+    fn minimized_corpus_preserves_union_coverage(covers in proptest::collection::vec(arb_edges(), 0..10)) {
+        let kept = minset(&covers);
+        prop_assert!(kept.windows(2).all(|w| w[0] < w[1]), "indices must be strictly ascending");
+        prop_assert!(kept.iter().all(|&i| i < covers.len()));
+        let mut full = CoverageMap::new();
+        for c in &covers {
+            full.absorb(c);
+        }
+        let mut min = CoverageMap::new();
+        for &i in &kept {
+            min.absorb(&covers[i]);
+        }
+        prop_assert_eq!(&min, &full, "minimized corpus lost coverage");
+        prop_assert_eq!(min.fingerprint(), full.fingerprint());
+        // Greedy never selects a zero-gain input, so an input with no edges
+        // can never be kept, and the minset is at most the number of
+        // edge-bearing inputs.
+        prop_assert!(kept.iter().all(|&i| !covers[i].is_empty()));
+        prop_assert!(kept.len() <= covers.iter().filter(|c| !c.is_empty()).count());
+        // Determinism: same corpus, same minset.
+        prop_assert_eq!(minset(&covers), kept);
     }
 
     #[test]
