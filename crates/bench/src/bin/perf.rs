@@ -487,6 +487,60 @@ fn run_all(config: &PerfConfig, filter: Option<&str>) -> Vec<BenchResult> {
         obs::set_mode(prior);
     }
 
+    // --- sim: the population-scale market day loop ---
+    if wanted("sim/day_10k_sessions") || wanted("sim/checkpoint_roundtrip") {
+        use bombdroid_sim::{BombCatalog, BombEntry, SimConfig, Simulator, SyntheticRunner};
+        let catalog = BombCatalog::new(vec![
+            BombEntry {
+                marker: 1,
+                blob: 1,
+                predicted_ppm: 150_000,
+            },
+            BombEntry {
+                marker: 2,
+                blob: 2,
+                predicted_ppm: 120_000,
+            },
+        ]);
+        let mut sim_config = SimConfig::new(10_000, 5, 0x51B);
+        sim_config.market.halt_on_takedown = false;
+        sim_config.threads = Some(1);
+        if wanted("sim/day_10k_sessions") {
+            // One full 10k-session day loop with the closed-form runner:
+            // the simulator's own overhead (population derivation, fleet
+            // fan-out, windowed aggregation, serial fold), with VM cost
+            // factored out.
+            push(run_bench("sim/day_10k_sessions", None, config, || {
+                let mut sim = Simulator::new(
+                    sim_config,
+                    catalog.clone(),
+                    SyntheticRunner::new(catalog.clone()),
+                );
+                sim.run();
+                std::hint::black_box(sim.sessions_run());
+            }));
+        }
+        if wanted("sim/checkpoint_roundtrip") {
+            // Serialize + parse + restore of a mid-run checkpoint: the
+            // per-boundary cost a long campaign pays for killability.
+            let mut sim = Simulator::new(
+                sim_config,
+                catalog.clone(),
+                SyntheticRunner::new(catalog.clone()),
+            );
+            assert!(sim.step(), "fixture run finished before first boundary");
+            push(run_bench("sim/checkpoint_roundtrip", None, config, || {
+                let ckpt = sim.checkpoint_json().expect("at chunk boundary");
+                let resumed = Simulator::from_checkpoint(
+                    std::hint::black_box(&ckpt),
+                    SyntheticRunner::new(catalog.clone()),
+                )
+                .expect("round-trip");
+                std::hint::black_box(resumed.sessions_run());
+            }));
+        }
+    }
+
     // --- fleet: a miniature Table 3 (protect-cache + sessions + merge) ---
     if wanted("fleet/table3_smoke") {
         push(run_bench("fleet/table3_smoke", None, config, || {

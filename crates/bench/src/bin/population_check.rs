@@ -1,0 +1,78 @@
+//! Validates the `population.json` artifact written by `repro population`.
+//!
+//! ```text
+//! population_check <population.json>
+//! ```
+//!
+//! Exits 0 if the document parses, matches the population-validation
+//! schema (strictly increasing scales, per-bomb closed-form agreement
+//! within 3σ + slack, monotone latency CDF, bounded live-metric memory),
+//! the kill + resume cycle reproduced a bit-identical report, and the
+//! largest scale observed enough outer-trigger sessions for the band
+//! checks to have teeth. Exits 1 with a diagnostic otherwise. CI runs
+//! this after the `repro --fast population` smoke so a refactor that
+//! breaks checkpointing, the streaming memory bound, or the measured
+//! trigger rates fails the pipeline.
+
+use bombdroid_bench::experiments::validate_population_json;
+use bombdroid_obs::json::{self, JsonValue};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("population_check: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: population_check <population.json>");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    if let Err(e) = validate_population_json(&text) {
+        fail(&format!("{path} INVALID: {e}"));
+    }
+    // Schema is valid; now the CI-level acceptance checks.
+    let doc = json::parse(&text).expect("validated text parses");
+    let scales = doc
+        .get("scales")
+        .and_then(JsonValue::as_array)
+        .expect("validated doc has scales");
+    let largest = scales.last().expect("validated doc has a scale");
+    let devices = largest
+        .get("devices")
+        .and_then(JsonValue::as_int)
+        .unwrap_or(0);
+    let outer_total: i128 = largest
+        .get("bombs")
+        .and_then(JsonValue::as_array)
+        .map(|bombs| {
+            bombs
+                .iter()
+                .filter_map(|b| b.get("outer_sessions").and_then(JsonValue::as_int))
+                .sum()
+        })
+        .unwrap_or(0);
+    // Without a meaningful number of outer-trigger observations the 3σ
+    // bands are vacuous — a broken VM that never decrypts a blob would
+    // otherwise sail through.
+    if outer_total < 100 {
+        fail(&format!(
+            "{path}: largest scale ({devices} devices) saw only {outer_total} \
+             outer-trigger sessions — bomb triggering looks broken"
+        ));
+    }
+    let identical = doc
+        .get("resume")
+        .and_then(|r| r.get("identical"))
+        .map(|v| matches!(v, JsonValue::Bool(true)))
+        .unwrap_or(false);
+    if !identical {
+        fail(&format!("{path}: kill+resume cycle was not bit-identical"));
+    }
+    println!(
+        "population_check: {path} OK ({} scales, largest {devices} devices, \
+         {outer_total} outer sessions, resume bit-identical)",
+        scales.len(),
+    );
+}

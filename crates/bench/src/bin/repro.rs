@@ -4,7 +4,7 @@
 //! repro [--fast] <experiment>...
 //! repro all            # everything
 //! repro table1 fig3 table2 table3 fig4 table4 fig5 analysts table5 \
-//!       falsepos codesize resilience guided brute ablation
+//!       falsepos codesize resilience guided brute ablation population
 //! ```
 //!
 //! `--fast` scales budgets down (~10×) for a quick end-to-end pass; the
@@ -44,6 +44,8 @@ struct Budgets {
     guided_shards: usize,
     guided_execs_per_shard: u64,
     guided_crack_budget: u64,
+    population_scales: Vec<usize>,
+    population_days: u32,
 }
 
 impl Budgets {
@@ -61,6 +63,8 @@ impl Budgets {
             guided_shards: 8,
             guided_execs_per_shard: 240,
             guided_crack_budget: 20_000,
+            population_scales: vec![10_000, 100_000, 1_000_000],
+            population_days: 14,
         }
     }
 
@@ -78,6 +82,8 @@ impl Budgets {
             guided_shards: 4,
             guided_execs_per_shard: 60,
             guided_crack_budget: 5_000,
+            population_scales: vec![1_000, 10_000],
+            population_days: 14,
         }
     }
 
@@ -122,6 +128,7 @@ fn main() {
             "guided",
             "brute",
             "ablation",
+            "population",
         ];
     }
     let total = wanted.len();
@@ -143,6 +150,7 @@ fn main() {
             "codesize" => codesize(&budgets),
             "resilience" => resilience(&budgets),
             "guided" => guided(&budgets),
+            "population" => population(&budgets),
             "brute" => brute(&budgets),
             "ablation" => ablation(),
             other => {
@@ -569,6 +577,76 @@ fn guided(b: &Budgets) {
     match std::fs::write(&path, json) {
         Ok(()) => eprintln!("guided curves written to {}", path.display()),
         Err(e) => eprintln!("guided: cannot write {}: {e}", path.display()),
+    }
+}
+
+fn population(b: &Budgets) {
+    banner(
+        "§4.2/§6 extension — population-scale market validation",
+        "measured per-user trigger rates + detection-latency CDF vs closed-form, with kill+resume",
+    );
+    let (rows, resume) = ex::population_rows(&b.population_scales, b.population_days);
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.devices.to_string(),
+                r.sessions_run.to_string(),
+                if r.taken_down_day < 0 {
+                    "survived".to_string()
+                } else {
+                    format!("day {}", r.taken_down_day)
+                },
+                format!(
+                    "{:.3}/{:.3}",
+                    r.weighted_measured_ppm as f64 / 1e6,
+                    r.weighted_predicted_ppm as f64 / 1e6
+                ),
+                r.live_metric_names_max.to_string(),
+                r.windows_sealed.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            &[
+                "Devices",
+                "Sessions",
+                "Takedown",
+                "Rate meas/pred",
+                "Live metrics",
+                "Windows"
+            ],
+            &printable
+        )
+    );
+    println!(
+        "kill+resume at {} devices (after {} chunks): {}",
+        resume.devices,
+        resume.killed_after_chunks,
+        if resume.identical {
+            "bit-identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+    let json = ex::population_json(
+        ex::population::POPULATION_APP,
+        b.population_days,
+        &rows,
+        &resume,
+    );
+    ex::validate_population_json(&json).expect("population experiment emitted an invalid artifact");
+    let dir = std::path::Path::new("target/repro_output");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("population: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join("population.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("population sweep written to {}", path.display()),
+        Err(e) => eprintln!("population: cannot write {}: {e}", path.display()),
     }
 }
 

@@ -24,6 +24,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod guided;
 pub mod harness;
+pub mod population;
 pub mod resilience;
 pub mod table1;
 pub mod table2;
@@ -46,6 +47,10 @@ pub use guided::{
 pub use harness::{
     default_fleet, drive_events, flagships, protect_app, session_pool, shared_cache,
     time_to_first_bomb, ExperimentError, ProtectedAppCache, PROTECT_BASE,
+};
+pub use population::{
+    population_config, population_json, population_rows, validate_population_json,
+    PopulationBombRow, PopulationResume, PopulationScaleRow, POPULATION_SCHEMA_VERSION,
 };
 pub use resilience::{resilience_reports, resilience_reports_with};
 pub use table1::{table1, table1_with, Table1Row};

@@ -275,7 +275,7 @@ where
     F: Fn(TaskCtx, T) -> Result<R, E> + Sync,
 {
     let sink = FoldSink::Parent(obs::current());
-    run_fleet_inner(config, tasks, sink, f)
+    run_fleet_inner(config, tasks, sink, 0, f)
 }
 
 /// [`run_fleet`] with per-task metrics folded into `aggregator` instead of
@@ -298,13 +298,42 @@ where
     E: Send,
     F: Fn(TaskCtx, T) -> Result<R, E> + Sync,
 {
-    run_fleet_inner(config, tasks, FoldSink::Windowed(aggregator), f)
+    run_fleet_inner(config, tasks, FoldSink::Windowed(aggregator), 0, f)
+}
+
+/// [`run_fleet_windowed`] over an arbitrary global index range: task `i` of
+/// `range` sees `TaskCtx { index: i, seed: derive_seed(base_seed, i) }` —
+/// the same context it would see inside a single `0..n` run. This is the
+/// resumable-shard shape: a caller that processes `0..k`, checkpoints, and
+/// later continues with `k..n` produces bit-identical per-task results and
+/// aggregator content to one uninterrupted `0..n` run, because nothing
+/// about a task depends on where its chunk started.
+pub fn run_range_windowed<R, E, F>(
+    config: FleetConfig,
+    range: std::ops::Range<usize>,
+    aggregator: &obs::ShardAggregator,
+    f: F,
+) -> Vec<Result<R, FleetError<E>>>
+where
+    R: Send,
+    E: Send,
+    F: Fn(TaskCtx) -> Result<R, E> + Sync,
+{
+    let offset = range.start;
+    run_fleet_inner(
+        config,
+        (0..range.len()).collect(),
+        FoldSink::Windowed(aggregator),
+        offset,
+        |ctx, _i: usize| f(ctx),
+    )
 }
 
 fn run_fleet_inner<T, R, E, F>(
     config: FleetConfig,
     tasks: Vec<T>,
     sink: FoldSink<'_>,
+    index_offset: usize,
     f: F,
 ) -> Vec<Result<R, FleetError<E>>>
 where
@@ -337,9 +366,10 @@ where
             .unwrap_or_else(|e| e.into_inner())
             .take()
             .expect("fleet task slot claimed twice");
+        let global = index_offset + index;
         let ctx = TaskCtx {
-            index,
-            seed: derive_seed(config.base_seed, index as u64),
+            index: global,
+            seed: derive_seed(config.base_seed, global as u64),
         };
         let run_task = |task: T| {
             obs::counter_add("fleet.tasks", 1);
@@ -657,6 +687,54 @@ mod tests {
         );
         // Windowed runs bypass the caller's recorder entirely.
         assert_eq!(caller.counter_value("fleet.tasks"), 0);
+    }
+
+    #[test]
+    fn range_chunks_reproduce_an_uninterrupted_run() {
+        if !obs::enabled() {
+            return; // BOMBDROID_OBS=off disables recording.
+        }
+        let work = |ctx: TaskCtx| {
+            let mut rng = ctx.rng();
+            obs::counter_add("test.range.work", 1);
+            obs::record("test.range.h", ctx.seed % 97);
+            Ok::<_, std::convert::Infallible>((ctx.index, rng.gen::<u64>()))
+        };
+
+        let whole_agg = obs::ShardAggregator::new(8);
+        let whole = expect_all(run_range_windowed(
+            FleetConfig::serial(0xCAFE).with_threads(4),
+            0..24,
+            &whole_agg,
+            work,
+        ));
+        whole_agg.finish();
+
+        // Same range split at an arbitrary (non-window-aligned chunk) point;
+        // per-task results and aggregator totals must not notice.
+        let split_agg = obs::ShardAggregator::new(8);
+        let mut split = expect_all(run_range_windowed(
+            FleetConfig::serial(0xCAFE).with_threads(2),
+            0..13,
+            &split_agg,
+            work,
+        ));
+        split.extend(expect_all(run_range_windowed(
+            FleetConfig::serial(0xCAFE),
+            13..24,
+            &split_agg,
+            work,
+        )));
+        split_agg.finish();
+
+        assert_eq!(whole, split);
+        assert_eq!(
+            whole_agg.total().to_json(false),
+            split_agg.total().to_json(false)
+        );
+        assert_eq!(whole_agg.window_digests(), split_agg.window_digests());
+        // Global indices flow into TaskCtx unchanged.
+        assert_eq!(whole[13].0, 13);
     }
 
     #[test]

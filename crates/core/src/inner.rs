@@ -8,6 +8,7 @@
 
 use crate::fragment::{FragLabel, FragmentBuilder};
 use bombdroid_dex::{CondOp, EnvKey, HostApi, RegOrConst, SensorKind, Value};
+use bombdroid_runtime::{DeviceEnv, EnvValue};
 use rand::Rng;
 
 /// A synthesized inner trigger condition with its population probability.
@@ -76,6 +77,34 @@ impl InnerCond {
             | InnerCond::EnvIntRange { prob, .. }
             | InnerCond::SensorRange { prob, .. }
             | InnerCond::ClockWindow { prob, .. } => *prob,
+        }
+    }
+
+    /// Whether a device drawn from the population satisfies this condition,
+    /// evaluated analytically: environment properties via [`DeviceEnv`]
+    /// queries, sensors at their jitter-free base, the clock at the
+    /// device's process-start minute. This is the closed-form side of the
+    /// population validation — the measured side is the VM actually
+    /// executing the emitted guard ([`InnerCond::emit`]) mid-session, so
+    /// the two differ only by sensor jitter and in-session clock drift.
+    pub fn holds(&self, env: &DeviceEnv) -> bool {
+        match self {
+            InnerCond::EnvIntEq { key, value, .. } => {
+                matches!(env.query(*key), EnvValue::Int(v) if v == *value)
+            }
+            InnerCond::EnvStrEq { key, value, .. } => {
+                matches!(env.query(*key), EnvValue::Str(ref s) if s == value)
+            }
+            InnerCond::EnvIntRange { key, lo, hi, .. } => {
+                matches!(env.query(*key), EnvValue::Int(v) if (*lo..*hi).contains(&v))
+            }
+            InnerCond::SensorRange { kind, lo, hi, .. } => {
+                (*lo..*hi).contains(&env.sensor_base(*kind))
+            }
+            InnerCond::ClockWindow { start, len, .. } => {
+                let shifted = (env.start_minute + 1_440 - start) % 1_440;
+                shifted < *len
+            }
         }
     }
 
@@ -303,6 +332,25 @@ mod tests {
             kinds.insert(std::mem::discriminant(&synthesize(&mut rng, (0.10, 0.20))));
         }
         assert!(kinds.len() >= 4, "only {} kinds", kinds.len());
+    }
+
+    #[test]
+    fn holds_tracks_the_synthesized_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let cond = synthesize(&mut rng, (0.10, 0.20));
+            let n = 4_000;
+            let hits = (0..n)
+                .filter(|_| cond.holds(&DeviceEnv::sample(&mut rng)))
+                .count();
+            let measured = hits as f64 / n as f64;
+            let predicted = cond.probability();
+            assert!(
+                (measured - predicted).abs() < 0.04,
+                "{}: measured {measured:.3} vs predicted {predicted:.3}",
+                cond.describe()
+            );
+        }
     }
 
     #[test]

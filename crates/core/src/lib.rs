@@ -79,7 +79,7 @@ pub mod sites;
 pub use config::{DetectionMethods, ProtectConfig, ResponseChoice};
 pub use fleet::{
     derive_seed, env_threads, expect_all, run_fleet, run_fleet_windowed, run_indexed,
-    run_indexed_windowed, FleetConfig, FleetError, TaskCtx,
+    run_indexed_windowed, run_range_windowed, FleetConfig, FleetError, TaskCtx,
 };
 pub use inner::InnerCond;
 pub use naive::NaiveProtector;

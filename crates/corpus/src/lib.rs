@@ -35,7 +35,10 @@ pub mod profiles;
 pub mod stats;
 
 pub use gen::{generate_app, generate_with_targets, GenTargets, GeneratedApp};
-pub use profiles::{corpus_size, profile_of, Category, CategoryProfile, CATEGORY_PROFILES};
+pub use profiles::{
+    corpus_size, profile_of, Category, CategoryProfile, UserArchetype, UserProfile, ARCHETYPES,
+    CATEGORY_PROFILES, CATEGORY_WEIGHTS,
+};
 pub use stats::{app_stats, env_var_count, AppStats};
 
 /// Why exercising a generated app on the runtime failed: either the

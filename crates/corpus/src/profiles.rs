@@ -1,6 +1,10 @@
 //! Category profiles calibrated to the paper's Table 1 (963 F-Droid apps
-//! in eight categories).
+//! in eight categories), and the shared population-sampling layer: user
+//! archetypes and per-user engagement profiles drawn on top of the
+//! compact [`DeviceProfile`] from the runtime.
 
+use bombdroid_runtime::{DeviceProfile, WeightedTable};
+use rand::Rng;
 use std::fmt;
 
 /// The eight app categories of Table 1.
@@ -149,9 +153,117 @@ pub fn profile_of(category: Category) -> &'static CategoryProfile {
         .expect("all categories present")
 }
 
+/// How intensely a user exercises an app. Shapes session length and event
+/// density; the split keeps population-scale runs realistic (a long tail of
+/// light users, a small head of heavy ones) without ballooning event
+/// counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UserArchetype {
+    /// Opens the app rarely and briefly.
+    Casual,
+    /// Typical daily-driver usage.
+    Regular,
+    /// Long sessions, dense interaction.
+    Power,
+}
+
+impl fmt::Display for UserArchetype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UserArchetype::Casual => "casual",
+            UserArchetype::Regular => "regular",
+            UserArchetype::Power => "power",
+        })
+    }
+}
+
+/// Archetype mix in the simulated user base.
+pub const ARCHETYPES: WeightedTable<UserArchetype> = WeightedTable::new(&[
+    (UserArchetype::Casual, 55),
+    (UserArchetype::Regular, 35),
+    (UserArchetype::Power, 10),
+]);
+
+/// Category popularity for sampled users, weighted by the Table 1 app
+/// counts: categories with more apps attract proportionally more users.
+pub const CATEGORY_WEIGHTS: WeightedTable<Category> = WeightedTable::new(&[
+    (Category::Game, 105),
+    (Category::ScienceEdu, 98),
+    (Category::SportHealth, 87),
+    (Category::Writing, 149),
+    (Category::Navigation, 121),
+    (Category::Multimedia, 108),
+    (Category::Security, 152),
+    (Category::Development, 143),
+]);
+
+impl UserArchetype {
+    /// Session-length band (minutes, half-open).
+    fn minutes_range(self) -> (u16, u16) {
+        match self {
+            UserArchetype::Casual => (1, 5),
+            UserArchetype::Regular => (3, 10),
+            UserArchetype::Power => (8, 20),
+        }
+    }
+
+    /// Event-density band (events per minute, half-open).
+    fn epm_range(self) -> (u16, u16) {
+        match self {
+            UserArchetype::Casual => (2, 5),
+            UserArchetype::Regular => (3, 8),
+            UserArchetype::Power => (6, 12),
+        }
+    }
+}
+
+/// One simulated market user: a compact device plus engagement shape.
+/// Like [`DeviceProfile`], this is a fixed-size value — a population of a
+/// million users is re-derivable from seeds and need never be resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserProfile {
+    /// The user's device.
+    pub device: DeviceProfile,
+    /// Engagement archetype.
+    pub archetype: UserArchetype,
+    /// App category this user favours.
+    pub category: Category,
+    /// Minutes per session for this user.
+    pub session_minutes: u16,
+    /// Events injected per simulated minute.
+    pub events_per_minute: u16,
+}
+
+impl UserProfile {
+    /// Samples a user: device first (preserving the device RNG stream),
+    /// then archetype, category, and engagement within archetype bands.
+    pub fn sample(rng: &mut impl Rng) -> Self {
+        let device = DeviceProfile::sample(rng);
+        let archetype = ARCHETYPES.pick(rng);
+        let category = CATEGORY_WEIGHTS.pick(rng);
+        let (mlo, mhi) = archetype.minutes_range();
+        let session_minutes = rng.gen_range(u32::from(mlo)..u32::from(mhi)) as u16;
+        let (elo, ehi) = archetype.epm_range();
+        let events_per_minute = rng.gen_range(u32::from(elo)..u32::from(ehi)) as u16;
+        UserProfile {
+            device,
+            archetype,
+            category,
+            session_minutes,
+            events_per_minute,
+        }
+    }
+
+    /// Total events this user's session injects.
+    pub fn events_per_session(&self) -> u32 {
+        u32::from(self.session_minutes) * u32::from(self.events_per_minute)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn corpus_totals_963() {
@@ -163,5 +275,43 @@ mod tests {
         for c in Category::ALL {
             assert_eq!(profile_of(c).category, c);
         }
+    }
+
+    #[test]
+    fn category_weights_mirror_table1_app_counts() {
+        for &(category, weight) in CATEGORY_WEIGHTS.entries() {
+            assert_eq!(weight as usize, profile_of(category).apps);
+        }
+        assert_eq!(CATEGORY_WEIGHTS.total_weight() as usize, corpus_size());
+    }
+
+    #[test]
+    fn user_sampling_is_deterministic_and_bounded() {
+        let a = UserProfile::sample(&mut StdRng::seed_from_u64(11));
+        let b = UserProfile::sample(&mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut archetypes = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            let u = UserProfile::sample(&mut rng);
+            let (mlo, mhi) = u.archetype.minutes_range();
+            assert!((mlo..mhi).contains(&u.session_minutes));
+            let (elo, ehi) = u.archetype.epm_range();
+            assert!((elo..ehi).contains(&u.events_per_minute));
+            assert!(u.events_per_session() <= 20 * 12);
+            archetypes.insert(u.archetype);
+        }
+        assert_eq!(archetypes.len(), 3, "all archetypes appear in 500 draws");
+    }
+
+    #[test]
+    fn archetype_mix_matches_weights() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let casual = (0..4000)
+            .filter(|_| UserProfile::sample(&mut rng).archetype == UserArchetype::Casual)
+            .count() as f64
+            / 4000.0;
+        assert!((casual - 0.55).abs() < 0.04, "casual share {casual}");
     }
 }

@@ -113,6 +113,28 @@ impl Histogram {
             .collect()
     }
 
+    /// Adds pre-aggregated parts into `self` — the snapshot-restore path.
+    ///
+    /// `buckets` are `(bucket index, sample count)` pairs as produced by
+    /// [`Histogram::nonzero_buckets`]. Restoring an exported histogram via
+    /// this method reproduces its deterministic JSON bit-for-bit, which a
+    /// per-sample replay could not (the original samples are gone; only
+    /// their bucket, count, sum, min and max survive the export).
+    pub fn absorb_raw(&self, count: u64, sum: u64, min: u64, max: u64, buckets: &[(usize, u64)]) {
+        if count == 0 {
+            return;
+        }
+        for &(i, n) in buckets {
+            if i < BUCKETS && n > 0 {
+                self.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(count, Ordering::Relaxed);
+        self.sum.fetch_add(sum, Ordering::Relaxed);
+        self.min.fetch_min(min, Ordering::Relaxed);
+        self.max.fetch_max(max, Ordering::Relaxed);
+    }
+
     /// Adds every sample of `other` into `self` (bucket-wise; commutative).
     pub fn merge_from(&self, other: &Histogram) {
         for (i, b) in other.buckets.iter().enumerate() {

@@ -56,7 +56,7 @@ pub use hist::Histogram;
 pub use recorder::{fmt_ns, Recorder, TimingStat, SCHEMA_VERSION};
 pub use schema::{validate_flight, validate_metrics};
 pub use span::Span;
-pub use stream::{ShardAggregator, WindowSummary};
+pub use stream::{AggregatorSnapshot, ShardAggregator, WindowSummary};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU8, Ordering};

@@ -80,6 +80,13 @@ impl TimingStat {
         bucket_floor(BUCKETS - 1)
     }
 
+    /// Adds `n` calls with no wall-clock samples — the snapshot-restore
+    /// path. The deterministic export view carries only the call count, so
+    /// this is all a restore can (and needs to) reproduce.
+    fn add_calls(&self, n: u64) {
+        self.calls.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Adds every interval of `other` into `self` (commutative).
     pub fn merge_from(&self, other: &TimingStat) {
         self.calls.fetch_add(other.calls(), Ordering::Relaxed);
@@ -237,6 +244,82 @@ impl Recorder {
         for (name, t) in sorted(&other.timings) {
             with_handle(&self.timings, &name, |mine| mine.merge_from(&t));
         }
+    }
+
+    /// Rebuilds a recorder from a parsed deterministic export
+    /// (`to_json(false)`). The round trip is exact: re-exporting the
+    /// restored recorder with `to_json(false)` reproduces the original
+    /// bytes. Wall-clock timing fields were never exported, so only the
+    /// timing call counts come back — which is precisely the deterministic
+    /// view. This is the checkpoint-restore path; see
+    /// [`crate::stream::AggregatorSnapshot`].
+    pub fn from_deterministic_json(doc: &crate::json::JsonValue) -> Result<Recorder, String> {
+        use crate::json::JsonValue;
+        let int = |v: &JsonValue, ctx: &str| -> Result<u64, String> {
+            v.as_int()
+                .and_then(|i| u64::try_from(i).ok())
+                .ok_or_else(|| format!("recorder restore: {ctx} is not a u64"))
+        };
+        let section = |name: &str| -> Result<Vec<(String, JsonValue)>, String> {
+            doc.get(name)
+                .and_then(JsonValue::as_object)
+                .map(|m| m.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+                .ok_or_else(|| format!("recorder restore: missing {name:?} object"))
+        };
+        let version = int(
+            doc.get("schema_version").unwrap_or(&JsonValue::Null),
+            "schema_version",
+        )?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "recorder restore: schema_version {version} (expected {SCHEMA_VERSION})"
+            ));
+        }
+        let rec = Recorder::new();
+        for (name, v) in section("counters")? {
+            rec.counter_add(&name, int(&v, &name)?);
+        }
+        for (name, v) in section("gauges")? {
+            let g = v
+                .as_int()
+                .and_then(|i| i64::try_from(i).ok())
+                .ok_or_else(|| format!("recorder restore: gauge {name:?} is not an i64"))?;
+            rec.gauge_set(&name, g);
+        }
+        for (name, v) in section("histograms")? {
+            let field = |k: &str| int(v.get(k).unwrap_or(&JsonValue::Null), k);
+            let buckets = v
+                .get("buckets")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| format!("recorder restore: histogram {name:?} has no buckets"))?
+                .iter()
+                .map(|pair| {
+                    let pair = pair
+                        .as_array()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| format!("recorder restore: bad bucket in {name:?}"))?;
+                    Ok((
+                        int(&pair[0], "bucket index")? as usize,
+                        int(&pair[1], "bucket count")?,
+                    ))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            rec.histogram(&name).absorb_raw(
+                field("count")?,
+                field("sum")?,
+                field("min")?,
+                field("max")?,
+                &buckets,
+            );
+        }
+        for (name, v) in section("timings")? {
+            let calls = int(
+                v.get("calls").unwrap_or(&crate::json::JsonValue::Null),
+                "calls",
+            )?;
+            with_handle(&rec.timings, &name, |t| t.add_calls(calls));
+        }
+        Ok(rec)
     }
 
     /// Serializes the recorder as schema-versioned JSON (sorted keys, so

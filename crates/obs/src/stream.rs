@@ -21,8 +21,108 @@
 //! for any worker count *and any window size*. The tests below and
 //! `crates/bench/tests/streaming_obs.rs` pin this down.
 
+use crate::json::{self, JsonValue};
 use crate::recorder::Recorder;
 use std::sync::{Arc, Mutex};
+
+/// Version stamped into serialized [`AggregatorSnapshot`]s; bump on
+/// breaking layout changes.
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 1;
+
+/// FNV-1a 64-bit over `bytes` — the window-digest hash. Stable across
+/// platforms and cheap enough to run at every window seal.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A serializable view of a [`ShardAggregator`] at a window boundary: the
+/// running total (deterministic export view) plus one digest per sealed
+/// window. Checkpoint writers persist this instead of reaching into
+/// recorder internals; [`ShardAggregator::restore`] rebuilds an aggregator
+/// that continues absorbing exactly where the original stopped.
+#[derive(Debug, Clone)]
+pub struct AggregatorSnapshot {
+    /// Window size of the aggregator that produced the snapshot.
+    pub tasks_per_window: usize,
+    /// Task deltas absorbed when the snapshot was taken.
+    pub absorbed: usize,
+    /// Windows sealed when the snapshot was taken.
+    pub windows_sealed: usize,
+    /// FNV-1a digest of each sealed window's identity and deterministic
+    /// JSON, in seal order — resuming and re-running must extend, never
+    /// rewrite, this sequence.
+    pub window_digests: Vec<u64>,
+    /// The running total at the snapshot point.
+    pub total: Arc<Recorder>,
+}
+
+impl AggregatorSnapshot {
+    /// Serializes the snapshot as schema-versioned JSON (deterministic:
+    /// sorted keys throughout, no wall-clock fields).
+    pub fn to_json(&self) -> String {
+        let digests: Vec<String> = self.window_digests.iter().map(u64::to_string).collect();
+        let total = self.total.to_json(false);
+        format!(
+            "{{\n  \"schema_version\": {SNAPSHOT_SCHEMA_VERSION},\n  \"kind\": \"aggregator_snapshot\",\n  \"tasks_per_window\": {},\n  \"absorbed\": {},\n  \"windows_sealed\": {},\n  \"window_digests\": [{}],\n  \"total\": {}}}\n",
+            self.tasks_per_window,
+            self.absorbed,
+            self.windows_sealed,
+            digests.join(", "),
+            total.trim_end(),
+        )
+    }
+
+    /// Rebuilds a snapshot from a parsed serialization.
+    pub fn from_json(doc: &JsonValue) -> Result<AggregatorSnapshot, String> {
+        let int = |key: &str| -> Result<u64, String> {
+            doc.get(key)
+                .and_then(JsonValue::as_int)
+                .and_then(|i| u64::try_from(i).ok())
+                .ok_or_else(|| format!("aggregator snapshot: missing or bad {key:?}"))
+        };
+        let version = int("schema_version")?;
+        if version != SNAPSHOT_SCHEMA_VERSION {
+            return Err(format!(
+                "aggregator snapshot: schema_version {version} (expected {SNAPSHOT_SCHEMA_VERSION})"
+            ));
+        }
+        if doc.get("kind").and_then(JsonValue::as_str) != Some("aggregator_snapshot") {
+            return Err("aggregator snapshot: bad kind".to_string());
+        }
+        let window_digests = doc
+            .get("window_digests")
+            .and_then(JsonValue::as_array)
+            .ok_or("aggregator snapshot: missing window_digests")?
+            .iter()
+            .map(|v| {
+                v.as_int()
+                    .and_then(|i| u64::try_from(i).ok())
+                    .ok_or_else(|| "aggregator snapshot: bad digest".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let total = Recorder::from_deterministic_json(
+            doc.get("total")
+                .ok_or_else(|| "aggregator snapshot: missing total".to_string())?,
+        )?;
+        Ok(AggregatorSnapshot {
+            tasks_per_window: int("tasks_per_window")? as usize,
+            absorbed: int("absorbed")? as usize,
+            windows_sealed: int("windows_sealed")? as usize,
+            window_digests,
+            total: Arc::new(total),
+        })
+    }
+
+    /// Parses a snapshot from its JSON text.
+    pub fn parse(text: &str) -> Result<AggregatorSnapshot, String> {
+        AggregatorSnapshot::from_json(&json::parse(text).map_err(|e| e.to_string())?)
+    }
+}
 
 /// One sealed aggregation window: the merged metrics of a contiguous,
 /// in-order run of task deltas.
@@ -46,6 +146,9 @@ struct Inner {
     absorbed: usize,
     sealed: Vec<WindowSummary>,
     windows_sealed: usize,
+    /// One FNV-1a digest per sealed window (never drained — O(windows),
+    /// within the aggregator's stated memory bound).
+    digests: Vec<u64>,
     total: Arc<Recorder>,
 }
 
@@ -73,9 +176,62 @@ impl ShardAggregator {
                 absorbed: 0,
                 sealed: Vec::new(),
                 windows_sealed: 0,
+                digests: Vec::new(),
                 total: Arc::new(Recorder::new()),
             }),
         }
+    }
+
+    /// A serializable view of the aggregator, available only at a window
+    /// boundary (no partially absorbed window — otherwise a restore could
+    /// not resume without splitting a window). Returns `None` while a
+    /// window is open; callers checkpoint right after a seal.
+    pub fn snapshot(&self) -> Option<AggregatorSnapshot> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.open_tasks != 0 {
+            return None;
+        }
+        let total = Arc::new(Recorder::new());
+        total.merge_from(&inner.total);
+        Some(AggregatorSnapshot {
+            tasks_per_window: self.tasks_per_window,
+            absorbed: inner.absorbed,
+            windows_sealed: inner.windows_sealed,
+            window_digests: inner.digests.clone(),
+            total,
+        })
+    }
+
+    /// Rebuilds an aggregator from a snapshot: same window size, running
+    /// total restored, digest chain intact, ready to absorb the task delta
+    /// the original would have absorbed next. Sealed-window summaries are
+    /// not retained across the boundary (they are a streaming byproduct the
+    /// original caller already drained).
+    pub fn restore(snapshot: &AggregatorSnapshot) -> ShardAggregator {
+        let total = Arc::new(Recorder::new());
+        total.merge_from(&snapshot.total);
+        ShardAggregator {
+            tasks_per_window: snapshot.tasks_per_window,
+            inner: Mutex::new(Inner {
+                open: Arc::new(Recorder::new()),
+                open_start: snapshot.absorbed,
+                open_tasks: 0,
+                absorbed: snapshot.absorbed,
+                sealed: Vec::new(),
+                windows_sealed: snapshot.windows_sealed,
+                digests: snapshot.window_digests.clone(),
+                total,
+            }),
+        }
+    }
+
+    /// FNV-1a digests of the sealed windows, in seal order.
+    pub fn window_digests(&self) -> Vec<u64> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .digests
+            .clone()
     }
 
     /// Folds the next task's delta into the open window and the running
@@ -112,6 +268,20 @@ impl ShardAggregator {
             tasks: inner.open_tasks,
             recorder,
         };
+        // Digest the window's identity plus its deterministic content, so
+        // a resumed run that diverged in any window is caught by chain
+        // comparison even after the window itself is drained.
+        let digest = fnv64(
+            format!(
+                "{}:{}:{}:{}",
+                summary.index,
+                summary.start_task,
+                summary.tasks,
+                summary.recorder.to_json(false)
+            )
+            .as_bytes(),
+        );
+        inner.digests.push(digest);
         inner.windows_sealed += 1;
         inner.open_start = inner.absorbed;
         inner.open_tasks = 0;
@@ -260,6 +430,60 @@ mod tests {
         assert!(agg.windows().is_empty());
         assert_eq!(agg.windows_sealed(), 4);
         assert_eq!(agg.total().counter_value("sessions"), 8);
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_resumes_bit_identically() {
+        let agg = ShardAggregator::new(4);
+        for i in 0..8 {
+            agg.absorb_next(&delta(i));
+        }
+        agg.drain_windows(); // sealed summaries are not part of the snapshot
+        let snap = agg.snapshot().expect("at a window boundary");
+        let text = snap.to_json();
+        let parsed = AggregatorSnapshot::parse(&text).expect("snapshot JSON parses");
+        assert_eq!(parsed.absorbed, 8);
+        assert_eq!(parsed.windows_sealed, 2);
+        assert_eq!(parsed.window_digests, snap.window_digests);
+        let resumed = ShardAggregator::restore(&parsed);
+        // Feed both the original and the restored aggregator the same tail.
+        for i in 8..13 {
+            agg.absorb_next(&delta(i));
+            resumed.absorb_next(&delta(i));
+        }
+        agg.finish();
+        resumed.finish();
+        assert_eq!(agg.total().to_json(false), resumed.total().to_json(false));
+        assert_eq!(agg.window_digests(), resumed.window_digests());
+        assert_eq!(agg.tasks_absorbed(), resumed.tasks_absorbed());
+        assert_eq!(agg.windows_sealed(), resumed.windows_sealed());
+    }
+
+    #[test]
+    fn snapshot_is_unavailable_mid_window() {
+        let agg = ShardAggregator::new(4);
+        assert!(agg.snapshot().is_some(), "empty aggregator is a boundary");
+        agg.absorb_next(&delta(0));
+        assert!(agg.snapshot().is_none(), "open window blocks snapshots");
+        for i in 1..4 {
+            agg.absorb_next(&delta(i));
+        }
+        assert!(agg.snapshot().is_some(), "boundary again after the seal");
+        // total()/windows() semantics are unaffected by snapshotting.
+        assert_eq!(agg.total().counter_value("sessions"), 4);
+        assert_eq!(agg.windows().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_parse_rejects_broken_documents() {
+        assert!(AggregatorSnapshot::parse("{}").is_err());
+        assert!(AggregatorSnapshot::parse("not json").is_err());
+        let agg = ShardAggregator::new(2);
+        agg.absorb_next(&delta(0));
+        agg.absorb_next(&delta(1));
+        let good = agg.snapshot().expect("boundary").to_json();
+        let bad = good.replace("\"kind\": \"aggregator_snapshot\"", "\"kind\": \"other\"");
+        assert!(AggregatorSnapshot::parse(&bad).is_err());
     }
 
     #[test]

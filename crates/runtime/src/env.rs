@@ -26,10 +26,68 @@ pub struct DeviceEnv {
     pub start_minute: u32,
 }
 
-/// (value, weight) population table.
-type Table<T> = &'static [(T, u32)];
+/// A `(value, weight)` population table with weighted sampling — the
+/// shared sampling primitive the population layers build on. The device
+/// tables below are instances; `bombdroid-corpus` adds behavioral ones
+/// (user archetypes, category mix) on top of the same type.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedTable<T: Copy + 'static> {
+    entries: &'static [(T, u32)],
+}
 
-const MANUFACTURERS: Table<&str> = &[
+impl<T: Copy + 'static> WeightedTable<T> {
+    /// Wraps a static `(value, weight)` slice.
+    pub const fn new(entries: &'static [(T, u32)]) -> Self {
+        WeightedTable { entries }
+    }
+
+    /// The underlying `(value, weight)` entries.
+    pub fn entries(&self) -> &'static [(T, u32)] {
+        self.entries
+    }
+
+    /// Sum of all weights.
+    pub fn total_weight(&self) -> u32 {
+        self.entries.iter().map(|(_, w)| w).sum()
+    }
+
+    /// Draws an entry index with probability proportional to its weight.
+    pub fn pick_index(&self, rng: &mut impl Rng) -> usize {
+        let mut roll = rng.gen_range(0..self.total_weight());
+        for (i, (_, weight)) in self.entries.iter().enumerate() {
+            if roll < *weight {
+                return i;
+            }
+            roll -= weight;
+        }
+        self.entries.len() - 1
+    }
+
+    /// Draws a value with probability proportional to its weight.
+    pub fn pick(&self, rng: &mut impl Rng) -> T {
+        self.entries[self.pick_index(rng)].0
+    }
+
+    /// The value at `index` (panics out of range, like slice indexing).
+    pub fn value(&self, index: usize) -> T {
+        self.entries[index].0
+    }
+
+    /// The population probability of the entries matching `pred` — the
+    /// closed-form side of trigger-probability predictions.
+    pub fn prob_of(&self, pred: impl Fn(&T) -> bool) -> f64 {
+        let hit: u32 = self
+            .entries
+            .iter()
+            .filter(|(v, _)| pred(v))
+            .map(|(_, w)| w)
+            .sum();
+        hit as f64 / self.total_weight() as f64
+    }
+}
+
+/// Manufacturer market shares (AppBrain-style).
+pub const MANUFACTURERS: WeightedTable<&str> = WeightedTable::new(&[
     ("samsung", 30),
     ("xiaomi", 13),
     ("huawei", 10),
@@ -46,9 +104,10 @@ const MANUFACTURERS: Table<&str> = &[
     ("zte", 1),
     ("tcl", 1),
     ("realme", 5),
-];
+]);
 
-const SDK_LEVELS: Table<i64> = &[
+/// SDK level distribution (Android Dashboards-style).
+pub const SDK_LEVELS: WeightedTable<i64> = WeightedTable::new(&[
     (19, 2),
     (21, 3),
     (22, 4),
@@ -61,27 +120,32 @@ const SDK_LEVELS: Table<i64> = &[
     (29, 14),
     (30, 10),
     (31, 6),
-];
+]);
 
-const DENSITIES: Table<i64> = &[
+/// Display density distribution.
+pub const DENSITIES: WeightedTable<i64> = WeightedTable::new(&[
     (120, 2),
     (160, 8),
     (240, 18),
     (320, 35),
     (480, 27),
     (640, 10),
-];
+]);
 
-const CPU_ABIS: Table<&str> = &[
+/// CPU ABI distribution.
+pub const CPU_ABIS: WeightedTable<&str> = WeightedTable::new(&[
     ("arm64-v8a", 75),
     ("armeabi-v7a", 18),
     ("x86_64", 5),
     ("x86", 2),
-];
+]);
 
-const FLASH_GB: Table<i64> = &[(8, 5), (16, 15), (32, 30), (64, 28), (128, 16), (256, 6)];
+/// Flash size distribution (GB).
+pub const FLASH_GB: WeightedTable<i64> =
+    WeightedTable::new(&[(8, 5), (16, 15), (32, 30), (64, 28), (128, 16), (256, 6)]);
 
-const COUNTRIES: Table<&str> = &[
+/// IP-geography country mix.
+pub const COUNTRIES: WeightedTable<&str> = WeightedTable::new(&[
     ("US", 14),
     ("IN", 18),
     ("BR", 8),
@@ -102,9 +166,10 @@ const COUNTRIES: Table<&str> = &[
     ("EG", 2),
     ("PK", 2),
     ("TH", 2),
-];
+]);
 
-const LANGUAGES: Table<&str> = &[
+/// Locale language mix.
+pub const LANGUAGES: WeightedTable<&str> = WeightedTable::new(&[
     ("en", 30),
     ("hi", 8),
     ("pt", 8),
@@ -119,76 +184,197 @@ const LANGUAGES: Table<&str> = &[
     ("vi", 3),
     ("ko", 2),
     ("ar", 3),
+]);
+
+/// Timezone offsets (minutes) a device may report; drawn uniformly.
+const TZ_OFFSETS: [i64; 13] = [
+    -480, -420, -300, -240, -180, 0, 60, 120, 180, 330, 420, 480, 540,
 ];
 
-fn pick<T: Copy>(rng: &mut impl Rng, table: Table<T>) -> T {
-    let total: u32 = table.iter().map(|(_, w)| w).sum();
-    let mut roll = rng.gen_range(0..total);
-    for (value, weight) in table {
-        if roll < *weight {
-            return *value;
-        }
-        roll -= weight;
-    }
-    table[table.len() - 1].0
+/// A compact device drawn from the population distributions: every axis a
+/// [`DeviceEnv`] carries, packed into a few dozen bytes (table indices and
+/// narrow integers instead of maps and strings). Population-scale
+/// simulators hold millions of these — or none at all, re-deriving each
+/// from its seed — and call [`DeviceProfile::materialize`] only for the
+/// device whose session is about to run, so resident per-device state is
+/// O(bytes), not O(session).
+///
+/// `DeviceProfile::sample` consumes the RNG stream exactly like the
+/// historical `DeviceEnv::sample` (which now delegates here), so seeded
+/// populations are bit-compatible across the refactor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceProfile {
+    /// Index into [`MANUFACTURERS`].
+    pub manufacturer: u8,
+    /// Board variant suffix (1..9).
+    pub board: u8,
+    /// Bootloader version major (1..6).
+    pub blv_major: u8,
+    /// Bootloader version minor (0..100).
+    pub blv_minor: u8,
+    /// Index into [`CPU_ABIS`].
+    pub cpu_abi: u8,
+    /// Index into [`COUNTRIES`].
+    pub country: u8,
+    /// Index into [`LANGUAGES`].
+    pub language: u8,
+    /// Display density in dpi.
+    pub density_dpi: i16,
+    /// MAC address hash (24-bit).
+    pub mac_hash: u32,
+    /// Serial number hash (24-bit).
+    pub serial_hash: u32,
+    /// Flash size in GB.
+    pub flash_gb: i16,
+    /// Android SDK level.
+    pub sdk: u8,
+    /// Third IP octet.
+    pub ip_c: u8,
+    /// Fourth IP octet.
+    pub ip_d: u8,
+    /// Timezone offset in minutes.
+    pub tz_offset_min: i16,
+    /// Battery percentage at session start.
+    pub battery_pct: u8,
+    /// GPS latitude ×1000.
+    pub gps_lat_e3: i32,
+    /// GPS longitude ×1000.
+    pub gps_lon_e3: i32,
+    /// Ambient light sensor base (lux).
+    pub light_lux: i32,
+    /// Temperature sensor base (deci-°C).
+    pub temp_deci_c: i16,
+    /// Accelerometer base.
+    pub accel: i8,
+    /// Barometric pressure base (hPa).
+    pub pressure: i16,
+    /// Minute-of-day the app process starts.
+    pub start_minute: u16,
 }
 
-impl DeviceEnv {
-    /// Samples a user device from the population distributions.
+impl DeviceProfile {
+    /// Samples a compact device from the population distributions. Draw
+    /// order and types mirror the historical `DeviceEnv::sample` exactly —
+    /// the pinned-stream test below fails on any deviation.
     pub fn sample(rng: &mut impl Rng) -> Self {
-        let manufacturer = pick(rng, MANUFACTURERS).to_string();
-        let sdk = pick(rng, SDK_LEVELS);
+        let manufacturer = MANUFACTURERS.pick_index(rng) as u8;
+        let sdk = SDK_LEVELS.pick(rng) as u8;
+        let board = rng.gen_range(1..9i32) as u8;
+        let blv_major = rng.gen_range(1..6i32) as u8;
+        let blv_minor = rng.gen_range(0..100i32) as u8;
+        let cpu_abi = CPU_ABIS.pick_index(rng) as u8;
+        let country = COUNTRIES.pick_index(rng) as u8;
+        let language = LANGUAGES.pick_index(rng) as u8;
+        let density_dpi = DENSITIES.pick(rng) as i16;
+        let mac_hash = rng.gen_range(0..1i64 << 24) as u32;
+        let serial_hash = rng.gen_range(0..1i64 << 24) as u32;
+        let flash_gb = FLASH_GB.pick(rng) as i16;
+        let ip_c = rng.gen_range(0..256i64) as u8;
+        let ip_d = rng.gen_range(1..255i64) as u8;
+        let tz_offset_min = TZ_OFFSETS[rng.gen_range(0..13usize)] as i16;
+        let battery_pct = rng.gen_range(5..101i64) as u8;
+        let gps_lat_e3 = rng.gen_range(-60_000..70_000i64) as i32;
+        let gps_lon_e3 = rng.gen_range(-180_000..180_000i64) as i32;
+        // Light is log-uniform-ish: indoor lull to sunlight.
+        let light_exp = rng.gen_range(0..5u32);
+        let light_lux =
+            (10i64.pow(light_exp) + rng.gen_range(0..10i64.pow(light_exp).max(1))) as i32;
+        let temp_deci_c = rng.gen_range(-100..400i64) as i16;
+        let accel = rng.gen_range(-20..21i64) as i8;
+        let pressure = rng.gen_range(950..1050i64) as i16;
+        let start_minute = rng.gen_range(0..1440u32) as u16;
+        DeviceProfile {
+            manufacturer,
+            board,
+            blv_major,
+            blv_minor,
+            cpu_abi,
+            country,
+            language,
+            density_dpi,
+            mac_hash,
+            serial_hash,
+            flash_gb,
+            sdk,
+            ip_c,
+            ip_d,
+            tz_offset_min,
+            battery_pct,
+            gps_lat_e3,
+            gps_lon_e3,
+            light_lux,
+            temp_deci_c,
+            accel,
+            pressure,
+            start_minute,
+        }
+    }
+
+    /// Expands the profile into a full [`DeviceEnv`] — the O(session)
+    /// representation, built on demand and dropped with the session.
+    pub fn materialize(&self) -> DeviceEnv {
+        let manufacturer = MANUFACTURERS.value(self.manufacturer as usize).to_string();
+        let sdk = self.sdk as i64;
         let mut strings = BTreeMap::new();
         let mut ints = BTreeMap::new();
         strings.insert(EnvKey::Manufacturer, manufacturer.clone());
         strings.insert(
             EnvKey::Board,
-            format!("{}-board-{}", manufacturer, rng.gen_range(1..9)),
+            format!("{}-board-{}", manufacturer, self.board),
         );
         strings.insert(
             EnvKey::BootloaderVersion,
-            format!("blv{}.{}", rng.gen_range(1..6), rng.gen_range(0..100)),
+            format!("blv{}.{}", self.blv_major, self.blv_minor),
         );
         strings.insert(EnvKey::Brand, manufacturer);
-        strings.insert(EnvKey::CpuAbi, pick(rng, CPU_ABIS).to_string());
-        strings.insert(EnvKey::CountryCode, pick(rng, COUNTRIES).to_string());
-        strings.insert(EnvKey::LanguageCode, pick(rng, LANGUAGES).to_string());
-        ints.insert(EnvKey::DisplayDensityDpi, pick(rng, DENSITIES));
-        ints.insert(EnvKey::MacAddrHash, rng.gen_range(0..1 << 24));
-        ints.insert(EnvKey::SerialHash, rng.gen_range(0..1 << 24));
-        ints.insert(EnvKey::FlashSizeGb, pick(rng, FLASH_GB));
+        strings.insert(
+            EnvKey::CpuAbi,
+            CPU_ABIS.value(self.cpu_abi as usize).to_string(),
+        );
+        strings.insert(
+            EnvKey::CountryCode,
+            COUNTRIES.value(self.country as usize).to_string(),
+        );
+        strings.insert(
+            EnvKey::LanguageCode,
+            LANGUAGES.value(self.language as usize).to_string(),
+        );
+        ints.insert(EnvKey::DisplayDensityDpi, self.density_dpi as i64);
+        ints.insert(EnvKey::MacAddrHash, self.mac_hash as i64);
+        ints.insert(EnvKey::SerialHash, self.serial_hash as i64);
+        ints.insert(EnvKey::FlashSizeGb, self.flash_gb as i64);
         ints.insert(EnvKey::SdkInt, sdk);
         ints.insert(EnvKey::ApiLevel, sdk);
         ints.insert(EnvKey::OsVersionCode, sdk - 15); // rough Android major
-        ints.insert(EnvKey::IpOctetC, rng.gen_range(0..256));
-        ints.insert(EnvKey::IpOctetD, rng.gen_range(1..255));
-        ints.insert(
-            EnvKey::TimezoneOffsetMin,
-            [
-                -480, -420, -300, -240, -180, 0, 60, 120, 180, 330, 420, 480, 540,
-            ][rng.gen_range(0..13usize)],
-        );
-        ints.insert(EnvKey::BatteryPct, rng.gen_range(5..101));
+        ints.insert(EnvKey::IpOctetC, self.ip_c as i64);
+        ints.insert(EnvKey::IpOctetD, self.ip_d as i64);
+        ints.insert(EnvKey::TimezoneOffsetMin, self.tz_offset_min as i64);
+        ints.insert(EnvKey::BatteryPct, self.battery_pct as i64);
 
         let mut sensors = BTreeMap::new();
-        sensors.insert(SensorKind::GpsLatE3, rng.gen_range(-60_000..70_000));
-        sensors.insert(SensorKind::GpsLonE3, rng.gen_range(-180_000..180_000));
-        // Light is log-uniform-ish: indoor lull to sunlight.
-        let light_exp = rng.gen_range(0..5);
-        sensors.insert(
-            SensorKind::LightLux,
-            10i64.pow(light_exp) + rng.gen_range(0..10i64.pow(light_exp).max(1)),
-        );
-        sensors.insert(SensorKind::TemperatureDeciC, rng.gen_range(-100..400));
-        sensors.insert(SensorKind::Accelerometer, rng.gen_range(-20..21));
-        sensors.insert(SensorKind::Pressure, rng.gen_range(950..1050));
+        sensors.insert(SensorKind::GpsLatE3, self.gps_lat_e3 as i64);
+        sensors.insert(SensorKind::GpsLonE3, self.gps_lon_e3 as i64);
+        sensors.insert(SensorKind::LightLux, self.light_lux as i64);
+        sensors.insert(SensorKind::TemperatureDeciC, self.temp_deci_c as i64);
+        sensors.insert(SensorKind::Accelerometer, self.accel as i64);
+        sensors.insert(SensorKind::Pressure, self.pressure as i64);
 
         DeviceEnv {
             strings,
             ints,
             sensors,
-            start_minute: rng.gen_range(0..1440),
+            start_minute: self.start_minute as u32,
         }
+    }
+}
+
+impl DeviceEnv {
+    /// Samples a user device from the population distributions —
+    /// [`DeviceProfile::sample`] followed by
+    /// [`DeviceProfile::materialize`], bit-compatible with the historical
+    /// direct implementation.
+    pub fn sample(rng: &mut impl Rng) -> Self {
+        DeviceProfile::sample(rng).materialize()
     }
 
     /// The attacker's test environments: `n` emulator-like configurations
@@ -247,6 +433,14 @@ impl DeviceEnv {
         } else {
             EnvValue::Int(0)
         }
+    }
+
+    /// A sensor's jitter-free base value (`0` if the sensor is absent).
+    /// The population-model evaluators (closed-form trigger-probability
+    /// checks) read this instead of [`DeviceEnv::sensor_sample`] so their
+    /// verdict is a pure function of the device.
+    pub fn sensor_base(&self, kind: SensorKind) -> i64 {
+        self.sensors.get(&kind).copied().unwrap_or(0)
     }
 
     /// Samples a sensor: base value plus per-query jitter.
@@ -357,5 +551,75 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let v = env.sensor_sample(SensorKind::LightLux, &mut rng);
         assert!((4000..6000).contains(&v));
+    }
+}
+
+#[cfg(test)]
+mod profile_tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Pinned values captured from the pre-`DeviceProfile` sampler. Any
+    /// change to draw order, integer types, or table weights breaks seeded
+    /// population reproducibility and must fail here.
+    #[test]
+    fn sample_stream_is_pinned() {
+        type Pin = (u64, &'static str, i64, i64, i64, i64, i64, u32);
+        let pins: [Pin; 3] = [
+            (1, "motorola", 27, 238, 9_256_155, -49_541, 1, 503),
+            (42, "samsung", 26, 205, 9_786_977, 20_179, 1_707, 866),
+            (99, "xiaomi", 28, 38, 9_800_349, -34_493, 1, 928),
+        ];
+        for (seed, man, sdk, ip_c, mac, lat, light, start) in pins {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let e = DeviceEnv::sample(&mut rng);
+            assert_eq!(e.query(EnvKey::Manufacturer), EnvValue::Str(man.into()));
+            assert_eq!(e.int(EnvKey::SdkInt), Some(sdk));
+            assert_eq!(e.int(EnvKey::IpOctetC), Some(ip_c));
+            assert_eq!(e.int(EnvKey::MacAddrHash), Some(mac));
+            assert_eq!(e.sensor_base(SensorKind::GpsLatE3), lat);
+            assert_eq!(e.sensor_base(SensorKind::LightLux), light);
+            assert_eq!(e.start_minute, start, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn profile_stays_compact() {
+        // The point of the profile is that a million of them fit in tens of
+        // megabytes; a map-backed regression would blow straight past this.
+        assert!(std::mem::size_of::<DeviceProfile>() <= 48);
+    }
+
+    #[test]
+    fn materialize_is_deterministic_and_matches_sample() {
+        for seed in [7u64, 1234, 88_000] {
+            let profile = DeviceProfile::sample(&mut StdRng::seed_from_u64(seed));
+            assert_eq!(
+                profile,
+                DeviceProfile::sample(&mut StdRng::seed_from_u64(seed))
+            );
+            let direct = DeviceEnv::sample(&mut StdRng::seed_from_u64(seed));
+            let via_profile = profile.materialize();
+            assert_eq!(via_profile.strings, direct.strings);
+            assert_eq!(via_profile.ints, direct.ints);
+            assert_eq!(via_profile.sensors, direct.sensors);
+            assert_eq!(via_profile.start_minute, direct.start_minute);
+        }
+    }
+
+    #[test]
+    fn weighted_tables_expose_probabilities() {
+        let p = MANUFACTURERS.prob_of(|m| *m == "samsung");
+        assert!((0.0..=1.0).contains(&p) && p > 0.1, "samsung share {p}");
+        let all = MANUFACTURERS.prob_of(|_| true);
+        assert!((all - 1.0).abs() < 1e-12);
+        assert_eq!(SDK_LEVELS.entries().len(), 12);
+        // pick_index and value agree with pick.
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let i = COUNTRIES.pick_index(&mut a);
+            assert_eq!(COUNTRIES.value(i), COUNTRIES.pick(&mut b));
+        }
     }
 }

@@ -66,7 +66,10 @@ pub use driver::{
     param_favorites, run_session, EventInvocation, EventSource, RandomEventSource, SessionReport,
     UserEventSource,
 };
-pub use env::{DeviceEnv, EnvValue};
+pub use env::{
+    DeviceEnv, DeviceProfile, EnvValue, WeightedTable, COUNTRIES, CPU_ABIS, DENSITIES, FLASH_GB,
+    LANGUAGES, MANUFACTURERS, SDK_LEVELS,
+};
 pub use package::InstalledPackage;
 pub use snapshot::{SessionPool, VmSnapshot};
 pub use telemetry::{ResponseEvent, ResponseKind, Telemetry};

@@ -1,0 +1,307 @@
+//! Checkpoint serialization (schema v1).
+//!
+//! A checkpoint captures everything the day loop folds between chunk
+//! boundaries: the shard cursor, the current day, market state, per-bomb
+//! counters, the latency histogram, and the aggregator snapshot (running
+//! totals plus sealed-window digests). The RNG lineage needs no state of
+//! its own — every random draw in the simulator derives purely from
+//! `(config.seed, session index)` — so echoing the config reproduces it.
+//!
+//! Kill a run at any chunk boundary, [`Simulator::from_checkpoint`] it
+//! back, and the final report is bit-for-bit the report of the
+//! uninterrupted run, at any thread count.
+
+use crate::engine::{BombCatalog, BombEntry, BombStats, SimConfig, Simulator, LATENCY_BUCKETS};
+use crate::market::{MarketConfig, MarketState};
+use crate::population::DevicePopulation;
+use crate::runner::SessionRunner;
+use bombdroid_obs::json::{self, JsonValue};
+use bombdroid_obs::{AggregatorSnapshot, ShardAggregator};
+
+/// Checkpoint document schema version.
+pub const CHECKPOINT_SCHEMA_VERSION: u64 = 1;
+
+/// Serializes `taken_down_day` as an integer (−1 = still listed).
+fn day_or_neg1(day: Option<u32>) -> i64 {
+    day.map_or(-1, i64::from)
+}
+
+pub(crate) fn config_json(config: &SimConfig) -> String {
+    let m = &config.market;
+    format!(
+        "{{\"checkpoint_every\": {}, \"days\": {}, \"devices\": {}, \"market\": {{\"halt_on_takedown\": {}, \"min_ratings\": {}, \"report_threshold\": {}, \"takedown_rating_milli\": {}}}, \"seed\": {}, \"window\": {}}}",
+        config.checkpoint_every,
+        config.days,
+        config.devices,
+        m.halt_on_takedown,
+        m.min_ratings,
+        m.report_threshold,
+        m.takedown_rating_milli,
+        config.seed,
+        config.window,
+    )
+}
+
+pub(crate) fn market_json(market: &MarketState) -> String {
+    format!(
+        "{{\"ratings_count\": {}, \"ratings_sum_milli\": {}, \"reports\": {}, \"taken_down_day\": {}}}",
+        market.ratings_count,
+        market.ratings_sum_milli,
+        market.reports,
+        day_or_neg1(market.taken_down_day),
+    )
+}
+
+pub(crate) fn u64_array_json(values: &[u64]) -> String {
+    let items: Vec<String> = values.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// Required-field accessors over the hand-rolled JSON layer.
+pub(crate) fn req_int(doc: &JsonValue, key: &str) -> Result<i128, String> {
+    doc.get(key)
+        .and_then(JsonValue::as_int)
+        .ok_or_else(|| format!("sim json: missing integer field '{key}'"))
+}
+
+pub(crate) fn req_u64(doc: &JsonValue, key: &str) -> Result<u64, String> {
+    u64::try_from(req_int(doc, key)?).map_err(|_| format!("sim json: field '{key}' out of range"))
+}
+
+pub(crate) fn req_bool(doc: &JsonValue, key: &str) -> Result<bool, String> {
+    match doc.get(key) {
+        Some(JsonValue::Bool(b)) => Ok(*b),
+        _ => Err(format!("sim json: missing boolean field '{key}'")),
+    }
+}
+
+pub(crate) fn req_obj<'a>(doc: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
+    let v = doc
+        .get(key)
+        .ok_or_else(|| format!("sim json: missing object field '{key}'"))?;
+    if v.as_object().is_none() {
+        return Err(format!("sim json: field '{key}' is not an object"));
+    }
+    Ok(v)
+}
+
+pub(crate) fn req_array<'a>(doc: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], String> {
+    doc.get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("sim json: missing array field '{key}'"))
+}
+
+pub(crate) fn parse_config(doc: &JsonValue) -> Result<SimConfig, String> {
+    let m = req_obj(doc, "market")?;
+    Ok(SimConfig {
+        devices: req_u64(doc, "devices")? as usize,
+        days: req_u64(doc, "days")? as u32,
+        seed: req_u64(doc, "seed")?,
+        window: req_u64(doc, "window")? as usize,
+        checkpoint_every: req_u64(doc, "checkpoint_every")? as usize,
+        threads: None,
+        market: MarketConfig {
+            takedown_rating_milli: req_u64(m, "takedown_rating_milli")? as u32,
+            report_threshold: req_u64(m, "report_threshold")?,
+            min_ratings: req_u64(m, "min_ratings")?,
+            halt_on_takedown: req_bool(m, "halt_on_takedown")?,
+        },
+    })
+}
+
+pub(crate) fn parse_market(doc: &JsonValue) -> Result<MarketState, String> {
+    let day = req_int(doc, "taken_down_day")?;
+    Ok(MarketState {
+        ratings_count: req_u64(doc, "ratings_count")?,
+        ratings_sum_milli: req_u64(doc, "ratings_sum_milli")?,
+        reports: req_u64(doc, "reports")?,
+        taken_down_day: if day < 0 { None } else { Some(day as u32) },
+    })
+}
+
+pub(crate) fn parse_u64_array(items: &[JsonValue], what: &str) -> Result<Vec<u64>, String> {
+    items
+        .iter()
+        .map(|v| {
+            v.as_int()
+                .and_then(|i| u64::try_from(i).ok())
+                .ok_or_else(|| format!("sim json: bad {what} entry"))
+        })
+        .collect()
+}
+
+impl<R: SessionRunner> Simulator<R> {
+    /// Serializes the full resumable state. Only valid at a chunk boundary
+    /// of an unfinished run — exactly the points [`Simulator::step`]
+    /// returns `true` at.
+    pub fn checkpoint_json(&self) -> Result<String, String> {
+        if self.finished {
+            return Err("sim checkpoint: run already finished (use report_json)".into());
+        }
+        let snapshot = self
+            .agg
+            .snapshot()
+            .ok_or("sim checkpoint: aggregator window still open")?;
+        let bombs: Vec<String> = self
+            .catalog
+            .entries()
+            .iter()
+            .zip(self.stats.iter())
+            .map(|(e, s)| {
+                format!(
+                    "{{\"blob\": {}, \"fired_sessions\": {}, \"marker\": {}, \"outer_sessions\": {}, \"predicted_ppm\": {}}}",
+                    e.blob, s.fired_sessions, e.marker, s.outer_sessions, e.predicted_ppm,
+                )
+            })
+            .collect();
+        Ok(format!(
+            "{{\n  \"schema_version\": {CHECKPOINT_SCHEMA_VERSION},\n  \"kind\": \"sim_checkpoint\",\n  \"config\": {},\n  \"cursor\": {},\n  \"current_day\": {},\n  \"market\": {},\n  \"bombs\": [{}],\n  \"latency_hist\": {},\n  \"aggregator\": {}}}\n",
+            config_json(&self.config),
+            self.cursor,
+            self.current_day,
+            market_json(&self.market),
+            bombs.join(", "),
+            u64_array_json(&self.latency_hist),
+            snapshot.to_json().trim_end(),
+        ))
+    }
+
+    /// Rebuilds a mid-run simulator from a checkpoint document. The runner
+    /// is supplied fresh (it is process state, not folded state); the
+    /// fleet thread count defaults back to the environment and may be
+    /// changed freely — it cannot affect the resumed result.
+    pub fn from_checkpoint(text: &str, runner: R) -> Result<Simulator<R>, String> {
+        let doc = json::parse(text).map_err(|e| format!("sim checkpoint: {e}"))?;
+        let version = req_u64(&doc, "schema_version")?;
+        if version != CHECKPOINT_SCHEMA_VERSION {
+            return Err(format!("sim checkpoint: unsupported schema {version}"));
+        }
+        if doc.get("kind").and_then(JsonValue::as_str) != Some("sim_checkpoint") {
+            return Err("sim checkpoint: wrong document kind".into());
+        }
+        let config = parse_config(req_obj(&doc, "config")?)?;
+        let market = parse_market(req_obj(&doc, "market")?)?;
+        let mut entries = Vec::new();
+        let mut stats = Vec::new();
+        for bomb in req_array(&doc, "bombs")? {
+            entries.push(BombEntry {
+                marker: req_u64(bomb, "marker")? as u32,
+                blob: req_u64(bomb, "blob")? as u32,
+                predicted_ppm: req_u64(bomb, "predicted_ppm")?,
+            });
+            stats.push(BombStats {
+                outer_sessions: req_u64(bomb, "outer_sessions")?,
+                fired_sessions: req_u64(bomb, "fired_sessions")?,
+            });
+        }
+        let latency_hist = parse_u64_array(req_array(&doc, "latency_hist")?, "latency_hist")?;
+        if latency_hist.len() != LATENCY_BUCKETS {
+            return Err("sim checkpoint: latency histogram shape changed".into());
+        }
+        let snapshot = AggregatorSnapshot::from_json(
+            doc.get("aggregator")
+                .ok_or("sim checkpoint: missing aggregator")?,
+        )?;
+        let cursor = req_u64(&doc, "cursor")? as usize;
+        if cursor > config.devices || cursor != snapshot.absorbed {
+            return Err("sim checkpoint: cursor disagrees with aggregator".into());
+        }
+        Ok(Simulator {
+            population: DevicePopulation::new(config.seed, config.devices),
+            agg: ShardAggregator::restore(&snapshot),
+            current_day: req_u64(&doc, "current_day")? as u32,
+            config,
+            runner,
+            catalog: BombCatalog::new(entries),
+            stats,
+            market,
+            latency_hist,
+            cursor,
+            finished: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{BombEntry, SimConfig};
+    use crate::runner::SyntheticRunner;
+
+    fn catalog() -> BombCatalog {
+        BombCatalog::new(vec![BombEntry {
+            marker: 4,
+            blob: 7,
+            predicted_ppm: 140_000,
+        }])
+    }
+
+    fn config() -> SimConfig {
+        let mut c = SimConfig::new(3_000, 4, 55);
+        c.window = 32;
+        c.checkpoint_every = 2;
+        c.market.halt_on_takedown = false;
+        c
+    }
+
+    #[test]
+    fn kill_and_resume_reproduces_the_report() {
+        let mut whole = Simulator::new(config(), catalog(), SyntheticRunner::new(catalog()));
+        whole.run();
+        let expected = whole.report_json().expect("finished");
+
+        // Kill after three chunks.
+        let mut first = Simulator::new(config(), catalog(), SyntheticRunner::new(catalog()));
+        for _ in 0..3 {
+            assert!(first.step());
+        }
+        let ckpt = first.checkpoint_json().expect("at chunk boundary");
+        drop(first);
+
+        let mut resumed =
+            Simulator::from_checkpoint(&ckpt, SyntheticRunner::new(catalog())).expect("parses");
+        resumed.run();
+        assert_eq!(resumed.report_json().expect("finished"), expected);
+    }
+
+    #[test]
+    fn resume_survives_a_second_checkpoint_cycle() {
+        let mut whole = Simulator::new(config(), catalog(), SyntheticRunner::new(catalog()));
+        whole.run();
+        let expected = whole.report_json().unwrap();
+
+        let mut sim = Simulator::new(config(), catalog(), SyntheticRunner::new(catalog()));
+        assert!(sim.step());
+        let first = sim.checkpoint_json().unwrap();
+        let mut sim = Simulator::from_checkpoint(&first, SyntheticRunner::new(catalog())).unwrap();
+        assert!(sim.step());
+        assert!(sim.step());
+        let second = sim.checkpoint_json().unwrap();
+        let mut sim = Simulator::from_checkpoint(&second, SyntheticRunner::new(catalog())).unwrap();
+        sim.run();
+        assert_eq!(sim.report_json().unwrap(), expected);
+    }
+
+    #[test]
+    fn checkpoint_rejects_broken_documents() {
+        let mut sim = Simulator::new(config(), catalog(), SyntheticRunner::new(catalog()));
+        assert!(sim.step());
+        let good = sim.checkpoint_json().unwrap();
+        assert!(Simulator::from_checkpoint("{", SyntheticRunner::new(catalog())).is_err());
+        assert!(Simulator::from_checkpoint("{}", SyntheticRunner::new(catalog())).is_err());
+        let wrong_kind = good.replace("sim_checkpoint", "sim_report");
+        assert!(Simulator::from_checkpoint(&wrong_kind, SyntheticRunner::new(catalog())).is_err());
+        let wrong_version = good.replace("\"schema_version\": 1", "\"schema_version\": 9");
+        assert!(
+            Simulator::from_checkpoint(&wrong_version, SyntheticRunner::new(catalog())).is_err()
+        );
+        let cursor_drift = good.replace("\"cursor\": 64", "\"cursor\": 65");
+        assert!(
+            Simulator::from_checkpoint(&cursor_drift, SyntheticRunner::new(catalog())).is_err()
+        );
+
+        // Finished runs refuse to checkpoint.
+        sim.run();
+        assert!(sim.checkpoint_json().is_err());
+    }
+}

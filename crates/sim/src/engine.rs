@@ -1,0 +1,407 @@
+//! The sharded day loop.
+//!
+//! A [`Simulator`] drives a [`DevicePopulation`] through a fixed number of
+//! virtual days of downloads. Sessions fan out over the deterministic
+//! fleet engine in fixed-size *chunks* (`window × checkpoint_every`
+//! sessions); per-session recorder deltas stream into a windowed
+//! [`ShardAggregator`] in task-index order, and the market/bomb/latency
+//! state folds serially in the same order. Everything downstream of the
+//! per-session RNG is integer arithmetic, so the final report is
+//! bit-identical across `BOMBDROID_THREADS` values and across
+//! checkpoint/resume cycles at any chunk boundary.
+
+use crate::market::{MarketConfig, MarketState};
+use crate::population::DevicePopulation;
+use crate::runner::{SessionOutcome, SessionRunner};
+use bombdroid_core::{expect_all, run_range_windowed, FleetConfig, ProtectReport};
+use bombdroid_obs::ShardAggregator;
+
+/// Detection-latency histogram size: one bucket per minute, last bucket
+/// catches everything ≥ 63 minutes (sessions cap well below that).
+pub const LATENCY_BUCKETS: usize = 64;
+
+/// One double-trigger bomb the simulator tracks: identity plus the
+/// closed-form inner-trigger probability the paper predicts for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BombEntry {
+    /// Marker id the payload stamps into telemetry when it fires.
+    pub marker: u32,
+    /// Encrypted blob id the outer trigger decrypts.
+    pub blob: u32,
+    /// Predicted inner-trigger probability, parts per million.
+    pub predicted_ppm: u64,
+}
+
+/// The set of double-trigger bombs under measurement.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BombCatalog(Vec<BombEntry>);
+
+impl BombCatalog {
+    /// Wraps an explicit entry list (synthetic catalogs for tests).
+    pub fn new(entries: Vec<BombEntry>) -> Self {
+        BombCatalog(entries)
+    }
+
+    /// Extracts the measurable bombs from a protection report: those with
+    /// both a marker (real payload) and an inner trigger (double-trigger,
+    /// §6) — exactly the bombs whose firing rate has a closed-form
+    /// prediction.
+    pub fn from_report(report: &ProtectReport) -> Self {
+        let entries = report
+            .bombs
+            .iter()
+            .filter_map(|b| {
+                let marker = b.marker?;
+                let (_, prob) = b.inner.as_ref()?;
+                Some(BombEntry {
+                    marker,
+                    blob: b.blob.0,
+                    predicted_ppm: (prob * 1e6).round() as u64,
+                })
+            })
+            .collect();
+        BombCatalog(entries)
+    }
+
+    /// The tracked bombs.
+    pub fn entries(&self) -> &[BombEntry] {
+        &self.0
+    }
+}
+
+/// Per-bomb measurement counters, parallel to the catalog.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BombStats {
+    /// Sessions whose outer trigger decrypted this bomb's blob.
+    pub outer_sessions: u64,
+    /// Sessions where the bomb actually fired (inner trigger held).
+    pub fired_sessions: u64,
+}
+
+impl BombStats {
+    /// Measured conditional firing rate, parts per million (0 until the
+    /// outer trigger has been observed at least once).
+    pub fn measured_ppm(&self) -> u64 {
+        if self.outer_sessions == 0 {
+            0
+        } else {
+            ((self.fired_sessions as u128 * 1_000_000 + self.outer_sessions as u128 / 2)
+                / self.outer_sessions as u128) as u64
+        }
+    }
+}
+
+/// Simulation shape. Everything that affects the folded state is echoed
+/// into checkpoints and the final report; `threads` deliberately is not —
+/// thread count must never change a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Total devices that download the listing over the whole run.
+    pub devices: usize,
+    /// Virtual days the downloads spread over.
+    pub days: u32,
+    /// Base seed: populations, per-session seeds, and ratings all derive
+    /// from it.
+    pub seed: u64,
+    /// Sessions per observability window.
+    pub window: usize,
+    /// Windows per chunk — a checkpoint is possible after every chunk.
+    pub checkpoint_every: usize,
+    /// Fleet worker threads (`None` = `BOMBDROID_THREADS` / serial).
+    pub threads: Option<usize>,
+    /// Market reaction policy.
+    pub market: MarketConfig,
+}
+
+impl SimConfig {
+    /// A config with the default window shape (64-session windows, 4
+    /// windows per chunk) and market policy.
+    pub fn new(devices: usize, days: u32, seed: u64) -> Self {
+        SimConfig {
+            devices,
+            days,
+            seed,
+            window: 64,
+            checkpoint_every: 4,
+            threads: None,
+            market: MarketConfig::default(),
+        }
+    }
+
+    /// Sessions per chunk (the checkpoint granularity).
+    pub fn chunk_len(&self) -> usize {
+        (self.window * self.checkpoint_every.max(1)).max(1)
+    }
+}
+
+/// The population-scale market simulator. Generic over the session
+/// strategy so the same day loop serves VM-backed experiments and
+/// closed-form property tests.
+pub struct Simulator<R: SessionRunner> {
+    pub(crate) config: SimConfig,
+    pub(crate) population: DevicePopulation,
+    pub(crate) runner: R,
+    pub(crate) catalog: BombCatalog,
+    pub(crate) stats: Vec<BombStats>,
+    pub(crate) agg: ShardAggregator,
+    pub(crate) market: MarketState,
+    pub(crate) latency_hist: Vec<u64>,
+    pub(crate) cursor: usize,
+    pub(crate) current_day: u32,
+    pub(crate) finished: bool,
+}
+
+impl<R: SessionRunner> Simulator<R> {
+    /// Creates a fresh simulation at day 0, session 0.
+    pub fn new(config: SimConfig, catalog: BombCatalog, runner: R) -> Self {
+        assert!(config.devices > 0, "empty population");
+        assert!(config.days > 0, "zero-day simulation");
+        let stats = vec![BombStats::default(); catalog.entries().len()];
+        Simulator {
+            population: DevicePopulation::new(config.seed, config.devices),
+            agg: ShardAggregator::new(config.window),
+            config,
+            runner,
+            catalog,
+            stats,
+            market: MarketState::default(),
+            latency_hist: vec![0; LATENCY_BUCKETS],
+            cursor: 0,
+            current_day: 0,
+            finished: false,
+        }
+    }
+
+    /// Which virtual day (0-based) session `index` belongs to.
+    fn day_of(&self, index: usize) -> u32 {
+        (index as u64 * u64::from(self.config.days) / self.config.devices as u64) as u32
+    }
+
+    /// Runs one chunk of sessions and folds the outcomes. Returns `true`
+    /// while more chunks remain; after it returns `false` the run is
+    /// finished (all devices served, or the listing was pulled with
+    /// `halt_on_takedown` set) and [`Self::report_json`] is available.
+    ///
+    /// Sessions already dispatched in the takedown chunk still count —
+    /// those devices had downloaded before the listing came down.
+    pub fn step(&mut self) -> bool {
+        if self.finished {
+            return false;
+        }
+        let end = (self.cursor + self.config.chunk_len()).min(self.config.devices);
+        let mut fleet = FleetConfig::new(self.config.seed);
+        if let Some(n) = self.config.threads {
+            fleet = fleet.with_threads(n);
+        }
+        let population = self.population;
+        let runner = &self.runner;
+        let outcomes = expect_all(run_range_windowed(
+            fleet,
+            self.cursor..end,
+            &self.agg,
+            |ctx| Ok::<_, std::convert::Infallible>(runner.run(&population.user(ctx.index), ctx)),
+        ));
+        if !bombdroid_obs::enabled() {
+            // With BOMBDROID_OBS=off the fleet skips the recorder fold
+            // entirely, but the checkpoint codec keys its integrity check
+            // on the aggregator's absorbed count staying in lockstep with
+            // the session cursor. Absorb one empty delta per session so
+            // window boundaries (and therefore checkpoints and resume)
+            // work identically with observability disabled — the sealed
+            // digests then fingerprint empty windows, which is still
+            // deterministic within the mode.
+            let empty = bombdroid_obs::Recorder::new();
+            for _ in self.cursor..end {
+                self.agg.absorb_next(&empty);
+            }
+        }
+        for (offset, outcome) in outcomes.into_iter().enumerate() {
+            let day = self.day_of(self.cursor + offset);
+            while self.current_day < day {
+                let completed = self.current_day;
+                self.market.check_takedown(completed, &self.config.market);
+                self.current_day += 1;
+            }
+            self.absorb(outcome);
+        }
+        self.cursor = end;
+        let done_all = self.cursor == self.config.devices;
+        if done_all {
+            // Close out the final (possibly partial) day.
+            self.market
+                .check_takedown(self.config.days - 1, &self.config.market);
+        }
+        let halted = self.config.market.halt_on_takedown && self.market.taken_down_day.is_some();
+        if done_all || halted {
+            self.agg.finish();
+            self.agg.drain_windows();
+            self.finished = true;
+            return false;
+        }
+        true
+    }
+
+    /// Folds one session outcome into market, bomb, and latency state.
+    fn absorb(&mut self, outcome: SessionOutcome) {
+        self.market.absorb(outcome.rating_milli, outcome.reports);
+        if let Some(min) = outcome.first_marker_min {
+            let bucket = (min as usize).min(LATENCY_BUCKETS - 1);
+            self.latency_hist[bucket] += 1;
+        }
+        for (entry, stats) in self.catalog.entries().iter().zip(self.stats.iter_mut()) {
+            if outcome.blobs.contains(&entry.blob) {
+                stats.outer_sessions += 1;
+            }
+            if outcome.markers.contains(&entry.marker) {
+                stats.fired_sessions += 1;
+            }
+        }
+    }
+
+    /// Runs chunks to completion, invoking `on_chunk` after each chunk
+    /// boundary (checkpoint opportunity, progress reporting).
+    pub fn run_with(&mut self, mut on_chunk: impl FnMut(&mut Self)) {
+        while self.step() {
+            on_chunk(self);
+        }
+    }
+
+    /// Runs chunks to completion.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Whether the run has finished.
+    pub fn done(&self) -> bool {
+        self.finished
+    }
+
+    /// Sessions folded so far.
+    pub fn sessions_run(&self) -> usize {
+        self.cursor
+    }
+
+    /// The simulation shape.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Changes the fleet thread count mid-run. Always safe: thread count
+    /// never affects folded state, only wall-clock.
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.config.threads = threads;
+    }
+
+    /// Current market state.
+    pub fn market(&self) -> &MarketState {
+        &self.market
+    }
+
+    /// Tracked bombs with their measurement counters.
+    pub fn bomb_stats(&self) -> impl Iterator<Item = (&BombEntry, &BombStats)> {
+        self.catalog.entries().iter().zip(self.stats.iter())
+    }
+
+    /// Detection-latency histogram (sessions by first-fire minute).
+    pub fn latency_hist(&self) -> &[u64] {
+        &self.latency_hist
+    }
+
+    /// The streaming aggregator — e.g. for draining sealed windows into
+    /// progress output between chunks.
+    pub fn aggregator(&self) -> &ShardAggregator {
+        &self.agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::SyntheticRunner;
+
+    fn catalog() -> BombCatalog {
+        BombCatalog::new(vec![
+            BombEntry {
+                marker: 1,
+                blob: 10,
+                predicted_ppm: 150_000,
+            },
+            BombEntry {
+                marker: 2,
+                blob: 11,
+                predicted_ppm: 120_000,
+            },
+        ])
+    }
+
+    #[test]
+    fn day_loop_is_thread_count_invariant() {
+        let mut reports = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let mut config = SimConfig::new(2_000, 5, 77);
+            config.threads = Some(threads);
+            let mut sim = Simulator::new(config, catalog(), SyntheticRunner::new(catalog()));
+            sim.run();
+            assert!(sim.done());
+            reports.push(sim.report_json().expect("finished"));
+        }
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0], reports[2]);
+    }
+
+    #[test]
+    fn halting_market_stops_early() {
+        let mut config = SimConfig::new(50_000, 10, 3);
+        config.market.report_threshold = 10;
+        config.market.halt_on_takedown = true;
+        let mut sim = Simulator::new(config, catalog(), SyntheticRunner::new(catalog()));
+        sim.run();
+        assert!(sim.done());
+        assert!(sim.market().taken_down_day.is_some());
+        assert!(
+            sim.sessions_run() < 50_000,
+            "takedown should halt dispatch, ran {}",
+            sim.sessions_run()
+        );
+    }
+
+    #[test]
+    fn measured_rates_track_predictions() {
+        let config = SimConfig::new(30_000, 3, 11);
+        let mut sim = Simulator::new(config, catalog(), SyntheticRunner::new(catalog()));
+        // Disable halting so every session contributes to the estimate.
+        sim.config.market.halt_on_takedown = false;
+        sim.run();
+        for (entry, stats) in sim.bomb_stats() {
+            assert!(stats.outer_sessions > 10_000);
+            let measured = stats.measured_ppm() as i64;
+            let predicted = entry.predicted_ppm as i64;
+            assert!(
+                (measured - predicted).abs() < 15_000,
+                "bomb {}: measured {measured} vs predicted {predicted}",
+                entry.marker
+            );
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded_by_windows_not_devices() {
+        let mut config = SimConfig::new(100_000, 4, 9);
+        config.market.halt_on_takedown = false;
+        config.window = 256;
+        config.checkpoint_every = 8;
+        let mut sim = Simulator::new(config, catalog(), SyntheticRunner::new(catalog()));
+        let mut max_live = 0usize;
+        sim.run_with(|s| {
+            max_live = max_live.max(s.aggregator().live_metric_names());
+            s.aggregator().drain_windows();
+        });
+        assert!(sim.done());
+        assert_eq!(sim.sessions_run(), 100_000);
+        // Live metric names are per-recorder name counts: totals + at most
+        // one open window + undreained sealed windows of one chunk. With a
+        // synthetic runner no metrics publish, so this is exactly 0; the
+        // invariant under test is that it never scales with device count.
+        assert!(max_live <= 4 * 256, "live metrics grew: {max_live}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Population-scale market simulator.
+//!
+//! The paper's end-to-end story (§1, §4.2) is *decentralized* repackaging
+//! detection: user devices running a pirated copy trip logic bombs, leave
+//! degraded-experience reviews, and report piracy to the developer; the
+//! market reacts to those aggregate signals alone. This crate promotes
+//! that story from an example script to a subsystem that scales to
+//! millions of simulated devices:
+//!
+//! * [`DevicePopulation`] — a *virtual* seeded population: any member is
+//!   re-derived on demand from `(base_seed, index)`, so resident
+//!   per-device state is O(bytes) regardless of population size.
+//! * [`Simulator`] — the sharded day loop: sessions fan out over the
+//!   deterministic fleet engine chunk by chunk, recorder deltas stream
+//!   through a windowed [`bombdroid_obs::ShardAggregator`], and market /
+//!   per-bomb / latency state folds serially in session-index order.
+//! * Checkpoint/resume — [`Simulator::checkpoint_json`] at any chunk
+//!   boundary captures the full folded state (schema v1); killing the
+//!   process and resuming via [`Simulator::from_checkpoint`] reproduces
+//!   the final [`Simulator::report_json`] byte-for-byte, at any
+//!   `BOMBDROID_THREADS` value.
+//! * [`SessionRunner`] — strategy seam: [`VmRunner`] forks real VM
+//!   sessions from a shared [`bombdroid_runtime::SessionPool`] snapshot;
+//!   [`SyntheticRunner`] draws outcomes from the closed-form per-bomb
+//!   probabilities so property tests and benchmarks reach population
+//!   scale without VM cost.
+//!
+//! ```
+//! use bombdroid_sim::{BombCatalog, BombEntry, SimConfig, Simulator, SyntheticRunner};
+//!
+//! let catalog = BombCatalog::new(vec![BombEntry { marker: 1, blob: 1, predicted_ppm: 150_000 }]);
+//! let mut config = SimConfig::new(1_024, 4, 7);
+//! config.market.halt_on_takedown = false;
+//! let mut sim = Simulator::new(config, catalog.clone(), SyntheticRunner::new(catalog));
+//! sim.run();
+//! let report = sim.report_json().unwrap();
+//! assert!(report.contains("\"kind\": \"sim_report\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod engine;
+pub mod market;
+pub mod population;
+pub mod report;
+pub mod runner;
+
+pub use checkpoint::CHECKPOINT_SCHEMA_VERSION;
+pub use engine::{BombCatalog, BombEntry, BombStats, SimConfig, Simulator, LATENCY_BUCKETS};
+pub use market::{MarketConfig, MarketState};
+pub use population::DevicePopulation;
+pub use report::REPORT_SCHEMA_VERSION;
+pub use runner::{SessionOutcome, SessionRunner, SyntheticRunner, VmRunner};

@@ -1,0 +1,124 @@
+//! The third-party market's side of the simulation: rating aggregation,
+//! piracy-report accumulation, and the takedown decision (§4.2 of the
+//! paper — detection is decentralized, the market only reacts to signals
+//! user devices already produced).
+//!
+//! All arithmetic is integer (milli-star ratings) so fold order and
+//! platform float quirks can never perturb the takedown decision — the
+//! whole simulator must be bit-reproducible across thread counts and
+//! checkpoint cycles.
+
+/// Market reaction policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarketConfig {
+    /// Listing is pulled when the average rating (milli-stars) drops below
+    /// this with at least `min_ratings` reviews.
+    pub takedown_rating_milli: u32,
+    /// Developer files a takedown once this many piracy reports arrive.
+    pub report_threshold: u64,
+    /// Minimum review count before the rating rule can fire.
+    pub min_ratings: u64,
+    /// Stop dispatching new download batches once the listing is pulled.
+    pub halt_on_takedown: bool,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        MarketConfig {
+            takedown_rating_milli: 2_500,
+            report_threshold: 25,
+            min_ratings: 30,
+            halt_on_takedown: true,
+        }
+    }
+}
+
+/// Running market state, folded serially in session-index order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MarketState {
+    /// Reviews posted.
+    pub ratings_count: u64,
+    /// Sum of posted ratings in milli-stars.
+    pub ratings_sum_milli: u64,
+    /// Piracy reports received by the developer.
+    pub reports: u64,
+    /// Day (0-based) the listing was pulled, if it was.
+    pub taken_down_day: Option<u32>,
+}
+
+impl MarketState {
+    /// Folds one user's review and reports in.
+    pub fn absorb(&mut self, rating_milli: u32, reports: u64) {
+        self.ratings_count += 1;
+        self.ratings_sum_milli += u64::from(rating_milli);
+        self.reports += reports;
+    }
+
+    /// Average rating in milli-stars (0 when unrated).
+    pub fn avg_rating_milli(&self) -> u64 {
+        self.ratings_sum_milli
+            .checked_div(self.ratings_count)
+            .unwrap_or(0)
+    }
+
+    /// Evaluates the takedown rules at the end of `day` (0-based). Returns
+    /// true if this call pulled the listing.
+    pub fn check_takedown(&mut self, day: u32, config: &MarketConfig) -> bool {
+        if self.taken_down_day.is_some() {
+            return false;
+        }
+        let rating_collapse = self.ratings_count >= config.min_ratings
+            && (self.ratings_sum_milli as u128)
+                < (self.ratings_count as u128) * u128::from(config.takedown_rating_milli);
+        let reported = self.reports >= config.report_threshold;
+        if rating_collapse || reported {
+            self.taken_down_day = Some(day);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rating_collapse_pulls_the_listing() {
+        let config = MarketConfig::default();
+        let mut m = MarketState::default();
+        for _ in 0..29 {
+            m.absorb(1_500, 0);
+        }
+        assert!(!m.check_takedown(0, &config), "below min_ratings");
+        m.absorb(1_500, 0);
+        assert!(m.check_takedown(1, &config));
+        assert_eq!(m.taken_down_day, Some(1));
+        // Sticky: later checks never re-fire.
+        assert!(!m.check_takedown(2, &config));
+        assert_eq!(m.taken_down_day, Some(1));
+    }
+
+    #[test]
+    fn report_threshold_pulls_the_listing() {
+        let config = MarketConfig::default();
+        let mut m = MarketState::default();
+        for _ in 0..5 {
+            m.absorb(4_500, 5);
+        }
+        assert!(m.check_takedown(0, &config));
+        assert_eq!(m.taken_down_day, Some(0));
+    }
+
+    #[test]
+    fn happy_listing_survives() {
+        let config = MarketConfig::default();
+        let mut m = MarketState::default();
+        for _ in 0..100 {
+            m.absorb(4_200, 0);
+        }
+        assert!(!m.check_takedown(0, &config));
+        assert_eq!(m.avg_rating_milli(), 4_200);
+    }
+}

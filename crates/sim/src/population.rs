@@ -1,0 +1,85 @@
+//! Seeded device populations.
+//!
+//! A [`DevicePopulation`] is a *virtual* collection: it stores only a base
+//! seed and a size, and derives any member on demand. `user(i)` is a pure
+//! function of `(base_seed, i)`, so a million-device population costs
+//! sixteen bytes resident and any shard of the day loop can materialize
+//! exactly the users it is about to run — the market simulator never holds
+//! per-device state for devices that are not mid-session.
+
+use bombdroid_core::derive_seed;
+use bombdroid_corpus::UserProfile;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Domain-separation salt so population draws never collide with the fleet
+/// engine's per-task seeds (which derive from the same base seed).
+const POPULATION_SALT: u64 = 0x706f_7075_6c61_7465;
+
+/// A seeded virtual population of simulated market users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DevicePopulation {
+    /// Base seed every member derives from.
+    pub base_seed: u64,
+    /// Number of users in the population.
+    pub size: usize,
+}
+
+impl DevicePopulation {
+    /// Creates a population of `size` users over `base_seed`.
+    pub fn new(base_seed: u64, size: usize) -> Self {
+        DevicePopulation { base_seed, size }
+    }
+
+    /// Derives user `index` (0-based). Pure: the same `(base_seed, index)`
+    /// always yields the same user, independent of call order, shard
+    /// layout, or thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.size`.
+    pub fn user(&self, index: usize) -> UserProfile {
+        assert!(index < self.size, "user {index} out of {}", self.size);
+        let seed = derive_seed(self.base_seed ^ POPULATION_SALT, index as u64);
+        UserProfile::sample(&mut StdRng::seed_from_u64(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bombdroid_corpus::UserArchetype;
+
+    #[test]
+    fn members_are_pure_functions_of_seed_and_index() {
+        let pop = DevicePopulation::new(42, 1000);
+        assert_eq!(pop.user(0), DevicePopulation::new(42, 10).user(0));
+        assert_eq!(pop.user(999), pop.user(999));
+        assert_ne!(pop.user(0), pop.user(1));
+        assert_ne!(pop.user(3), DevicePopulation::new(43, 1000).user(3));
+    }
+
+    #[test]
+    fn population_is_diverse() {
+        let pop = DevicePopulation::new(7, 500);
+        let mut archetypes = std::collections::BTreeSet::new();
+        let mut manufacturers = std::collections::BTreeSet::new();
+        for i in 0..pop.size {
+            let u = pop.user(i);
+            archetypes.insert(u.archetype);
+            manufacturers.insert(u.device.manufacturer);
+        }
+        assert_eq!(archetypes.len(), 3);
+        assert!(manufacturers.len() >= 8);
+        let casual = (0..pop.size)
+            .filter(|&i| pop.user(i).archetype == UserArchetype::Casual)
+            .count() as f64
+            / pop.size as f64;
+        assert!((casual - 0.55).abs() < 0.08, "casual share {casual}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_panics() {
+        DevicePopulation::new(1, 4).user(4);
+    }
+}

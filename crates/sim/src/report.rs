@@ -1,0 +1,130 @@
+//! Final-report serialization (schema v1).
+//!
+//! The report is the simulator's observable output for reproducibility
+//! checks: two runs are "the same" exactly when their report documents are
+//! byte-identical. Everything in it is integer-valued (milli-stars, parts
+//! per million, window digests) so byte identity is achievable across
+//! thread counts, checkpoint cycles, and platforms.
+
+use crate::checkpoint::{config_json, market_json, u64_array_json};
+use crate::engine::Simulator;
+use crate::runner::SessionRunner;
+
+/// Report document schema version.
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+impl<R: SessionRunner> Simulator<R> {
+    /// Serializes the final report. Only valid once the run has finished.
+    pub fn report_json(&self) -> Result<String, String> {
+        if !self.finished {
+            return Err("sim report: run not finished".into());
+        }
+        let bombs: Vec<String> = self
+            .catalog
+            .entries()
+            .iter()
+            .zip(self.stats.iter())
+            .map(|(e, s)| {
+                format!(
+                    "{{\"blob\": {}, \"fired_sessions\": {}, \"marker\": {}, \"measured_ppm\": {}, \"outer_sessions\": {}, \"predicted_ppm\": {}}}",
+                    e.blob,
+                    s.fired_sessions,
+                    e.marker,
+                    s.measured_ppm(),
+                    s.outer_sessions,
+                    e.predicted_ppm,
+                )
+            })
+            .collect();
+
+        // Detection-latency CDF in ppm of detected sessions; all-zero when
+        // nothing fired.
+        let detected: u64 = self.latency_hist.iter().sum();
+        let mut cdf = Vec::with_capacity(self.latency_hist.len());
+        let mut acc = 0u64;
+        for &n in &self.latency_hist {
+            acc += n;
+            cdf.push(if detected == 0 {
+                0
+            } else {
+                ((acc as u128 * 1_000_000 + detected as u128 / 2) / detected as u128) as u64
+            });
+        }
+
+        let total = self.agg.total();
+        let aggregator = format!(
+            "{{\"absorbed\": {}, \"events_run\": {}, \"instr_executed\": {}, \"piracy_reports\": {}, \"window_digests\": {}, \"windows_sealed\": {}}}",
+            self.agg.tasks_absorbed(),
+            total.counter_value("vm.events_run"),
+            total.counter_value("vm.instr_executed"),
+            total.counter_value("vm.piracy_reports"),
+            u64_array_json(&self.agg.window_digests()),
+            self.agg.windows_sealed(),
+        );
+
+        let market = format!(
+            "{{\"avg_rating_milli\": {}, {}",
+            self.market.avg_rating_milli(),
+            market_json(&self.market).trim_start_matches('{'),
+        );
+
+        Ok(format!(
+            "{{\n  \"schema_version\": {REPORT_SCHEMA_VERSION},\n  \"kind\": \"sim_report\",\n  \"config\": {},\n  \"sessions_run\": {},\n  \"market\": {},\n  \"bombs\": [{}],\n  \"latency_hist\": {},\n  \"latency_cdf_ppm\": {},\n  \"aggregator\": {}}}\n",
+            config_json(&self.config),
+            self.cursor,
+            market,
+            bombs.join(", "),
+            u64_array_json(&self.latency_hist),
+            u64_array_json(&cdf),
+            aggregator,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{BombCatalog, BombEntry, SimConfig, Simulator};
+    use crate::runner::SyntheticRunner;
+    use bombdroid_obs::json::{self, JsonValue};
+
+    fn catalog() -> BombCatalog {
+        BombCatalog::new(vec![BombEntry {
+            marker: 3,
+            blob: 5,
+            predicted_ppm: 180_000,
+        }])
+    }
+
+    #[test]
+    fn report_parses_and_is_internally_consistent() {
+        let mut config = SimConfig::new(2_048, 4, 13);
+        config.market.halt_on_takedown = false;
+        let mut sim = Simulator::new(config, catalog(), SyntheticRunner::new(catalog()));
+        assert!(sim.report_json().is_err(), "unfinished runs have no report");
+        sim.run();
+        let text = sim.report_json().unwrap();
+        let doc = json::parse(&text).expect("report parses");
+        assert_eq!(
+            doc.get("kind").and_then(JsonValue::as_str),
+            Some("sim_report")
+        );
+        assert_eq!(
+            doc.get("sessions_run").and_then(JsonValue::as_int),
+            Some(2_048)
+        );
+        let market = doc.get("market").expect("market");
+        assert_eq!(
+            market.get("ratings_count").and_then(JsonValue::as_int),
+            Some(2_048)
+        );
+        let cdf = doc
+            .get("latency_cdf_ppm")
+            .and_then(JsonValue::as_array)
+            .expect("cdf");
+        let values: Vec<i128> = cdf.iter().filter_map(JsonValue::as_int).collect();
+        assert!(values.windows(2).all(|w| w[0] <= w[1]), "CDF monotone");
+        assert_eq!(*values.last().unwrap(), 1_000_000, "CDF ends at 1.0");
+        let agg = doc.get("aggregator").expect("aggregator");
+        assert_eq!(agg.get("absorbed").and_then(JsonValue::as_int), Some(2_048));
+    }
+}

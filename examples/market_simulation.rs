@@ -3,41 +3,28 @@
 //! The paper's core proposal is that *user devices* do the detecting
 //! (§1, §4.2): each triggered bomb degrades the pirated copy and reports
 //! back, bad ratings accumulate, and the store takes the listing down.
-//! This example simulates that pipeline over a fleet of diverse devices
-//! downloading a pirated app over several (virtual) days.
 //!
-//! Each day's user sessions run on the deterministic fleet engine: the
-//! whole simulation is reproducible bit-for-bit no matter how many worker
-//! threads it gets (`BOMBDROID_THREADS=1` forces the serial schedule).
+//! This used to be a self-contained script; it is now a thin driver over
+//! the `bombdroid_sim` subsystem. The simulator owns the sharded day
+//! loop: sessions fan out over the deterministic fleet engine chunk by
+//! chunk, per-session metrics stream through a windowed shard aggregator
+//! (metric memory stays O(windows), not O(devices)), and the whole run is
+//! reproducible bit-for-bit no matter how many worker threads it gets
+//! (`BOMBDROID_THREADS=1` forces the serial schedule).
 //!
-//! Per-session metrics stream through a windowed `ShardAggregator`
-//! instead of piling up one recorder per device: every 16 sessions the
-//! open window seals, a progress line goes to stderr, and the window is
-//! dropped — so metric memory stays O(windows), not O(devices), while
-//! the running total stays bit-identical to a whole-recorder merge.
+//! To prove the checkpoint story, the driver snapshots the run at its
+//! first chunk boundary, resumes a *second* simulator from that JSON, and
+//! asserts both produce byte-identical final reports — the same mechanism
+//! lets a million-device campaign survive a kill mid-run.
 //!
 //! ```sh
 //! cargo run --release --example market_simulation
 //! ```
 
-use bombdroid::obs::{self, ShardAggregator};
 use bombdroid::prelude::*;
-use rand::{rngs::StdRng, Rng, SeedableRng};
-
-/// Sessions per observability window.
-const SESSIONS_PER_WINDOW: usize = 16;
-
-/// Review threshold below which the market pulls a listing.
-const TAKEDOWN_RATING: f64 = 2.5;
-/// Piracy reports that make the developer file a takedown request.
-const REPORT_THRESHOLD: u64 = 25;
-
-/// What one simulated user contributes to the day's aggregation.
-struct UserOutcome {
-    reports: u64,
-    detected: bool,
-    rating: f64,
-}
+use bombdroid::sim::MarketState;
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(99);
@@ -55,64 +42,36 @@ fn main() {
         app.name,
         protected.report.bombs_injected()
     );
+    // The catalog of double-trigger bombs whose firing rates the simulator
+    // measures against the paper's closed-form predictions.
+    let catalog = BombCatalog::from_report(&protected.report);
     let signed = protected.package(&developer);
     let pirate = DeveloperKey::generate(&mut rng);
     let pirated = repackage(&signed, &pirate, |_| {});
-    let pkg = InstalledPackage::install(&pirated).expect("install");
-    // Every simulated device boots from one pristine session pool: sessions
-    // are bit-identical to direct `Vm::boot` calls, but the package body is
-    // pre-decoded once and shared across the whole fleet.
-    let pool = SessionPool::new(pkg, VmOptions::default());
+    let pkg = Arc::new(InstalledPackage::install(&pirated).expect("install"));
 
-    let threads = std::env::var("BOMBDROID_THREADS")
+    // Every simulated device boots from one pristine session pool: the
+    // package body is pre-decoded once and shared across the whole fleet.
+    let runner = || VmRunner::new(SessionPool::new(Arc::clone(&pkg), VmOptions::default()));
+
+    let mut config = SimConfig::new(336, 14, 99);
+    config.window = 16;
+    config.checkpoint_every = 2;
+    config.threads = std::env::var("BOMBDROID_THREADS")
         .ok()
         .and_then(|s| s.parse().ok());
 
-    // One aggregator for the whole simulation: each day's fleet absorbs
-    // its per-session recorder deltas here in task-index order.
-    let agg = ShardAggregator::new(SESSIONS_PER_WINDOW);
-
-    let mut total_reports = 0u64;
-    let mut ratings: Vec<f64> = Vec::new();
-    let mut taken_down_day = None;
-
-    'days: for day in 1..=14u32 {
-        // Each day a batch of new users installs the pirated copy and
-        // plays for a while on their own device. The sessions are
-        // independent, so they fan out over the fleet; each user's
-        // randomness comes only from (day seed, user index).
-        let downloads = 20 + rng.gen_range(0..10usize);
-        let mut day_fleet = FleetConfig::new(derive_seed(99, day as u64));
-        if let Some(n) = threads {
-            day_fleet = day_fleet.with_threads(n);
+    let mut sim = Simulator::new(config, catalog.clone(), runner());
+    let mut checkpoint = None;
+    let mut last_day = u32::MAX;
+    sim.run_with(|s| {
+        // First chunk boundary: snapshot the whole folded state.
+        if checkpoint.is_none() {
+            checkpoint = Some(s.checkpoint_json().expect("chunk boundary"));
         }
-        let outcomes = expect_all(run_indexed_windowed(day_fleet, downloads, &agg, |ctx| {
-            let mut urng = ctx.rng();
-            let env = DeviceEnv::sample(&mut urng);
-            let mut vm = pool.session(env, ctx.seed);
-            let mut source = UserEventSource;
-            let minutes = urng.gen_range(10..60);
-            run_session(&mut vm, &mut source, &mut urng, minutes, 40);
-            vm.publish_obs();
-            let t = vm.telemetry();
-            // A user whose app crashed/froze/misbehaved leaves a bad
-            // review; a happy user a good one.
-            let detected = t.detection_fired();
-            let rating = if detected {
-                urng.gen_range(1.0..2.5)
-            } else {
-                urng.gen_range(3.5..5.0)
-            };
-            Ok::<_, std::convert::Infallible>(UserOutcome {
-                reports: t.piracy_reports,
-                detected,
-                rating,
-            })
-        }));
-
-        // Publish the windows this day's sessions completed, then drop
-        // them — only the running total and the open window stay live.
-        for w in agg.drain_windows() {
+        // Publish the windows this chunk sealed, then drop them — only the
+        // running total and the open window stay live.
+        for w in s.aggregator().drain_windows() {
             let r = &w.recorder;
             eprintln!(
                 "[obs] window {:>3} (sessions {}..{}): {} events, {} instr, {} bombs triggered",
@@ -124,38 +83,32 @@ fn main() {
                 r.counter_value("vm.bombs_triggered"),
             );
         }
+        let m = s.market();
+        let day = s.sessions_run() as u64 * 14 / 336;
+        if day as u32 != last_day {
+            last_day = day as u32;
+            println!(
+                "day {day:>2}: {} sessions, {} reports to developer, market rating {:.2}",
+                s.sessions_run(),
+                m.reports,
+                m.avg_rating_milli() as f64 / 1000.0,
+            );
+        }
+    });
+    let report = sim.report_json().expect("finished");
+    summarize(sim.market(), sim.sessions_run());
 
-        let mut day_detections = 0u32;
-        for outcome in outcomes {
-            total_reports += outcome.reports;
-            if outcome.detected {
-                day_detections += 1;
-            }
-            ratings.push(outcome.rating);
-        }
-        let avg: f64 = ratings.iter().sum::<f64>() / ratings.len() as f64;
-        println!(
-            "day {day:>2}: {downloads} downloads, {day_detections} devices detected piracy, \
-             {total_reports} total reports to developer, market rating {avg:.2}",
-        );
-        // Aggregation channel 1: the listing's rating collapses.
-        if avg < TAKEDOWN_RATING && ratings.len() > 30 {
-            println!("=> market pulls the listing (rating {avg:.2} < {TAKEDOWN_RATING})");
-            taken_down_day = Some(day);
-            break 'days;
-        }
-        // Aggregation channel 2: the developer files a takedown with
-        // evidence from the piracy reports.
-        if total_reports >= REPORT_THRESHOLD {
-            println!("=> developer files takedown with {total_reports} device reports as evidence");
-            taken_down_day = Some(day);
-            break 'days;
-        }
+    // The same folded state, reconstructed from the first checkpoint and
+    // replayed — byte-identical report, whatever BOMBDROID_THREADS says.
+    if let Some(ckpt) = checkpoint {
+        let mut resumed = Simulator::from_checkpoint(&ckpt, runner()).expect("checkpoint parses");
+        resumed.run();
+        let resumed_report = resumed.report_json().expect("finished");
+        assert_eq!(report, resumed_report, "kill+resume must be bit-identical");
+        println!("checkpoint/resume verified: resumed report is byte-identical");
     }
 
-    // Seal the trailing partial window and report the streaming totals.
-    agg.finish();
-    agg.drain_windows();
+    let agg = sim.aggregator();
     let total = agg.total();
     eprintln!(
         "[obs] {} sessions in {} windows; totals: {} events, {} instr, {} piracy reports \
@@ -167,14 +120,28 @@ fn main() {
         total.counter_value("vm.piracy_reports"),
         agg.live_metric_names(),
     );
-    if obs::mode() == obs::ObsMode::Off {
-        eprintln!("[obs] BOMBDROID_OBS=off: windowed metrics disabled");
-    }
 
-    match taken_down_day {
+    // Per-bomb measurement vs the closed-form prediction (§6).
+    for (entry, stats) in sim.bomb_stats() {
+        if stats.outer_sessions == 0 {
+            continue;
+        }
+        println!(
+            "bomb {:>3}: measured {:.3} vs predicted {:.3} ({} outer sessions)",
+            entry.marker,
+            stats.measured_ppm() as f64 / 1e6,
+            entry.predicted_ppm as f64 / 1e6,
+            stats.outer_sessions,
+        );
+    }
+}
+
+fn summarize(market: &MarketState, sessions: usize) {
+    match market.taken_down_day {
         Some(day) => println!(
-            "\npirated listing removed after {day} day(s) — detection was fully decentralized: \
-             no market-side similarity analysis, only user devices running their own copies."
+            "\npirated listing removed after day {day} ({sessions} sessions) — detection was \
+             fully decentralized: no market-side similarity analysis, only user devices \
+             running their own copies."
         ),
         None => println!("\nlisting survived 14 days (unusual — try another seed)"),
     }

@@ -68,6 +68,19 @@ run env BOMBDROID_OBS=full BOMBDROID_THREADS=2 \
 run cargo run -q --release --offline -p bombdroid-bench --bin guided_check -- \
     target/repro_output/guided_resilience.json
 
+# Population-simulator smoke: a fast two-scale sweep (10^3 + 10^4 devices,
+# VM-backed sessions, seed PROTECT_BASE^0x509) must measure per-bomb
+# trigger rates within the closed-form tolerance bands, keep live metric
+# memory bounded independent of device count, survive one mid-run
+# kill + checkpoint + resume cycle with a byte-identical report, and emit
+# a population.json artifact matching its schema. Results are bit-identical
+# for any BOMBDROID_THREADS value; population_check fails CI if the
+# simulator, the checkpoint codec, or the exporter silently breaks.
+run env BOMBDROID_OBS=full BOMBDROID_THREADS=2 \
+    cargo run -q --release --offline -p bombdroid-bench --bin repro -- --fast population
+run cargo run -q --release --offline -p bombdroid-bench --bin population_check -- \
+    target/repro_output/population.json
+
 # Perf smoke: the hot-path harness must run end to end and emit a valid
 # BENCH_pipeline.json document. --fast numbers are not comparison-grade;
 # this validates the plumbing, not the performance.

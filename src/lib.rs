@@ -33,6 +33,7 @@ pub use bombdroid_crypto as crypto;
 pub use bombdroid_dex as dex;
 pub use bombdroid_obs as obs;
 pub use bombdroid_runtime as runtime;
+pub use bombdroid_sim as sim;
 pub use bombdroid_ssn as ssn;
 
 /// Convenient glob-import surface for examples and integration tests.
@@ -43,7 +44,11 @@ pub mod prelude {
         FleetConfig, ProtectConfig, ProtectedApp, Protector, TaskCtx,
     };
     pub use bombdroid_runtime::{
-        run_session, DeviceEnv, InstalledPackage, RandomEventSource, SessionPool, UserEventSource,
-        Vm, VmEngine, VmOptions, VmSnapshot,
+        run_session, DeviceEnv, DeviceProfile, InstalledPackage, RandomEventSource, SessionPool,
+        UserEventSource, Vm, VmEngine, VmOptions, VmSnapshot,
+    };
+    pub use bombdroid_sim::{
+        BombCatalog, DevicePopulation, MarketConfig, SimConfig, Simulator, SyntheticRunner,
+        VmRunner,
     };
 }

@@ -280,3 +280,102 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Population-scale measurement lands in the paper's inner-trigger
+    /// band: for bombs whose predicted probability sits in p ∈ [0.1, 0.2]
+    /// (the band `InnerCond::synthesize` targets), a 10^4-device run
+    /// measures each bomb's conditional firing rate within tolerance, and
+    /// the outer-weighted mean stays inside the band.
+    #[test]
+    fn population_measurement_lands_in_trigger_band(
+        seed in any::<u64>(),
+        probs in proptest::collection::vec(100_000u64..200_001, 2..5),
+    ) {
+        use bombdroid::sim::{BombCatalog, BombEntry, SimConfig, Simulator, SyntheticRunner};
+        let catalog = BombCatalog::new(
+            probs
+                .iter()
+                .enumerate()
+                .map(|(i, &predicted_ppm)| BombEntry {
+                    marker: i as u32,
+                    blob: 100 + i as u32,
+                    predicted_ppm,
+                })
+                .collect(),
+        );
+        let mut config = SimConfig::new(10_000, 5, seed);
+        config.market.halt_on_takedown = false;
+        let mut sim = Simulator::new(config, catalog.clone(), SyntheticRunner::new(catalog));
+        sim.run();
+        let mut weighted = 0u128;
+        let mut outer_total = 0u128;
+        for (entry, stats) in sim.bomb_stats() {
+            prop_assert!(stats.outer_sessions > 5_000, "outer trigger starved");
+            let measured = stats.measured_ppm() as i64;
+            let predicted = entry.predicted_ppm as i64;
+            prop_assert!(
+                (measured - predicted).abs() < 30_000,
+                "bomb {}: measured {measured} ppm vs predicted {predicted} ppm",
+                entry.marker
+            );
+            weighted += stats.measured_ppm() as u128 * stats.outer_sessions as u128;
+            outer_total += stats.outer_sessions as u128;
+        }
+        let mean = (weighted / outer_total) as i64;
+        prop_assert!(
+            (70_000..=230_000).contains(&mean),
+            "weighted mean {mean} ppm outside band"
+        );
+    }
+
+    /// Checkpoint → resume → report is bit-identical for arbitrary kill
+    /// points: killing the day loop after any chunk and resuming from the
+    /// serialized state reproduces the uninterrupted run's report
+    /// byte-for-byte (threads may even change across the cycle).
+    #[test]
+    fn checkpoint_resume_is_bit_identical(
+        seed in any::<u64>(),
+        kill_after in 1usize..12,
+        threads_before in 1usize..4,
+        threads_after in 1usize..4,
+    ) {
+        use bombdroid::sim::{BombCatalog, BombEntry, SimConfig, Simulator, SyntheticRunner};
+        let catalog = BombCatalog::new(vec![BombEntry {
+            marker: 1,
+            blob: 9,
+            predicted_ppm: 150_000,
+        }]);
+        let mut config = SimConfig::new(1_536, 6, seed);
+        config.window = 32;
+        config.checkpoint_every = 2;
+        config.market.halt_on_takedown = false;
+
+        let mut whole = Simulator::new(config, catalog.clone(), SyntheticRunner::new(catalog.clone()));
+        whole.run();
+        let expected = whole.report_json().unwrap();
+
+        let mut killed = Simulator::new(config, catalog.clone(), SyntheticRunner::new(catalog.clone()));
+        killed.set_threads(Some(threads_before));
+        let mut steps = 0usize;
+        while steps < kill_after && killed.step() {
+            steps += 1;
+        }
+        if killed.done() {
+            // Run was short enough to finish before the kill point — the
+            // uninterrupted report must still match.
+            prop_assert_eq!(killed.report_json().unwrap(), expected);
+            return;
+        }
+        let ckpt = killed.checkpoint_json().unwrap();
+        drop(killed);
+
+        let mut resumed =
+            Simulator::from_checkpoint(&ckpt, SyntheticRunner::new(catalog)).unwrap();
+        resumed.set_threads(Some(threads_after));
+        resumed.run();
+        prop_assert_eq!(resumed.report_json().unwrap(), expected);
+    }
+}
