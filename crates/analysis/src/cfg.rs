@@ -44,11 +44,11 @@ impl Cfg {
             leaders.insert(0usize);
         }
         for (pc, instr) in body.iter().enumerate() {
-            for t in instr.branch_targets() {
+            instr.for_each_branch_target(|t| {
                 if t < n {
                     leaders.insert(t);
                 }
-            }
+            });
             if instr.is_terminator() && pc + 1 < n {
                 leaders.insert(pc + 1);
             }
@@ -78,11 +78,11 @@ impl Cfg {
             }
             let last_pc = b.end - 1;
             let last = &body[last_pc];
-            for t in last.branch_targets() {
+            last.for_each_branch_target(|t| {
                 if t < n {
                     edges.push((bi, block_of_pc[t]));
                 }
-            }
+            });
             if last.falls_through() && b.end < n {
                 edges.push((bi, block_of_pc[b.end]));
             }

@@ -86,12 +86,14 @@ pub fn scan_method(method: &Method) -> Vec<QcSite> {
         let dom = Dominators::compute(&cfg);
         Some(LoopInfo::compute(&cfg, &dom))
     };
-    let in_loop = |pc: usize| {
-        loops
-            .as_ref()
-            .map(|l| l.pc_in_loop(&cfg, pc))
-            .unwrap_or(false)
-    };
+    scan_method_with(method, &cfg, loops.as_ref())
+}
+
+/// [`scan_method`] against caller-provided analysis — for passes that
+/// already hold the method's CFG and loop info (the planner builds them
+/// once per method and reuses them for insertion-spot selection).
+pub fn scan_method_with(method: &Method, cfg: &Cfg, loops: Option<&LoopInfo>) -> Vec<QcSite> {
+    let in_loop = |pc: usize| loops.map(|l| l.pc_in_loop(cfg, pc)).unwrap_or(false);
     let mref = method.method_ref();
     let body = &method.body;
     let mut sites = Vec::new();

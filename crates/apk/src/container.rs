@@ -4,10 +4,10 @@
 use crate::manifest::Manifest;
 use crate::resources::StringsXml;
 use crate::rsa::{DeveloperKey, PublicKey};
-use bombdroid_crypto::sha256;
+use bombdroid_crypto::{sha256, Digest256};
 use bombdroid_dex::{wire, DexFile};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, Weak};
 
 /// App identity metadata (the `AndroidManifest.xml` analogue). Repackagers
 /// typically replace `author` and the icon while keeping the code
@@ -89,6 +89,39 @@ pub struct ApkFile {
     pub signature: u64,
 }
 
+/// Process-wide `classes.dex` digest cache, keyed by `Arc<DexFile>`
+/// identity. Hashing the DEX dominates manifest computation (hundreds of
+/// KB per app), and the same immutable `Arc` is re-hashed on every
+/// install/verify of an unchanged APK — a protection service installs each
+/// original APK once per protect pass. Nothing in the workspace mutates a
+/// `DexFile` through its `Arc` (mutation always clones out first, yielding
+/// a fresh allocation), so identity implies identical bytes; the stored
+/// [`Weak`] guards against address reuse exactly like the runtime's
+/// decoded-program registry.
+static DEX_DIGESTS: Mutex<Vec<(Weak<DexFile>, Digest256, usize)>> = Mutex::new(Vec::new());
+
+/// Far above any realistic number of simultaneously live distinct apps.
+const DEX_DIGESTS_CAP: usize = 256;
+
+fn cached_dex_meta(dex: &Arc<DexFile>) -> (Digest256, usize) {
+    let mut reg = DEX_DIGESTS
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    reg.retain(|(weak, _, _)| weak.strong_count() > 0);
+    for (weak, digest, len) in reg.iter() {
+        if let Some(live) = weak.upgrade() {
+            if Arc::ptr_eq(&live, dex) {
+                return (*digest, *len);
+            }
+        }
+    }
+    let meta = (wire::dex_digest(dex), wire::encoded_dex_len(dex));
+    if reg.len() < DEX_DIGESTS_CAP {
+        reg.push((Arc::downgrade(dex), meta.0, meta.1));
+    }
+    meta
+}
+
 /// Fixed entry names, mirroring a real APK's layout.
 pub mod entry {
     /// The DEX bytecode entry.
@@ -113,9 +146,43 @@ impl ApkFile {
     }
 
     /// Computes the `MANIFEST.MF` for the current contents.
+    ///
+    /// The DEX entry's digest is streamed through the wire writers
+    /// ([`wire::dex_digest`]) instead of materializing the encoded bytes —
+    /// same digest, no transient multi-hundred-KB buffer. The other entries
+    /// are small and hashed directly.
     pub fn manifest(&self) -> Manifest {
-        let entries = self.entries();
-        Manifest::compute(entries.iter().map(|(n, b)| (*n, b.as_slice())))
+        let mut m = Manifest::new();
+        m.insert(
+            entry::ANDROID_MANIFEST,
+            sha256::digest(&self.meta.to_bytes()),
+        );
+        m.insert(entry::CLASSES_DEX, cached_dex_meta(&self.dex).0);
+        m.insert(entry::ICON, sha256::digest(&self.icon));
+        m.insert(entry::STRINGS_XML, sha256::digest(&self.strings.to_bytes()));
+        m
+    }
+
+    /// Digest of a single named entry, without touching the others —
+    /// detection planting needs only the icon and `AndroidManifest.xml`
+    /// digests, and computing them must not drag in a full-DEX hash.
+    pub fn entry_digest(&self, name: &str) -> Option<bombdroid_crypto::Digest256> {
+        match name {
+            entry::ANDROID_MANIFEST => Some(sha256::digest(&self.meta.to_bytes())),
+            entry::CLASSES_DEX => Some(cached_dex_meta(&self.dex).0),
+            entry::ICON => Some(sha256::digest(&self.icon)),
+            entry::STRINGS_XML => Some(sha256::digest(&self.strings.to_bytes())),
+            _ => None,
+        }
+    }
+
+    /// Content digest of the whole APK: SHA-256 over the canonical
+    /// manifest bytes. Two APKs share a content digest iff every entry's
+    /// bytes match, which makes this the app key for content-addressed
+    /// protection caching (the signing key does not participate — the
+    /// protect pipeline never reads it).
+    pub fn content_digest(&self) -> bombdroid_crypto::Digest256 {
+        sha256::digest(&self.manifest().to_bytes())
     }
 
     /// Verifies the stored signature against the current contents — what
@@ -155,9 +222,12 @@ impl ApkFile {
         self.entries().iter().map(|(_, b)| b.len()).sum()
     }
 
-    /// Size of the `classes.dex` entry alone.
+    /// Size of the `classes.dex` entry alone. Served from the same
+    /// identity-keyed cache as the manifest digest: the encoded length of
+    /// an immutable `Arc<DexFile>` never changes, so repeated protections
+    /// of one APK measure it once.
     pub fn dex_size(&self) -> usize {
-        wire::encoded_dex_len(&self.dex)
+        cached_dex_meta(&self.dex).1
     }
 
     /// Re-signs the APK in place with `key` (after content mutation).
@@ -307,5 +377,22 @@ mod tests {
         ] {
             assert!(m.digest(name).is_some(), "missing {name}");
         }
+    }
+
+    #[test]
+    fn streamed_manifest_matches_materialized_entries() {
+        let (dev, _) = keys();
+        let apk = package_app(&small_dex(), StringsXml::new(), AppMeta::named("app"), &dev);
+        let entries = apk.entries();
+        let materialized = Manifest::compute(entries.iter().map(|(n, b)| (*n, b.as_slice())));
+        assert_eq!(apk.manifest(), materialized);
+        for (name, bytes) in &entries {
+            assert_eq!(
+                apk.entry_digest(name),
+                Some(bombdroid_crypto::sha256::digest(bytes)),
+                "entry {name}"
+            );
+        }
+        assert_eq!(apk.entry_digest("no/such/entry"), None);
     }
 }

@@ -26,6 +26,13 @@ impl Manifest {
         m
     }
 
+    /// Records a precomputed digest for `entry` (for callers that already
+    /// hold an entry's digest — e.g. a streamed DEX digest — and must not
+    /// re-materialize the bytes just to hash them).
+    pub fn insert(&mut self, entry: &str, digest: Digest256) {
+        self.entries.insert(entry.to_string(), digest);
+    }
+
     /// The digest recorded for `entry`, if present.
     pub fn digest(&self, entry: &str) -> Option<&Digest256> {
         self.entries.get(entry)

@@ -271,6 +271,63 @@ fn run_all(config: &PerfConfig, filter: Option<&str>) -> Vec<BenchResult> {
         }));
     }
 
+    // --- crypto: multi-buffer SHA-256 (arm-phase batch hashing) ---
+    if wanted("crypto/sha256_mb4_4k") {
+        // Four independent 4 KiB messages through the 4-lane kernel —
+        // compare against 4× crypto/sha256_4k for the interleave win.
+        let bufs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![0xA5 ^ i; 4096]).collect();
+        push(run_bench(
+            "crypto/sha256_mb4_4k",
+            Some(4 * 4096),
+            config,
+            || {
+                let refs: Vec<&[u8]> = bufs.iter().map(Vec::as_slice).collect();
+                std::hint::black_box(sha256::digest_many(std::hint::black_box(&refs)));
+            },
+        ));
+    }
+
+    // --- service: protect-as-a-service throughput + queue overhead ---
+    if wanted("service/protect_qps") {
+        // Sustained intake→drain over all eight flagships with a cold
+        // cache each iteration: the store-side cost of one corpus sweep
+        // through the service path (admission, sharding, cache misses).
+        let apks: Vec<_> = flagships().iter().map(|a| Arc::new(a.apk(&dev))).collect();
+        push(run_bench("service/protect_qps", None, config, || {
+            let mut svc = bombdroid_core::ProtectService::with_threads(1, apks.len());
+            for apk in &apks {
+                svc.submit(bombdroid_core::ProtectJob {
+                    apk: Arc::clone(apk),
+                    config: protect_config.clone(),
+                    seed: bombdroid_core::SeedPolicy::PerApp { base: 0x7AB0 },
+                })
+                .unwrap();
+            }
+            let outcomes = svc.drain();
+            std::hint::black_box(outcomes.len());
+        }));
+    }
+    if wanted("service/queue_cycle_64") {
+        // Queue latency floor: 64 duplicate jobs against a warm shared
+        // cache — every request is a hit, so this isolates submit +
+        // drain + cache-lookup overhead per job (the queue-wait path).
+        let apk = Arc::new(app.apk(&dev));
+        let cache = Arc::new(bombdroid_core::ProtectionCache::new());
+        push(run_bench("service/queue_cycle_64", None, config, || {
+            let mut svc = bombdroid_core::ProtectService::with_parts(1, 64, Arc::clone(&cache));
+            for _ in 0..64 {
+                svc.submit(bombdroid_core::ProtectJob {
+                    apk: Arc::clone(&apk),
+                    config: protect_config.clone(),
+                    seed: bombdroid_core::SeedPolicy::Fixed(0x7AB0),
+                })
+                .unwrap();
+            }
+            let outcomes = svc.drain();
+            std::hint::black_box(outcomes.len());
+        }));
+    }
+
     // --- runtime: protected-app event throughput (Table 5's kernel) ---
     if wanted("vm/drive_protected_50ev")
         || wanted("vm/drive_coverage_on")

@@ -129,6 +129,7 @@ fn main() {
             "brute",
             "ablation",
             "population",
+            "service",
         ];
     }
     let total = wanted.len();
@@ -151,6 +152,7 @@ fn main() {
             "resilience" => resilience(&budgets),
             "guided" => guided(&budgets),
             "population" => population(&budgets),
+            "service" => service(&budgets),
             "brute" => brute(&budgets),
             "ablation" => ablation(),
             other => {
@@ -647,6 +649,62 @@ fn population(b: &Budgets) {
     match std::fs::write(&path, json) {
         Ok(()) => eprintln!("population sweep written to {}", path.display()),
         Err(e) => eprintln!("population: cannot write {}: {e}", path.display()),
+    }
+}
+
+fn service(b: &Budgets) {
+    banner(
+        "ROADMAP item 5 — protect-as-a-service smoke",
+        "fixed-seed job mix with duplicates: single-flight cache, admission control, deterministic drain",
+    );
+    let r = ex::service_smoke(&b.config());
+    let printable: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.index.to_string(),
+                row.app.clone(),
+                format!("{:016x}", row.seed),
+                if row.cache_hit { "hit" } else { "miss" }.to_string(),
+                if row.verified { "ok" } else { "FAIL" }.to_string(),
+                row.bombs.to_string(),
+                row.dex_digest[..12].to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            &["#", "App", "Seed", "Cache", "Verify", "Bombs", "DEX digest"],
+            &printable
+        )
+    );
+    // Thread count goes to stderr: stdout stays bit-identical for any
+    // BOMBDROID_THREADS (the fleet determinism contract).
+    eprintln!("service: drained on {} worker thread(s)", r.threads);
+    println!(
+        "protects {} | hits {} | shed {} | serial control: {}",
+        r.protects,
+        r.hits,
+        r.shed,
+        if r.serial_identical {
+            "bit-identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+    let json = ex::service_json(&r);
+    ex::validate_service_json(&json).expect("service experiment emitted an invalid artifact");
+    let dir = std::path::Path::new("target/repro_output");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("service: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join("service.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("service smoke written to {}", path.display()),
+        Err(e) => eprintln!("service: cannot write {}: {e}", path.display()),
     }
 }
 

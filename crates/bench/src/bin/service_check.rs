@@ -1,0 +1,33 @@
+//! Validates the `service.json` artifact written by `repro service`.
+//!
+//! ```text
+//! service_check <service.json>
+//! ```
+//!
+//! Exits 0 if the document parses, matches the service-smoke schema, and
+//! passes the acceptance rules: every signed package verified, results in
+//! submission order, single-flight accounting consistent (`hits +
+//! protects == jobs`, `protects` = distinct artifacts), duplicate jobs
+//! byte-identical with `cache_hit` set exactly on re-requests, the
+//! overflow probe shed, and the serial control run bit-identical to the
+//! parallel drain. Exits 1 with a diagnostic otherwise. CI runs this
+//! after the `repro --fast service` smoke so a refactor that breaks the
+//! cache, admission control, or drain ordering fails the pipeline.
+
+use bombdroid_bench::experiments::validate_service_json;
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: service_check <service.json>");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("service_check: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = validate_service_json(&text) {
+        eprintln!("service_check: {path} INVALID: {e}");
+        std::process::exit(1);
+    }
+    println!("service_check: {path} OK");
+}

@@ -4,6 +4,9 @@
 use crate::fixed_keys;
 use bombdroid_apk::{ApkFile, VerifyError};
 use bombdroid_core::{FleetConfig, ProtectConfig, ProtectError, ProtectedApp, Protector};
+// Re-exported so bench callers reach the service-layer cache types through
+// the harness (one cache implementation, shared with the protect service).
+pub use bombdroid_core::service::{ProtectionCache, SeedPolicy};
 use bombdroid_corpus::{flagship, GeneratedApp};
 use bombdroid_obs as obs;
 use bombdroid_runtime::{
@@ -13,7 +16,6 @@ use bombdroid_runtime::{
 use parking_lot::Mutex;
 use rand::{rngs::StdRng, SeedableRng};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Shared base seed for protecting flagship `i` (`PROTECT_BASE + i`).
@@ -96,20 +98,25 @@ pub fn flagships() -> Vec<GeneratedApp> {
 type Artifact = Arc<(ProtectedApp, ApkFile)>;
 
 #[derive(PartialEq, Eq, Hash)]
-struct CacheKey {
+struct SignKey {
     app: String,
     seed: u64,
     /// `ProtectConfig` fingerprint (its `Debug` form covers every field).
     config: String,
 }
 
-/// Memoizes protection runs by `(app, seed, config)`. Concurrent requests
-/// for the same key protect once and share the artifact; requests for
-/// different keys proceed in parallel.
+/// Memoizes protection runs by `(app, seed, config)` — a thin wrapper over
+/// core's content-addressed [`ProtectionCache`]. The protect pass itself
+/// (and its single-flight deduplication) lives in
+/// `bombdroid_core::service`; what this wrapper adds is the
+/// developer-signed APK, which the core cache deliberately does not hold
+/// (the signing key never enters the protect pipeline). Concurrent
+/// requests for the same key protect and sign once and share the
+/// artifact; requests for different keys proceed in parallel.
 #[derive(Default)]
 pub struct ProtectedAppCache {
-    slots: Mutex<HashMap<CacheKey, Arc<Mutex<Option<Artifact>>>>>,
-    protects: AtomicUsize,
+    core: ProtectionCache,
+    signed: Mutex<HashMap<SignKey, Arc<Mutex<Option<Artifact>>>>>,
 }
 
 impl ProtectedAppCache {
@@ -118,9 +125,15 @@ impl ProtectedAppCache {
         ProtectedAppCache::default()
     }
 
-    /// How many protection passes actually ran (cache misses).
+    /// How many protection passes actually ran (cache misses), as counted
+    /// by the underlying core cache.
     pub fn protect_count(&self) -> usize {
-        self.protects.load(Ordering::Relaxed)
+        self.core.protect_count()
+    }
+
+    /// The core content-addressed cache this wrapper delegates to.
+    pub fn core(&self) -> &ProtectionCache {
+        &self.core
     }
 
     /// Returns the cached artifact for `(app, config, seed)`, protecting it
@@ -131,7 +144,7 @@ impl ProtectedAppCache {
         config: &ProtectConfig,
         seed: u64,
     ) -> Result<Artifact, ExperimentError> {
-        let key = CacheKey {
+        let key = SignKey {
             app: app.name.clone(),
             seed,
             config: format!("{config:?}"),
@@ -140,14 +153,19 @@ impl ProtectedAppCache {
         // Per-key slot: the outer map lock is held only for the lookup, so
         // distinct apps protect concurrently while a second request for the
         // same key blocks until the first finishes and then reuses it.
-        let slot = self.slots.lock().entry(key).or_default().clone();
+        let slot = self.signed.lock().entry(key).or_default().clone();
         let mut guard = slot.lock();
         if let Some(artifact) = &*guard {
             return Ok(artifact.clone());
         }
-        obs::counter_add("cache.protects", 1);
-        let artifact = Arc::new(try_protect_app(app, config.clone(), seed)?);
-        self.protects.fetch_add(1, Ordering::Relaxed);
+        let (dev, _) = fixed_keys();
+        let apk = app.apk(&dev);
+        let (protected, hit) = self.core.get_or_protect(&apk, config, seed)?;
+        if !hit {
+            obs::counter_add("cache.protects", 1);
+        }
+        let signed = protected.package(&dev);
+        let artifact = Arc::new(((*protected).clone(), signed));
         *guard = Some(artifact.clone());
         Ok(artifact)
     }

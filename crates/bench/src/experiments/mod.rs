@@ -26,6 +26,7 @@ pub mod guided;
 pub mod harness;
 pub mod population;
 pub mod resilience;
+pub mod service;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -53,6 +54,10 @@ pub use population::{
     PopulationBombRow, PopulationResume, PopulationScaleRow, POPULATION_SCHEMA_VERSION,
 };
 pub use resilience::{resilience_reports, resilience_reports_with};
+pub use service::{
+    service_json, service_smoke, validate_service_json, ServiceJobRow, ServiceSmokeResult,
+    SERVICE_SCHEMA_VERSION,
+};
 pub use table1::{table1, table1_with, Table1Row};
 pub use table2::{table2, table2_with, Table2Row};
 pub use table3::{table3, table3_with, Table3Row};

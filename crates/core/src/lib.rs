@@ -74,6 +74,7 @@ pub mod pipeline;
 pub mod profiling;
 pub mod report;
 pub mod rewrite;
+pub mod service;
 pub mod sites;
 
 pub use config::{DetectionMethods, ProtectConfig, ResponseChoice};
@@ -87,3 +88,7 @@ pub use payload::{DetectionKind, MUTE_FLAG};
 pub use pipeline::{ProtectError, ProtectedApp, Protector};
 pub use profiling::{profile_app, ProfileResult};
 pub use report::{BombInfo, BombKind, ProtectReport};
+pub use service::{
+    config_fingerprint, shared_protection_cache, AdmissionError, JobOutcome, JobTicket, ProtectJob,
+    ProtectService, ProtectionCache, SeedPolicy,
+};

@@ -42,7 +42,7 @@ impl NaiveProtector {
     pub fn protect(&self, apk: &ApkFile, rng: &mut StdRng) -> Result<ProtectedApp, VerifyError> {
         let profile = profile_app(apk, &self.config, rng.gen())?;
         let mut dex = (*apk.dex).clone();
-        let plan = sites::plan(&dex, &profile, &self.config, rng);
+        let plan = sites::plan(&apk.dex, &profile, &self.config, rng);
         let ko = apk.cert.public_key.to_bytes().to_vec();
 
         let mut report = ProtectReport {

@@ -4,7 +4,7 @@
 //! site planning → bomb construction & bytecode instrumentation →
 //! encryption → repackage unsigned output for the developer to sign.
 
-use crate::bomb::{arm_artificial, arm_existing, PayloadSpec};
+use crate::bomb::{arm_artificial, arm_existing, PayloadSpec, PendingBlobs};
 use crate::config::{ProtectConfig, ResponseChoice};
 use crate::fleet;
 use crate::inner;
@@ -15,7 +15,7 @@ use crate::sites::{self, PlannedArtificial, PlannedExisting};
 use bombdroid_analysis::Strength;
 use bombdroid_apk::container::entry;
 use bombdroid_apk::{package_app, stego, ApkFile, AppMeta, DeveloperKey, StringsXml, VerifyError};
-use bombdroid_dex::{wire, DexFile, EncryptedBlob, Instr, Method, MethodRef, Value};
+use bombdroid_dex::{wire, DexFile, Instr, Method, MethodRef, Value};
 use bombdroid_obs as obs;
 use rand::{rngs::StdRng, Rng};
 use std::collections::{BTreeMap, HashSet};
@@ -112,12 +112,14 @@ impl Action {
     }
 }
 
-/// Result of arming one method: its sealed blobs (ids carry
-/// [`LOCAL_BLOB_MARK`]), the bomb records, and how many sites were skipped.
+/// Result of arming one method: its pending (not yet sealed) blobs — ids
+/// carry [`LOCAL_BLOB_MARK`] — the bomb records, and how many sites were
+/// skipped. Sealing is deferred to the merge so the whole app's blobs go
+/// through one batched crypto pass.
 struct MethodOutcome {
     class_idx: usize,
     method_idx: usize,
-    blobs: Vec<EncryptedBlob>,
+    pending: PendingBlobs,
     bombs: Vec<BombInfo>,
     skipped: usize,
 }
@@ -133,22 +135,14 @@ fn arm_method(
     prepared: Vec<PreparedAction>,
 ) -> MethodOutcome {
     let mref = method.method_ref();
-    let mut blobs = Vec::new();
+    let mut pending = PendingBlobs::new(LOCAL_BLOB_MARK);
     let mut bombs = Vec::new();
     let mut skipped = 0usize;
     for PreparedAction { action, salt, spec } in prepared {
         debug_assert_eq!(action.method(), &mref);
         match action {
             Action::Existing(p) => {
-                match arm_existing(
-                    method,
-                    &mut blobs,
-                    LOCAL_BLOB_MARK,
-                    &p,
-                    &spec,
-                    &salt,
-                    weave_original,
-                ) {
+                match arm_existing(method, &mut pending, &p, &spec, &salt, weave_original) {
                     Ok(blob) => bombs.push(BombInfo {
                         marker: spec.marker,
                         kind: BombKind::ExistingQc,
@@ -161,27 +155,25 @@ fn arm_method(
                     Err(_) => skipped += 1,
                 }
             }
-            Action::Bogus(p) => {
-                match arm_existing(method, &mut blobs, LOCAL_BLOB_MARK, &p, &spec, &salt, true) {
-                    Ok(blob) => bombs.push(BombInfo {
-                        marker: None,
-                        kind: BombKind::Bogus,
-                        method: mref.clone(),
-                        strength: p.site.strength(),
-                        inner: None,
-                        detection: None,
-                        blob,
-                    }),
-                    Err(_) => skipped += 1,
-                }
-            }
+            Action::Bogus(p) => match arm_existing(method, &mut pending, &p, &spec, &salt, true) {
+                Ok(blob) => bombs.push(BombInfo {
+                    marker: None,
+                    kind: BombKind::Bogus,
+                    method: mref.clone(),
+                    strength: p.site.strength(),
+                    inner: None,
+                    detection: None,
+                    blob,
+                }),
+                Err(_) => skipped += 1,
+            },
             Action::Artificial(p) => {
                 let strength = match &p.constant {
                     Value::Bool(_) => Strength::Weak,
                     Value::Int(_) => Strength::Medium,
                     _ => Strength::Strong,
                 };
-                match arm_artificial(method, &mut blobs, LOCAL_BLOB_MARK, &p, &spec, &salt) {
+                match arm_artificial(method, &mut pending, &p, &spec, &salt) {
                     Ok(blob) => bombs.push(BombInfo {
                         marker: spec.marker,
                         kind: BombKind::ArtificialQc,
@@ -199,7 +191,7 @@ fn arm_method(
     MethodOutcome {
         class_idx,
         method_idx,
-        blobs,
+        pending,
         bombs,
         skipped,
     }
@@ -270,7 +262,7 @@ impl Protector {
         let mut dex = (*apk.dex).clone();
         let plan = {
             let _span = obs::span("pipeline.plan");
-            sites::plan(&dex, &profile, config, rng)
+            sites::plan(&apk.dex, &profile, config, rng)
         };
 
         // Detection pool + steganographic resource strings.
@@ -308,7 +300,7 @@ impl Protector {
             candidate_methods: plan.candidate_methods,
             hot_methods: plan.hot_methods,
             skipped_sites: plan.skipped_sites,
-            original_dex_size: wire::encoded_dex_len(&apk.dex),
+            original_dex_size: apk.dex_size(),
             ..ProtectReport::default()
         };
 
@@ -386,9 +378,12 @@ impl Protector {
         // Merge in task (= dex) order: relocate each method's marked blob
         // ids onto the end of the dex blob table and append its bombs. The
         // serial pass interleaved seals in exactly this order, so ids,
-        // blob order, and report order are bit-identical to it.
+        // blob order, and report order are bit-identical to it. Sealing
+        // itself pools every method's fragments into one app-wide batch —
+        // blob bytes don't depend on batching, only on (key, plaintext).
+        let mut staged = PendingBlobs::new(0);
         for outcome in outcomes {
-            let base = blobs.len() as u32;
+            let base = (blobs.len() + staged.len()) as u32;
             let method = &mut classes[outcome.class_idx].methods[outcome.method_idx];
             for instr in &mut method.body {
                 if let Instr::DecryptExec { blob, .. } = instr {
@@ -401,9 +396,10 @@ impl Protector {
                 bomb.blob.0 = base + (bomb.blob.0 & !LOCAL_BLOB_MARK);
                 report.bombs.push(bomb);
             }
-            blobs.extend(outcome.blobs);
+            staged.absorb(outcome.pending);
             report.skipped_sites += outcome.skipped;
         }
+        blobs.extend(staged.seal_all());
 
         arm_span.end();
         instrument_span.end();
@@ -464,10 +460,12 @@ impl Protector {
             });
         }
         if self.config.detection.digest {
-            let manifest = apk.manifest();
+            // Only the icon and AndroidManifest digests are planted;
+            // computing them per entry skips the full-DEX hash a complete
+            // manifest would redo (install already hashed it once).
             for e in [entry::ICON, entry::ANDROID_MANIFEST] {
-                if let Some(d) = manifest.digest(e) {
-                    let key = hide(strings, d);
+                if let Some(d) = apk.entry_digest(e) {
+                    let key = hide(strings, &d);
                     detections.push(DetectionKind::ManifestDigest {
                         entry: e.to_string(),
                         stego_key: key,

@@ -65,18 +65,25 @@ pub fn check_region(method: &Method, start: usize, end: usize) -> Result<(), Rew
         return Err(RewriteError::BadRange { start, end, len });
     }
     for (pc, instr) in method.body.iter().enumerate() {
-        for t in instr.branch_targets() {
+        let mut violation = None;
+        instr.for_each_branch_target(|t| {
+            if violation.is_some() {
+                return;
+            }
             let inside_region = (start..end).contains(&pc);
             if inside_region {
                 if !(start..=end).contains(&t) {
-                    return Err(RewriteError::RegionEscapes { at: pc, target: t });
+                    violation = Some(RewriteError::RegionEscapes { at: pc, target: t });
                 }
             } else if t > start && t < end {
-                return Err(RewriteError::CrossJumpIntoRegion {
+                violation = Some(RewriteError::CrossJumpIntoRegion {
                     from: pc,
                     target: t,
                 });
             }
+        });
+        if let Some(err) = violation {
+            return Err(err);
         }
     }
     Ok(())
@@ -111,26 +118,28 @@ pub fn rewrite_region(
         }
     };
 
-    let mut new_body: Vec<Instr> =
-        Vec::with_capacity(method.body.len() - old_region_len + new_region_len);
-    let remap = |mut instr: Instr| -> Instr {
-        match &mut instr {
-            Instr::If { target, .. } | Instr::Goto { target } => *target = map(*target),
-            Instr::Switch { arms, default, .. } => {
-                for (_, t) in arms.iter_mut() {
-                    *t = map(*t);
-                }
-                *default = map(*default);
+    // Remap the surviving instructions' targets in place, then splice the
+    // (pre-shifted) replacement over the region — the suffix moves without
+    // cloning a single instruction.
+    let remap = |instr: &mut Instr| match instr {
+        Instr::If { target, .. } | Instr::Goto { target } => *target = map(*target),
+        Instr::Switch { arms, default, .. } => {
+            for (_, t) in arms.iter_mut() {
+                *t = map(*t);
             }
-            _ => {}
+            *default = map(*default);
         }
-        instr
+        _ => {}
     };
-    for instr in &method.body[..start] {
-        new_body.push(remap(instr.clone()));
+    for instr in &mut method.body[..start] {
+        remap(instr);
     }
-    for mut instr in replacement {
-        match &mut instr {
+    for instr in &mut method.body[end..] {
+        remap(instr);
+    }
+    let mut replacement = replacement;
+    for instr in &mut replacement {
+        match instr {
             Instr::If { target, .. } | Instr::Goto { target } => *target += start,
             Instr::Switch { arms, default, .. } => {
                 for (_, t) in arms.iter_mut() {
@@ -140,21 +149,14 @@ pub fn rewrite_region(
             }
             _ => {}
         }
-        new_body.push(instr);
     }
-    for instr in &method.body[end..] {
-        new_body.push(remap(instr.clone()));
-    }
-    method.body = new_body;
+    method.body.splice(start..end, replacement);
     // Keep the frame large enough for any new registers.
+    let mut registers = method.registers;
     for instr in &method.body {
-        for r in instr.uses() {
-            method.registers = method.registers.max(r.0 + 1);
-        }
-        if let Some(d) = instr.def() {
-            method.registers = method.registers.max(d.0 + 1);
-        }
+        instr.for_each_reg(|r| registers = registers.max(r.0 + 1));
     }
+    method.registers = registers;
     Ok(())
 }
 

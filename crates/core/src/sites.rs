@@ -5,11 +5,12 @@
 use crate::config::ProtectConfig;
 use crate::profiling::ProfileResult;
 use crate::rewrite::check_region;
-use bombdroid_analysis::{distinct_values, qc, rank_fields, QcCompare, QcSite};
+use bombdroid_analysis::{qc, QcCompare, QcSite};
 use bombdroid_analysis::{Cfg, Dominators, LoopInfo};
 use bombdroid_dex::{DexFile, FieldKind, FieldRef, Instr, Method, MethodRef, Value};
 use rand::{seq::SliceRandom, Rng};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, Weak};
 
 /// An armed existing-QC site with its resolved rewrite region.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,32 +95,49 @@ fn region_is_clean(method: &Method, anchor: usize, skip: usize) -> bool {
         .all(|i| !matches!(i, Instr::Hash { .. } | Instr::DecryptExec { .. }))
 }
 
-/// Plans instrumentation for `dex` given profiling results.
-pub fn plan(
-    dex: &DexFile,
-    profile: &ProfileResult,
-    config: &ProtectConfig,
-    rng: &mut impl Rng,
-) -> SitePlan {
-    let mut plan = SitePlan::default();
-    let all_methods: Vec<MethodRef> = dex.methods().map(|m| m.method_ref()).collect();
-    plan.hot_methods = profile.hot.len();
-    let candidates: Vec<MethodRef> = all_methods
-        .iter()
-        .filter(|m| !profile.hot.contains(m))
-        .cloned()
-        .collect();
-    plan.candidate_methods = candidates.len();
-    let candidate_set: HashSet<&MethodRef> = candidates.iter().collect();
+/// Everything the planner derives from one method's bytecode alone:
+/// transformable non-loop QC regions (greedy non-overlapping, highest
+/// anchor first), the sites that selection rejected, and the non-loop pcs
+/// where an artificial QC could be inserted.
+#[derive(Debug, Clone)]
+struct MethodScan {
+    mref: MethodRef,
+    eligible: Vec<PlannedExisting>,
+    skipped: usize,
+    body_len: usize,
+    nonloop_pcs: Vec<u32>,
+}
 
-    // ---- existing QCs --------------------------------------------------
-    let mut eligible: Vec<PlannedExisting> = Vec::new();
+/// The bytecode-derived half of a [`SitePlan`], shared across protection
+/// runs of the same immutable dex (see [`cached_dex_scan`]).
+#[derive(Debug)]
+struct DexScan {
+    existing_qc_found: usize,
+    /// Per-method scans in `DexFile::methods` order.
+    methods: Vec<MethodScan>,
+    /// First-wins index by method ref, mirroring `DexFile::method`
+    /// resolution for duplicate refs.
+    by_ref: HashMap<MethodRef, usize>,
+}
+
+/// Runs the pure static-analysis pass: CFG, dominators, loops, QC scan and
+/// region checking for every method. No profile or RNG input touches this.
+fn scan_dex(dex: &DexFile) -> DexScan {
+    let mut scan = DexScan {
+        existing_qc_found: 0,
+        methods: Vec::new(),
+        by_ref: HashMap::new(),
+    };
     for method in dex.methods() {
-        let sites = qc::scan_method(method);
-        plan.existing_qc_found += sites.len();
-        if !candidate_set.contains(&method.method_ref()) {
-            continue;
-        }
+        let cfg = Cfg::build(method);
+        let loops = if cfg.is_empty() {
+            None
+        } else {
+            let dom = Dominators::compute(&cfg);
+            Some(LoopInfo::compute(&cfg, &dom))
+        };
+        let sites = qc::scan_method_with(method, &cfg, loops.as_ref());
+        scan.existing_qc_found += sites.len();
         // Per-method greedy non-overlapping selection, highest anchor first
         // so later rewrites don't shift earlier regions.
         let mut per_method: Vec<PlannedExisting> = sites
@@ -136,19 +154,100 @@ pub fn plan(
             })
             .collect();
         per_method.sort_by_key(|p| std::cmp::Reverse(p.anchor));
+        let mut eligible = Vec::new();
+        let mut skipped = 0usize;
         let mut taken_below = usize::MAX;
         for p in per_method {
             if p.skip > taken_below {
-                plan.skipped_sites += 1;
-                continue; // overlaps a previously taken (higher) region
+                skipped += 1; // overlaps a previously taken (higher) region
+                continue;
             }
             if !region_is_clean(method, p.anchor, p.skip) {
-                plan.skipped_sites += 1;
+                skipped += 1;
                 continue;
             }
             taken_below = p.anchor;
             eligible.push(p);
         }
+        let nonloop_pcs: Vec<u32> = (0..method.body.len())
+            .filter(|&pc| !loops.as_ref().is_some_and(|l| l.pc_in_loop(&cfg, pc)))
+            .map(|pc| pc as u32)
+            .collect();
+        let mref = method.method_ref();
+        let idx = scan.methods.len();
+        scan.by_ref.entry(mref.clone()).or_insert(idx);
+        scan.methods.push(MethodScan {
+            mref,
+            eligible,
+            skipped,
+            body_len: method.body.len(),
+            nonloop_pcs,
+        });
+    }
+    scan
+}
+
+/// Process-wide scan registry keyed by `Arc<DexFile>` allocation identity —
+/// the same pattern as the decoded-program and dex-digest caches. Sound
+/// because a `DexFile` behind an `Arc` is immutable (the protect pipeline
+/// clones it out before mutating), so the scan of a given allocation can
+/// never go stale; the `Weak` + `ptr_eq` pairing guards against address
+/// reuse after a drop.
+static DEX_SCANS: Mutex<Vec<(Weak<DexFile>, Arc<DexScan>)>> = Mutex::new(Vec::new());
+const DEX_SCANS_CAP: usize = 64;
+
+fn cached_dex_scan(dex: &Arc<DexFile>) -> Arc<DexScan> {
+    let mut reg = DEX_SCANS
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    reg.retain(|(weak, _)| weak.strong_count() > 0);
+    for (weak, scan) in reg.iter() {
+        if let Some(live) = weak.upgrade() {
+            if Arc::ptr_eq(&live, dex) {
+                return Arc::clone(scan);
+            }
+        }
+    }
+    let scan = Arc::new(scan_dex(dex));
+    if reg.len() < DEX_SCANS_CAP {
+        reg.push((Arc::downgrade(dex), Arc::clone(&scan)));
+    }
+    scan
+}
+
+/// Plans instrumentation for `dex` given profiling results.
+///
+/// Takes the dex behind the app's shared `Arc` so the bytecode-only
+/// analysis half ([`scan_dex`]) is served from the identity cache when the
+/// same app is protected repeatedly; the profile- and RNG-dependent
+/// selection below always runs fresh.
+pub fn plan(
+    dex: &Arc<DexFile>,
+    profile: &ProfileResult,
+    config: &ProtectConfig,
+    rng: &mut impl Rng,
+) -> SitePlan {
+    let scan = cached_dex_scan(dex);
+    let mut plan = SitePlan::default();
+    let all_methods: Vec<MethodRef> = scan.methods.iter().map(|m| m.mref.clone()).collect();
+    plan.hot_methods = profile.hot.len();
+    let candidates: Vec<MethodRef> = all_methods
+        .iter()
+        .filter(|m| !profile.hot.contains(m))
+        .cloned()
+        .collect();
+    plan.candidate_methods = candidates.len();
+    let candidate_set: HashSet<&MethodRef> = candidates.iter().collect();
+
+    // ---- existing QCs --------------------------------------------------
+    plan.existing_qc_found = scan.existing_qc_found;
+    let mut eligible: Vec<PlannedExisting> = Vec::new();
+    for m in &scan.methods {
+        if !candidate_set.contains(&m.mref) {
+            continue;
+        }
+        plan.skipped_sites += m.skipped;
+        eligible.extend(m.eligible.iter().cloned());
     }
 
     // Split eligible sites into real bombs and bogus bombs.
@@ -173,32 +272,47 @@ pub fn plan(
 
     // ---- artificial QCs -------------------------------------------------
     // High-entropy profiled *static* fields (resolvable from any method).
-    let ranked = rank_fields(profile.telemetry.field_values.iter());
+    // One pass per field computes occurrence counts and the first-seen
+    // distinct-value order together; ranking is by distinct count
+    // descending (ties by name), exactly `rank_fields` order.
+    let mut ranked: Vec<(&String, Vec<&Value>, HashMap<&Value, usize>)> = profile
+        .telemetry
+        .field_values
+        .iter()
+        .map(|(name, samples)| {
+            let mut counts: HashMap<&Value, usize> = HashMap::new();
+            let mut distinct: Vec<&Value> = Vec::new();
+            for (_, v) in samples {
+                let c = counts.entry(v).or_insert(0usize);
+                if *c == 0 {
+                    distinct.push(v);
+                }
+                *c += 1;
+            }
+            (name, distinct, counts)
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then_with(|| a.0.cmp(b.0)));
     let usable_fields: Vec<(FieldRef, Vec<Value>)> = ranked
         .iter()
-        .filter(|fe| fe.unique >= 4)
-        .filter_map(|fe| {
-            let (class, name) = fe.field.rsplit_once('.')?;
+        .filter(|(_, distinct, _)| distinct.len() >= 4)
+        .filter_map(|(field, distinct, counts)| {
+            let (class, name) = field.rsplit_once('.')?;
             let class_def = dex.class(class)?;
             if !class_def.has_field(name, FieldKind::Static) {
                 return None;
             }
-            let samples = profile.telemetry.field_values.get(&fe.field)?;
+            let scalar = |v: &Value| matches!(v, Value::Int(_) | Value::Str(_) | Value::Bool(_));
             // Prefer values the field took *repeatedly* during profiling:
             // a constant the program revisits is a trigger users will
             // eventually satisfy, while a one-off value would make the
-            // bomb dead on every device.
-            let mut counts: std::collections::HashMap<&Value, usize> =
-                std::collections::HashMap::new();
-            for (_, v) in samples {
-                *counts.entry(v).or_insert(0) += 1;
-            }
-            let scalar = |v: &Value| matches!(v, Value::Int(_) | Value::Str(_) | Value::Bool(_));
-            // Monotonic counters (every value distinct) would make dead
-            // bombs — skip fields without recurring values outright.
-            let values: Vec<Value> = distinct_values(samples)
-                .into_iter()
-                .filter(|v| scalar(v) && counts.get(v).copied().unwrap_or(0) >= 3)
+            // bomb dead on every device. Monotonic counters (every value
+            // distinct) would make dead bombs — skip fields without
+            // recurring values outright.
+            let values: Vec<Value> = distinct
+                .iter()
+                .filter(|v| scalar(v) && counts[*v] >= 3)
+                .map(|v| (*v).clone())
                 .collect();
             (!values.is_empty()).then(|| (FieldRef::new(class, name), values))
         })
@@ -219,16 +333,16 @@ pub fn plan(
         picked.shuffle(rng);
         picked.truncate(n);
         for mref in picked {
-            let Some(method) = dex.method(&mref) else {
+            let Some(&mi) = scan.by_ref.get(&mref) else {
                 continue;
             };
-            if method.body.is_empty() {
+            let mscan = &scan.methods[mi];
+            if mscan.body_len == 0 {
                 continue;
             }
-            // Random non-loop location; avoid positions inside selected
-            // existing regions of the same method.
-            let cfg = Cfg::build(method);
-            let loops = LoopInfo::compute(&cfg, &Dominators::compute(&cfg));
+            // Random non-loop location (pre-computed by the scan); avoid
+            // positions inside selected existing regions of the same
+            // method.
             let blocked: Vec<(usize, usize)> = plan
                 .existing
                 .iter()
@@ -236,8 +350,10 @@ pub fn plan(
                 .filter(|p| p.site.method == mref)
                 .map(|p| (p.anchor, p.skip))
                 .collect();
-            let spots: Vec<usize> = (0..method.body.len())
-                .filter(|&pc| !loops.pc_in_loop(&cfg, pc))
+            let spots: Vec<usize> = mscan
+                .nonloop_pcs
+                .iter()
+                .map(|&pc| pc as usize)
                 .filter(|&pc| !blocked.iter().any(|&(a, s)| pc > a && pc < s))
                 .collect();
             if spots.is_empty() {
@@ -269,7 +385,7 @@ mod tests {
     use bombdroid_runtime::Telemetry;
     use rand::{rngs::StdRng, SeedableRng};
 
-    fn app_with_qcs() -> DexFile {
+    fn app_with_qcs() -> Arc<DexFile> {
         let mut dex = DexFile::new();
         let mut class = Class::new("A");
         class.fields.push(bombdroid_dex::Field::stat("counter"));
@@ -291,7 +407,7 @@ mod tests {
         c.ret_void();
         class.methods.push(c.finish());
         dex.classes.push(class);
-        dex
+        Arc::new(dex)
     }
 
     fn fake_profile() -> ProfileResult {

@@ -79,6 +79,29 @@ const fn build_sbox() -> [u8; 256] {
     sbox
 }
 
+/// The classic T-tables: `TE0[x]` packs one SubBytes lookup fused with its
+/// MixColumns column contribution into a single `u32` (little-endian bytes
+/// `[2·S(x), S(x), S(x), 3·S(x)]`); `TE1..TE3` are its byte rotations for
+/// rows 1–3. Four 1 KiB tables trade a little cache footprint for zero
+/// rotate instructions in the round function.
+const TE0: [u32; 256] = build_te(0);
+const TE1: [u32; 256] = build_te(8);
+const TE2: [u32; 256] = build_te(16);
+const TE3: [u32; 256] = build_te(24);
+
+const fn build_te(rot: u32) -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let s = SBOX[i] as u32;
+        let s2 = MUL2[SBOX[i] as usize] as u32;
+        let s3 = MUL3[SBOX[i] as usize] as u32;
+        t[i] = (s2 | (s << 8) | (s << 16) | (s3 << 24)).rotate_left(rot);
+        i += 1;
+    }
+    t
+}
+
 /// An expanded AES-128 key schedule (11 round keys).
 ///
 /// ```
@@ -92,7 +115,9 @@ const fn build_sbox() -> [u8; 256] {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Aes128 {
-    round_keys: [[u8; 16]; 11],
+    /// Round keys as little-endian column words (`rk[r][c]` covers state
+    /// bytes `4c..4c+4` of round `r`), matching the T-table state layout.
+    rk: [[u32; 4]; 11],
 }
 
 impl Aes128 {
@@ -117,29 +142,26 @@ impl Aes128 {
                 w[i][j] = w[i - 4][j] ^ tmp[j];
             }
         }
-        let mut round_keys = [[0u8; 16]; 11];
+        let mut rk = [[0u32; 4]; 11];
         for r in 0..11 {
             for c in 0..4 {
-                round_keys[r][4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+                rk[r][c] = u32::from_le_bytes(w[4 * r + c]);
             }
         }
-        Aes128 { round_keys }
+        Aes128 { rk }
     }
 
     /// Encrypts a single 16-byte block.
     pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
-        let mut state = *block;
-        add_round_key(&mut state, &self.round_keys[0]);
-        for round in 1..10 {
-            sub_bytes(&mut state);
-            shift_rows(&mut state);
-            mix_columns(&mut state);
-            add_round_key(&mut state, &self.round_keys[round]);
+        let mut cols = block_to_cols(block);
+        for (col, k) in cols.iter_mut().zip(&self.rk[0]) {
+            *col ^= *k;
         }
-        sub_bytes(&mut state);
-        shift_rows(&mut state);
-        add_round_key(&mut state, &self.round_keys[10]);
-        state
+        for round in 1..10 {
+            cols = aes_round(&cols, &self.rk[round]);
+        }
+        cols = aes_last_round(&cols, &self.rk[10]);
+        cols_to_block(&cols)
     }
 
     /// XORs `data` in place with this key's CTR keystream for `nonce`.
@@ -148,54 +170,191 @@ impl Aes128 {
     /// schedule — callers encrypting several buffers under one key (a
     /// sealed blob's ciphertext, its re-derived plaintext) pay for key
     /// expansion once.
+    ///
+    /// CTR counter blocks are mutually independent, so the bulk of the
+    /// stream is produced four blocks at a time through the interleaved
+    /// encryption ([`encrypt4_cols`]) — four live dependency chains instead
+    /// of one, identical output bytes.
     pub fn ctr_xor(&self, nonce: u64, data: &mut [u8]) {
-        let mut counter_block = [0u8; 16];
-        counter_block[..8].copy_from_slice(&nonce.to_be_bytes());
-        for (i, chunk) in data.chunks_mut(16).enumerate() {
-            counter_block[8..].copy_from_slice(&(i as u64).to_be_bytes());
-            let ks = self.encrypt_block(&counter_block);
-            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
-                *b ^= k;
+        let mut block = 0u64;
+        let mut quads = data.chunks_exact_mut(64);
+        for quad in &mut quads {
+            let states = core::array::from_fn(|l| counter_cols(nonce, block + l as u64));
+            let ks = encrypt4_cols([&self.rk; 4], states);
+            for (l, chunk) in quad.chunks_exact_mut(16).enumerate() {
+                xor_cols(chunk, &ks[l]);
             }
+            block += 4;
+        }
+        for chunk in quads.into_remainder().chunks_mut(16) {
+            let mut cols = counter_cols(nonce, block);
+            for (col, k) in cols.iter_mut().zip(&self.rk[0]) {
+                *col ^= *k;
+            }
+            for round in 1..10 {
+                cols = aes_round(&cols, &self.rk[round]);
+            }
+            cols = aes_last_round(&cols, &self.rk[10]);
+            xor_cols(chunk, &cols);
+            block += 1;
         }
     }
 }
 
-fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
-    for (s, k) in state.iter_mut().zip(rk) {
-        *s ^= k;
-    }
+/// One independent CTR stream inside a [`ctr_xor_batch`] call.
+pub struct CtrJob<'a> {
+    /// Expanded schedule for this stream's key.
+    pub aes: &'a Aes128,
+    /// CTR nonce (the high 8 bytes of every counter block).
+    pub nonce: u64,
+    /// Buffer to XOR with the keystream in place.
+    pub data: &'a mut [u8],
 }
 
-fn sub_bytes(state: &mut [u8; 16]) {
-    for b in state.iter_mut() {
-        *b = SBOX[*b as usize];
-    }
-}
-
-// State layout: state[4*c + r] = byte at row r, column c (column-major as in FIPS 197).
-fn shift_rows(state: &mut [u8; 16]) {
-    let old = *state;
-    for r in 1..4 {
-        for c in 0..4 {
-            state[4 * c + r] = old[4 * ((c + r) % 4) + r];
+/// XORs several independent CTR streams in one pass, interleaving block
+/// encryptions **across** streams: the flat sequence of counter blocks from
+/// all jobs is encrypted four at a time regardless of job boundaries, so
+/// even sub-64-byte buffers (a method's worth of small sealed payloads)
+/// fill all four lanes. Each job's bytes are identical to what
+/// [`Aes128::ctr_xor`] would produce for it alone.
+pub fn ctr_xor_batch(jobs: &mut [CtrJob<'_>]) {
+    let mut coords: Vec<(usize, u64)> = Vec::new();
+    for (ji, job) in jobs.iter().enumerate() {
+        for b in 0..job.data.len().div_ceil(16) {
+            coords.push((ji, b as u64));
         }
     }
+    let mut quads = coords.chunks_exact(4);
+    for quad in &mut quads {
+        let states = core::array::from_fn(|l| counter_cols(jobs[quad[l].0].nonce, quad[l].1));
+        let rks = core::array::from_fn(|l| &jobs[quad[l].0].aes.rk);
+        let ks = encrypt4_cols(rks, states);
+        for (l, &(ji, b)) in quad.iter().enumerate() {
+            let off = b as usize * 16;
+            let chunk = &mut jobs[ji].data[off..];
+            let take = chunk.len().min(16);
+            xor_cols(&mut chunk[..take], &ks[l]);
+        }
+    }
+    for &(ji, b) in quads.remainder() {
+        let job = &mut jobs[ji];
+        let off = b as usize * 16;
+        let end = (off + 16).min(job.data.len());
+        let mut one = [0u8; 16];
+        let len = end - off;
+        one[..len].copy_from_slice(&job.data[off..end]);
+        job.aes.ctr_xor_single_block(b, &mut one, job.nonce);
+        job.data[off..end].copy_from_slice(&one[..len]);
+    }
 }
 
-fn mix_columns(state: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col = [
-            state[4 * c],
-            state[4 * c + 1],
-            state[4 * c + 2],
-            state[4 * c + 3],
-        ];
-        state[4 * c] = MUL2[col[0] as usize] ^ MUL3[col[1] as usize] ^ col[2] ^ col[3];
-        state[4 * c + 1] = col[0] ^ MUL2[col[1] as usize] ^ MUL3[col[2] as usize] ^ col[3];
-        state[4 * c + 2] = col[0] ^ col[1] ^ MUL2[col[2] as usize] ^ MUL3[col[3] as usize];
-        state[4 * c + 3] = MUL3[col[0] as usize] ^ col[1] ^ col[2] ^ MUL2[col[3] as usize];
+impl Aes128 {
+    /// XORs one counter block's keystream into `chunk` (helper for the
+    /// batch tail).
+    fn ctr_xor_single_block(&self, block: u64, chunk: &mut [u8], nonce: u64) {
+        let mut cols = counter_cols(nonce, block);
+        for (col, k) in cols.iter_mut().zip(&self.rk[0]) {
+            *col ^= *k;
+        }
+        for round in 1..10 {
+            cols = aes_round(&cols, &self.rk[round]);
+        }
+        cols = aes_last_round(&cols, &self.rk[10]);
+        xor_cols(chunk, &cols);
     }
+}
+
+// State layout: column-major as in FIPS 197 — byte `4c + r` is row `r` of
+// column `c`; a column is one little-endian `u32`, so row `r` is bits
+// `8r..8r+8` of the word.
+
+#[inline(always)]
+fn block_to_cols(block: &[u8; 16]) -> [u32; 4] {
+    core::array::from_fn(|c| {
+        u32::from_le_bytes([
+            block[4 * c],
+            block[4 * c + 1],
+            block[4 * c + 2],
+            block[4 * c + 3],
+        ])
+    })
+}
+
+#[inline(always)]
+fn cols_to_block(cols: &[u32; 4]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    for (c, col) in cols.iter().enumerate() {
+        out[4 * c..4 * c + 4].copy_from_slice(&col.to_le_bytes());
+    }
+    out
+}
+
+/// The CTR counter block `nonce ‖ block`, as state columns.
+#[inline(always)]
+fn counter_cols(nonce: u64, block: u64) -> [u32; 4] {
+    let n = nonce.to_be_bytes();
+    let b = block.to_be_bytes();
+    [
+        u32::from_le_bytes([n[0], n[1], n[2], n[3]]),
+        u32::from_le_bytes([n[4], n[5], n[6], n[7]]),
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]]),
+        u32::from_le_bytes([b[4], b[5], b[6], b[7]]),
+    ]
+}
+
+#[inline(always)]
+fn xor_cols(chunk: &mut [u8], cols: &[u32; 4]) {
+    for (i, byte) in chunk.iter_mut().enumerate() {
+        *byte ^= (cols[i / 4] >> (8 * (i % 4))) as u8;
+    }
+}
+
+/// One full middle round: SubBytes + ShiftRows + MixColumns + AddRoundKey,
+/// fused into four T-table lookups per column. Column `c`'s row-`r` input
+/// comes from column `(c + r) % 4` (ShiftRows).
+#[inline(always)]
+fn aes_round(cols: &[u32; 4], rk: &[u32; 4]) -> [u32; 4] {
+    core::array::from_fn(|c| {
+        TE0[(cols[c] & 0xff) as usize]
+            ^ TE1[((cols[(c + 1) % 4] >> 8) & 0xff) as usize]
+            ^ TE2[((cols[(c + 2) % 4] >> 16) & 0xff) as usize]
+            ^ TE3[(cols[(c + 3) % 4] >> 24) as usize]
+            ^ rk[c]
+    })
+}
+
+/// The final round (no MixColumns): plain S-box bytes through ShiftRows.
+#[inline(always)]
+fn aes_last_round(cols: &[u32; 4], rk: &[u32; 4]) -> [u32; 4] {
+    core::array::from_fn(|c| {
+        ((SBOX[(cols[c] & 0xff) as usize] as u32)
+            | ((SBOX[((cols[(c + 1) % 4] >> 8) & 0xff) as usize] as u32) << 8)
+            | ((SBOX[((cols[(c + 2) % 4] >> 16) & 0xff) as usize] as u32) << 16)
+            | ((SBOX[(cols[(c + 3) % 4] >> 24) as usize] as u32) << 24))
+            ^ rk[c]
+    })
+}
+
+/// Encrypts four independent blocks in lockstep, each under its own
+/// (possibly shared) schedule. Interleaving keeps four dependency chains in
+/// flight through the table lookups, which a single-block encryption
+/// serializes; the per-lane math is exactly [`Aes128::encrypt_block`]'s.
+#[inline(always)]
+fn encrypt4_cols(rks: [&[[u32; 4]; 11]; 4], mut states: [[u32; 4]; 4]) -> [[u32; 4]; 4] {
+    for (st, rk) in states.iter_mut().zip(&rks) {
+        for (col, k) in st.iter_mut().zip(&rk[0]) {
+            *col ^= *k;
+        }
+    }
+    for round in 1..10 {
+        for (st, rk) in states.iter_mut().zip(&rks) {
+            *st = aes_round(st, &rk[round]);
+        }
+    }
+    for (st, rk) in states.iter_mut().zip(&rks) {
+        *st = aes_last_round(st, &rk[10]);
+    }
+    states
 }
 
 /// XORs `data` in place with the AES-128-CTR keystream for (`key`, `nonce`).
@@ -266,5 +425,51 @@ mod tests {
         ctr_xor(&key, 1, &mut a);
         ctr_xor(&key, 2, &mut b);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ctr_keystream_pinned() {
+        // First 100 keystream bytes captured from the pre-T-table bytewise
+        // implementation: any change to these bytes would silently re-seal
+        // every blob in existing protected apps.
+        let key: Key128 = hex::decode_array("2b7e151628aed2a6abf7158809cf4f3c").unwrap();
+        let mut data = vec![0u8; 100];
+        ctr_xor(&key, 0x0123_4567_89ab_cdef, &mut data);
+        assert_eq!(
+            hex::encode(&data),
+            "1c637afb6fe7f151e785d538d212e9c541a42a140ba338326f58cb81776e1860\
+             44e44ffabf6bb262a77a84b64307c791437c42546b109443abed3d35267d612a\
+             e6cfeccb78c60ab8e60764dac59ff0f021b702e19c86746cec839bcc6b9ff7c2\
+             8a9303fa"
+        );
+    }
+
+    #[test]
+    fn ctr_batch_matches_serial() {
+        let keys: Vec<Key128> = (0..5u8)
+            .map(|i| [i.wrapping_mul(29).wrapping_add(3); 16])
+            .collect();
+        let lens = [0usize, 7, 16, 65, 400];
+        let originals: Vec<Vec<u8>> = lens
+            .iter()
+            .map(|&n| (0..n).map(|i| (i * 11 + 5) as u8).collect())
+            .collect();
+        let mut expected = originals.clone();
+        let schedules: Vec<Aes128> = keys.iter().map(Aes128::new).collect();
+        for (i, buf) in expected.iter_mut().enumerate() {
+            schedules[i].ctr_xor(1000 + i as u64, buf);
+        }
+        let mut batched = originals.clone();
+        let mut jobs: Vec<CtrJob<'_>> = batched
+            .iter_mut()
+            .enumerate()
+            .map(|(i, data)| CtrJob {
+                aes: &schedules[i],
+                nonce: 1000 + i as u64,
+                data,
+            })
+            .collect();
+        ctr_xor_batch(&mut jobs);
+        assert_eq!(batched, expected);
     }
 }

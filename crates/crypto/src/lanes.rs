@@ -1,0 +1,53 @@
+//! Four-lane `u32` vector for multi-buffer hashing.
+//!
+//! `#![forbid(unsafe_code)]` rules out explicit SIMD intrinsics, so the
+//! interleaved SHA paths express lane math as element-wise operations over
+//! a fixed-width array; the operations are all vertical (no cross-lane
+//! shuffles), so the compiler lowers the lane loops to 128-bit vector ops.
+
+/// Lanes per multi-buffer group.
+pub(crate) const MB_LANES: usize = 4;
+
+/// Four `u32` values processed in lockstep.
+#[derive(Copy, Clone)]
+pub(crate) struct U32x4(pub(crate) [u32; MB_LANES]);
+
+impl U32x4 {
+    #[inline(always)]
+    pub(crate) fn splat(v: u32) -> Self {
+        U32x4([v; MB_LANES])
+    }
+    #[inline(always)]
+    pub(crate) fn add(self, o: Self) -> Self {
+        U32x4(core::array::from_fn(|i| self.0[i].wrapping_add(o.0[i])))
+    }
+    #[inline(always)]
+    pub(crate) fn xor(self, o: Self) -> Self {
+        U32x4(core::array::from_fn(|i| self.0[i] ^ o.0[i]))
+    }
+    #[inline(always)]
+    pub(crate) fn and(self, o: Self) -> Self {
+        U32x4(core::array::from_fn(|i| self.0[i] & o.0[i]))
+    }
+    #[inline(always)]
+    pub(crate) fn or(self, o: Self) -> Self {
+        U32x4(core::array::from_fn(|i| self.0[i] | o.0[i]))
+    }
+    /// `(!self) & o` — the second half of the FIPS `Ch` function.
+    #[inline(always)]
+    pub(crate) fn andnot(self, o: Self) -> Self {
+        U32x4(core::array::from_fn(|i| !self.0[i] & o.0[i]))
+    }
+    #[inline(always)]
+    pub(crate) fn rotl(self, n: u32) -> Self {
+        U32x4(core::array::from_fn(|i| self.0[i].rotate_left(n)))
+    }
+    #[inline(always)]
+    pub(crate) fn rotr(self, n: u32) -> Self {
+        U32x4(core::array::from_fn(|i| self.0[i].rotate_right(n)))
+    }
+    #[inline(always)]
+    pub(crate) fn shr(self, n: u32) -> Self {
+        U32x4(core::array::from_fn(|i| self.0[i] >> n))
+    }
+}

@@ -718,6 +718,79 @@ impl Instr {
         }
     }
 
+    /// Visits every register this instruction touches (uses then def)
+    /// without allocating — the validator walks every instruction of every
+    /// method, where the `Vec`s returned by [`uses`](Self::uses) would
+    /// dominate the pass.
+    pub fn for_each_reg(&self, mut f: impl FnMut(Reg)) {
+        match self {
+            Instr::Const { .. }
+            | Instr::Goto { .. }
+            | Instr::GetStatic { .. }
+            | Instr::NewInstance { .. }
+            | Instr::Throw { .. }
+            | Instr::Nop => {}
+            Instr::Move { src, .. } | Instr::UnOp { src, .. } => f(*src),
+            Instr::BinOp { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            Instr::BinOpConst { lhs, .. } => f(*lhs),
+            Instr::StrOp { lhs, rhs, .. } => {
+                f(*lhs);
+                if let Some(r) = rhs {
+                    f(*r);
+                }
+            }
+            Instr::If { lhs, rhs, .. } => {
+                f(*lhs);
+                if let RegOrConst::Reg(r) = rhs {
+                    f(*r);
+                }
+            }
+            Instr::Switch { src, .. } => f(*src),
+            Instr::Invoke { args, .. } | Instr::HostCall { args, .. } => {
+                for r in args {
+                    f(*r);
+                }
+            }
+            Instr::InvokeReflect { name, args, .. } => {
+                f(*name);
+                for r in args {
+                    f(*r);
+                }
+            }
+            Instr::GetField { obj, .. } => f(*obj),
+            Instr::PutField { obj, src, .. } => {
+                f(*obj);
+                f(*src);
+            }
+            Instr::PutStatic { src, .. } => f(*src),
+            Instr::NewArray { len, .. } => f(*len),
+            Instr::ArrayGet { arr, idx, .. } => {
+                f(*arr);
+                f(*idx);
+            }
+            Instr::ArrayPut { arr, idx, src } => {
+                f(*arr);
+                f(*idx);
+                f(*src);
+            }
+            Instr::ArrayLen { arr, .. } => f(*arr),
+            Instr::Hash { src, .. } => f(*src),
+            Instr::StegoExtract { src, .. } => f(*src),
+            Instr::DecryptExec { key_src, .. } => f(*key_src),
+            Instr::Return { src } => {
+                if let Some(r) = src {
+                    f(*r);
+                }
+            }
+        }
+        if let Some(d) = self.def() {
+            f(d);
+        }
+    }
+
     /// Whether control can fall through to the next instruction.
     pub fn falls_through(&self) -> bool {
         !matches!(

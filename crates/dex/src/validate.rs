@@ -112,7 +112,10 @@ fn validate_method(m: &Method, blob_count: usize, errors: &mut Vec<ValidateError
     let len = m.body.len();
     let mref = m.method_ref();
     for (at, instr) in m.body.iter().enumerate() {
-        for target in instr.branch_targets() {
+        // Visitor form: this loop touches every instruction of every
+        // method, so the per-instruction `Vec`s of `branch_targets`/`uses`
+        // would cost more than the checks themselves.
+        instr.for_each_branch_target(|target| {
             if target >= len {
                 errors.push(ValidateError::BadBranchTarget {
                     method: mref.clone(),
@@ -120,12 +123,8 @@ fn validate_method(m: &Method, blob_count: usize, errors: &mut Vec<ValidateError
                     target,
                 });
             }
-        }
-        let mut regs = instr.uses();
-        if let Some(d) = instr.def() {
-            regs.push(d);
-        }
-        for r in regs {
+        });
+        instr.for_each_reg(|r| {
             if r.0 >= m.registers {
                 errors.push(ValidateError::RegisterOutOfRange {
                     method: mref.clone(),
@@ -134,7 +133,7 @@ fn validate_method(m: &Method, blob_count: usize, errors: &mut Vec<ValidateError
                     registers: m.registers,
                 });
             }
-        }
+        });
         if let Instr::DecryptExec { blob, .. } = instr {
             if blob.0 as usize >= blob_count {
                 errors.push(ValidateError::DanglingBlob {

@@ -37,7 +37,17 @@ impl Vm {
         }
         let mref = entry.mref.clone();
         let registers = entry.registers as usize;
-        *self.telemetry.method_calls.entry(mref.clone()).or_insert(0) += 1;
+        // Per-call accounting goes to a flat id-indexed delta table; the
+        // event boundary folds it into `telemetry.method_calls` (one map
+        // entry per *distinct* method instead of per call — see
+        // `Vm::fold_call_deltas`).
+        if self.call_deltas.len() <= id {
+            self.call_deltas.resize(id + 1, 0);
+        }
+        if self.call_deltas[id] == 0 {
+            self.called_ids.push(id as u32);
+        }
+        self.call_deltas[id] += 1;
         self.op_mix.decode_body_fetches += 1;
         let body = Arc::clone(prog.body(&self.pkg, id));
         let mut regs = vec![RtValue::Null; body.frame.max(registers).max(args.len())];

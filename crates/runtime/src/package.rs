@@ -8,7 +8,7 @@ use bombdroid_apk::{ApkFile, VerifyError};
 use bombdroid_crypto::Digest256;
 use bombdroid_dex::{wire, DexFile, MethodRef};
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A package as installed on a device.
 #[derive(Debug, Clone)]
@@ -112,12 +112,54 @@ impl InstalledPackage {
 
     /// The package's pre-decoded program, lowered once on first access and
     /// shared (method bodies themselves decode lazily inside it).
+    ///
+    /// Programs are additionally shared *across* installs of the same
+    /// `Arc<DexFile>` through a process-wide registry: re-installing an
+    /// unchanged app (every protect pass installs the original APK to
+    /// profile it) reuses the existing program — and the method bodies
+    /// already decoded inside it — instead of re-lowering from scratch.
     pub(crate) fn decoded_program(&self) -> Arc<crate::decode::DecodedProgram> {
         Arc::clone(
             self.decoded
-                .get_or_init(|| Arc::new(crate::decode::DecodedProgram::build(self))),
+                .get_or_init(|| shared_decoded_program(&self.dex, self)),
         )
     }
+}
+
+/// Process-wide decoded-program registry, keyed by `Arc<DexFile>` identity.
+///
+/// The key is the allocation address; a stored [`Weak`] guards against
+/// address reuse (a dead weak can never be upgraded, so a recycled address
+/// is a miss, never a wrong hit). The lock is held across a build, which
+/// single-flights concurrent first boots of the same package.
+static DECODED_REGISTRY: Mutex<
+    Vec<(std::sync::Weak<DexFile>, Arc<crate::decode::DecodedProgram>)>,
+> = Mutex::new(Vec::new());
+
+/// Registry capacity: far above any realistic number of simultaneously
+/// live distinct apps; a sweep keeps dead entries from accumulating.
+const DECODED_REGISTRY_CAP: usize = 256;
+
+fn shared_decoded_program(
+    dex: &Arc<DexFile>,
+    pkg: &InstalledPackage,
+) -> Arc<crate::decode::DecodedProgram> {
+    let mut reg = DECODED_REGISTRY
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    reg.retain(|(weak, _)| weak.strong_count() > 0);
+    for (weak, prog) in reg.iter() {
+        if let Some(live) = weak.upgrade() {
+            if Arc::ptr_eq(&live, dex) {
+                return Arc::clone(prog);
+            }
+        }
+    }
+    let prog = Arc::new(crate::decode::DecodedProgram::build(pkg));
+    if reg.len() < DECODED_REGISTRY_CAP {
+        reg.push((Arc::downgrade(dex), Arc::clone(&prog)));
+    }
+    prog
 }
 
 #[cfg(test)]

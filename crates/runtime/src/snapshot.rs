@@ -107,6 +107,10 @@ impl VmSnapshot {
             killed: self.killed,
             frozen: self.frozen,
             decoded_engine: self.decoded_engine,
+            // Snapshots exist only at event boundaries, where per-event
+            // call-count deltas are always drained.
+            call_deltas: Vec::new(),
+            called_ids: Vec::new(),
             op_mix: self.op_mix,
             coverage: self.coverage.clone(),
         }
@@ -138,6 +142,10 @@ impl VmSnapshot {
             killed: false,
             frozen: false,
             decoded_engine: self.decoded_engine,
+            // Snapshots exist only at event boundaries, where per-event
+            // call-count deltas are always drained.
+            call_deltas: Vec::new(),
+            called_ids: Vec::new(),
             // Like telemetry: a fork is a new session, so its execution
             // mix starts from zero.
             op_mix: OpMix::default(),

@@ -292,6 +292,14 @@ pub struct Vm {
     /// Engine selection resolved at boot (so a mid-run env change can never
     /// switch engines under a session).
     pub(crate) decoded_engine: bool,
+    /// Decoded-engine call counts accumulated since the last event
+    /// boundary, indexed by flat decoded method id. The hot path pays a
+    /// vector increment per call; [`Vm::fold_call_deltas`] moves the
+    /// totals into `telemetry.method_calls` before any observer can look.
+    pub(crate) call_deltas: Vec<u64>,
+    /// Ids with a nonzero entry in `call_deltas`, so folding walks only
+    /// the methods the event actually touched.
+    pub(crate) called_ids: Vec<u32>,
     /// Deterministic per-session execution-mix counters (see [`OpMix`]).
     pub(crate) op_mix: OpMix,
     /// Observed control-flow edges, `Some` iff
@@ -331,6 +339,8 @@ impl Vm {
             killed: false,
             frozen: false,
             decoded_engine,
+            call_deltas: Vec::new(),
+            called_ids: Vec::new(),
             op_mix: OpMix::default(),
             coverage,
         }
@@ -470,7 +480,11 @@ impl Vm {
     ) -> Result<Option<RtValue>, Fault> {
         self.fuel = self.opts.fuel_per_event;
         let mref = MethodRef::new("<detached>", "fragment");
-        match self.exec_body(&mref, body, &mut regs, 0)? {
+        let flow = self.exec_body(&mref, body, &mut regs, 0);
+        // Fragment code may invoke package methods; account them before
+        // the caller can observe telemetry.
+        self.fold_call_deltas();
+        match flow? {
             Flow::Returned(v) => Ok(Some(v)),
             Flow::Done => Ok(None),
         }
@@ -507,9 +521,27 @@ impl Vm {
         self.telemetry.events_run += 1;
         let before = self.telemetry.instr_executed;
         let result = self.call(mref, args, 0).map(|_| ());
+        self.fold_call_deltas();
         EventOutcome {
             instr: self.telemetry.instr_executed - before,
             result,
+        }
+    }
+
+    /// Folds the decoded engine's per-event call-count deltas into
+    /// `telemetry.method_calls`. Runs at every event boundary (and after
+    /// detached fragments), so external observers — `telemetry()`,
+    /// snapshots, forks — always see fully-accounted counts: nothing can
+    /// inspect a VM mid-event.
+    fn fold_call_deltas(&mut self) {
+        if self.called_ids.is_empty() {
+            return;
+        }
+        let prog = self.pkg.decoded_program();
+        for id in self.called_ids.drain(..) {
+            let n = std::mem::take(&mut self.call_deltas[id as usize]);
+            let mref = prog.entry(id as usize).mref.clone();
+            *self.telemetry.method_calls.entry(mref).or_insert(0) += n;
         }
     }
 

@@ -81,6 +81,18 @@ run env BOMBDROID_OBS=full BOMBDROID_THREADS=2 \
 run cargo run -q --release --offline -p bombdroid-bench --bin population_check -- \
     target/repro_output/population.json
 
+# Protect-as-a-service smoke: a fixed-seed job mix (four flagships, each
+# submitted twice, plus one over-capacity probe) drained at two worker
+# threads must single-flight every duplicate through the content-addressed
+# cache, shed the overflow with a typed error, keep results in submission
+# order, verify every signed package, and reproduce the parallel bytes in
+# a serial control run. service_check fails CI if the cache, admission
+# control, or drain ordering silently breaks.
+run env BOMBDROID_OBS=full BOMBDROID_THREADS=2 \
+    cargo run -q --release --offline -p bombdroid-bench --bin repro -- --fast service
+run cargo run -q --release --offline -p bombdroid-bench --bin service_check -- \
+    target/repro_output/service.json
+
 # Perf smoke: the hot-path harness must run end to end and emit a valid
 # BENCH_pipeline.json document. --fast numbers are not comparison-grade;
 # this validates the plumbing, not the performance.
@@ -100,6 +112,14 @@ run cargo run -q --release --offline -p bombdroid-bench --bin perf -- \
 run cargo run -q --release --offline -p bombdroid-bench --bin perf -- \
     --compare BENCH_pipeline.json target/perf_smoke.json \
     --threshold 75 --filter vm/
+
+# Hard gate: the pipeline/ benchmarks (protect, plan, arm) carry the
+# batch-crypto and protection-cache wins — a regression there fails CI.
+# Same generous threshold as the vm/ gate: jitter passes, real
+# regressions don't.
+run cargo run -q --release --offline -p bombdroid-bench --bin perf -- \
+    --compare BENCH_pipeline.json target/perf_smoke.json \
+    --threshold 75 --filter pipeline/
 
 # Advisory tier: everything else only warns (never fails CI); regenerate
 # BENCH_pipeline.json with a full-mode run on quiet hardware before
